@@ -1,0 +1,513 @@
+(* Benchmark harness: regenerates every figure and table of the paper
+   (DESIGN.md section 3) and then runs one Bechamel micro-benchmark per
+   experiment kernel.
+
+   Usage: dune exec bench/main.exe -- [--full] [--train-len N]
+            [--deploy-len N] [--no-micro] [--csv-dir DIR]
+
+   By default a reduced scale is used (150k training elements); --full
+   switches to the paper's 1M-element training stream.  The map shapes
+   are identical at both scales (DESIGN.md section 4). *)
+
+open Seqdiv_stream
+open Seqdiv_synth
+open Seqdiv_core
+open Seqdiv_detectors
+open Seqdiv_report
+
+type options = {
+  train_len : int;
+  background_len : int;
+  deploy_len : int;
+  micro : bool;
+  csv_dir : string option;
+}
+
+let default_options =
+  {
+    train_len = 150_000;
+    background_len = 8_000;
+    deploy_len = 30_000;
+    micro = true;
+    csv_dir = None;
+  }
+
+let parse_options () =
+  let rec go acc = function
+    | [] -> acc
+    | "--full" :: rest -> go { acc with train_len = 1_000_000 } rest
+    | "--train-len" :: v :: rest ->
+        go { acc with train_len = int_of_string v } rest
+    | "--deploy-len" :: v :: rest ->
+        go { acc with deploy_len = int_of_string v } rest
+    | "--no-micro" :: rest -> go { acc with micro = false } rest
+    | "--csv-dir" :: v :: rest -> go { acc with csv_dir = Some v } rest
+    | arg :: _ ->
+        prerr_endline ("unknown argument: " ^ arg);
+        exit 2
+  in
+  go default_options (List.tl (Array.to_list Sys.argv))
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Printf.printf "[%s: %.2fs]\n%!" label (Unix.gettimeofday () -. t0);
+  result
+
+let figure_order maps =
+  (* The paper presents L&B (Fig 3), Markov (Fig 4), Stide (Fig 5),
+     NN (Fig 6). *)
+  let find name =
+    List.find (fun m -> Performance_map.detector m = name) maps
+  in
+  [
+    ("Figure 3", find "lnb");
+    ("Figure 4", find "markov");
+    ("Figure 5", find "stide");
+    ("Figure 6", find "nn");
+  ]
+
+let write_csvs maps dir =
+  List.iter
+    (fun m ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "map_%s.csv" (Performance_map.detector m))
+      in
+      Csv.write_file path
+        ~header:
+          [ "detector"; "anomaly_size"; "window"; "outcome"; "max_response" ]
+        (Csv.map_rows m);
+      Printf.printf "wrote %s\n" path)
+    maps
+
+(* --- the paper reproduction ------------------------------------------- *)
+
+let run_paper opts =
+  let params =
+    Suite.scaled_params ~train_len:opts.train_len
+      ~background_len:opts.background_len
+  in
+  section "Evaluation suite (Section 5)";
+  let suite = timed "suite build" (fun () -> Suite.build params) in
+  Printf.printf
+    "training: %d elements, alphabet %d, cycle fraction %.4f, rare threshold \
+     %.3f\n"
+    (Trace.length suite.Suite.training)
+    params.Suite.alphabet_size
+    (Generator.cycle_fraction suite.Suite.training)
+    params.Suite.rare_threshold;
+
+  section "Figure 2 — boundary sequences and incident span";
+  print_string (Paper.figure2 suite ~window:5 ~anomaly_size:8);
+
+  section "Figure 7 — L&B similarity example";
+  print_string (Paper.figure7 ());
+
+  section "Figures 3-6 — performance maps";
+  let maps =
+    timed "all maps" (fun () -> Experiment.all_maps suite Registry.all)
+  in
+  List.iter
+    (fun (label, map) -> Printf.printf "%s:\n%s\n" label (Paper.figure_map map))
+    (figure_order maps);
+  Option.iter (write_csvs maps) opts.csv_dir;
+
+  section "T1 — coverage relations (Sections 7-8)";
+  print_string (Paper.table1 maps);
+
+  section "T2 — false alarms and the Stide-suppressor ensemble";
+  let t2 =
+    timed "T2" (fun () ->
+        Deployment.suppressor_experiment suite ~window:8 ~anomaly_size:5
+          ~deploy_len:opts.deploy_len ~seed:(params.Suite.seed + 1))
+  in
+  print_string (Paper.table2 t2);
+
+  section "T3 — lowering the L&B threshold";
+  let deploy =
+    Deployment.deployment_stream suite ~len:opts.deploy_len
+      ~seed:(params.Suite.seed + 2)
+  in
+  let fa_training =
+    Trace.sub suite.Suite.training ~pos:0
+      ~len:(Stdlib.min (Trace.length suite.Suite.training) 20_000)
+  in
+  let t3 =
+    timed "T3" (fun () ->
+        Deployment.lnb_threshold_experiment suite ~anomaly_size:5
+          ~deploy_trace:deploy ~fa_training)
+  in
+  print_string (Paper.table3 t3);
+  Option.iter
+    (fun dir ->
+      let path = Filename.concat dir "t3_lnb_threshold.csv" in
+      Csv.write_file path
+        ~header:[ "window"; "score_threshold"; "hit"; "fa_rate" ]
+        (List.map
+           (fun (p : Deployment.lnb_threshold_point) ->
+             [
+               string_of_int p.Deployment.window;
+               Printf.sprintf "%.6f" p.Deployment.score_threshold;
+               (if p.Deployment.hit then "1" else "0");
+               Printf.sprintf "%.6f" p.Deployment.false_alarm_rate;
+             ])
+           t3);
+      Printf.printf "wrote %s\n" path)
+    opts.csv_dir;
+  print_string
+    (Ascii_plot.render ~width:56 ~height:10 ~x_label:"detector window DW"
+       ~y_label:"L&B false-alarm rate at the lowered threshold"
+       (List.map
+          (fun (p : Deployment.lnb_threshold_point) ->
+            (float_of_int p.Deployment.window, p.Deployment.false_alarm_rate))
+          t3));
+
+  section "A1 — Stide locality frame count";
+  let a1 =
+    let test = Suite.stream suite ~anomaly_size:4 ~window:6 in
+    timed "A1" (fun () ->
+        Ablation.lfc_experiment ~training:fa_training
+          ~injection:test.Suite.injection ~deploy ~window:6
+          ~settings:[ (20, 1); (20, 2); (20, 4); (50, 8) ])
+  in
+  print_string (Paper.ablation1 a1);
+
+  section "A2 — neural-network hyper-parameter sensitivity";
+  let a2 =
+    let base = Neural.default_params in
+    timed "A2" (fun () ->
+        Ablation.nn_sensitivity suite ~window:6
+          ~params:
+            [
+              base;
+              { base with Neural.hidden = 1 };
+              { base with Neural.epochs = 10 };
+              { base with Neural.learning_rate = 0.005; epochs = 50 };
+              { base with Neural.momentum = 0.0; learning_rate = 0.05 };
+            ])
+  in
+  print_string (Paper.ablation2 a2);
+
+  section "A3 — alphabet-size invariance";
+  let a3 =
+    let base =
+      Suite.scaled_params
+        ~train_len:(Stdlib.min opts.train_len 80_000)
+        ~background_len:4_000
+    in
+    timed "A3" (fun () ->
+        Ablation.alphabet_invariance ~base ~sizes:[ 6; 8; 12 ])
+  in
+  print_string (Paper.ablation3 a3);
+
+  section "A4 — rare-threshold sensitivity";
+  let a4 =
+    timed "A4" (fun () ->
+        Ablation.rare_threshold_sweep suite
+          ~thresholds:[ 0.00005; 0.0001; 0.0005; 0.005; 0.05; 0.2 ])
+  in
+  print_string (Paper.ablation4 a4);
+
+  section "A6 — window selection trade-off";
+  let a6 =
+    timed "A6" (fun () ->
+        Ablation.window_tradeoff suite ~fa_training ~deploy)
+  in
+  print_string (Paper.ablation6 a6);
+  Option.iter
+    (fun dir ->
+      let path = Filename.concat dir "a6_window_tradeoff.csv" in
+      Csv.write_file path
+        ~header:[ "window"; "coverage"; "fa_rate" ]
+        (List.map
+           (fun (p : Ablation.window_point) ->
+             [
+               string_of_int p.Ablation.window;
+               Printf.sprintf "%.6f" p.Ablation.coverage;
+               Printf.sprintf "%.6f" p.Ablation.false_alarm_rate;
+             ])
+           a6);
+      Printf.printf "wrote %s\n" path)
+    opts.csv_dir;
+  print_string
+    (Ascii_plot.render_series ~width:56 ~height:10 ~x_label:"detector window DW"
+       ~y_label:"fraction"
+       [
+         ( "coverage",
+           List.map
+             (fun (p : Ablation.window_point) ->
+               (float_of_int p.Ablation.window, p.Ablation.coverage))
+             a6 );
+         ( "FA rate x100",
+           List.map
+             (fun (p : Ablation.window_point) ->
+               (float_of_int p.Ablation.window, p.Ablation.false_alarm_rate *. 100.0))
+             a6 );
+       ]);
+
+  section "A7 — synthesis operating envelope";
+  let a7 =
+    let base =
+      Suite.scaled_params
+        ~train_len:(Stdlib.min opts.train_len 60_000)
+        ~background_len:3_000
+    in
+    timed "A7" (fun () ->
+        Ablation.deviation_sweep ~base
+          ~deviations:[ 0.00002; 0.0005; 0.0025; 0.01; 0.05; 0.2 ])
+  in
+  print_string (Paper.ablation7 a7);
+
+  section "A8 — Markov smoothing";
+  let a8 =
+    timed "A8" (fun () ->
+        Ablation.smoothing_sweep suite ~window:6
+          ~alphas:[ 0.0; 0.1; 10.0; 1000.0; 100000.0 ])
+  in
+  print_string (Paper.ablation8 a8);
+
+  section "E1 — extension detectors (t-stide, HMM)";
+  let extension_maps =
+    timed "E1" (fun () ->
+        Experiment.all_maps suite
+          [ Registry.find_exn "tstide"; Registry.find_exn "hmm" ])
+  in
+  print_string (Paper.extension1 ~paper_maps:maps ~extension_maps);
+
+  section "E2 — rare-sequence anomalies";
+  let e2 =
+    timed "E2" (fun () ->
+        let rare = Rare_anomaly.build suite in
+        List.map
+          (fun d -> Rare_anomaly.performance_map rare suite d)
+          Registry.extended)
+  in
+  print_string (Paper.extension2 e2);
+
+  section "E3 — seed robustness";
+  let e3 =
+    let base =
+      Suite.scaled_params
+        ~train_len:(Stdlib.min opts.train_len 60_000)
+        ~background_len:3_000
+    in
+    timed "E3" (fun () ->
+        Ablation.seed_robustness ~base ~seeds:[ 1; 7; 42; 2005 ])
+  in
+  print_string (Paper.extension3 e3);
+
+  section "E4 — per-session classification";
+  let e4 =
+    timed "E4" (fun () ->
+        let rng = Seqdiv_util.Prng.create ~seed:(params.Suite.seed + 9) in
+        let normal =
+          Session_workload.normal suite rng ~sessions:60 ~length:400
+        in
+        let anomalous =
+          Session_workload.anomalous suite ~sessions:30 ~length:400
+            ~anomaly_size:5 ~window:8
+        in
+        List.map
+          (fun d ->
+            let trained = Trained.train d ~window:8 suite.Suite.training in
+            let (module D : Detector.S) = d in
+            (D.name, Session_eval.evaluate trained ~normal ~anomalous ()))
+          Registry.extended)
+  in
+  print_string (Paper.extension4 e4);
+
+  section "A5 — n-gram index backends (hash tables vs counting trie)";
+  let trie_t0 = Unix.gettimeofday () in
+  let trie = Seq_trie.of_trace ~max_len:15 suite.Suite.training in
+  let trie_dt = Unix.gettimeofday () -. trie_t0 in
+  let hash_t0 = Unix.gettimeofday () in
+  let rebuilt = Ngram_index.build ~max_len:15 suite.Suite.training in
+  let hash_dt = Unix.gettimeofday () -. hash_t0 in
+  let agreement =
+    Seq_trie.check_agrees_with_index trie rebuilt
+      (Trace.sub suite.Suite.training ~pos:0
+         ~len:(Stdlib.min 5_000 (Trace.length suite.Suite.training)))
+  in
+  let a5 = Table.make ~columns:[ "backend"; "build time"; "memory proxy" ] in
+  Table.add_row a5
+    [ "hash tables (15 scans)"; Printf.sprintf "%.2fs" hash_dt; "n/a" ];
+  Table.add_row a5
+    [
+      "counting trie (1 pass)";
+      Printf.sprintf "%.2fs" trie_dt;
+      Printf.sprintf "%d nodes (~%d words)" (Seq_trie.node_count trie)
+        (Seq_trie.memory_words trie);
+    ];
+  Table.print a5;
+  Printf.printf "backends agree on all counts: %s\n"
+    (if agreement then "yes" else "NO — BUG");
+  (suite, maps, deploy, trie)
+
+(* --- Bechamel micro-benchmarks ---------------------------------------- *)
+
+let micro_tests suite maps deploy trie =
+  let open Bechamel in
+  let training = suite.Suite.training in
+  let window = 6 in
+  let test = Suite.stream suite ~anomaly_size:4 ~window in
+  let injection = test.Suite.injection in
+  let trace = injection.Injector.trace in
+  let lo, hi =
+    Injector.incident_span ~position:injection.Injector.position
+      ~size:(Array.length injection.Injector.anomaly)
+      ~width:window
+  in
+  let stide = Trained.train (Registry.find_exn "stide") ~window training in
+  let markov = Trained.train (Registry.find_exn "markov") ~window training in
+  let lnb = Trained.train (Registry.find_exn "lnb") ~window training in
+  let nn = Trained.train (Registry.find_exn "nn") ~window training in
+  let markov_deploy = Trained.score markov deploy in
+  let stide_deploy = Trained.score stide deploy in
+  let coverages = List.map Coverage.of_map maps in
+  let span d () = ignore (Trained.score_range d trace ~lo ~hi) in
+  let small_train = Trace.sub training ~pos:0 ~len:20_000 in
+  [
+    Test.make ~name:"F2_injection_search"
+      (Staged.stage (fun () ->
+           ignore
+             (Injector.inject suite.Suite.index
+                ~background:
+                  (Generator.background suite.Suite.alphabet ~len:2_000
+                     ~phase:0)
+                ~anomaly:injection.Injector.anomaly ~width:window)));
+    Test.make ~name:"F3_lnb_span_scoring" (Staged.stage (span lnb));
+    Test.make ~name:"F4_markov_span_scoring" (Staged.stage (span markov));
+    Test.make ~name:"F5_stide_span_scoring" (Staged.stage (span stide));
+    Test.make ~name:"F6_nn_span_scoring" (Staged.stage (span nn));
+    Test.make ~name:"F7_lnb_similarity"
+      (Staged.stage (fun () ->
+           ignore
+             (Lane_brodley.similarity [| 0; 1; 2; 3; 4 |] [| 0; 1; 2; 3; 0 |])));
+    Test.make ~name:"T1_coverage_algebra"
+      (Staged.stage (fun () ->
+           ignore
+             (List.fold_left Coverage.union Coverage.empty coverages
+             |> Coverage.cardinal)));
+    Test.make ~name:"T2_ensemble_suppression"
+      (Staged.stage (fun () ->
+           ignore
+             (Ensemble.suppress
+                ~primary:(markov_deploy, Trained.alarm_threshold markov)
+                ~suppressor:(stide_deploy, Trained.alarm_threshold stide))));
+    Test.make ~name:"T3_lnb_stream_scoring"
+      (Staged.stage (fun () ->
+           ignore (Trained.score_range lnb deploy ~lo:0 ~hi:999)));
+    Test.make ~name:"A1_lfc_apply"
+      (Staged.stage (fun () ->
+           ignore
+             (Lfc.apply stide_deploy ~frame:20 ~min_count:2 ~threshold:1.0)));
+    Test.make ~name:"A2_nn_training_small"
+      (Staged.stage (fun () ->
+           ignore
+             (Neural.train_with
+                { Neural.default_params with Neural.epochs = 10 }
+                ~window small_train)));
+    Test.make ~name:"A3_markov_training"
+      (Staged.stage (fun () ->
+           ignore
+             (Trained.train (Registry.find_exn "markov") ~window small_train)));
+    Test.make ~name:"A4_mfs_search"
+      (Staged.stage (fun () ->
+           ignore
+             (Mfs.candidates suite.Suite.index suite.Suite.alphabet ~size:5
+                ~rare_threshold:0.005)));
+    (let tstide = Trained.train (Registry.find_exn "tstide") ~window training in
+     Test.make ~name:"E1_tstide_span_scoring" (Staged.stage (span tstide)));
+    (let hmm = Trained.train (Registry.find_exn "hmm") ~window training in
+     Test.make ~name:"E1_hmm_span_scoring" (Staged.stage (span hmm)));
+    (let rng = Seqdiv_util.Prng.create ~seed:7 in
+     let probes =
+       Array.init 64 (fun _ -> Seq_trie.random_probe trie rng ~len:8)
+     in
+     Test.make ~name:"A5_trie_lookup"
+       (Staged.stage (fun () ->
+            Array.iter (fun p -> ignore (Seq_trie.count trie p)) probes)));
+    (let rng = Seqdiv_util.Prng.create ~seed:7 in
+     let probes =
+       Array.init 64 (fun _ -> Seq_trie.random_probe trie rng ~len:8)
+     in
+     Test.make ~name:"A5_hash_lookup"
+       (Staged.stage (fun () ->
+            Array.iter
+              (fun p -> ignore (Ngram_index.count suite.Suite.index p))
+              probes)));
+    Test.make ~name:"A6_stide_cell_outcome"
+      (Staged.stage (fun () ->
+           ignore (Scoring.outcome stide injection)));
+    Test.make ~name:"A7_mfs_constructibility_probe"
+      (Staged.stage (fun () ->
+           ignore
+             (Mfs.candidates suite.Suite.index suite.Suite.alphabet ~size:3
+                ~rare_threshold:0.005)));
+    (let markov_model = Markov.train ~window suite.Suite.training in
+     let smoothed = Markov.with_smoothing markov_model ~alpha:10.0 in
+     Test.make ~name:"A8_smoothed_span_scoring"
+       (Staged.stage (fun () ->
+            ignore (Markov.score_range smoothed trace ~lo ~hi))));
+    (let rare = Rare_anomaly.build suite in
+     let rare_inj = Rare_anomaly.injection rare ~anomaly_size:4 ~window:6 in
+     Test.make ~name:"E2_rare_cell_outcome"
+       (Staged.stage (fun () -> ignore (Scoring.outcome markov rare_inj))));
+    Test.make ~name:"E3_seed_map_shape"
+      (Staged.stage (fun () ->
+           ignore (Scoring.outcome stide injection)));
+    (let session =
+       Deployment.deployment_stream suite ~len:400 ~seed:123
+     in
+     Test.make ~name:"E4_session_classification"
+       (Staged.stage (fun () ->
+            ignore
+              (Session_eval.session_anomalous stide ~threshold:1.0 session))));
+  ]
+
+let run_micro suite maps deploy trie =
+  let open Bechamel in
+  let open Toolkit in
+  section "Micro-benchmarks (Bechamel, monotonic clock)";
+  let tests = micro_tests suite maps deploy trie in
+  let grouped = Test.make_grouped ~name:"seqdiv" tests in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> est
+          | Some _ | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  let table = Table.make ~columns:[ "kernel"; "time/run" ] in
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Table.add_row table [ name; human ])
+    rows;
+  Table.print table
+
+let () =
+  let opts = parse_options () in
+  let suite, maps, deploy, trie = run_paper opts in
+  if opts.micro then run_micro suite maps deploy trie;
+  print_newline ()

@@ -1,0 +1,675 @@
+(* seqdiv — command-line driver for the diversity study.
+
+   Reproduction subcommands: synth, mfs, map, full, roc, ensemble,
+   lnb-threshold, ablation (every experiment of DESIGN.md section 3 can
+   be regenerated from here; `seqdiv full` prints the complete paper
+   reproduction).  Tool subcommands for user data: detect, compare,
+   classify, dataset. *)
+
+open Cmdliner
+open Seqdiv_stream
+open Seqdiv_synth
+open Seqdiv_core
+open Seqdiv_detectors
+open Seqdiv_report
+
+(* --- shared options ---------------------------------------------------- *)
+
+let train_len_t =
+  let doc = "Training-stream length (the paper uses 1000000)." in
+  Arg.(value & opt int 150_000 & info [ "train-len" ] ~docv:"N" ~doc)
+
+let background_len_t =
+  let doc = "Background length of each injected test stream." in
+  Arg.(value & opt int 8_000 & info [ "background-len" ] ~docv:"N" ~doc)
+
+let seed_t =
+  let doc = "PRNG seed; the whole experiment is deterministic in it." in
+  Arg.(value & opt int 2005 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let deviation_t =
+  let doc = "Per-step probability of deviating from the cycle." in
+  Arg.(
+    value
+    & opt float Generator.default_deviation
+    & info [ "deviation" ] ~docv:"P" ~doc)
+
+let rare_t =
+  let doc = "Rare-sequence relative-frequency threshold (paper: 0.005)." in
+  Arg.(value & opt float 0.005 & info [ "rare-threshold" ] ~docv:"F" ~doc)
+
+let verbose_t =
+  let doc = "Log suite construction and injection details to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let params_t =
+  let make verbose train_len background_len seed deviation rare_threshold =
+    setup_logging verbose;
+    {
+      Suite.paper_params with
+      Suite.train_len;
+      background_len;
+      seed;
+      deviation;
+      rare_threshold;
+    }
+  in
+  Term.(
+    const make $ verbose_t $ train_len_t $ background_len_t $ seed_t
+    $ deviation_t $ rare_t)
+
+let detector_conv =
+  let parse s =
+    match Registry.find s with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown detector %S (one of: %s)" s
+               (String.concat ", " Registry.names)))
+  in
+  let print ppf (module D : Detector.S) = Format.pp_print_string ppf D.name in
+  Arg.conv (parse, print)
+
+(* --- synth ------------------------------------------------------------- *)
+
+let synth_cmd =
+  let run params out =
+    let suite = Suite.build params in
+    Trace_io.to_file out suite.Suite.training;
+    Printf.printf "wrote %d training elements to %s\n"
+      (Trace.length suite.Suite.training)
+      out
+  in
+  let out_t =
+    Arg.(value & opt string "training.trace" & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Generate the synthetic training stream to a file.")
+    Term.(const run $ params_t $ out_t)
+
+(* --- mfs --------------------------------------------------------------- *)
+
+let mfs_cmd =
+  let run params size count =
+    let suite = Suite.build params in
+    let candidates =
+      Mfs.candidates suite.Suite.index suite.Suite.alphabet ~size
+        ~rare_threshold:params.Suite.rare_threshold
+    in
+    Printf.printf
+      "%d minimal foreign sequence(s) of size %d (showing up to %d):\n"
+      (List.length candidates) size count;
+    List.iteri
+      (fun i c ->
+        if i < count then
+          Printf.printf "  [%s]  rare 2-grams: %d\n"
+            (String.concat "; "
+               (List.map string_of_int (Array.to_list c)))
+            (Mfs.rare_twogram_count suite.Suite.index
+               ~threshold:params.Suite.rare_threshold c))
+      candidates
+  in
+  let size_t =
+    Arg.(value & opt int 5 & info [ "size" ] ~docv:"AS" ~doc:"Anomaly size.")
+  in
+  let count_t =
+    Arg.(value & opt int 10 & info [ "count" ] ~docv:"N" ~doc:"Candidates to show.")
+  in
+  Cmd.v
+    (Cmd.info "mfs"
+       ~doc:"List minimal foreign sequences constructible from the training data.")
+    Term.(const run $ params_t $ size_t $ count_t)
+
+(* --- map --------------------------------------------------------------- *)
+
+let map_cmd =
+  let run params detectors csv_dir =
+    let suite = Suite.build params in
+    let detectors = if detectors = [] then Registry.all else detectors in
+    List.iter
+      (fun d ->
+        let map = Experiment.performance_map suite d in
+        Ascii_map.print map;
+        print_newline ();
+        Option.iter
+          (fun dir ->
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "map_%s.csv" (Performance_map.detector map))
+            in
+            Csv.write_file path
+              ~header:
+                [ "detector"; "anomaly_size"; "window"; "outcome"; "max_response" ]
+              (Csv.map_rows map);
+            Printf.printf "wrote %s\n" path)
+          csv_dir)
+      detectors
+  in
+  let detectors_t =
+    Arg.(
+      value
+      & opt_all detector_conv []
+      & info [ "d"; "detector" ] ~docv:"NAME"
+          ~doc:"Detector to map (repeatable); default: all four.")
+  in
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Also write per-map CSV files.")
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:"Reproduce the performance maps of Figures 3-6 for chosen detectors.")
+    Term.(const run $ params_t $ detectors_t $ csv_t)
+
+(* --- full -------------------------------------------------------------- *)
+
+let full_cmd =
+  let run params =
+    let suite = Suite.build params in
+    print_string (Paper.figure2 suite ~window:5 ~anomaly_size:8);
+    print_newline ();
+    print_string (Paper.figure7 ());
+    print_newline ();
+    let maps = Experiment.all_maps suite Registry.all in
+    List.iter
+      (fun m ->
+        print_string (Paper.figure_map m);
+        print_newline ())
+      maps;
+    print_string (Paper.table1 maps);
+    print_newline ();
+    let t2 =
+      Deployment.suppressor_experiment suite ~window:8 ~anomaly_size:5
+        ~deploy_len:30_000 ~seed:(params.Suite.seed + 1)
+    in
+    print_string (Paper.table2 t2);
+    print_newline ();
+    let deploy =
+      Deployment.deployment_stream suite ~len:30_000 ~seed:(params.Suite.seed + 2)
+    in
+    let fa_training =
+      Trace.sub suite.Suite.training ~pos:0
+        ~len:(Stdlib.min (Trace.length suite.Suite.training) 20_000)
+    in
+    let t3 =
+      Deployment.lnb_threshold_experiment suite ~anomaly_size:5
+        ~deploy_trace:deploy ~fa_training
+    in
+    print_string (Paper.table3 t3)
+  in
+  Cmd.v
+    (Cmd.info "full"
+       ~doc:"Run the complete paper reproduction (figures and tables).")
+    Term.(const run $ params_t)
+
+(* --- roc --------------------------------------------------------------- *)
+
+let roc_cmd =
+  let run params (module D : Detector.S) window anomaly_size deploy_len =
+    let suite = Suite.build params in
+    let trained = Trained.train (module D) ~window suite.Suite.training in
+    let deploy =
+      Deployment.deployment_stream suite ~len:deploy_len
+        ~seed:(params.Suite.seed + 3)
+    in
+    let clean = Trained.score trained deploy in
+    let spans =
+      List.map
+        (fun anomaly_size ->
+          let test = Suite.stream suite ~anomaly_size ~window in
+          Scoring.incident_response trained test.Suite.injection)
+        (if anomaly_size = 0 then Suite.anomaly_sizes suite else [ anomaly_size ])
+    in
+    let points =
+      Roc.sweep ~clean ~spans
+        ~thresholds:[ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.995; 1.0 ]
+    in
+    let table = Table.make ~columns:[ "threshold"; "hit rate"; "FA rate" ] in
+    List.iter
+      (fun p ->
+        Table.add_row table
+          [
+            Printf.sprintf "%.3f" p.Roc.threshold;
+            Printf.sprintf "%.3f" p.Roc.hit_rate;
+            Printf.sprintf "%.5f" p.Roc.fa_rate;
+          ])
+      points;
+    Table.print table;
+    Printf.printf "AUC (anchored): %.4f\n" (Roc.auc points)
+  in
+  let detector_t =
+    Arg.(
+      required
+      & opt (some detector_conv) None
+      & info [ "d"; "detector" ] ~docv:"NAME" ~doc:"Detector.")
+  in
+  let window_t =
+    Arg.(value & opt int 8 & info [ "window" ] ~docv:"DW" ~doc:"Detector window.")
+  in
+  let as_t =
+    Arg.(
+      value & opt int 0
+      & info [ "anomaly-size" ] ~docv:"AS"
+          ~doc:"Anomaly size (0 = all sizes of the suite).")
+  in
+  let deploy_t =
+    Arg.(value & opt int 30_000 & info [ "deploy-len" ] ~docv:"N" ~doc:"Deployment length.")
+  in
+  Cmd.v
+    (Cmd.info "roc" ~doc:"Threshold sweep: hit rate vs false-alarm rate.")
+    Term.(const run $ params_t $ detector_t $ window_t $ as_t $ deploy_t)
+
+(* --- ensemble ---------------------------------------------------------- *)
+
+let ensemble_cmd =
+  let run params window anomaly_size deploy_len =
+    let suite = Suite.build params in
+    let report =
+      Deployment.suppressor_experiment suite ~window ~anomaly_size ~deploy_len
+        ~seed:(params.Suite.seed + 1)
+    in
+    print_string (Paper.table2 report)
+  in
+  let window_t =
+    Arg.(value & opt int 8 & info [ "window" ] ~docv:"DW" ~doc:"Detector window.")
+  in
+  let as_t =
+    Arg.(value & opt int 5 & info [ "anomaly-size" ] ~docv:"AS" ~doc:"Anomaly size.")
+  in
+  let deploy_t =
+    Arg.(value & opt int 30_000 & info [ "deploy-len" ] ~docv:"N" ~doc:"Deployment length.")
+  in
+  Cmd.v
+    (Cmd.info "ensemble"
+       ~doc:"Markov+Stide false-alarm suppression experiment (T2).")
+    Term.(const run $ params_t $ window_t $ as_t $ deploy_t)
+
+(* --- lnb-threshold ----------------------------------------------------- *)
+
+let lnb_cmd =
+  let run params anomaly_size deploy_len fa_train_len =
+    let suite = Suite.build params in
+    let deploy =
+      Deployment.deployment_stream suite ~len:deploy_len
+        ~seed:(params.Suite.seed + 2)
+    in
+    let fa_training =
+      Trace.sub suite.Suite.training ~pos:0
+        ~len:(Stdlib.min (Trace.length suite.Suite.training) fa_train_len)
+    in
+    let points =
+      Deployment.lnb_threshold_experiment suite ~anomaly_size
+        ~deploy_trace:deploy ~fa_training
+    in
+    print_string (Paper.table3 points)
+  in
+  let as_t =
+    Arg.(value & opt int 5 & info [ "anomaly-size" ] ~docv:"AS" ~doc:"Anomaly size.")
+  in
+  let deploy_t =
+    Arg.(value & opt int 30_000 & info [ "deploy-len" ] ~docv:"N" ~doc:"Deployment length.")
+  in
+  let fa_train_t =
+    Arg.(
+      value & opt int 20_000
+      & info [ "fa-train-len" ] ~docv:"N"
+          ~doc:"Training length for the false-alarm model (undertrained regime).")
+  in
+  Cmd.v
+    (Cmd.info "lnb-threshold"
+       ~doc:"Cost of lowering the L&B threshold to catch an MFS (T3).")
+    Term.(const run $ params_t $ as_t $ deploy_t $ fa_train_t)
+
+(* --- ablation ----------------------------------------------------------- *)
+
+let ablation_cmd =
+  let run params which =
+    let suite = Suite.build params in
+    let deploy =
+      Deployment.deployment_stream suite ~len:30_000 ~seed:(params.Suite.seed + 2)
+    in
+    let fa_training =
+      Trace.sub suite.Suite.training ~pos:0
+        ~len:(Stdlib.min (Trace.length suite.Suite.training) 20_000)
+    in
+    let run_a1 () =
+      let test = Suite.stream suite ~anomaly_size:4 ~window:6 in
+      print_string
+        (Paper.ablation1
+           (Ablation.lfc_experiment ~training:fa_training
+              ~injection:test.Suite.injection ~deploy ~window:6
+              ~settings:[ (20, 1); (20, 2); (20, 4); (50, 8) ]))
+    in
+    let run_a2 () =
+      let base = Neural.default_params in
+      print_string
+        (Paper.ablation2
+           (Ablation.nn_sensitivity suite ~window:6
+              ~params:
+                [
+                  base;
+                  { base with Neural.hidden = 1 };
+                  { base with Neural.epochs = 10 };
+                  { base with Neural.learning_rate = 0.005; epochs = 50 };
+                ]))
+    in
+    let run_a3 () =
+      let base =
+        Suite.scaled_params
+          ~train_len:(Stdlib.min params.Suite.train_len 80_000)
+          ~background_len:4_000
+      in
+      print_string
+        (Paper.ablation3 (Ablation.alphabet_invariance ~base ~sizes:[ 6; 8; 12 ]))
+    in
+    let run_a4 () =
+      print_string
+        (Paper.ablation4
+           (Ablation.rare_threshold_sweep suite
+              ~thresholds:[ 0.00005; 0.0001; 0.0005; 0.005; 0.05; 0.2 ]))
+    in
+    match which with
+    | "a1" -> run_a1 ()
+    | "a2" -> run_a2 ()
+    | "a3" -> run_a3 ()
+    | "a4" -> run_a4 ()
+    | "all" ->
+        run_a1 ();
+        run_a2 ();
+        run_a3 ();
+        run_a4 ()
+    | other ->
+        prerr_endline ("unknown ablation " ^ other ^ " (a1|a2|a3|a4|all)");
+        exit 2
+  in
+  let which_t =
+    Arg.(
+      value & opt string "all"
+      & info [ "which" ] ~docv:"ID" ~doc:"Which ablation: a1, a2, a3, a4 or all.")
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run the A1-A4 ablation studies.")
+    Term.(const run $ params_t $ which_t)
+
+(* --- detect ------------------------------------------------------------- *)
+
+let detect_cmd =
+  let run verbose (module D : Detector.S) window train_file test_file threshold
+      gap save_model =
+    setup_logging verbose;
+    let training = Trace_io.of_file train_file in
+    let test = Trace_io.of_file test_file in
+    let trained = Trained.train (module D) ~window training in
+    let threshold =
+      match threshold with
+      | Some t -> t
+      | None -> Trained.alarm_threshold trained
+    in
+    (match (save_model, D.name) with
+    | Some path, "stide" ->
+        Model_io.save_stide_file path (Stide.train ~window training);
+        Printf.printf "saved stide model to %s\n" path
+    | Some path, "markov" ->
+        Model_io.save_markov_file path (Markov.train ~window training);
+        Printf.printf "saved markov model to %s\n" path
+    | Some _, other ->
+        Printf.eprintf "model persistence is not supported for %s\n" other
+    | None, _ -> ());
+    let response = Trained.score trained test in
+    let incidents = Incident.of_response ~gap response ~threshold in
+    Printf.printf
+      "%s (window %d) on %d elements: %d window alarms, %d incident(s) at \
+       threshold %.4f\n"
+      D.name window (Trace.length test)
+      (Response.count_over response ~threshold)
+      (List.length incidents) threshold;
+    List.iter
+      (fun incident -> Format.printf "  %a@." Incident.pp incident)
+      incidents
+  in
+  let detector_t =
+    Arg.(
+      required
+      & opt (some detector_conv) None
+      & info [ "d"; "detector" ] ~docv:"NAME" ~doc:"Detector.")
+  in
+  let window_t =
+    Arg.(value & opt int 6 & info [ "window" ] ~docv:"DW" ~doc:"Detector window.")
+  in
+  let train_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "train" ] ~docv:"FILE" ~doc:"Training trace (Trace_io format).")
+  in
+  let test_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "test" ] ~docv:"FILE" ~doc:"Trace to score.")
+  in
+  let threshold_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"T"
+          ~doc:"Alarm threshold (default: the detector's maximal band).")
+  in
+  let gap_t =
+    Arg.(
+      value & opt int 0
+      & info [ "gap" ] ~docv:"N" ~doc:"Coalesce alarms separated by up to N positions.")
+  in
+  let save_model_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-model" ] ~docv:"FILE"
+          ~doc:"Also persist the trained model (stide and markov only).")
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:"Train on one trace file and report incidents on another.")
+    Term.(
+      const run $ verbose_t $ detector_t $ window_t $ train_t $ test_t
+      $ threshold_t $ gap_t $ save_model_t)
+
+(* --- dataset ------------------------------------------------------------ *)
+
+let dataset_cmd =
+  let run params dir check =
+    if check then begin
+      let suite = Dataset_io.load ~dir in
+      let p = suite.Suite.params in
+      Printf.printf
+        "dataset at %s: alphabet %d, training %d elements, %d test streams — \
+         ground truth verified\n"
+        dir p.Suite.alphabet_size p.Suite.train_len
+        (Array.length suite.Suite.streams)
+    end
+    else begin
+      let suite = Suite.build params in
+      Dataset_io.save suite ~dir;
+      Printf.printf "wrote evaluation corpus (%d streams) to %s\n"
+        (Array.length suite.Suite.streams)
+        dir
+    end
+  in
+  let dir_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Corpus directory.")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Load and verify an existing corpus instead of generating.")
+  in
+  Cmd.v
+    (Cmd.info "dataset"
+       ~doc:"Generate the evaluation corpus to a directory, or verify one.")
+    Term.(const run $ params_t $ dir_t $ check_t)
+
+(* --- compare ------------------------------------------------------------ *)
+
+let compare_cmd =
+  let run verbose (module A : Detector.S) (module B : Detector.S) window
+      train_file test_file =
+    setup_logging verbose;
+    let training = Trace_io.of_file train_file in
+    let test = Trace_io.of_file test_file in
+    let a = Trained.train (module A) ~window training in
+    let b = Trained.train (module B) ~window training in
+    let ra = Trained.score a test and rb = Trained.score b test in
+    let ta = Trained.alarm_threshold a and tb = Trained.alarm_threshold b in
+    let alarms_a = Response.count_over ra ~threshold:ta in
+    let alarms_b = Response.count_over rb ~threshold:tb in
+    let corroboration =
+      Ensemble.suppress ~primary:(ra, ta) ~suppressor:(rb, tb)
+    in
+    let both = corroboration.Ensemble.corroborated in
+    Printf.printf
+      "%s: %d alarms; %s: %d alarms; raised by both: %d\n" A.name alarms_a
+      B.name alarms_b both;
+    Printf.printf "%s-only alarms: %d; %s-only alarms: %d\n" A.name
+      (alarms_a - both) B.name (alarms_b - both);
+    let union = alarms_a + alarms_b - both in
+    if union > 0 then
+      Printf.printf "alarm-set jaccard: %.3f\n"
+        (float_of_int both /. float_of_int union)
+    else print_endline "no alarms from either detector";
+    let disjunction =
+      Ensemble.combine Ensemble.Any [ (ra, ta); (rb, tb) ]
+    in
+    let conjunction =
+      Ensemble.combine Ensemble.All [ (ra, ta); (rb, tb) ]
+    in
+    Printf.printf "ensemble alarms: any=%d  all=%d\n"
+      (Response.count_over disjunction ~threshold:1.0)
+      (Response.count_over conjunction ~threshold:1.0)
+  in
+  let detector_opt option_name doc =
+    let docv = "NAME" in
+    Arg.(
+      required
+      & opt (some detector_conv) None
+      & info [ option_name ] ~docv ~doc)
+  in
+  let window_t =
+    Arg.(value & opt int 6 & info [ "window" ] ~docv:"DW" ~doc:"Detector window.")
+  in
+  let train_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "train" ] ~docv:"FILE" ~doc:"Training trace.")
+  in
+  let test_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "test" ] ~docv:"FILE" ~doc:"Trace to score.")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Measure how two detectors' alarm sets overlap on your traces.")
+    Term.(
+      const run $ verbose_t
+      $ detector_opt "a" "First detector."
+      $ detector_opt "b" "Second detector."
+      $ window_t $ train_t $ test_t)
+
+(* --- classify (UNM-style per-process traces) ----------------------------- *)
+
+let classify_cmd =
+  let run verbose window train_file test_file =
+    setup_logging verbose;
+    (* The classic "sense of self" workflow: train stide on the benign
+       per-process traces, then classify each monitored process.  The
+       normal database is built per session so no window spans a process
+       boundary. *)
+    let train_sessions, mapping = Syscall_trace.parse_file train_file in
+    let test_sessions, test_mapping = Syscall_trace.parse_file test_file in
+    if Array.length test_mapping > Array.length mapping then
+      Printf.printf
+        "note: the monitored traces use %d distinct calls vs %d in training — \
+         novel calls are necessarily foreign\n"
+        (Array.length test_mapping) (Array.length mapping);
+    let db = Sessions.seq_db train_sessions ~width:window in
+    let model = Stide.train_of_db db in
+    Printf.printf
+      "trained stide (window %d) on %d sessions / %d calls (%d distinct \
+       sequences)\n"
+      window
+      (Sessions.count train_sessions)
+      (Sessions.total_length train_sessions)
+      (Seq_db.cardinal db);
+    List.iteri
+      (fun i session ->
+        if Trace.length session < window then
+          Printf.printf "  session %d: too short to judge (%d calls)\n" (i + 1)
+            (Trace.length session)
+        else begin
+          let response = Stide.score model session in
+          let incidents = Incident.of_response response ~threshold:1.0 in
+          match incidents with
+          | [] ->
+              Printf.printf "  session %d: normal (%d calls)\n" (i + 1)
+                (Trace.length session)
+          | _ ->
+              Printf.printf "  session %d: ANOMALOUS — %d incident(s)\n" (i + 1)
+                (List.length incidents);
+              List.iter
+                (fun incident -> Format.printf "    %a@." Incident.pp incident)
+                incidents
+        end)
+      (Sessions.traces test_sessions)
+  in
+  let window_t =
+    Arg.(value & opt int 6 & info [ "window" ] ~docv:"DW" ~doc:"Detector window.")
+  in
+  let train_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "train" ] ~docv:"FILE"
+          ~doc:"Benign per-process traces (UNM pid/syscall format).")
+  in
+  let test_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "test" ] ~docv:"FILE" ~doc:"Monitored traces to classify.")
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Classify per-process system-call traces with stide (UNM pid/syscall \
+          format).")
+    Term.(const run $ verbose_t $ window_t $ train_t $ test_t)
+
+(* --- main -------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "seqdiv" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of Tan & Maxion, 'The Effects of Algorithmic Diversity \
+         on Anomaly Detector Performance' (DSN 2005)."
+  in
+  let group =
+    Cmd.group info
+      [
+        synth_cmd; mfs_cmd; map_cmd; full_cmd; roc_cmd; ensemble_cmd; lnb_cmd;
+        ablation_cmd; detect_cmd; dataset_cmd; compare_cmd; classify_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

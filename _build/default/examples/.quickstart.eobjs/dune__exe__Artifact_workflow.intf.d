@@ -1,0 +1,1 @@
+examples/artifact_workflow.mli:

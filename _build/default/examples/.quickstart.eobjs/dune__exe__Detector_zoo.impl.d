@@ -1,0 +1,1 @@
+examples/detector_zoo.ml: Deployment Detector False_alarm List Outcome Printf Registry Scoring Seqdiv_core Seqdiv_detectors Seqdiv_synth String Suite Trained

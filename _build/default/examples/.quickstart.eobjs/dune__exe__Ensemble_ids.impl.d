@@ -1,0 +1,1 @@
+examples/ensemble_ids.ml: Array Deployment Ensemble False_alarm Injector Printf Registry Response Scoring Seqdiv_core Seqdiv_detectors Seqdiv_synth Suite Trained

@@ -1,0 +1,1 @@
+examples/ensemble_ids.mli:

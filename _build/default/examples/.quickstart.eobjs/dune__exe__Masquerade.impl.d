@@ -1,0 +1,1 @@
+examples/masquerade.ml: Alphabet Array False_alarm List Markov_chain Printf Prng Registry Response Seqdiv_core Seqdiv_detectors Seqdiv_stream Seqdiv_synth Seqdiv_util Stats String Trace Trained

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Generator Injector List Outcome Printf Registry Response Scoring Seqdiv_core Seqdiv_detectors Seqdiv_stream Seqdiv_synth String Suite Trace Trained

@@ -1,0 +1,1 @@
+examples/syscall_monitor.ml: Alphabet Array Format Lfc List Markov_chain Printf Prng Response Seqdiv_detectors Seqdiv_stream Seqdiv_synth Seqdiv_util Stide String Trace

@@ -1,0 +1,1 @@
+examples/window_tuning.ml: Ablation Deployment List Printf Seqdiv_core Seqdiv_stream Seqdiv_synth String Suite Trace

@@ -1,0 +1,50 @@
+(* The whole detector zoo side by side: the paper's four detectors plus
+   the t-stide and HMM extensions, compared on one cell of the
+   evaluation grid and on benign deployment noise.  A compact view of
+   the diversity result: who detects, who is blind, and what each pays
+   in false alarms.
+
+   Run with: dune exec examples/detector_zoo.exe *)
+
+open Seqdiv_synth
+open Seqdiv_core
+open Seqdiv_detectors
+
+let () =
+  let params = Suite.scaled_params ~train_len:100_000 ~background_len:5_000 in
+  let suite = Suite.build params in
+  (* A window shorter than the anomaly: the cell where diversity shows. *)
+  let window = 4 and anomaly_size = 7 in
+  let test = Suite.stream suite ~anomaly_size ~window in
+  let inj = test.Suite.injection in
+  let deploy = Deployment.deployment_stream suite ~len:20_000 ~seed:5 in
+
+  Printf.printf
+    "anomaly: minimal foreign sequence of size %d; detector window %d \
+     (window < anomaly)\n\
+     deployment noise: 20k elements sampled from the generating chain\n\n"
+    anomaly_size window;
+  Printf.printf "%-8s %-18s %-10s %s\n" "detector" "span outcome"
+    "FA count" "verdict";
+  Printf.printf "%s\n" (String.make 70 '-');
+  List.iter
+    (fun ((module D : Detector.S) as detector) ->
+      let trained = Trained.train detector ~window suite.Suite.training in
+      let outcome = Scoring.outcome trained inj in
+      let fa = False_alarm.on_clean trained deploy in
+      let verdict =
+        match (outcome, fa.False_alarm.alarms) with
+        | Outcome.Capable _, 0 -> "detects, quiet"
+        | Outcome.Capable _, _ -> "detects, noisy"
+        | Outcome.Weak _, _ -> "senses something, threshold-1 miss"
+        | Outcome.Blind, _ -> "sees nothing"
+      in
+      Printf.printf "%-8s %-18s %-10d %s\n" D.name
+        (Outcome.to_string outcome)
+        fa.False_alarm.alarms verdict)
+    Registry.extended;
+  print_endline
+    "\nThe paper's conclusion in one table: the probabilistic/rare-sensitive\n\
+     detectors (markov, nn, tstide, hmm) cover the space but pay in false\n\
+     alarms; stide is quiet but blind until its window spans the anomaly;\n\
+     lnb never reaches a maximal response at all."

@@ -1,0 +1,116 @@
+(* Masquerade detection — the Lane & Brodley detector in its home
+   domain.  L&B was designed to profile a user's command stream and
+   flag sessions typed by someone else.  Its graded similarity metric is
+   good at that drift-style detection, even though (as the paper shows)
+   it is blind to minimal foreign sequences at the maximal-response
+   threshold.
+
+   Two simulated users issue shell commands with different habits; the
+   detector is trained on user A and scores a stream in which user B
+   takes over the terminal halfway through.
+
+   Run with: dune exec examples/masquerade.exe *)
+
+open Seqdiv_util
+open Seqdiv_stream
+open Seqdiv_synth
+open Seqdiv_core
+open Seqdiv_detectors
+
+let commands =
+  [| "cd"; "ls"; "vim"; "make"; "git"; "grep"; "ssh"; "top"; "rm"; "tar" |]
+
+(* A user's habits as a first-order chain over the commands: each row
+   lists the likely follow-ups of a command. *)
+let chain_of_habits alphabet habits =
+  let k = Array.length commands in
+  let rows =
+    Array.init k (fun i ->
+        let row = Array.make k 0.01 (* small chance of anything *) in
+        List.iter (fun (j, w) -> row.(j) <- w) habits.(i);
+        row)
+  in
+  Markov_chain.of_matrix alphabet rows
+
+(* User A: an edit/build loop — cd, ls, vim, make, git... *)
+let user_a alphabet =
+  chain_of_habits alphabet
+    [|
+      [ (1, 0.8) ] (* cd -> ls *);
+      [ (2, 0.6); (5, 0.3) ] (* ls -> vim | grep *);
+      [ (3, 0.8) ] (* vim -> make *);
+      [ (2, 0.5); (4, 0.4) ] (* make -> vim | git *);
+      [ (0, 0.6); (2, 0.3) ] (* git -> cd | vim *);
+      [ (2, 0.7) ] (* grep -> vim *);
+      [ (7, 0.5); (0, 0.4) ] (* ssh -> top | cd *);
+      [ (6, 0.5); (0, 0.4) ] (* top -> ssh | cd *);
+      [ (1, 0.8) ] (* rm -> ls *);
+      [ (8, 0.4); (1, 0.5) ] (* tar -> rm | ls *);
+    |]
+
+(* User B: an ops workflow — ssh, top, tar, rm... *)
+let user_b alphabet =
+  chain_of_habits alphabet
+    [|
+      [ (6, 0.8) ] (* cd -> ssh *);
+      [ (9, 0.7) ] (* ls -> tar *);
+      [ (3, 0.6) ];
+      [ (6, 0.6) ];
+      [ (6, 0.6) ];
+      [ (7, 0.6) ];
+      [ (7, 0.7) ] (* ssh -> top *);
+      [ (9, 0.5); (8, 0.3) ] (* top -> tar | rm *);
+      [ (9, 0.5); (6, 0.3) ] (* rm -> tar | ssh *);
+      [ (8, 0.5); (6, 0.4) ] (* tar -> rm | ssh *);
+    |]
+
+let () =
+  let alphabet = Alphabet.of_names commands in
+  let rng = Prng.create ~seed:11 in
+  let a = user_a alphabet and b = user_b alphabet in
+  let training = Markov_chain.generate a rng ~start:0 ~len:30_000 in
+  let self_session = Markov_chain.generate a rng ~start:0 ~len:400 in
+  let intruder_session = Markov_chain.generate b rng ~start:6 ~len:400 in
+  let session = Trace.concat self_session intruder_session in
+
+  let window = 6 in
+  let lnb = Trained.train (Registry.find_exn "lnb") ~window training in
+  let response = Trained.score lnb session in
+
+  (* Mean anomaly score per 50-command block: user B should stand out. *)
+  let block = 50 in
+  Printf.printf
+    "L&B anomaly profile (window %d, %d-command blocks); user B takes over \
+     at command %d:\n"
+    window block (Trace.length self_session);
+  let items = response.Response.items in
+  let blocks = Array.length items / block in
+  for bidx = 0 to blocks - 1 do
+    let scores =
+      Array.sub items (bidx * block) block
+      |> Array.map (fun (i : Response.item) -> i.Response.score)
+    in
+    let mean = Stats.mean scores in
+    let owner = if (bidx * block) + (block / 2) < 400 then "A" else "B" in
+    let bar = String.make (int_of_float (mean *. 120.0)) '#' in
+    Printf.printf "  block %2d (user %s): %.3f %s\n" bidx owner mean bar
+  done;
+
+  (* A simple drift threshold separates the two users. *)
+  let threshold = 0.25 in
+  let self_alarm =
+    False_alarm.of_response
+      (Trained.score_range lnb session ~lo:0 ~hi:(400 - window))
+      ~threshold
+  in
+  let intruder_alarm =
+    False_alarm.of_response
+      (Trained.score_range lnb session ~lo:400 ~hi:(Trace.length session - window))
+      ~threshold
+  in
+  Printf.printf
+    "\nat threshold %.2f: self alarm rate %.3f, masquerader alarm rate %.3f\n"
+    threshold self_alarm.False_alarm.rate intruder_alarm.False_alarm.rate;
+  print_endline
+    "L&B separates drift well — yet the paper shows the same metric is blind\n\
+     to a single minimal foreign sequence at the maximal-response threshold."

@@ -1,0 +1,53 @@
+(* Choosing Stide's detector window — the operational question behind
+   the paper's maps (and behind Tan & Maxion's companion paper
+   "Why 6?").
+
+   A defender expects attacks that manifest as minimal foreign sequences
+   of up to some length L, but every extra symbol of window costs false
+   alarms once training stops exhausting benign behaviour.  This example
+   sweeps the window and prints the trade-off curve so the knee is
+   visible.
+
+   Run with: dune exec examples/window_tuning.exe *)
+
+open Seqdiv_stream
+open Seqdiv_synth
+open Seqdiv_core
+
+let () =
+  let params = Suite.scaled_params ~train_len:100_000 ~background_len:4_000 in
+  let suite = Suite.build params in
+  let deploy = Deployment.deployment_stream suite ~len:25_000 ~seed:9 in
+  (* The undertrained regime: the false-alarm model sees only a slice of
+     the training data, as a real deployment would. *)
+  let fa_training = Trace.sub suite.Suite.training ~pos:0 ~len:15_000 in
+  let points = Ablation.window_tradeoff suite ~fa_training ~deploy in
+
+  Printf.printf
+    "Stide window tuning (anomalies up to size %d in the evaluation suite)\n\n"
+    suite.Suite.params.Suite.as_max;
+  Printf.printf "%-4s %-22s %-12s %s\n" "DW" "coverage of anomalies"
+    "FA rate" "";
+  List.iter
+    (fun (p : Ablation.window_point) ->
+      let bar =
+        String.make
+          (int_of_float (p.Ablation.false_alarm_rate *. 20_000.0))
+          '#'
+      in
+      Printf.printf "%-4d %-22s %-12.5f %s\n" p.Ablation.window
+        (Printf.sprintf "%.0f%%" (100.0 *. p.Ablation.coverage))
+        p.Ablation.false_alarm_rate bar)
+    points;
+
+  (* The knee: the smallest window that covers everything. *)
+  let knee =
+    List.find_opt (fun (p : Ablation.window_point) -> p.Ablation.coverage >= 1.0) points
+  in
+  (match knee with
+  | Some p ->
+      Printf.printf
+        "\nsmallest fully-covering window: %d — beyond it, false alarms keep \
+         rising\nwith no detection gain.\n"
+        p.Ablation.window
+  | None -> print_endline "\nno window covers every anomaly size in this sweep.")

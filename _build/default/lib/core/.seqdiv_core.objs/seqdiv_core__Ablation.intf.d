@@ -1,0 +1,1 @@
+lib/core/ablation.mli: Injector Neural Seqdiv_detectors Seqdiv_stream Seqdiv_synth Suite Trace

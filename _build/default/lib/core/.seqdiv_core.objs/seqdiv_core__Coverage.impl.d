@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Performance_map Set

@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Ensemble False_alarm Lane_brodley List Markov_chain Outcome Prng Registry Response Scoring Seqdiv_detectors Seqdiv_synth Seqdiv_util Suite Trained

@@ -1,0 +1,1 @@
+lib/core/deployment.mli: Ensemble False_alarm Seqdiv_stream Seqdiv_synth Suite Trace

@@ -1,0 +1,1 @@
+lib/core/ensemble.ml: Array Int List Map Response Seqdiv_detectors String

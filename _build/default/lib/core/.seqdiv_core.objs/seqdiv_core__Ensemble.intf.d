@@ -1,0 +1,1 @@
+lib/core/ensemble.mli: Response Seqdiv_detectors

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Coverage Detector List Performance_map Scoring Seqdiv_detectors Seqdiv_synth Suite Trained

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Detector Injector Performance_map Seqdiv_detectors Seqdiv_synth Suite

@@ -1,0 +1,1 @@
+lib/core/false_alarm.ml: Array Injector Response Seqdiv_detectors Seqdiv_synth Seqdiv_util Trained

@@ -1,0 +1,1 @@
+lib/core/false_alarm.mli: Injector Response Seqdiv_detectors Seqdiv_stream Seqdiv_synth Trace Trained

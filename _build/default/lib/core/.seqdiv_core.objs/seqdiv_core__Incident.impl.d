@@ -1,0 +1,1 @@
+lib/core/incident.ml: Float Format List Response Seqdiv_detectors Stdlib

@@ -1,0 +1,1 @@
+lib/core/incident.mli: Format Response Seqdiv_detectors

@@ -1,0 +1,1 @@
+lib/core/online.ml: Alphabet Array Float Incident List Response Seqdiv_detectors Seqdiv_stream Stdlib Trace Trained

@@ -1,0 +1,1 @@
+lib/core/online.mli: Incident Response Seqdiv_detectors Trained

@@ -1,0 +1,1 @@
+lib/core/outcome.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/core/performance_map.mli: Outcome

@@ -1,0 +1,1 @@
+lib/core/rare_anomaly.ml: Array Experiment Generator Injector List Printf Rare_seq Seqdiv_synth Suite

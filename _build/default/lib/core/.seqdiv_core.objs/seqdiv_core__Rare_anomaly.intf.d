@@ -1,0 +1,1 @@
+lib/core/rare_anomaly.mli: Detector Injector Performance_map Seqdiv_detectors Seqdiv_synth Suite

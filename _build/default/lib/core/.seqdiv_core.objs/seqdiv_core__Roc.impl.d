@@ -1,0 +1,1 @@
+lib/core/roc.ml: False_alarm List Response Seqdiv_detectors

@@ -1,0 +1,1 @@
+lib/core/roc.mli: Response Seqdiv_detectors

@@ -1,0 +1,1 @@
+lib/core/scoring.ml: Array Injector Outcome Seqdiv_detectors Seqdiv_synth Trained

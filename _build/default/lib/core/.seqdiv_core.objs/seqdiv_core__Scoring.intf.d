@@ -1,0 +1,1 @@
+lib/core/scoring.mli: Injector Outcome Response Seqdiv_detectors Seqdiv_synth Trained

@@ -1,0 +1,1 @@
+lib/core/session_eval.ml: List Response Seqdiv_detectors Seqdiv_stream Seqdiv_util Sessions Trace Trained

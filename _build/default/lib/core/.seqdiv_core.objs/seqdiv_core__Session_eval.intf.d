@@ -1,0 +1,1 @@
+lib/core/session_eval.mli: Seqdiv_stream Sessions Trace Trained

@@ -1,0 +1,1 @@
+lib/core/trained.ml: Detector Seqdiv_detectors

@@ -1,0 +1,1 @@
+lib/core/trained.mli: Detector Response Seqdiv_detectors Seqdiv_stream Trace

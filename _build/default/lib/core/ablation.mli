@@ -1,0 +1,156 @@
+(** Ablation studies of the design choices the paper sets aside or
+    flags (experiments A1–A4 of DESIGN.md). *)
+
+open Seqdiv_stream
+open Seqdiv_detectors
+open Seqdiv_synth
+
+(** {1 A1 — Stide's locality frame count} *)
+
+type lfc_point = {
+  frame : int;
+  min_count : int;
+  raw_hit : bool;  (** anomaly detected without the LFC *)
+  lfc_hit : bool;  (** anomaly still detected through the LFC *)
+  raw_false_alarms : int;  (** on the deployment stream, without LFC *)
+  lfc_false_alarms : int;  (** on the deployment stream, through LFC *)
+}
+
+val lfc_experiment :
+  training:Trace.t -> injection:Injector.injection -> deploy:Trace.t ->
+  window:int -> settings:(int * int) list -> lfc_point list
+(** For each [(frame, min_count)] setting, compare Stide with and
+    without the LFC post-processor on a hit (the injected stream) and on
+    false alarms (the deployment stream).  Train Stide on [training] —
+    pass a deliberately short stream to leave unseen-but-benign windows
+    in the deployment data, the condition under which the LFC has
+    anything to suppress. *)
+
+(** {1 A2 — neural-network hyper-parameter sensitivity} *)
+
+type nn_point = {
+  params : Neural.params;
+  loss : float;  (** final training loss *)
+  capable : int;  (** cells capable at the probed window *)
+  weak : int;
+  min_span_response : float;
+      (** smallest maximum-span response across anomaly sizes — how
+          close the weakest cell is to the maximal-response criterion *)
+}
+
+val nn_sensitivity :
+  Suite.t -> window:int -> params:Neural.params list -> nn_point list
+(** Train the neural detector at one window under each hyper-parameter
+    setting and score every anomaly size of the suite — reproducing the
+    paper's observation that unlucky parameter choices weaken the
+    anomaly signal (Section 7). *)
+
+(** {1 A3 — alphabet-size invariance} *)
+
+type alphabet_point = {
+  alphabet_size : int;
+  stide_diagonal : bool;
+      (** Stide capable exactly when window >= anomaly size *)
+  markov_everywhere : bool;  (** Markov capable at every cell *)
+}
+
+val alphabet_invariance :
+  base:Suite.params -> sizes:int list -> alphabet_point list
+(** Rebuild the suite at each alphabet size and check that the shape of
+    the Stide and Markov maps is unchanged — the paper's Section 5.3
+    claim that alphabet size does not affect foreign-sequence
+    detection. *)
+
+(** {1 A4 — sensitivity of the rare-sequence definition} *)
+
+type rare_point = {
+  threshold : float;
+  rare_twograms : int;  (** distinct 2-grams classified rare *)
+  common_twograms : int;
+  mfs_candidates : int;
+      (** minimal foreign sequences of size 5 whose end 2-grams are all
+          rare at this threshold *)
+}
+
+val rare_threshold_sweep : Suite.t -> thresholds:float list -> rare_point list
+(** How the rare/common split of the training data and the pool of
+    rare-composed anomalies respond to moving the paper's 0.5 %
+    threshold. *)
+
+(** {1 A6 — choosing the detector window ("Why 6?", Tan & Maxion 2002)} *)
+
+type window_point = {
+  window : int;
+  coverage : float;
+      (** fraction of the suite's anomaly sizes Stide detects at this
+          window (= fraction of sizes ≤ window, by the diagonal law) *)
+  false_alarm_rate : float;
+      (** Stide's alarm rate on a fresh deployment stream when trained
+          on [fa_training] — the realistic, undertrained regime in which
+          longer windows are increasingly likely to be unseen *)
+}
+
+val window_tradeoff :
+  Suite.t -> fa_training:Seqdiv_stream.Trace.t ->
+  deploy:Seqdiv_stream.Trace.t -> window_point list
+(** The operational trade-off behind window selection: growing the
+    window buys detection coverage of longer minimal foreign sequences
+    but pays in false alarms once training no longer exhausts benign
+    windows.  The detection column uses the suite's full training data
+    (clean attribution); the false-alarm column uses [fa_training]. *)
+
+(** {1 A8 — Laplace smoothing vs the maximal-response guarantee} *)
+
+type smoothing_point = {
+  alpha : float;
+  capable : int;  (** cells capable at the probed window *)
+  weak : int;
+  max_span_response : float;
+      (** highest incident-span response across the probed anomaly
+          sizes *)
+}
+
+val smoothing_sweep :
+  Suite.t -> window:int -> alphas:float list -> smoothing_point list
+(** Sweep the Markov detector's Laplace constant at one window.  At
+    [alpha = 0] (the paper's maximum-likelihood detector) every anomaly
+    size is capable; with enough smoothing no response reaches the
+    maximal band and the whole column degrades to weak — the paper's
+    threshold-of-1 methodology silently presumes unsmoothed
+    estimates. *)
+
+(** {1 A7 — the synthesis operating envelope} *)
+
+type deviation_point = {
+  deviation : float;
+  sizes_constructible : int;
+      (** anomaly sizes in the suite's range for which at least one
+          minimal foreign sequence exists in the generated training
+          data *)
+  suite_builds : bool;
+  stide_diagonal_held : bool;
+      (** meaningful only when the suite builds *)
+}
+
+val deviation_sweep :
+  base:Suite.params -> deviations:float list -> deviation_point list
+(** DESIGN.md §5 argues the deviation rate must sit in a band: low
+    enough that two-deviation sequences at a fixed spacing stay foreign,
+    high enough that single-deviation sub-sequences are present.  This
+    sweep maps the band empirically: outside it, minimal foreign
+    sequences stop being constructible and the suite build fails
+    (gracefully). *)
+
+(** {1 E3 — seed robustness} *)
+
+type seed_point = {
+  seed : int;
+  stide_diagonal : bool;  (** Stide capable exactly when DW >= AS *)
+  markov_everywhere : bool;
+  lnb_nowhere : bool;  (** L&B capable at no cell *)
+}
+
+val seed_robustness : base:Suite.params -> seeds:int list -> seed_point list
+(** Rebuild the suite under each seed and check that the paper's map
+    shapes are invariant — the reproduction does not hinge on a lucky
+    random stream. *)

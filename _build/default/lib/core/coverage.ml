@@ -1,0 +1,26 @@
+module Cell_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type cell = int * int
+type t = Cell_set.t
+
+let empty = Cell_set.empty
+let of_cells l = Cell_set.of_list l
+let of_map m = of_cells (Performance_map.capable_cells m)
+let cells t = Cell_set.elements t
+let cardinal = Cell_set.cardinal
+let mem t c = Cell_set.mem c t
+let union = Cell_set.union
+let inter = Cell_set.inter
+let diff = Cell_set.diff
+let subset = Cell_set.subset
+let equal = Cell_set.equal
+
+let jaccard a b =
+  let u = cardinal (union a b) in
+  if u = 0 then 1.0 else float_of_int (cardinal (inter a b)) /. float_of_int u
+
+let gain ~base ~added = cardinal (diff added base)

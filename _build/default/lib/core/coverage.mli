@@ -1,0 +1,41 @@
+(** Detection-coverage sets and their algebra (Sections 7–8).
+
+    The paper's combination arguments are set-theoretic: Stide's
+    coverage is a {e subset} of the Markov detector's (so Stide can
+    serve as a false-alarm suppressor); Stide ∪ L&B adds nothing over
+    Stide alone (so that pairing buys no detection).  A coverage is the
+    set of (anomaly size, detector window) cells at which a detector is
+    capable. *)
+
+type cell = int * int
+(** [(anomaly_size, window)]. *)
+
+type t
+
+val empty : t
+val of_cells : cell list -> t
+val of_map : Performance_map.t -> t
+(** Capable cells of a performance map. *)
+
+val cells : t -> cell list
+(** Ascending (by anomaly size, then window). *)
+
+val cardinal : t -> int
+val mem : t -> cell -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+(** [subset a b]: every cell of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+
+val jaccard : t -> t -> float
+(** |a ∩ b| / |a ∪ b|; 1 when both are empty.  A scalar measure of how
+    much two detectors' coverages overlap — high Jaccard means diversity
+    buys little. *)
+
+val gain : base:t -> added:t -> int
+(** [gain ~base ~added = cardinal (diff added base)]: how many new cells
+    combining [added] with [base] contributes — the paper's notion of
+    the detection advantage of a pairing. *)

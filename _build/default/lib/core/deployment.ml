@@ -1,0 +1,95 @@
+open Seqdiv_util
+open Seqdiv_detectors
+open Seqdiv_synth
+
+type detector_report = {
+  name : string;
+  false_alarms : False_alarm.stats;
+  hit : bool;
+}
+
+type suppressor_report = {
+  window : int;
+  anomaly_size : int;
+  detectors : detector_report list;
+  suppression : Ensemble.suppression;
+  ensemble_hit : bool;
+}
+
+let deployment_stream suite ~len ~seed =
+  let rng = Prng.create ~seed in
+  Markov_chain.generate suite.Suite.chain rng ~start:0 ~len
+
+let suppressor_experiment suite ~window ~anomaly_size ~deploy_len ~seed =
+  assert (window >= anomaly_size);
+  let deploy = deployment_stream suite ~len:deploy_len ~seed in
+  let test = Suite.stream suite ~anomaly_size ~window in
+  let injection = test.Suite.injection in
+  let trained =
+    List.map
+      (fun d -> Trained.train d ~window suite.Suite.training)
+      Registry.all
+  in
+  let detectors =
+    List.map
+      (fun t ->
+        {
+          name = Trained.name t;
+          false_alarms = False_alarm.on_clean t deploy;
+          hit = Outcome.is_capable (Scoring.outcome t injection);
+        })
+      trained
+  in
+  let find name =
+    List.find (fun t -> Trained.name t = name) trained
+  in
+  let markov = find "markov" and stide = find "stide" in
+  let markov_deploy = Trained.score markov deploy in
+  let stide_deploy = Trained.score stide deploy in
+  let suppression =
+    Ensemble.suppress
+      ~primary:(markov_deploy, Trained.alarm_threshold markov)
+      ~suppressor:(stide_deploy, Trained.alarm_threshold stide)
+  in
+  let ensemble_hit =
+    let span t = Scoring.incident_response t injection in
+    let combined =
+      Ensemble.combine Ensemble.All
+        [
+          (span markov, Trained.alarm_threshold markov);
+          (span stide, Trained.alarm_threshold stide);
+        ]
+    in
+    Response.max_score combined >= 1.0
+  in
+  { window; anomaly_size; detectors; suppression; ensemble_hit }
+
+type lnb_threshold_point = {
+  window : int;
+  score_threshold : float;
+  hit : bool;
+  false_alarm_rate : float;
+}
+
+let lnb_threshold_experiment suite ~anomaly_size ~deploy_trace ~fa_training =
+  let lnb = Registry.find_exn "lnb" in
+  List.map
+    (fun window ->
+      let trained = Trained.train lnb ~window suite.Suite.training in
+      (* One terminal mismatch costs a run of length [window]:
+         sim = max_sim - window, so the response threshold that just
+         admits it is window / max_sim = 2 / (window + 1). *)
+      let score_threshold =
+        float_of_int window
+        /. float_of_int (Lane_brodley.max_similarity window)
+      in
+      let test = Suite.stream suite ~anomaly_size ~window in
+      let span = Scoring.incident_response trained test.Suite.injection in
+      let hit = Response.max_score span >= score_threshold in
+      let fa_model = Trained.train lnb ~window fa_training in
+      let deploy_response = Trained.score fa_model deploy_trace in
+      let fa =
+        False_alarm.of_response deploy_response ~threshold:score_threshold
+      in
+      { window; score_threshold; hit; false_alarm_rate = fa.False_alarm.rate })
+    (Suite.windows suite)

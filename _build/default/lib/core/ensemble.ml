@@ -1,0 +1,78 @@
+open Seqdiv_detectors
+
+type rule = Any | All
+
+module Int_map = Map.Make (Int)
+
+let alarm_map (r, threshold) =
+  Array.fold_left
+    (fun acc (item : Response.item) ->
+      Int_map.add item.Response.start
+        (item.Response.score >= threshold, item.Response.cover)
+        acc)
+    Int_map.empty r.Response.items
+
+let combine rule members =
+  if members = [] then invalid_arg "Ensemble.combine: no members";
+  let maps = List.map alarm_map members in
+  let merged =
+    match maps with
+    | first :: rest ->
+        List.fold_left
+          (fun acc m ->
+            Int_map.merge
+              (fun _start left right ->
+                match (left, right) with
+                | Some (a, cover), Some (b, _) ->
+                    let combined =
+                      match rule with Any -> a || b | All -> a && b
+                    in
+                    Some (combined, cover)
+                | Some _, None | None, Some _ | None, None -> None)
+              acc m)
+          first rest
+    | [] -> assert false
+  in
+  let first_response, _ = List.hd members in
+  let names =
+    members
+    |> List.map (fun (r, _) -> r.Response.detector)
+    |> String.concat ","
+  in
+  let label =
+    match rule with Any -> "any(" ^ names ^ ")" | All -> "all(" ^ names ^ ")"
+  in
+  let items =
+    Int_map.bindings merged
+    |> List.map (fun (start, (alarm, cover)) ->
+           { Response.start; cover; score = (if alarm then 1.0 else 0.0) })
+    |> Array.of_list
+  in
+  Response.make ~detector:label ~window:first_response.Response.window items
+
+type suppression = {
+  primary_alarms : int;
+  corroborated : int;
+  suppressed : int;
+}
+
+let suppress ~primary ~suppressor =
+  let primary_response, primary_threshold = primary in
+  let suppressor_map = alarm_map suppressor in
+  Array.fold_left
+    (fun acc (item : Response.item) ->
+      if item.Response.score >= primary_threshold then begin
+        let corroborated =
+          match Int_map.find_opt item.Response.start suppressor_map with
+          | Some (true, _) -> true
+          | Some (false, _) | None -> false
+        in
+        {
+          primary_alarms = acc.primary_alarms + 1;
+          corroborated = (acc.corroborated + if corroborated then 1 else 0);
+          suppressed = (acc.suppressed + if corroborated then 0 else 1);
+        }
+      end
+      else acc)
+    { primary_alarms = 0; corroborated = 0; suppressed = 0 }
+    primary_response.Response.items

@@ -1,0 +1,43 @@
+(** Combining diverse detectors (Sections 7–8).
+
+    Two levels of combination are studied:
+
+    - {e coverage-level}: the union/intersection of performance-map
+      coverages, which says where a combination {e could} detect (see
+      {!Coverage});
+    - {e response-level}: merging the alarm streams of detectors run on
+      the same data with the same window, either disjunctively (alarm
+      when any member alarms) or conjunctively (alarm only when all
+      members alarm).
+
+    The paper's false-alarm suppression scheme is the conjunctive case
+    with the Markov detector as primary and Stide as suppressor: because
+    Stide's coverage is a subset of the Markov detector's, dropping
+    Markov alarms that Stide does not corroborate discards rare-sequence
+    false alarms without losing foreign-sequence hits. *)
+
+open Seqdiv_detectors
+
+type rule = Any | All
+(** Disjunctive ([Any]) or conjunctive ([All]) alarm merging. *)
+
+val combine : rule -> (Response.t * float) list -> Response.t
+(** [combine rule members] merges member responses, each taken with its
+    own alarm threshold, into a binary response over the window starts
+    common to all members (an inner join on [start]; members trained at
+    the same window on the same trace align exactly).  Requires a
+    non-empty member list; the result is labelled
+    ["any(...)"] or ["all(...)"] and carries the first member's
+    window. *)
+
+type suppression = {
+  primary_alarms : int;  (** alarms raised by the primary detector *)
+  corroborated : int;  (** primary alarms the suppressor also raised *)
+  suppressed : int;  (** primary alarms dismissed by the suppressor *)
+}
+
+val suppress :
+  primary:Response.t * float -> suppressor:Response.t * float -> suppression
+(** Partition the primary detector's alarms by whether the suppressor
+    alarms at the same window start — the Markov+Stide scheme of
+    Section 7. *)

@@ -1,0 +1,74 @@
+open Seqdiv_detectors
+open Seqdiv_synth
+
+let performance_map_over suite ~injection (module D : Detector.S) =
+  let anomaly_sizes = Suite.anomaly_sizes suite in
+  let windows = Suite.windows suite in
+  (* One model per window, shared across anomaly sizes. *)
+  let models =
+    List.map
+      (fun window ->
+        (window, Trained.train (module D) ~window suite.Suite.training))
+      windows
+  in
+  Performance_map.build ~detector:D.name ~anomaly_sizes ~windows
+    ~f:(fun ~anomaly_size ~window ->
+      let trained = List.assoc window models in
+      Scoring.outcome trained (injection ~anomaly_size ~window))
+
+let performance_map suite detector =
+  performance_map_over suite
+    ~injection:(fun ~anomaly_size ~window ->
+      (Suite.stream suite ~anomaly_size ~window).Suite.injection)
+    detector
+
+let all_maps suite detectors =
+  List.map (fun d -> performance_map suite d) detectors
+
+type relation = {
+  left : string;
+  right : string;
+  left_only : int;
+  right_only : int;
+  both : int;
+  jaccard : float;
+  left_subset_of_right : bool;
+  right_subset_of_left : bool;
+}
+
+let relation left_map right_map =
+  let a = Coverage.of_map left_map and b = Coverage.of_map right_map in
+  {
+    left = Performance_map.detector left_map;
+    right = Performance_map.detector right_map;
+    left_only = Coverage.cardinal (Coverage.diff a b);
+    right_only = Coverage.cardinal (Coverage.diff b a);
+    both = Coverage.cardinal (Coverage.inter a b);
+    jaccard = Coverage.jaccard a b;
+    left_subset_of_right = Coverage.subset a b;
+    right_subset_of_left = Coverage.subset b a;
+  }
+
+type summary = {
+  detector : string;
+  capable : int;
+  weak : int;
+  blind : int;
+  capable_fraction : float;
+}
+
+let summary m =
+  {
+    detector = Performance_map.detector m;
+    capable = List.length (Performance_map.capable_cells m);
+    weak = List.length (Performance_map.weak_cells m);
+    blind = List.length (Performance_map.blind_cells m);
+    capable_fraction = Performance_map.capable_fraction m;
+  }
+
+let pairwise_relations maps =
+  let rec pairs = function
+    | [] -> []
+    | m :: rest -> List.map (fun n -> relation m n) rest @ pairs rest
+  in
+  pairs maps

@@ -1,0 +1,54 @@
+(** The paper's main experiment: build the performance map of each
+    detector over the evaluation suite (Figures 3–6) and summarise the
+    coverage relations between them (the Section 7–8 analysis).
+
+    Training is shared across anomaly sizes: for each detector-window
+    size every detector is trained once on the training stream and then
+    scored against the incident span of each injected test stream. *)
+
+open Seqdiv_detectors
+open Seqdiv_synth
+
+val performance_map : Suite.t -> Detector.t -> Performance_map.t
+(** Evaluate one detector over every cell of the suite. *)
+
+val performance_map_over :
+  Suite.t ->
+  injection:(anomaly_size:int -> window:int -> Injector.injection) ->
+  Detector.t ->
+  Performance_map.t
+(** Like {!performance_map} but against caller-supplied injections (one
+    per cell) instead of the suite's minimal-foreign-sequence streams —
+    used by the rare-anomaly extension ({!Rare_anomaly}).  Models are
+    still trained once per window on the suite's training stream. *)
+
+val all_maps : Suite.t -> Detector.t list -> Performance_map.t list
+(** {!performance_map} for each detector, in the given order. *)
+
+type relation = {
+  left : string;
+  right : string;
+  left_only : int;  (** cells covered by [left] but not [right] *)
+  right_only : int;
+  both : int;
+  jaccard : float;
+  left_subset_of_right : bool;
+  right_subset_of_left : bool;
+}
+
+val relation : Performance_map.t -> Performance_map.t -> relation
+(** Coverage relation between two maps (over identical cell grids). *)
+
+type summary = {
+  detector : string;
+  capable : int;
+  weak : int;
+  blind : int;
+  capable_fraction : float;
+}
+
+val summary : Performance_map.t -> summary
+(** Per-detector outcome counts for the T1 table. *)
+
+val pairwise_relations : Performance_map.t list -> relation list
+(** {!relation} for every unordered pair, in list order. *)

@@ -1,0 +1,38 @@
+open Seqdiv_detectors
+open Seqdiv_synth
+
+type stats = { windows : int; alarms : int; rate : float }
+
+let of_response r ~threshold =
+  let windows = Response.length r in
+  let alarms = Response.count_over r ~threshold in
+  let rate = Seqdiv_util.Stats.rate ~count:alarms ~total:windows in
+  { windows; alarms; rate }
+
+let on_clean trained trace =
+  let r = Trained.score trained trace in
+  of_response r ~threshold:(Trained.alarm_threshold trained)
+
+let outside_span trained (inj : Injector.injection) =
+  let r = Trained.score trained inj.Injector.trace in
+  let width = Trained.window trained in
+  let lo, hi =
+    Injector.incident_span ~position:inj.Injector.position
+      ~size:(Array.length inj.Injector.anomaly)
+      ~width
+  in
+  let threshold = Trained.alarm_threshold trained in
+  let windows = ref 0 and alarms = ref 0 in
+  Array.iter
+    (fun (item : Response.item) ->
+      let in_span = item.Response.start >= lo && item.Response.start <= hi in
+      if not in_span then begin
+        incr windows;
+        if item.Response.score >= threshold then incr alarms
+      end)
+    r.Response.items;
+  {
+    windows = !windows;
+    alarms = !alarms;
+    rate = Seqdiv_util.Stats.rate ~count:!alarms ~total:!windows;
+  }

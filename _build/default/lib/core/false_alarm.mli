@@ -1,0 +1,30 @@
+(** False-alarm measurement (Section 7).
+
+    A false alarm is an alarm raised on data that contains no anomaly —
+    or, for an injected stream, an alarm outside the incident span.
+    The paper predicts that the Markov detector, because it responds
+    maximally to rare sequences as well as foreign ones, produces more
+    false alarms than Stide on realistic (rare-containing) data; the T2
+    experiment quantifies that and the saving from the Stide-suppressor
+    ensemble. *)
+
+open Seqdiv_stream
+open Seqdiv_detectors
+open Seqdiv_synth
+
+type stats = {
+  windows : int;  (** responses examined *)
+  alarms : int;  (** responses at or above the threshold *)
+  rate : float;  (** [alarms / windows] (0 when no windows) *)
+}
+
+val of_response : Response.t -> threshold:float -> stats
+(** Alarm statistics of a response stream at a threshold. *)
+
+val on_clean : Trained.t -> Trace.t -> stats
+(** Score an anomaly-free trace and count alarms at the detector's own
+    alarm threshold — every alarm is false by construction. *)
+
+val outside_span : Trained.t -> Injector.injection -> stats
+(** Score an injected trace and count alarms outside the incident span
+    (alarms inside the span are the signal, not noise). *)

@@ -1,0 +1,121 @@
+open Seqdiv_stream
+open Seqdiv_detectors
+
+type event =
+  | Window_scored of Response.item
+  | Incident_opened of int
+  | Incident_closed of Incident.t
+
+type t = {
+  trained : Trained.t;
+  threshold : float;
+  window : int;
+  alphabet : Alphabet.t;
+  buffer : int array;  (* ring of the last [window] symbols *)
+  mutable consumed : int;
+  mutable open_incident : Incident.t option;
+  mutable closed : Incident.t list;  (* newest first *)
+}
+
+let create trained ?threshold () =
+  let threshold =
+    match threshold with
+    | Some thr -> thr
+    | None -> Trained.alarm_threshold trained
+  in
+  let window = Trained.window trained in
+  {
+    trained;
+    threshold;
+    window;
+    (* The detector does not expose its training alphabet; symbols are
+       validated when the window trace is built, against the widest
+       alphabet, and again by the model's own lookup tables. *)
+    alphabet = Alphabet.make 255;
+    buffer = Array.make window 0;
+    consumed = 0;
+    open_incident = None;
+    closed = [];
+  }
+
+let position t = t.consumed
+
+let incidents t = List.rev t.closed
+
+let current_window t =
+  (* Oldest-first view of the ring buffer. *)
+  Array.init t.window (fun i ->
+      t.buffer.((t.consumed + i) mod t.window))
+
+let item_of_score t score =
+  {
+    Response.start = t.consumed - t.window;
+    cover = t.window;
+    score;
+  }
+
+let grow_incident incident (item : Response.item) =
+  {
+    incident with
+    Incident.last_start = item.Response.start;
+    cover_to =
+      Stdlib.max incident.Incident.cover_to
+        (item.Response.start + item.Response.cover - 1);
+    alarms = incident.Incident.alarms + 1;
+    peak_score = Float.max incident.Incident.peak_score item.Response.score;
+  }
+
+let incident_of_item (item : Response.item) =
+  {
+    Incident.first_start = item.Response.start;
+    last_start = item.Response.start;
+    cover_from = item.Response.start;
+    cover_to = item.Response.start + item.Response.cover - 1;
+    alarms = 1;
+    peak_score = item.Response.score;
+  }
+
+let close_incident t =
+  match t.open_incident with
+  | None -> []
+  | Some incident ->
+      t.open_incident <- None;
+      t.closed <- incident :: t.closed;
+      [ Incident_closed incident ]
+
+let feed t symbol =
+  t.buffer.(t.consumed mod t.window) <- symbol;
+  t.consumed <- t.consumed + 1;
+  if t.consumed < t.window then []
+  else begin
+    let window_trace = Trace.of_array t.alphabet (current_window t) in
+    let response =
+      Trained.score_range t.trained window_trace ~lo:0 ~hi:0
+    in
+    let score =
+      if Response.length response = 0 then 0.0
+      else response.Response.items.(0).Response.score
+    in
+    let item = item_of_score t score in
+    let scored = Window_scored item in
+    if score >= t.threshold then
+      match t.open_incident with
+      | Some incident
+        when item.Response.start <= incident.Incident.cover_to + 1 ->
+          t.open_incident <- Some (grow_incident incident item);
+          [ scored ]
+      | Some _ ->
+          let closed = close_incident t in
+          t.open_incident <- Some (incident_of_item item);
+          (scored :: closed) @ [ Incident_opened item.Response.start ]
+      | None ->
+          t.open_incident <- Some (incident_of_item item);
+          [ scored; Incident_opened item.Response.start ]
+    else
+      match t.open_incident with
+      | Some incident when item.Response.start > incident.Incident.cover_to ->
+          scored :: close_incident t
+      | Some _ | None -> [ scored ]
+  end
+
+let flush t = close_incident t

@@ -1,0 +1,40 @@
+(** Online (streaming) detection.
+
+    The batch API scores whole traces; a monitor deployed on a live
+    event stream must score each window as it completes.  This wrapper
+    feeds symbols one at a time to any trained detector, emitting the
+    response of each completed window and tracking a running incident
+    (a maximal run of threshold-crossing windows) so callers can react
+    to incident openings and closures as they happen. *)
+
+open Seqdiv_detectors
+
+type t
+
+type event =
+  | Window_scored of Response.item
+      (** a window just completed, with its response *)
+  | Incident_opened of int
+      (** the stream position at which an incident began *)
+  | Incident_closed of Incident.t
+      (** a completed incident (emitted when alarms stop) *)
+
+val create : Trained.t -> ?threshold:float -> unit -> t
+(** A monitor around a trained detector.  [threshold] defaults to the
+    detector's alarm threshold. *)
+
+val feed : t -> int -> event list
+(** Push one symbol; returns the events it triggered, in order.  Until
+    [window] symbols have been seen nothing is emitted.  The symbol must
+    be a valid alphabet code for the detector's training alphabet
+    (validated by the underlying scorer). *)
+
+val flush : t -> event list
+(** Close any open incident (end of stream). *)
+
+val position : t -> int
+(** Symbols consumed so far. *)
+
+val incidents : t -> Incident.t list
+(** All incidents closed so far, oldest first (not including an
+    incident still open). *)

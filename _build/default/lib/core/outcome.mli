@@ -1,0 +1,40 @@
+(** Detection outcomes (Section 5.5).
+
+    For a detector whose responses range over [\[0, 1\]], the paper
+    classifies its behaviour on an injected anomaly by the responses
+    inside the incident span:
+
+    - {e blind}: every response is 0 — the anomaly is perceived as
+      completely normal;
+    - {e weak}: the maximum response is strictly between 0 and maximal —
+      something abnormal was sensed but a threshold of 1 misses it;
+    - {e capable}: at least one maximal response occurred — the anomaly
+      registers as an alarm no matter where the detection threshold is
+      set. *)
+
+type t =
+  | Blind
+  | Weak of float  (** maximum response observed, in (0, 1−ε) *)
+  | Capable of float  (** maximum response observed, in [\[1−ε, 1\]] *)
+
+val classify : epsilon:float -> max_response:float -> t
+(** Classify from the maximum response in the incident span.  [epsilon]
+    is the detector's slack for "maximal" (see
+    {!Seqdiv_detectors.Detector.S.maximal_epsilon}).  Requires
+    [max_response] in [\[0, 1\]] and [epsilon] in [\[0, 1)]. *)
+
+val is_capable : t -> bool
+val is_blind : t -> bool
+val is_weak : t -> bool
+
+val max_response : t -> float
+(** The maximum response the outcome was classified from (0 for
+    {!Blind}). *)
+
+val to_char : t -> char
+(** ['*'] capable, ['o'] weak, ['.'] blind — the glyphs of the rendered
+    performance maps. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,70 @@
+type t = {
+  detector : string;
+  anomaly_sizes : int array;
+  windows : int array;
+  cells : Outcome.t array array; (* [as_idx].[dw_idx] *)
+}
+
+let detector t = t.detector
+let anomaly_sizes t = Array.to_list t.anomaly_sizes
+let windows t = Array.to_list t.windows
+
+let check_ascending l =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        if a >= b then invalid_arg "Performance_map: range not ascending"
+        else go rest
+    | [ _ ] | [] -> ()
+  in
+  if l = [] then invalid_arg "Performance_map: empty range";
+  go l
+
+let build ~detector ~anomaly_sizes ~windows ~f =
+  check_ascending anomaly_sizes;
+  check_ascending windows;
+  let anomaly_sizes = Array.of_list anomaly_sizes in
+  let windows = Array.of_list windows in
+  let cells =
+    Array.map
+      (fun anomaly_size ->
+        Array.map (fun window -> f ~anomaly_size ~window) windows)
+      anomaly_sizes
+  in
+  { detector; anomaly_sizes; windows; cells }
+
+let index_of a v =
+  let rec go i =
+    if i >= Array.length a then raise Not_found
+    else if a.(i) = v then i
+    else go (i + 1)
+  in
+  go 0
+
+let outcome t ~anomaly_size ~window =
+  let i = index_of t.anomaly_sizes anomaly_size in
+  let j = index_of t.windows window in
+  t.cells.(i).(j)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  Array.iteri
+    (fun i anomaly_size ->
+      Array.iteri
+        (fun j window -> acc := f !acc ~anomaly_size ~window t.cells.(i).(j))
+        t.windows)
+    t.anomaly_sizes;
+  !acc
+
+let cells_matching t pred =
+  fold t ~init:[] ~f:(fun acc ~anomaly_size ~window o ->
+      if pred o then (anomaly_size, window) :: acc else acc)
+  |> List.rev
+
+let capable_cells t = cells_matching t Outcome.is_capable
+let blind_cells t = cells_matching t Outcome.is_blind
+let weak_cells t = cells_matching t Outcome.is_weak
+
+let cell_count t = Array.length t.anomaly_sizes * Array.length t.windows
+
+let capable_fraction t =
+  float_of_int (List.length (capable_cells t)) /. float_of_int (cell_count t)

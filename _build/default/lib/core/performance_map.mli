@@ -1,0 +1,51 @@
+(** Performance maps — the paper's central result artifact
+    (Figures 3–6).
+
+    A map records, for one detector, the outcome at every
+    (anomaly size, detector window) cell of the evaluation suite.
+    Anomaly size 1 is undefined (a size-1 foreign sequence would have to
+    be simultaneously foreign and rare, Section 6), which the rendering
+    layer shows as an undefined region. *)
+
+type t
+
+val detector : t -> string
+val anomaly_sizes : t -> int list
+(** Ascending. *)
+
+val windows : t -> int list
+(** Ascending. *)
+
+val build :
+  detector:string ->
+  anomaly_sizes:int list ->
+  windows:int list ->
+  f:(anomaly_size:int -> window:int -> Outcome.t) ->
+  t
+(** Evaluate [f] at every cell.  The ranges must be non-empty and
+    ascending. *)
+
+val outcome : t -> anomaly_size:int -> window:int -> Outcome.t
+(** Outcome at a cell.  Requires the cell to be in range. *)
+
+val capable_cells : t -> (int * int) list
+(** [(anomaly_size, window)] pairs where the detector is capable,
+    row-major ascending. *)
+
+val blind_cells : t -> (int * int) list
+(** Cells where the detector is blind (zero response). *)
+
+val weak_cells : t -> (int * int) list
+(** Cells with a weak (sub-maximal, non-zero) response. *)
+
+val cell_count : t -> int
+(** Total number of cells. *)
+
+val capable_fraction : t -> float
+(** Fraction of cells where the detector is capable — the scalar
+    "coverage" used in the summary tables. *)
+
+val fold :
+  t -> init:'a -> f:('a -> anomaly_size:int -> window:int -> Outcome.t -> 'a) ->
+  'a
+(** Row-major fold over all cells. *)

@@ -1,0 +1,50 @@
+open Seqdiv_synth
+
+type t = {
+  as_min : int;
+  dw_min : int;
+  n_dw : int;
+  injections : Injector.injection array;
+}
+
+let build suite =
+  let p = suite.Suite.params in
+  let index = suite.Suite.index in
+  let background =
+    Generator.background suite.Suite.alphabet ~len:p.Suite.background_len
+      ~phase:0
+  in
+  let n_as = p.Suite.as_max - p.Suite.as_min + 1 in
+  let n_dw = p.Suite.dw_max - p.Suite.dw_min + 1 in
+  let candidates_by_size =
+    Array.init n_as (fun i ->
+        Rare_seq.candidates index ~size:(p.Suite.as_min + i)
+          ~rare_threshold:p.Suite.rare_threshold)
+  in
+  let injections =
+    Array.init (n_as * n_dw) (fun cell ->
+        let anomaly_size = p.Suite.as_min + (cell / n_dw) in
+        let window = p.Suite.dw_min + (cell mod n_dw) in
+        let candidates = candidates_by_size.(cell / n_dw) in
+        match
+          Injector.inject_first index ~background ~candidates ~width:window
+        with
+        | Some injection -> injection
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "Rare_anomaly.build: no clean rare-sequence injection for \
+                  size %d at window %d (%d candidates)"
+                 anomaly_size window (List.length candidates)))
+  in
+  { as_min = p.Suite.as_min; dw_min = p.Suite.dw_min; n_dw; injections }
+
+let injection t ~anomaly_size ~window =
+  let cell = ((anomaly_size - t.as_min) * t.n_dw) + (window - t.dw_min) in
+  assert (cell >= 0 && cell < Array.length t.injections);
+  t.injections.(cell)
+
+let performance_map t suite detector =
+  Experiment.performance_map_over suite
+    ~injection:(fun ~anomaly_size ~window -> injection t ~anomaly_size ~window)
+    detector

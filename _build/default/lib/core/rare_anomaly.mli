@@ -1,0 +1,31 @@
+(** The rare-anomaly counterpart of the main experiment (extension E2).
+
+    Instead of a minimal {e foreign} sequence, each test stream carries
+    an injected {e rare} sequence — one that does occur in the training
+    data, below the 0.5 % threshold.  The paper predicts (Section 5.1)
+    that only detectors sensitive to frequency can respond: Stide and
+    L&B see nothing anomalous at all, while the Markov detector, the
+    neural network, t-stide and the HMM flag the rare content at any
+    window.  This experiment charts that prediction over the same
+    AS × DW grid as Figures 3–6. *)
+
+open Seqdiv_detectors
+open Seqdiv_synth
+
+type t
+(** The rare-anomaly test streams for a suite (one injection per
+    cell). *)
+
+val build : Suite.t -> t
+(** Construct a rare sequence of every anomaly size from the suite's
+    training data and inject each one cleanly for every window.
+
+    @raise Failure when some size has no rare sequence or no clean
+    injection (enlarging the training stream resolves it). *)
+
+val injection : t -> anomaly_size:int -> window:int -> Injector.injection
+(** The injected stream of a cell. *)
+
+val performance_map : t -> Suite.t -> Detector.t -> Performance_map.t
+(** Chart one detector against the rare-anomaly streams (training on the
+    suite's training stream, one model per window). *)

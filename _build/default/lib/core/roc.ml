@@ -1,0 +1,41 @@
+open Seqdiv_detectors
+
+type point = { threshold : float; hit_rate : float; fa_rate : float }
+
+let sweep ~clean ~spans ~thresholds =
+  if spans = [] then invalid_arg "Roc.sweep: no spans";
+  let span_maxima = List.map Response.max_score spans in
+  let n_spans = float_of_int (List.length spans) in
+  List.map
+    (fun threshold ->
+      let hits =
+        List.length (List.filter (fun m -> m >= threshold) span_maxima)
+      in
+      let fa = False_alarm.of_response clean ~threshold in
+      {
+        threshold;
+        hit_rate = float_of_int hits /. n_spans;
+        fa_rate = fa.False_alarm.rate;
+      })
+    thresholds
+
+let default_thresholds = List.init 101 (fun i -> float_of_int i /. 100.0)
+
+let auc points =
+  let sorted =
+    List.sort
+      (fun a b -> compare (a.fa_rate, a.hit_rate) (b.fa_rate, b.hit_rate))
+      points
+  in
+  let anchored =
+    ({ threshold = nan; hit_rate = 0.0; fa_rate = 0.0 } :: sorted)
+    @ [ { threshold = nan; hit_rate = 1.0; fa_rate = 1.0 } ]
+  in
+  let rec area acc = function
+    | a :: (b :: _ as rest) ->
+        let w = b.fa_rate -. a.fa_rate in
+        let h = (a.hit_rate +. b.hit_rate) /. 2.0 in
+        area (acc +. (w *. h)) rest
+    | [ _ ] | [] -> acc
+  in
+  area 0.0 anchored

@@ -1,0 +1,34 @@
+(** Detection/false-alarm trade-off curves.
+
+    The paper fixes the detection threshold at 1 to compare intrinsic
+    abilities; this module sweeps the threshold to expose the trade-off
+    behind that choice — in particular the Section 7 observation that
+    lowering the L&B threshold far enough to catch a minimal foreign
+    sequence floods the detector with false alarms, and increasingly so
+    as the window grows (experiment T3). *)
+
+open Seqdiv_detectors
+
+type point = {
+  threshold : float;
+  hit_rate : float;  (** fraction of injected streams detected *)
+  fa_rate : float;  (** false-alarm rate on anomaly-free responses *)
+}
+
+val sweep :
+  clean:Response.t ->
+  spans:Response.t list ->
+  thresholds:float list ->
+  point list
+(** For each threshold: [hit_rate] is the fraction of span-restricted
+    responses whose maximum reaches the threshold; [fa_rate] is the
+    alarm rate over the anomaly-free response.  Thresholds are reported
+    in the given order.  Requires a non-empty [spans] list. *)
+
+val default_thresholds : float list
+(** A 101-point grid over [\[0, 1\]]. *)
+
+val auc : point list -> float
+(** Area under the (fa_rate, hit_rate) curve by trapezoid rule, after
+    sorting by fa_rate and anchoring at (0,0) and (1,1).  1.0 is a
+    perfect detector. *)

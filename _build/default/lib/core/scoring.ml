@@ -1,0 +1,18 @@
+open Seqdiv_synth
+
+let incident_response trained (inj : Injector.injection) =
+  let width = Trained.window trained in
+  let lo, hi =
+    Injector.incident_span ~position:inj.Injector.position
+      ~size:(Array.length inj.Injector.anomaly)
+      ~width
+  in
+  Trained.score_range trained inj.Injector.trace ~lo ~hi
+
+let outcome_of_response trained response =
+  Outcome.classify
+    ~epsilon:(Trained.maximal_epsilon trained)
+    ~max_response:(Seqdiv_detectors.Response.max_score response)
+
+let outcome trained inj =
+  outcome_of_response trained (incident_response trained inj)

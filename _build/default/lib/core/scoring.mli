@@ -1,0 +1,22 @@
+(** Scoring a trained detector against an injected test stream
+    (Section 5.5).
+
+    The incident span comprises every window that contains at least one
+    element of the injected anomaly (Figure 2); the detector's outcome
+    for the cell is classified from its maximum response inside that
+    span. *)
+
+open Seqdiv_detectors
+open Seqdiv_synth
+
+val incident_response : Trained.t -> Injector.injection -> Response.t
+(** The detector's responses restricted to the incident span of the
+    injection. *)
+
+val outcome_of_response : Trained.t -> Response.t -> Outcome.t
+(** Classify a (typically span-restricted) response using the
+    detector's maximal-response slack. *)
+
+val outcome : Trained.t -> Injector.injection -> Outcome.t
+(** [outcome_of_response] of [incident_response]: the paper's
+    blind/weak/capable verdict for one detector on one test stream. *)

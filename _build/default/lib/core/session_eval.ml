@@ -1,0 +1,42 @@
+open Seqdiv_stream
+open Seqdiv_detectors
+
+type confusion = {
+  true_positives : int;
+  false_negatives : int;
+  false_positives : int;
+  true_negatives : int;
+}
+
+let detection_rate c =
+  Seqdiv_util.Stats.rate ~count:c.true_positives
+    ~total:(c.true_positives + c.false_negatives)
+
+let false_alarm_rate c =
+  Seqdiv_util.Stats.rate ~count:c.false_positives
+    ~total:(c.false_positives + c.true_negatives)
+
+let session_anomalous trained ~threshold session =
+  if Trace.length session < Trained.window trained then false
+  else Response.max_score (Trained.score trained session) >= threshold
+
+let evaluate trained ?threshold ~normal ~anomalous () =
+  let threshold =
+    match threshold with
+    | Some t -> t
+    | None -> Trained.alarm_threshold trained
+  in
+  let flagged corpus =
+    List.fold_left
+      (fun acc session ->
+        if session_anomalous trained ~threshold session then acc + 1 else acc)
+      0 (Sessions.traces corpus)
+  in
+  let anomalous_flagged = flagged anomalous in
+  let normal_flagged = flagged normal in
+  {
+    true_positives = anomalous_flagged;
+    false_negatives = Sessions.count anomalous - anomalous_flagged;
+    false_positives = normal_flagged;
+    true_negatives = Sessions.count normal - normal_flagged;
+  }

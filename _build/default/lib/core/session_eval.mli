@@ -1,0 +1,34 @@
+(** Per-session classification (experiment E4).
+
+    A session is classified anomalous when the detector's maximum
+    response over it reaches the alarm threshold.  Against a corpus of
+    labelled sessions this yields the standard confusion matrix — the
+    granularity at which intrusion-detection systems are actually
+    judged, and the setting where the paper's coverage/false-alarm
+    trade-offs become operational error rates. *)
+
+open Seqdiv_stream
+
+type confusion = {
+  true_positives : int;  (** anomalous sessions flagged *)
+  false_negatives : int;  (** anomalous sessions missed *)
+  false_positives : int;  (** normal sessions flagged *)
+  true_negatives : int;  (** normal sessions passed *)
+}
+
+val detection_rate : confusion -> float
+(** TP / (TP + FN); 0 when no anomalous sessions. *)
+
+val false_alarm_rate : confusion -> float
+(** FP / (FP + TN); 0 when no normal sessions. *)
+
+val session_anomalous : Trained.t -> threshold:float -> Trace.t -> bool
+(** Whether a single session trips the detector at the threshold.
+    Sessions shorter than the detector's window never trip. *)
+
+val evaluate :
+  Trained.t -> ?threshold:float -> normal:Sessions.t ->
+  anomalous:Sessions.t -> unit -> confusion
+(** Classify every session of both corpora.  [threshold] defaults to the
+    detector's own alarm threshold (the paper's threshold-of-1
+    policy). *)

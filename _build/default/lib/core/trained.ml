@@ -1,0 +1,18 @@
+open Seqdiv_detectors
+
+type t =
+  | Trained :
+      (module Detector.S with type model = 'm) * 'm
+      -> t
+
+let train (module D : Detector.S) ~window trace =
+  Trained ((module D), D.train ~window trace)
+
+let name (Trained ((module D), _)) = D.name
+let window (Trained ((module D), m)) = D.window m
+let maximal_epsilon (Trained ((module D), _)) = D.maximal_epsilon
+let alarm_threshold t = 1.0 -. maximal_epsilon t
+let score (Trained ((module D), m)) trace = D.score m trace
+
+let score_range (Trained ((module D), m)) trace ~lo ~hi =
+  D.score_range m trace ~lo ~hi

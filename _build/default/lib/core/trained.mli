@@ -1,0 +1,33 @@
+(** A detector paired with a trained model — the runtime unit the
+    evaluation harness, ensembles and false-alarm analyses operate on.
+
+    [Detector.S] exposes an abstract per-module [model] type; this
+    existential wrapper lets heterogeneous trained detectors travel in
+    one list. *)
+
+open Seqdiv_stream
+open Seqdiv_detectors
+
+type t
+
+val train : Detector.t -> window:int -> Trace.t -> t
+(** Train one detector at one window size. *)
+
+val name : t -> string
+(** The underlying detector's name. *)
+
+val window : t -> int
+(** The window size the model was trained with. *)
+
+val maximal_epsilon : t -> float
+(** The underlying detector's maximal-response slack. *)
+
+val alarm_threshold : t -> float
+(** [1 − maximal_epsilon]: the response level at which this detector
+    raises an alarm under the paper's threshold-of-1 policy. *)
+
+val score : t -> Trace.t -> Response.t
+(** Score a whole trace. *)
+
+val score_range : t -> Trace.t -> lo:int -> hi:int -> Response.t
+(** Score window starts within a range. *)

@@ -1,0 +1,1 @@
+lib/detectors/detector.ml: Response Seqdiv_stream Stdlib Trace

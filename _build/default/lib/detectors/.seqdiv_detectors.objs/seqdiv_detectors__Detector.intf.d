@@ -1,0 +1,1 @@
+lib/detectors/detector.mli: Response Seqdiv_stream Trace

@@ -1,0 +1,1 @@
+lib/detectors/hmm.ml: Alphabet Array Detector Float Prng Response Seqdiv_stream Seqdiv_util Stdlib Trace

@@ -1,0 +1,1 @@
+lib/detectors/hmm.mli: Detector Seqdiv_stream Trace

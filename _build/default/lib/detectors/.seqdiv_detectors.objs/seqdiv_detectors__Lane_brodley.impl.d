@@ -1,0 +1,1 @@
+lib/detectors/lane_brodley.ml: Array Detector List Response Seq_db Seqdiv_stream Stdlib Trace

@@ -1,0 +1,1 @@
+lib/detectors/lane_brodley.mli: Detector

@@ -1,0 +1,1 @@
+lib/detectors/lfc.ml: Array Response Stdlib

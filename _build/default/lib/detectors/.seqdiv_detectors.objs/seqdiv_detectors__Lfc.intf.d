@@ -1,0 +1,1 @@
+lib/detectors/lfc.mli: Response

@@ -1,0 +1,1 @@
+lib/detectors/markov.ml: Alphabet Array Detector Hashtbl List Response Seqdiv_stream Stdlib String Trace

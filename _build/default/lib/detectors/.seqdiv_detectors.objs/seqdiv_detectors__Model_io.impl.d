@@ -1,0 +1,1 @@
+lib/detectors/model_io.ml: Array Buffer Fun List Markov Printf Scanf Seq_db Seqdiv_stream Stdlib Stide String Trace

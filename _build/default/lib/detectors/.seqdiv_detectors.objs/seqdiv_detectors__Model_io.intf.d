@@ -1,0 +1,1 @@
+lib/detectors/model_io.mli: Markov Stide

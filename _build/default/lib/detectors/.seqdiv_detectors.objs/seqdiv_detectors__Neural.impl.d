@@ -1,0 +1,1 @@
+lib/detectors/neural.ml: Alphabet Array Detector Float Hashtbl List Matrix Option Prng Response Seqdiv_stream Seqdiv_util Stdlib Trace

@@ -1,0 +1,1 @@
+lib/detectors/neural.mli: Detector Seqdiv_stream Trace

@@ -1,0 +1,1 @@
+lib/detectors/registry.ml: Detector Hmm Lane_brodley List Markov Neural Printf Stide String Tstide

@@ -1,0 +1,1 @@
+lib/detectors/registry.mli: Detector

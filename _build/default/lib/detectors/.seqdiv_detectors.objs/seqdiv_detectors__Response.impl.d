@@ -1,0 +1,1 @@
+lib/detectors/response.ml: Array Float List Seq

@@ -1,0 +1,1 @@
+lib/detectors/stide.ml: Array Detector Response Seq_db Seqdiv_stream Stdlib Trace

@@ -1,0 +1,1 @@
+lib/detectors/stide.mli: Detector Seq_db Seqdiv_stream

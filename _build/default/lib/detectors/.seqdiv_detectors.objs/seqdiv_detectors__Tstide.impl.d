@@ -1,0 +1,1 @@
+lib/detectors/tstide.ml: Array Detector Response Seq_db Seqdiv_stream Stdlib Trace

@@ -1,0 +1,1 @@
+lib/detectors/tstide.mli: Detector Seq_db Seqdiv_stream Trace

@@ -1,0 +1,20 @@
+open Seqdiv_stream
+
+module type S = sig
+  type model
+
+  val name : string
+  val maximal_epsilon : float
+  val train : window:int -> Trace.t -> model
+  val window : model -> int
+  val score_range : model -> Trace.t -> lo:int -> hi:int -> Response.t
+  val score : model -> Trace.t -> Response.t
+end
+
+type t = (module S)
+
+let clamp_range ~trace_len ~window ~lo ~hi =
+  let max_start = trace_len - window in
+  (Stdlib.max 0 lo, Stdlib.min max_start hi)
+
+let full_range ~trace_len ~window = (0, trace_len - window)

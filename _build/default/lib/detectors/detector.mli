@@ -1,0 +1,53 @@
+(** The common shape of a sequence-based anomaly detector.
+
+    Section 4.2 of the paper: each detector consists of (1) a mechanism
+    for modelling normal behaviour, built by sliding a fixed-length
+    window over training data; (2) a similarity metric — the locus of
+    diversity; (3) a user-set thresholding mechanism.  This module pins
+    down (1) and (3) so that implementations differ only in (2), exactly
+    the experimental control the paper imposes. *)
+
+open Seqdiv_stream
+
+module type S = sig
+  type model
+
+  val name : string
+  (** Short identifier, e.g. ["stide"]. *)
+
+  val maximal_epsilon : float
+  (** Slack for recognising a maximal response: a score [>= 1 - eps]
+      counts as maximally anomalous.  0 for detectors whose metric emits
+      exact 0/1 responses (Stide); small and positive for probabilistic
+      metrics whose estimate of "impossible" may be a tiny probability
+      rather than an exact zero (Markov, neural network). *)
+
+  val train : window:int -> Trace.t -> model
+  (** Build the normal-behaviour model from a training trace using the
+      given detector-window size.  Requires [window >= 2] and a trace no
+      shorter than the window. *)
+
+  val window : model -> int
+  (** The window size the model was trained with. *)
+
+  val score_range : model -> Trace.t -> lo:int -> hi:int -> Response.t
+  (** Responses whose item [start] lies in [\[lo, hi\]] (clamped to the
+      valid range for the trace).  Restricting the range lets the
+      evaluation score only the neighbourhood of an injected anomaly —
+      important for the instance-based L&B detector, whose scoring cost
+      is proportional to the database size. *)
+
+  val score : model -> Trace.t -> Response.t
+  (** All responses for a trace: [score_range] over the whole trace. *)
+end
+
+type t = (module S)
+(** A first-class detector, for registries and ensembles. *)
+
+val clamp_range : trace_len:int -> window:int -> lo:int -> hi:int -> int * int
+(** Helper shared by implementations: clamp [\[lo, hi\]] to the valid
+    window-start range [\[0, trace_len - window\]].  The result may be
+    empty ([fst > snd]). *)
+
+val full_range : trace_len:int -> window:int -> int * int
+(** The whole valid window-start range. *)

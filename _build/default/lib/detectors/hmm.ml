@@ -1,0 +1,218 @@
+open Seqdiv_stream
+open Seqdiv_util
+
+type params = {
+  states : int;
+  iterations : int;
+  train_limit : int;
+  seed : int;
+}
+
+let default_params = { states = 0; iterations = 12; train_limit = 20_000; seed = 17 }
+
+type model = {
+  window : int;
+  k : int;  (* alphabet size *)
+  params : params;
+  pi : float array;  (* initial state distribution *)
+  a : float array array;  (* state transitions, S x S *)
+  b : float array array;  (* emissions, S x k *)
+}
+
+let name = "hmm"
+
+(* Baum-Welch probabilities are smoothed estimates, never exact zeros;
+   like the neural detector, a continuation estimated below 1% counts as
+   maximally anomalous. *)
+let maximal_epsilon = 0.01
+
+let window m = m.window
+let params m = m.params
+
+let normalise row =
+  let total = Array.fold_left ( +. ) 0.0 row in
+  assert (total > 0.0);
+  Array.map (fun x -> x /. total) row
+
+let random_stochastic rng ~rows ~cols =
+  Array.init rows (fun _ ->
+      normalise (Array.init cols (fun _ -> 0.2 +. Prng.float rng 1.0)))
+
+(* One scaled forward pass; returns (alphas, scales).  alphas.(t) is the
+   normalised state distribution after observing obs.(0..t). *)
+let forward m obs =
+  let t_len = Array.length obs in
+  let s_len = Array.length m.pi in
+  let alphas = Array.make_matrix t_len s_len 0.0 in
+  let scales = Array.make t_len 0.0 in
+  for t = 0 to t_len - 1 do
+    let unscaled =
+      Array.init s_len (fun s ->
+          let inbound =
+            if t = 0 then m.pi.(s)
+            else begin
+              let acc = ref 0.0 in
+              for s' = 0 to s_len - 1 do
+                acc := !acc +. (alphas.(t - 1).(s') *. m.a.(s').(s))
+              done;
+              !acc
+            end
+          in
+          inbound *. m.b.(s).(obs.(t)))
+    in
+    let scale = Array.fold_left ( +. ) 0.0 unscaled in
+    let scale = if scale <= 0.0 then epsilon_float else scale in
+    scales.(t) <- scale;
+    for s = 0 to s_len - 1 do
+      alphas.(t).(s) <- unscaled.(s) /. scale
+    done
+  done;
+  (alphas, scales)
+
+let backward m obs scales =
+  let t_len = Array.length obs in
+  let s_len = Array.length m.pi in
+  let betas = Array.make_matrix t_len s_len 0.0 in
+  for s = 0 to s_len - 1 do
+    betas.(t_len - 1).(s) <- 1.0
+  done;
+  for t = t_len - 2 downto 0 do
+    for s = 0 to s_len - 1 do
+      let acc = ref 0.0 in
+      for s' = 0 to s_len - 1 do
+        acc :=
+          !acc
+          +. (m.a.(s).(s') *. m.b.(s').(obs.(t + 1)) *. betas.(t + 1).(s'))
+      done;
+      betas.(t).(s) <- !acc /. scales.(t + 1)
+    done
+  done;
+  betas
+
+(* One EM (Baum-Welch) re-estimation step. *)
+let baum_welch_step m obs =
+  let t_len = Array.length obs in
+  let s_len = Array.length m.pi in
+  let alphas, scales = forward m obs in
+  let betas = backward m obs scales in
+  let gamma t s = alphas.(t).(s) *. betas.(t).(s) in
+  let new_pi = Array.init s_len (fun s -> Float.max epsilon_float (gamma 0 s)) in
+  let new_a = Array.make_matrix s_len s_len epsilon_float in
+  for t = 0 to t_len - 2 do
+    for s = 0 to s_len - 1 do
+      let base = alphas.(t).(s) in
+      if base > 0.0 then
+        for s' = 0 to s_len - 1 do
+          new_a.(s).(s') <-
+            new_a.(s).(s')
+            +. base *. m.a.(s).(s')
+               *. m.b.(s').(obs.(t + 1))
+               *. betas.(t + 1).(s')
+               /. scales.(t + 1)
+        done
+    done
+  done;
+  let new_b = Array.make_matrix s_len m.k epsilon_float in
+  for t = 0 to t_len - 1 do
+    for s = 0 to s_len - 1 do
+      new_b.(s).(obs.(t)) <- new_b.(s).(obs.(t)) +. gamma t s
+    done
+  done;
+  {
+    m with
+    pi = normalise new_pi;
+    a = Array.map normalise new_a;
+    b = Array.map normalise new_b;
+  }
+
+let train_with p ~window trace =
+  assert (window >= 2);
+  assert (p.iterations >= 0 && p.train_limit >= 2);
+  if Trace.length trace < window then
+    invalid_arg "Hmm.train: trace shorter than window";
+  let k = Alphabet.size (Trace.alphabet trace) in
+  let states = if p.states = 0 then k else p.states in
+  assert (states >= 1);
+  let resolved = { p with states } in
+  let rng = Prng.create ~seed:p.seed in
+  let obs =
+    Trace.to_array
+      (Trace.sub trace ~pos:0
+         ~len:(Stdlib.min (Trace.length trace) p.train_limit))
+  in
+  let initial =
+    {
+      window;
+      k;
+      params = resolved;
+      pi = normalise (Array.init states (fun _ -> 0.5 +. Prng.float rng 1.0));
+      a = random_stochastic rng ~rows:states ~cols:states;
+      b = random_stochastic rng ~rows:states ~cols:k;
+    }
+  in
+  let rec iterate m n = if n = 0 then m else iterate (baum_welch_step m obs) (n - 1) in
+  iterate initial p.iterations
+
+let train ~window trace = train_with default_params ~window trace
+
+let log_likelihood m trace =
+  let _, scales = forward m (Trace.to_array trace) in
+  Array.fold_left (fun acc s -> acc +. log s) 0.0 scales
+
+let state_distribution m context =
+  let s_len = Array.length m.pi in
+  if Array.length context = 0 then Array.copy m.pi
+  else begin
+    let alphas, _ = forward m context in
+    Array.init s_len (fun s -> alphas.(Array.length context - 1).(s))
+  end
+
+let predict m context =
+  let s_len = Array.length m.pi in
+  let alpha = state_distribution m context in
+  let filtered_through_transition =
+    if Array.length context = 0 then alpha
+    else begin
+      let out = Array.make s_len 0.0 in
+      for s = 0 to s_len - 1 do
+        for s' = 0 to s_len - 1 do
+          out.(s') <- out.(s') +. (alpha.(s) *. m.a.(s).(s'))
+        done
+      done;
+      out
+    end
+  in
+  let probs = Array.make m.k 0.0 in
+  for s = 0 to s_len - 1 do
+    for o = 0 to m.k - 1 do
+      probs.(o) <- probs.(o) +. (filtered_through_transition.(s) *. m.b.(s).(o))
+    done
+  done;
+  probs
+
+let score_range m trace ~lo ~hi =
+  let lo, hi =
+    Detector.clamp_range ~trace_len:(Trace.length trace) ~window:m.window ~lo
+      ~hi
+  in
+  let ctx_len = m.window - 1 in
+  let n = Stdlib.max 0 (hi - lo + 1) in
+  let ctx = Array.make ctx_len 0 in
+  let items =
+    Array.init n (fun i ->
+        let start = lo + i in
+        for j = 0 to ctx_len - 1 do
+          ctx.(j) <- Trace.get trace (start + j)
+        done;
+        let probs = predict m ctx in
+        let next = Trace.get trace (start + ctx_len) in
+        let score = Float.max 0.0 (Float.min 1.0 (1.0 -. probs.(next))) in
+        { Response.start; cover = m.window; score })
+  in
+  Response.make ~detector:name ~window:m.window items
+
+let score m trace =
+  let lo, hi =
+    Detector.full_range ~trace_len:(Trace.length trace) ~window:m.window
+  in
+  score_range m trace ~lo ~hi

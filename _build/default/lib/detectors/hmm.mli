@@ -1,0 +1,49 @@
+(** Hidden-Markov-model detector (the "HMM" alternative data model of
+    Warrender, Forrest & Pearlmutter 1999).
+
+    A first-order HMM with a configurable number of hidden states is
+    trained on (a prefix of) the training stream with Baum–Welch
+    (scaled forward–backward EM).  Scoring follows the Markov/NN
+    convention of this study: for each window, the model filters the
+    DW−1 context symbols with the forward algorithm and scores
+    [1 − P̂(next | context)], the marginal next-symbol probability under
+    the learned model.
+
+    Included as an extension (experiment E1): with at least as many
+    states as symbols the HMM learns the generating cycle and behaves
+    like the Markov detector on the paper's data — while being the only
+    detector here whose model is {e smaller} than the observation
+    alphabet when so configured, which degrades gracefully (states
+    merge, probabilities blur; see the contract tests).
+
+    Not part of the paper's four studied detectors; see
+    {!Registry.extended}. *)
+
+open Seqdiv_stream
+
+type params = {
+  states : int;  (** hidden states; 0 means "alphabet size" *)
+  iterations : int;  (** Baum–Welch iterations *)
+  train_limit : int;  (** Baum–Welch runs on at most this many symbols *)
+  seed : int;  (** initialisation seed *)
+}
+
+val default_params : params
+(** states = alphabet size, 12 iterations, 20,000-symbol training
+    prefix, seed 17. *)
+
+include Detector.S
+
+val train_with : params -> window:int -> Trace.t -> model
+(** {!train} with explicit hyper-parameters. *)
+
+val params : model -> params
+(** The hyper-parameters of a trained model (with [states] resolved). *)
+
+val log_likelihood : model -> Trace.t -> float
+(** Scaled-forward log-likelihood of a trace under the model, for
+    convergence tests. *)
+
+val predict : model -> int array -> float array
+(** Marginal distribution of the next symbol after filtering the given
+    context (possibly empty). *)

@@ -1,0 +1,79 @@
+open Seqdiv_stream
+
+type model = {
+  window : int;
+  instances : int array array;  (* distinct training windows *)
+}
+
+let name = "lnb"
+let maximal_epsilon = 0.0
+
+let similarity a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Lane_brodley.similarity: lengths";
+  let total = ref 0 in
+  let run = ref 0 in
+  for i = 0 to n - 1 do
+    if a.(i) = b.(i) then begin
+      incr run;
+      total := !total + !run
+    end
+    else run := 0
+  done;
+  !total
+
+let max_similarity dw = dw * (dw + 1) / 2
+
+let train ~window trace =
+  assert (window >= 2);
+  if Trace.length trace < window then
+    invalid_arg "Lane_brodley.train: trace shorter than window";
+  let db = Seq_db.of_trace ~width:window trace in
+  let instances =
+    Seq_db.keys db |> List.map Trace.symbols_of_key |> Array.of_list
+  in
+  { window; instances }
+
+let window m = m.window
+let instances m = Array.length m.instances
+
+let best_match m w =
+  assert (Array.length w = m.window);
+  assert (Array.length m.instances > 0);
+  let best = ref m.instances.(0) in
+  let best_sim = ref (similarity w m.instances.(0)) in
+  Array.iter
+    (fun inst ->
+      let s = similarity w inst in
+      if s > !best_sim then begin
+        best := inst;
+        best_sim := s
+      end)
+    m.instances;
+  (!best, !best_sim)
+
+let score_range m trace ~lo ~hi =
+  let lo, hi =
+    Detector.clamp_range ~trace_len:(Trace.length trace) ~window:m.window ~lo
+      ~hi
+  in
+  let sim_max = float_of_int (max_similarity m.window) in
+  let n = Stdlib.max 0 (hi - lo + 1) in
+  let w = Array.make m.window 0 in
+  let items =
+    Array.init n (fun i ->
+        let start = lo + i in
+        for j = 0 to m.window - 1 do
+          w.(j) <- Trace.get trace (start + j)
+        done;
+        let _, best_sim = best_match m w in
+        let score = 1.0 -. (float_of_int best_sim /. sim_max) in
+        { Response.start; cover = m.window; score })
+  in
+  Response.make ~detector:name ~window:m.window items
+
+let score m trace =
+  let lo, hi =
+    Detector.full_range ~trace_len:(Trace.length trace) ~window:m.window
+  in
+  score_range m trace ~lo ~hi

@@ -1,0 +1,35 @@
+(** The Lane & Brodley detector (Lane & Brodley 1997).
+
+    An instance-based detector: the model stores the distinct windows of
+    the training data, and a test window is scored by its similarity to
+    the {e most similar} stored window.  The similarity of two
+    equal-length sequences walks the positions in parallel, awarding a
+    run-length weight to each match — a match extends the current run of
+    adjacent matches and contributes the run length, while a mismatch
+    resets the run (Section 5.2, Figure 7).  Identical sequences of
+    length DW therefore score DW·(DW+1)/2 and completely disjoint ones
+    score 0.
+
+    The anomaly response is [1 − max_sim / sim_max], so a test window
+    scores 1 only when it matches no stored window at any position —
+    which is why the paper finds L&B blind to minimal foreign sequences:
+    an MFS differing from a normal sequence in one terminal position
+    keeps a long match run and scores close to normal. *)
+
+include Detector.S
+
+val similarity : int array -> int array -> int
+(** Raw L&B similarity of two equal-length sequences.
+    @raise Invalid_argument on a length mismatch. *)
+
+val max_similarity : int -> int
+(** [max_similarity dw = dw * (dw + 1) / 2], the score of identical
+    sequences. *)
+
+val instances : model -> int
+(** Number of stored training instances (distinct windows). *)
+
+val best_match : model -> int array -> int array * int
+(** The stored instance most similar to the given window and its raw
+    similarity.  Requires the window length to equal the model's
+    window. *)

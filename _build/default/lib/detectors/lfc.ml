@@ -1,0 +1,28 @@
+let apply (r : Response.t) ~frame ~min_count ~threshold =
+  assert (min_count >= 1 && min_count <= frame);
+  let items = r.Response.items in
+  let in_frame = ref 0 in
+  let out =
+    Array.mapi
+      (fun i (item : Response.item) ->
+        let hit = if item.Response.score >= threshold then 1 else 0 in
+        in_frame := !in_frame + hit;
+        if i >= frame then begin
+          let leaving = items.(i - frame) in
+          if leaving.Response.score >= threshold then decr in_frame
+        end;
+        let first = Stdlib.max 0 (i - frame + 1) in
+        let start = items.(first).Response.start in
+        let cover =
+          item.Response.start + item.Response.cover - start
+        in
+        let score = if !in_frame >= min_count then 1.0 else 0.0 in
+        { Response.start; cover; score })
+      items
+  in
+  Response.make ~detector:(r.Response.detector ^ "+lfc") ~window:r.Response.window
+    out
+
+let alarm_count r ~frame ~min_count ~threshold =
+  let aggregated = apply r ~frame ~min_count ~threshold in
+  Response.count_over aggregated ~threshold:1.0

@@ -1,0 +1,21 @@
+(** Stide's locality frame count (LFC) post-processor (Warrender et al.
+    1999).
+
+    The paper deliberately sets the LFC aside when measuring intrinsic
+    detection ability (Section 5.5); it is provided here for the A1
+    ablation, which quantifies what the noise-suppression stage adds and
+    costs.  The LFC slides a frame of the most recent [frame] responses
+    and raises an aggregated alarm when at least [min_count] of them are
+    alarms at the given threshold. *)
+
+val apply :
+  Response.t -> frame:int -> min_count:int -> threshold:float -> Response.t
+(** [apply r ~frame ~min_count ~threshold] produces one item per input
+    item: score 1 when the frame ending at that item contains at least
+    [min_count] input scores [>= threshold], else 0.  Item extents are
+    widened to cover the whole frame.  Requires
+    [1 <= min_count <= frame]. *)
+
+val alarm_count :
+  Response.t -> frame:int -> min_count:int -> threshold:float -> int
+(** Number of aggregated alarms [apply] would raise. *)

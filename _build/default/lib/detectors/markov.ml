@@ -1,0 +1,110 @@
+open Seqdiv_stream
+
+type stats = { counts : int array; mutable total : int }
+
+type model = {
+  window : int;
+  k : int;  (* alphabet size *)
+  table : (string, stats) Hashtbl.t;
+  smoothing : float;  (* Laplace constant; 0 = maximum likelihood *)
+}
+
+let name = "markov"
+
+(* A continuation that was never observed scores exactly 1.  An observed
+   continuation is treated as maximally anomalous when its estimated
+   probability falls below the paper's rare-sequence threshold (0.5 %,
+   Section 5.3) — this is precisely the sense in which the paper says the
+   Markov detector "will detect foreign sequences as well as a variety of
+   rare sequences" while Stide detects only foreign ones. *)
+let maximal_epsilon = 0.005
+
+let train ~window trace =
+  assert (window >= 2);
+  if Trace.length trace < window then
+    invalid_arg "Markov.train: trace shorter than window";
+  let k = Alphabet.size (Trace.alphabet trace) in
+  let table = Hashtbl.create 256 in
+  let ctx_len = window - 1 in
+  Trace.iter_windows trace ~width:window (fun pos ->
+      let ctx = Trace.key trace ~pos ~len:ctx_len in
+      let next = Trace.get trace (pos + ctx_len) in
+      let stats =
+        match Hashtbl.find_opt table ctx with
+        | Some s -> s
+        | None ->
+            let s = { counts = Array.make k 0; total = 0 } in
+            Hashtbl.add table ctx s;
+            s
+      in
+      stats.counts.(next) <- stats.counts.(next) + 1;
+      stats.total <- stats.total + 1);
+  { window; k; table; smoothing = 0.0 }
+
+let with_smoothing m ~alpha =
+  assert (alpha >= 0.0);
+  { m with smoothing = alpha }
+
+let smoothing m = m.smoothing
+
+let window m = m.window
+let context_length m = m.window - 1
+let contexts m = Hashtbl.length m.table
+
+let fold_contexts m ~init ~f =
+  Hashtbl.fold
+    (fun context stats acc -> f acc ~context ~counts:(Array.copy stats.counts))
+    m.table init
+
+let of_context_counts ~window ~alphabet_size entries =
+  assert (window >= 2 && alphabet_size >= 1);
+  let table = Hashtbl.create (List.length entries) in
+  List.iter
+    (fun (context, counts) ->
+      if String.length context <> window - 1 then
+        invalid_arg "Markov.of_context_counts: context length";
+      if Array.length counts <> alphabet_size then
+        invalid_arg "Markov.of_context_counts: counts length";
+      let total = Array.fold_left ( + ) 0 counts in
+      if total <= 0 then invalid_arg "Markov.of_context_counts: empty context";
+      Hashtbl.replace table context { counts = Array.copy counts; total })
+    entries;
+  { window; k = alphabet_size; table; smoothing = 0.0 }
+
+let probability_key m ctx next =
+  let alpha = m.smoothing in
+  match Hashtbl.find_opt m.table ctx with
+  | None -> if alpha > 0.0 then 1.0 /. float_of_int m.k else 0.0
+  | Some s ->
+      if s.total = 0 then 0.0
+      else
+        (float_of_int s.counts.(next) +. alpha)
+        /. (float_of_int s.total +. (alpha *. float_of_int m.k))
+
+let probability m ~context ~next =
+  assert (Array.length context = context_length m);
+  assert (next >= 0 && next < m.k);
+  probability_key m (Trace.key_of_symbols context) next
+
+let score_range m trace ~lo ~hi =
+  let lo, hi =
+    Detector.clamp_range ~trace_len:(Trace.length trace) ~window:m.window ~lo
+      ~hi
+  in
+  let ctx_len = context_length m in
+  let n = Stdlib.max 0 (hi - lo + 1) in
+  let items =
+    Array.init n (fun i ->
+        let start = lo + i in
+        let ctx = Trace.key trace ~pos:start ~len:ctx_len in
+        let next = Trace.get trace (start + ctx_len) in
+        let score = 1.0 -. probability_key m ctx next in
+        { Response.start; cover = m.window; score })
+  in
+  Response.make ~detector:name ~window:m.window items
+
+let score m trace =
+  let lo, hi =
+    Detector.full_range ~trace_len:(Trace.length trace) ~window:m.window
+  in
+  score_range m trace ~lo ~hi

@@ -1,0 +1,141 @@
+open Seqdiv_stream
+
+let symbols_to_string key =
+  Trace.symbols_of_key key |> Array.to_list |> List.map string_of_int
+  |> String.concat ","
+
+let symbols_of_string s =
+  String.split_on_char ',' s
+  |> List.map (fun tok ->
+         match int_of_string_opt tok with
+         | Some v when v >= 0 && v < 256 -> v
+         | Some _ | None -> failwith ("Model_io: bad symbol " ^ tok))
+  |> Array.of_list
+
+let save_stide model =
+  let db = Stide.db model in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "#seqdiv-stide 1 window=%d\n" (Stide.window model));
+  Seq_db.iter db (fun key count ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %s\n" count (symbols_to_string key)));
+  Buffer.contents buf
+
+let nonempty_lines s =
+  String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let load_stide s =
+  match nonempty_lines s with
+  | [] -> failwith "Model_io.load_stide: empty input"
+  | header :: rest ->
+      let window =
+        try Scanf.sscanf header "#seqdiv-stide 1 window=%d" (fun w -> w)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+          failwith "Model_io.load_stide: bad header"
+      in
+      if window < 2 then failwith "Model_io.load_stide: bad window";
+      let db = Seq_db.create ~width:window in
+      List.iter
+        (fun line ->
+          match String.index_opt line ' ' with
+          | None -> failwith ("Model_io.load_stide: malformed line: " ^ line)
+          | Some i ->
+              let count =
+                match int_of_string_opt (String.sub line 0 i) with
+                | Some c when c > 0 -> c
+                | Some _ | None ->
+                    failwith ("Model_io.load_stide: bad count in: " ^ line)
+              in
+              let symbols =
+                symbols_of_string
+                  (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              if Array.length symbols <> window then
+                failwith ("Model_io.load_stide: wrong arity in: " ^ line);
+              Seq_db.add_many db (Trace.key_of_symbols symbols) ~count)
+        rest;
+      Stide.train_of_db db
+
+let save_markov model =
+  let buf = Buffer.create 1024 in
+  let window = Markov.window model in
+  (* Recover the alphabet size from any counts row; fold once. *)
+  let k =
+    Markov.fold_contexts model ~init:0 ~f:(fun acc ~context:_ ~counts ->
+        Stdlib.max acc (Array.length counts))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "#seqdiv-markov 1 window=%d alphabet=%d\n" window k);
+  let lines =
+    Markov.fold_contexts model ~init:[] ~f:(fun acc ~context ~counts ->
+        Printf.sprintf "%s | %s"
+          (symbols_to_string context)
+          (String.concat "," (List.map string_of_int (Array.to_list counts)))
+        :: acc)
+  in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    (List.sort compare lines);
+  Buffer.contents buf
+
+let load_markov s =
+  match nonempty_lines s with
+  | [] -> failwith "Model_io.load_markov: empty input"
+  | header :: rest ->
+      let window, k =
+        try
+          Scanf.sscanf header "#seqdiv-markov 1 window=%d alphabet=%d"
+            (fun w k -> (w, k))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+          failwith "Model_io.load_markov: bad header"
+      in
+      if window < 2 || k < 1 then failwith "Model_io.load_markov: bad header";
+      let entries =
+        List.map
+          (fun line ->
+            match String.index_opt line '|' with
+            | None -> failwith ("Model_io.load_markov: malformed line: " ^ line)
+            | Some i ->
+                let context_part = String.trim (String.sub line 0 i) in
+                let counts_part =
+                  String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1))
+                in
+                let context =
+                  Trace.key_of_symbols (symbols_of_string context_part)
+                in
+                let counts =
+                  String.split_on_char ',' counts_part
+                  |> List.map (fun tok ->
+                         match int_of_string_opt tok with
+                         | Some c when c >= 0 -> c
+                         | Some _ | None ->
+                             failwith
+                               ("Model_io.load_markov: bad count " ^ tok))
+                  |> Array.of_list
+                in
+                (context, counts))
+          rest
+      in
+      (try Markov.of_context_counts ~window ~alphabet_size:k entries
+       with Invalid_argument msg -> failwith ("Model_io.load_markov: " ^ msg))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save_stide_file path model = write_file path (save_stide model)
+let load_stide_file path = load_stide (read_file path)
+let save_markov_file path model = write_file path (save_markov model)
+let load_markov_file path = load_markov (read_file path)

@@ -1,0 +1,31 @@
+(** Text serialisation of trained models.
+
+    Deploying a detector means training once and scoring many times,
+    often on another machine; these functions persist the two deployment
+    detectors of the paper's combination scheme — Stide's sequence
+    database and the Markov detector's conditional-count table — in a
+    portable, versioned, line-oriented text format.
+
+    (The neural network and HMM are cheap to retrain deterministically
+    from the training trace and seed, which is itself persisted by
+    {!Seqdiv_synth.Dataset_io}; serialising float weight matrices
+    portably buys little, so they are deliberately not covered.) *)
+
+val save_stide : Stide.model -> string
+(** Serialise a Stide model (window size plus every distinct sequence
+    with its count). *)
+
+val load_stide : string -> Stide.model
+(** Inverse of {!save_stide}.  @raise Failure on malformed input. *)
+
+val save_markov : Markov.model -> string
+(** Serialise a Markov model (window, alphabet size, and the
+    context-continuation count table). *)
+
+val load_markov : string -> Markov.model
+(** Inverse of {!save_markov}.  @raise Failure on malformed input. *)
+
+val save_stide_file : string -> Stide.model -> unit
+val load_stide_file : string -> Stide.model
+val save_markov_file : string -> Markov.model -> unit
+val load_markov_file : string -> Markov.model

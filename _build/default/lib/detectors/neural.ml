@@ -1,0 +1,190 @@
+open Seqdiv_stream
+open Seqdiv_util
+
+type params = {
+  hidden : int;
+  epochs : int;
+  learning_rate : float;
+  momentum : float;
+  seed : int;
+}
+
+let default_params =
+  { hidden = 24; epochs = 400; learning_rate = 0.5; momentum = 0.9; seed = 42 }
+
+type model = {
+  window : int;
+  k : int;
+  params : params;
+  w1 : Matrix.t;  (* hidden × input *)
+  b1 : float array;
+  w2 : Matrix.t;  (* output × hidden *)
+  b2 : float array;
+  loss : float;
+}
+
+let name = "nn"
+
+(* A softmax never reaches an exact zero; with the default training
+   schedule the probability assigned to a continuation never (or very
+   rarely) seen in training falls well below this bound, while common
+   continuations stay close to 1. *)
+let maximal_epsilon = 1e-2
+
+let window m = m.window
+let params m = m.params
+let training_loss m = m.loss
+
+let one_hot ~k ~ctx_len symbols =
+  let x = Array.make (ctx_len * k) 0.0 in
+  Array.iteri (fun i s -> x.((i * k) + s) <- 1.0) symbols;
+  x
+
+let softmax logits =
+  let m = Array.fold_left Float.max neg_infinity logits in
+  let exps = Array.map (fun v -> exp (v -. m)) logits in
+  let z = Array.fold_left ( +. ) 0.0 exps in
+  Array.map (fun e -> e /. z) exps
+
+let forward m x =
+  let h = Matrix.mul_vec m.w1 x in
+  Array.iteri (fun i v -> h.(i) <- tanh (v +. m.b1.(i))) h;
+  let o = Matrix.mul_vec m.w2 h in
+  Array.iteri (fun i v -> o.(i) <- v +. m.b2.(i)) o;
+  (h, softmax o)
+
+(* Distinct (context, next) pairs of the training stream with weights
+   proportional to their counts; training on these is equivalent to
+   training on the raw stream but far cheaper on repetitive data. *)
+let gather_pairs ~window trace =
+  let ctx_len = window - 1 in
+  let table = Hashtbl.create 256 in
+  Trace.iter_windows trace ~width:window (fun pos ->
+      let ctx = Trace.key trace ~pos ~len:ctx_len in
+      let next = Trace.get trace (pos + ctx_len) in
+      let key = (ctx, next) in
+      let prev = Option.value (Hashtbl.find_opt table key) ~default:0 in
+      Hashtbl.replace table key (prev + 1));
+  let total =
+    float_of_int (Hashtbl.fold (fun _ c acc -> acc + c) table 0)
+  in
+  Hashtbl.fold
+    (fun (ctx, next) c acc ->
+      (Trace.symbols_of_key ctx, next, float_of_int c /. total) :: acc)
+    table []
+  |> List.sort compare
+
+let train_with p ~window trace =
+  assert (window >= 2);
+  if Trace.length trace < window then
+    invalid_arg "Neural.train: trace shorter than window";
+  assert (p.hidden > 0 && p.epochs >= 0);
+  let k = Alphabet.size (Trace.alphabet trace) in
+  let ctx_len = window - 1 in
+  let input = ctx_len * k in
+  let rng = Prng.create ~seed:p.seed in
+  let m =
+    {
+      window;
+      k;
+      params = p;
+      w1 = Matrix.random rng ~rows:p.hidden ~cols:input ~scale:0.5;
+      b1 = Array.make p.hidden 0.0;
+      w2 = Matrix.random rng ~rows:k ~cols:p.hidden ~scale:0.5;
+      b2 = Array.make k 0.0;
+      loss = 0.0;
+    }
+  in
+  let pairs =
+    gather_pairs ~window trace
+    |> List.map (fun (ctx, next, w) -> (one_hot ~k ~ctx_len ctx, next, w))
+  in
+  (* Momentum buffers. *)
+  let vw1 = Matrix.create ~rows:p.hidden ~cols:input in
+  let vb1 = Array.make p.hidden 0.0 in
+  let vw2 = Matrix.create ~rows:k ~cols:p.hidden in
+  let vb2 = Array.make k 0.0 in
+  let gw1 = Matrix.create ~rows:p.hidden ~cols:input in
+  let gb1 = Array.make p.hidden 0.0 in
+  let gw2 = Matrix.create ~rows:k ~cols:p.hidden in
+  let gb2 = Array.make k 0.0 in
+  let last_loss = ref 0.0 in
+  for _epoch = 1 to p.epochs do
+    Matrix.scale_in_place gw1 0.0;
+    Matrix.scale_in_place gw2 0.0;
+    Array.fill gb1 0 p.hidden 0.0;
+    Array.fill gb2 0 k 0.0;
+    let loss = ref 0.0 in
+    List.iter
+      (fun (x, next, weight) ->
+        let h, probs = forward m x in
+        loss := !loss -. (weight *. log (Float.max probs.(next) 1e-300));
+        (* Output delta of softmax + cross-entropy: p - onehot(target). *)
+        let delta_o =
+          Array.mapi
+            (fun j pj -> weight *. (pj -. if j = next then 1.0 else 0.0))
+            probs
+        in
+        Matrix.add_outer gw2 delta_o h ~scale:1.0;
+        Array.iteri (fun j d -> gb2.(j) <- gb2.(j) +. d) delta_o;
+        let back = Matrix.tmul_vec m.w2 delta_o in
+        let delta_h =
+          Array.mapi (fun i b -> b *. (1.0 -. (h.(i) *. h.(i)))) back
+        in
+        Matrix.add_outer gw1 delta_h x ~scale:1.0;
+        Array.iteri (fun i d -> gb1.(i) <- gb1.(i) +. d) delta_h)
+      pairs;
+    last_loss := !loss;
+    (* Momentum step: v <- mu v - lr g;  w <- w + v. *)
+    let step vmat gmat wmat =
+      Matrix.scale_in_place vmat p.momentum;
+      Matrix.add_in_place vmat (Matrix.map (fun g -> -.p.learning_rate *. g) gmat);
+      Matrix.add_in_place wmat vmat
+    in
+    step vw1 gw1 m.w1;
+    step vw2 gw2 m.w2;
+    let step_vec v g w =
+      Array.iteri
+        (fun i _ ->
+          v.(i) <- (p.momentum *. v.(i)) -. (p.learning_rate *. g.(i));
+          w.(i) <- w.(i) +. v.(i))
+        v
+    in
+    step_vec vb1 gb1 m.b1;
+    step_vec vb2 gb2 m.b2
+  done;
+  { m with loss = !last_loss }
+
+let train ~window trace = train_with default_params ~window trace
+
+let predict m context =
+  assert (Array.length context = m.window - 1);
+  let x = one_hot ~k:m.k ~ctx_len:(m.window - 1) context in
+  snd (forward m x)
+
+let score_range m trace ~lo ~hi =
+  let lo, hi =
+    Detector.clamp_range ~trace_len:(Trace.length trace) ~window:m.window ~lo
+      ~hi
+  in
+  let ctx_len = m.window - 1 in
+  let ctx = Array.make ctx_len 0 in
+  let n = Stdlib.max 0 (hi - lo + 1) in
+  let items =
+    Array.init n (fun i ->
+        let start = lo + i in
+        for j = 0 to ctx_len - 1 do
+          ctx.(j) <- Trace.get trace (start + j)
+        done;
+        let probs = predict m ctx in
+        let next = Trace.get trace (start + ctx_len) in
+        let score = Float.max 0.0 (1.0 -. probs.(next)) in
+        { Response.start; cover = m.window; score })
+  in
+  Response.make ~detector:name ~window:m.window items
+
+let score m trace =
+  let lo, hi =
+    Detector.full_range ~trace_len:(Trace.length trace) ~window:m.window
+  in
+  score_range m trace ~lo ~hi

@@ -1,0 +1,17 @@
+let all : Detector.t list =
+  [ (module Markov); (module Lane_brodley); (module Neural); (module Stide) ]
+
+let extended : Detector.t list = all @ [ (module Tstide); (module Hmm) ]
+
+let names = List.map (fun (module D : Detector.S) -> D.name) extended
+
+let find name =
+  List.find_opt (fun (module D : Detector.S) -> D.name = name) extended
+
+let find_exn name =
+  match find name with
+  | Some d -> d
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown detector %S (expected one of: %s)" name
+           (String.concat ", " names))

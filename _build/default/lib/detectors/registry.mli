@@ -1,0 +1,21 @@
+(** The roster of detectors under study, as first-class modules.
+
+    The evaluation harness, CLI and benchmarks iterate over this list so
+    that adding a detector to the study means adding it here once. *)
+
+val all : Detector.t list
+(** The paper's four studied detectors — markov, lnb, nn, stide (use
+    {!find} when a specific one is wanted). *)
+
+val extended : Detector.t list
+(** {!all} plus the extension detectors (t-stide and the HMM from
+    Warrender et al. 1999) evaluated in experiment E1. *)
+
+val names : string list
+(** Names of {!extended}, same order. *)
+
+val find : string -> Detector.t option
+(** Look a detector up by name (searches {!extended}). *)
+
+val find_exn : string -> Detector.t
+(** @raise Invalid_argument on an unknown name, listing valid names. *)

@@ -1,0 +1,41 @@
+type item = { start : int; cover : int; score : float }
+
+type t = { detector : string; window : int; items : item array }
+
+let make ~detector ~window items =
+  let prev = ref min_int in
+  Array.iter
+    (fun { start; cover; score } ->
+      if score < 0.0 || score > 1.0 || Float.is_nan score then
+        invalid_arg "Response.make: score out of [0,1]";
+      if cover <= 0 then invalid_arg "Response.make: non-positive cover";
+      if start < !prev then invalid_arg "Response.make: unsorted starts";
+      prev := start)
+    items;
+  { detector; window; items }
+
+let length t = Array.length t.items
+
+let max_score t =
+  Array.fold_left (fun acc i -> Float.max acc i.score) 0.0 t.items
+
+let over t ~threshold =
+  Array.to_list t.items |> List.filter (fun i -> i.score >= threshold)
+
+let count_over t ~threshold =
+  Array.fold_left
+    (fun acc i -> if i.score >= threshold then acc + 1 else acc)
+    0 t.items
+
+let restrict t ~lo ~hi =
+  let keep i = i.start <= hi && i.start + i.cover - 1 >= lo in
+  { t with items = Array.of_seq (Seq.filter keep (Array.to_seq t.items)) }
+
+let binarize t ~threshold =
+  {
+    t with
+    items =
+      Array.map
+        (fun i -> { i with score = (if i.score >= threshold then 1.0 else 0.0) })
+        t.items;
+  }

@@ -1,0 +1,47 @@
+(** Detector responses.
+
+    Every detector reduces a test trace to a stream of scored items.  A
+    score lies in [\[0, 1\]]: 0 means "completely normal", 1 means
+    "maximally anomalous" (Section 5.5).  Each item records the extent
+    of trace positions that produced it — [cover] symbols starting at
+    [start] — so the incident span can be computed uniformly across
+    detectors with different window semantics (Stide and L&B analyse a
+    [DW]-window; the Markov and neural detectors analyse a
+    [DW−1]-context plus the predicted element, which together also span
+    [DW] positions). *)
+
+type item = {
+  start : int;  (** first trace position covered *)
+  cover : int;  (** number of positions covered (> 0) *)
+  score : float;  (** anomaly score in [\[0, 1\]] *)
+}
+
+type t = {
+  detector : string;  (** name of the producing detector *)
+  window : int;  (** the detector-window parameter DW *)
+  items : item array;  (** ascending by [start] *)
+}
+
+val make : detector:string -> window:int -> item array -> t
+(** Validates scores and extents.  @raise Invalid_argument on a score
+    outside [\[0, 1\]], a non-positive cover, or unsorted starts. *)
+
+val length : t -> int
+(** Number of items. *)
+
+val max_score : t -> float
+(** Largest score, 0 for an empty response. *)
+
+val over : t -> threshold:float -> item list
+(** Items with [score >= threshold], in order. *)
+
+val count_over : t -> threshold:float -> int
+(** Number of items with [score >= threshold]. *)
+
+val restrict : t -> lo:int -> hi:int -> t
+(** Items whose covered range [\[start, start+cover-1\]] intersects
+    [\[lo, hi\]]. *)
+
+val binarize : t -> threshold:float -> t
+(** Map scores to exactly 0 or 1 by the threshold (alarm iff
+    [score >= threshold]). *)

@@ -1,0 +1,37 @@
+open Seqdiv_stream
+
+type model = { window : int; db : Seq_db.t }
+
+let name = "stide"
+let maximal_epsilon = 0.0
+
+let train ~window trace =
+  assert (window >= 2);
+  if Trace.length trace < window then
+    invalid_arg "Stide.train: trace shorter than window";
+  { window; db = Seq_db.of_trace ~width:window trace }
+
+let window m = m.window
+let db m = m.db
+let train_of_db db = { window = Seq_db.width db; db }
+
+let score_range m trace ~lo ~hi =
+  let lo, hi =
+    Detector.clamp_range ~trace_len:(Trace.length trace) ~window:m.window ~lo
+      ~hi
+  in
+  let n = Stdlib.max 0 (hi - lo + 1) in
+  let items =
+    Array.init n (fun i ->
+        let start = lo + i in
+        let key = Trace.key trace ~pos:start ~len:m.window in
+        let score = if Seq_db.mem m.db key then 0.0 else 1.0 in
+        { Response.start; cover = m.window; score })
+  in
+  Response.make ~detector:name ~window:m.window items
+
+let score m trace =
+  let lo, hi =
+    Detector.full_range ~trace_len:(Trace.length trace) ~window:m.window
+  in
+  score_range m trace ~lo ~hi

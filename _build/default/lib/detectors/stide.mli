@@ -1,0 +1,21 @@
+(** Stide — sequence time-delay embedding (Forrest et al. 1996;
+    Warrender et al. 1999).
+
+    The similarity metric is exact matching: a test window scores 0 when
+    an identical window exists in the normal database and 1 otherwise
+    (Section 5.2).  No frequencies or probabilities are involved, which
+    is why Stide is blind to rare-but-seen sequences and detects a
+    minimal foreign sequence only when the detector window is at least
+    as long as the anomaly. *)
+
+open Seqdiv_stream
+
+include Detector.S
+
+val db : model -> Seq_db.t
+(** The normal database backing a trained model (distinct
+    window-sequences with their training counts). *)
+
+val train_of_db : Seq_db.t -> model
+(** Wrap an existing database as a model — used to share one database
+    between Stide and the L&B detector in ablations. *)

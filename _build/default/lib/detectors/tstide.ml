@@ -1,0 +1,46 @@
+open Seqdiv_stream
+
+let default_threshold = 0.005
+
+type model = { window : int; threshold : float; db : Seq_db.t }
+
+let name = "tstide"
+let maximal_epsilon = 0.0
+
+let train_with ~threshold ~window trace =
+  assert (window >= 2);
+  assert (threshold > 0.0 && threshold < 1.0);
+  if Trace.length trace < window then
+    invalid_arg "Tstide.train: trace shorter than window";
+  { window; threshold; db = Seq_db.of_trace ~width:window trace }
+
+let train ~window trace = train_with ~threshold:default_threshold ~window trace
+
+let window m = m.window
+let threshold m = m.threshold
+let db m = m.db
+
+let score_range m trace ~lo ~hi =
+  let lo, hi =
+    Detector.clamp_range ~trace_len:(Trace.length trace) ~window:m.window ~lo
+      ~hi
+  in
+  let n = Stdlib.max 0 (hi - lo + 1) in
+  let items =
+    Array.init n (fun i ->
+        let start = lo + i in
+        let key = Trace.key trace ~pos:start ~len:m.window in
+        let anomalous =
+          Seq_db.is_foreign m.db key
+          || Seq_db.is_rare m.db ~threshold:m.threshold key
+        in
+        let score = if anomalous then 1.0 else 0.0 in
+        { Response.start; cover = m.window; score })
+  in
+  Response.make ~detector:name ~window:m.window items
+
+let score m trace =
+  let lo, hi =
+    Detector.full_range ~trace_len:(Trace.length trace) ~window:m.window
+  in
+  score_range m trace ~lo ~hi

@@ -1,0 +1,1 @@
+lib/report/ascii_map.ml: Buffer List Outcome Performance_map Printf Seqdiv_core String

@@ -1,0 +1,1 @@
+lib/report/ascii_map.mli: Performance_map Seqdiv_core

@@ -1,0 +1,1 @@
+lib/report/csv.ml: Buffer Fun List Outcome Performance_map Printf Seqdiv_core String

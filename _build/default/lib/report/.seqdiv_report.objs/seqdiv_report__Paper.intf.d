@@ -1,0 +1,1 @@
+lib/report/paper.mli: Ablation Deployment Performance_map Seqdiv_core Seqdiv_synth Session_eval Suite

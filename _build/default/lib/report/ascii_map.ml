@@ -1,0 +1,46 @@
+open Seqdiv_core
+
+let glyph map ~anomaly_size ~window =
+  Outcome.to_char (Performance_map.outcome map ~anomaly_size ~window)
+
+let render map =
+  let anomaly_sizes = Performance_map.anomaly_sizes map in
+  let windows = List.rev (Performance_map.windows map) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "Performance map — %s (detector window vs anomaly size)\n"
+       (Performance_map.detector map));
+  List.iter
+    (fun window ->
+      Buffer.add_string buf (Printf.sprintf "  DW %2d | ? " window);
+      List.iter
+        (fun anomaly_size ->
+          Buffer.add_char buf (glyph map ~anomaly_size ~window);
+          Buffer.add_char buf ' ')
+        anomaly_sizes;
+      Buffer.add_char buf '\n')
+    windows;
+  Buffer.add_string buf "         +";
+  List.iter (fun _ -> Buffer.add_string buf "--") (1 :: anomaly_sizes);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "           1 ";
+  List.iter
+    (fun anomaly_size -> Buffer.add_string buf (Printf.sprintf "%d " anomaly_size))
+    anomaly_sizes;
+  Buffer.add_string buf "  <- anomaly size (AS)\n";
+  Buffer.add_string buf
+    "  legend: * capable (maximal response)   o weak   . blind   ? undefined\n";
+  Buffer.contents buf
+
+let render_compact map =
+  let anomaly_sizes = Performance_map.anomaly_sizes map in
+  let windows = List.rev (Performance_map.windows map) in
+  windows
+  |> List.map (fun window ->
+         anomaly_sizes
+         |> List.map (fun anomaly_size ->
+                String.make 1 (glyph map ~anomaly_size ~window))
+         |> String.concat "")
+  |> String.concat "\n"
+
+let print map = print_string (render map)

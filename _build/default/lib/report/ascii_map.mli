@@ -1,0 +1,19 @@
+(** Text rendering of performance maps in the style of the paper's
+    Figures 3–6.
+
+    The x-axis is the anomaly size (with the undefined size-1 column
+    shown as ['?']), the y-axis the detector window, largest at the top
+    as in the paper.  ['*'] marks a capable cell (the paper's stars),
+    ['o'] a weak cell, ['.'] a blind cell. *)
+
+open Seqdiv_core
+
+val render : Performance_map.t -> string
+(** Multi-line rendering with axes, legend and the detector's name. *)
+
+val render_compact : Performance_map.t -> string
+(** Rows of outcome glyphs only (one row per window, descending), for
+    diffing maps in tests. *)
+
+val print : Performance_map.t -> unit
+(** Write {!render} to standard output. *)

@@ -1,0 +1,81 @@
+let bounds points =
+  let xs = List.map fst points and ys = List.map snd points in
+  let min_l l = List.fold_left Float.min (List.hd l) l in
+  let max_l l = List.fold_left Float.max (List.hd l) l in
+  let widen lo hi = if hi > lo then (lo, hi) else (lo -. 0.5, hi +. 0.5) in
+  let x0, x1 = widen (min_l xs) (max_l xs) in
+  let y0, y1 = widen (min_l ys) (max_l ys) in
+  (x0, x1, y0, y1)
+
+let plot_onto grid ~width ~height ~boundsxy mark points =
+  let x0, x1, y0, y1 = boundsxy in
+  List.iter
+    (fun (x, y) ->
+      let col =
+        int_of_float ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))
+      in
+      let row =
+        (height - 1)
+        - int_of_float ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1))
+      in
+      if row >= 0 && row < height && col >= 0 && col < width then
+        grid.(row).(col) <- mark)
+    points
+
+let render_grid grid ~width ~height ~boundsxy ~x_label ~y_label ~legend =
+  let x0, x1, y0, y1 = boundsxy in
+  let buf = Buffer.create ((width + 12) * (height + 4)) in
+  (match legend with
+  | "" -> ()
+  | l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n');
+  Buffer.add_string buf (Printf.sprintf "%10.4g +" y1);
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "           |";
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (Printf.sprintf "%10.4g +" y0);
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "            %.4g%s%.4g\n" x0
+       (String.make (Stdlib.max 1 (width - 16)) ' ')
+       x1);
+  (match (x_label, y_label) with
+  | "", "" -> ()
+  | x, y -> Buffer.add_string buf (Printf.sprintf "            x: %s   y: %s\n" x y));
+  Buffer.contents buf
+
+let render ?(width = 60) ?(height = 16) ?(x_label = "") ?(y_label = "") points =
+  assert (points <> []);
+  assert (width > 2 && height > 2);
+  let boundsxy = bounds points in
+  let grid = Array.make_matrix height width ' ' in
+  plot_onto grid ~width ~height ~boundsxy '*' points;
+  render_grid grid ~width ~height ~boundsxy ~x_label ~y_label ~legend:""
+
+let render_series ?(width = 60) ?(height = 16) ?(x_label = "") ?(y_label = "")
+    series =
+  assert (series <> [] && List.length series <= 9);
+  let all_points = List.concat_map snd series in
+  assert (all_points <> []);
+  let boundsxy = bounds all_points in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun i (_name, points) ->
+      plot_onto grid ~width ~height ~boundsxy
+        (Char.chr (Char.code 'a' + i))
+        points)
+    series;
+  let legend =
+    series
+    |> List.mapi (fun i (name, _) ->
+           Printf.sprintf "%c=%s" (Char.chr (Char.code 'a' + i)) name)
+    |> String.concat "  "
+  in
+  render_grid grid ~width ~height ~boundsxy ~x_label ~y_label ~legend

@@ -1,0 +1,19 @@
+(** Minimal ASCII line charts for the experiment series (T3, A6, ROC
+    curves) — enough to see a trend or a knee in a terminal without any
+    plotting dependency. *)
+
+val render :
+  ?width:int -> ?height:int -> ?x_label:string -> ?y_label:string ->
+  (float * float) list -> string
+(** Scatter the points onto a [width × height] character grid (defaults
+    60 × 16), with min/max annotations on both axes.  Points are marked
+    ['*']; multiple points in one cell collapse.  Requires at least one
+    point; a degenerate (constant) axis is widened artificially so the
+    plot stays drawable. *)
+
+val render_series :
+  ?width:int -> ?height:int -> ?x_label:string -> ?y_label:string ->
+  (string * (float * float) list) list -> string
+(** Overlay up to 9 series, marked ['a'], ['b'], … with a legend line
+    mapping marks to series names.  Later series overwrite earlier ones
+    where they collide. *)

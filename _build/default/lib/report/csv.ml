@@ -1,0 +1,44 @@
+open Seqdiv_core
+
+let escape field =
+  let needs_quotes =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') field
+  in
+  if needs_quotes then begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else field
+
+let row fields = String.concat "," (List.map escape fields)
+
+let of_rows ~header rows =
+  String.concat "" (List.map (fun r -> row r ^ "\n") (header :: rows))
+
+let map_rows map =
+  Performance_map.fold map ~init:[] ~f:(fun acc ~anomaly_size ~window o ->
+      [
+        Performance_map.detector map;
+        string_of_int anomaly_size;
+        string_of_int window;
+        (match o with
+        | Outcome.Blind -> "blind"
+        | Outcome.Weak _ -> "weak"
+        | Outcome.Capable _ -> "capable");
+        Printf.sprintf "%.6f" (Outcome.max_response o);
+      ]
+      :: acc)
+  |> List.rev
+
+let write_file path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_rows ~header rows))

@@ -1,0 +1,18 @@
+(** Minimal CSV export (RFC-4180-style quoting) for carrying results
+    into external plotting tools. *)
+
+val escape : string -> string
+(** Quote a field when it contains a comma, quote or newline. *)
+
+val row : string list -> string
+(** One CSV line (no trailing newline). *)
+
+val of_rows : header:string list -> string list list -> string
+(** Header plus rows, newline-terminated. *)
+
+val map_rows : Seqdiv_core.Performance_map.t -> string list list
+(** One row per cell: detector, anomaly size, window, outcome,
+    max response. *)
+
+val write_file : string -> header:string list -> string list list -> unit
+(** Write a CSV file. *)

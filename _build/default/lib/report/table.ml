@@ -1,0 +1,40 @@
+type t = { columns : string list; mutable rows : string list list }
+
+let make ~columns =
+  if columns = [] then invalid_arg "Table.make: no columns";
+  { columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- t.rows @ [ row ]
+
+let to_string t =
+  let widths =
+    List.fold_left
+      (fun widths row ->
+        List.map2 (fun w c -> Stdlib.max w (String.length c)) widths row)
+      (List.map (fun _ -> 0) t.columns)
+      (t.columns :: t.rows)
+  in
+  let pad width cell = cell ^ String.make (width - String.length cell) ' ' in
+  let line row =
+    (* Right-trim so padding on the last column leaves no trailing blanks. *)
+    let s = String.concat "  " (List.map2 pad widths row) in
+    let rec rstrip i = if i > 0 && s.[i - 1] = ' ' then rstrip (i - 1) else i in
+    String.sub s 0 (rstrip (String.length s))
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.columns);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

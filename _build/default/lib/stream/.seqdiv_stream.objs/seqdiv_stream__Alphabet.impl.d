@@ -1,0 +1,1 @@
+lib/stream/alphabet.ml: Array Format Hashtbl

@@ -1,0 +1,1 @@
+lib/stream/alphabet.mli: Format

@@ -1,0 +1,1 @@
+lib/stream/ngram_index.ml: Array Seq_db String

@@ -1,0 +1,1 @@
+lib/stream/ngram_index.mli: Seq_db Trace

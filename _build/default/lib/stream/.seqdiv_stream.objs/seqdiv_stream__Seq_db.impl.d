@@ -1,0 +1,1 @@
+lib/stream/seq_db.ml: Hashtbl List Option String Trace

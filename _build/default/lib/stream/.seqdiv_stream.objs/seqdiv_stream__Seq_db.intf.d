@@ -1,0 +1,1 @@
+lib/stream/seq_db.mli: Trace

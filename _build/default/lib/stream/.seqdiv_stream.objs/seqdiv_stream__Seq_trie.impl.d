@@ -1,0 +1,1 @@
+lib/stream/seq_trie.ml: Alphabet Array Char Format List Ngram_index Prng Seqdiv_util Stdlib String Trace

@@ -1,0 +1,1 @@
+lib/stream/seq_trie.mli: Format Ngram_index Prng Seqdiv_util Trace

@@ -1,0 +1,1 @@
+lib/stream/sessions.ml: Alphabet List Seq_db Trace

@@ -1,0 +1,1 @@
+lib/stream/sessions.mli: Alphabet Prng Seq_db Seqdiv_util Trace

@@ -1,0 +1,1 @@
+lib/stream/syscall_trace.ml: Alphabet Array Buffer Fun Hashtbl List Printf Sessions Stdlib String Trace

@@ -1,0 +1,1 @@
+lib/stream/syscall_trace.mli: Sessions

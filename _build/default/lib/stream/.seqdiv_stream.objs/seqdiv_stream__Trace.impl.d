@@ -1,0 +1,1 @@
+lib/stream/trace.ml: Alphabet Array Char Format Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/stream/trace.mli: Alphabet Format

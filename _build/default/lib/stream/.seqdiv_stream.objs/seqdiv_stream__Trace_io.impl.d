@@ -1,0 +1,1 @@
+lib/stream/trace_io.ml: Alphabet Buffer Fun List Printf Scanf String Trace

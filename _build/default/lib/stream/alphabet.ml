@@ -1,0 +1,40 @@
+type t = { names : string array }
+
+let validate names =
+  let n = Array.length names in
+  assert (n >= 1 && n <= 255);
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun s ->
+      assert (s <> "");
+      assert (not (Hashtbl.mem seen s));
+      Hashtbl.add seen s ())
+    names
+
+let make n =
+  assert (n >= 1 && n <= 255);
+  { names = Array.init n (fun i -> "s" ^ string_of_int i) }
+
+let of_names names =
+  validate names;
+  { names = Array.copy names }
+
+let size t = Array.length t.names
+
+let name t i =
+  assert (i >= 0 && i < size t);
+  t.names.(i)
+
+let index t s =
+  let rec find i =
+    if i >= size t then raise Not_found
+    else if t.names.(i) = s then i
+    else find (i + 1)
+  in
+  find 0
+
+let mem t i = i >= 0 && i < size t
+
+let symbols t = Array.init (size t) (fun i -> i)
+
+let pp ppf t = Format.fprintf ppf "{size=%d}" (size t)

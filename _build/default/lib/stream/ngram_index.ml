@@ -1,0 +1,33 @@
+type t = { max_len : int; dbs : Seq_db.t array }
+
+let build ~max_len trace =
+  assert (max_len >= 1);
+  let dbs =
+    Array.init max_len (fun i ->
+        Seq_db.of_trace ~width:(i + 1) trace)
+  in
+  { max_len; dbs }
+
+let max_len t = t.max_len
+
+let db t n =
+  assert (n >= 1 && n <= t.max_len);
+  t.dbs.(n - 1)
+
+let db_of_key t k =
+  let n = String.length k in
+  assert (n >= 1 && n <= t.max_len);
+  t.dbs.(n - 1)
+
+let mem t k = Seq_db.mem (db_of_key t k) k
+let count t k = Seq_db.count (db_of_key t k) k
+let freq t k = Seq_db.freq (db_of_key t k) k
+let is_foreign t k = not (mem t k)
+let is_rare t ~threshold k = Seq_db.is_rare (db_of_key t k) ~threshold k
+
+let is_minimal_foreign t k =
+  let n = String.length k in
+  n >= 2 && n <= t.max_len
+  && is_foreign t k
+  && mem t (String.sub k 0 (n - 1))
+  && mem t (String.sub k 1 (n - 1))

@@ -1,0 +1,41 @@
+(** Multi-length n-gram index over a training trace.
+
+    Bundles one {!Seq_db.t} per length [1 .. max_len].  The anomaly
+    synthesiser needs to ask, for arbitrary candidate sequences, whether
+    every proper sub-sequence exists in the training data (minimality)
+    while the full sequence does not (foreignness); this index answers
+    those queries in O(length). *)
+
+type t
+
+val build : max_len:int -> Trace.t -> t
+(** Index every n-gram of the trace for n in [1 .. max_len].
+    Requires [max_len >= 1]. *)
+
+val max_len : t -> int
+
+val db : t -> int -> Seq_db.t
+(** The per-length database.  Requires [1 <= n <= max_len]. *)
+
+val mem : t -> string -> bool
+(** Whether a key of any indexed length occurs in the trace.
+    Requires [1 <= String.length key <= max_len]. *)
+
+val count : t -> string -> int
+(** Occurrence count of a key of any indexed length. *)
+
+val freq : t -> string -> float
+(** Relative frequency among same-length windows. *)
+
+val is_foreign : t -> string -> bool
+(** The key never occurs. *)
+
+val is_rare : t -> threshold:float -> string -> bool
+(** Occurs, with relative frequency strictly below [threshold]. *)
+
+val is_minimal_foreign : t -> string -> bool
+(** [is_minimal_foreign t k] holds when [k] (length ≥ 2, within
+    [max_len]) is foreign while both of its (length−1)-sub-sequences
+    occur — which implies every shorter contiguous sub-sequence occurs
+    as well, i.e. [k] is a minimal foreign sequence in the sense of the
+    paper. *)

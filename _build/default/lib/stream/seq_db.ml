@@ -1,0 +1,66 @@
+type t = {
+  width : int;
+  counts : (string, int) Hashtbl.t;
+  mutable total : int;
+}
+
+let create ~width =
+  assert (width > 0);
+  { width; counts = Hashtbl.create 64; total = 0 }
+
+let width t = t.width
+
+let add_many t k ~count =
+  assert (String.length k = t.width);
+  assert (count > 0);
+  let prev = Option.value (Hashtbl.find_opt t.counts k) ~default:0 in
+  Hashtbl.replace t.counts k (prev + count);
+  t.total <- t.total + count
+
+let add t k = add_many t k ~count:1
+
+let add_trace t trace =
+  Trace.iter_windows trace ~width:t.width (fun pos ->
+      add t (Trace.key trace ~pos ~len:t.width))
+
+let of_trace ~width trace =
+  let t = create ~width in
+  add_trace t trace;
+  t
+
+let of_traces ~width traces =
+  let t = create ~width in
+  List.iter (add_trace t) traces;
+  t
+
+let mem t k = Hashtbl.mem t.counts k
+let count t k = Option.value (Hashtbl.find_opt t.counts k) ~default:0
+let total t = t.total
+let cardinal t = Hashtbl.length t.counts
+
+let freq t k =
+  if t.total = 0 then 0.0
+  else float_of_int (count t k) /. float_of_int t.total
+
+let is_foreign t k = not (mem t k)
+
+let is_rare t ~threshold k =
+  let c = count t k in
+  c > 0 && freq t k < threshold
+
+let is_common t ~threshold k = count t k > 0 && freq t k >= threshold
+
+let iter t f = Hashtbl.iter f t.counts
+
+let fold t ~init ~f =
+  Hashtbl.fold (fun k c acc -> f acc k c) t.counts init
+
+let keys t = fold t ~init:[] ~f:(fun acc k _ -> k :: acc)
+
+let rare_keys t ~threshold =
+  fold t ~init:[] ~f:(fun acc k _ ->
+      if is_rare t ~threshold k then k :: acc else acc)
+
+let common_keys t ~threshold =
+  fold t ~init:[] ~f:(fun acc k _ ->
+      if is_common t ~threshold k then k :: acc else acc)

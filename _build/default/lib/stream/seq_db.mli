@@ -1,0 +1,75 @@
+(** Databases of fixed-length sequences with occurrence counts.
+
+    This is the "normal database" every detector in the study trains
+    from: the multiset of all [width]-windows observed in a training
+    trace.  It also backs the rare/common/foreign classification of the
+    data synthesiser: a sequence is {e foreign} when absent, {e rare}
+    when its relative frequency is below a threshold, {e common}
+    otherwise. *)
+
+type t
+
+val create : width:int -> t
+(** Empty database of [width]-sequences.  Requires [width > 0]. *)
+
+val width : t -> int
+(** The fixed sequence length. *)
+
+val add : t -> string -> unit
+(** Record one occurrence of a window key (see {!Trace.key}).  The key
+    length must equal [width]. *)
+
+val add_many : t -> string -> count:int -> unit
+(** Record [count] occurrences at once (used when deserialising a
+    database).  Requires [count > 0]. *)
+
+val of_trace : width:int -> Trace.t -> t
+(** Database of every [width]-window of a trace. *)
+
+val add_trace : t -> Trace.t -> unit
+(** Record every [width]-window of another trace.  Crucially, windows
+    never span from one trace into the next — the session-boundary rule
+    of multi-trace training (e.g. per-process system-call traces). *)
+
+val of_traces : width:int -> Trace.t list -> t
+(** Database over a corpus of traces ({!add_trace} for each). *)
+
+val mem : t -> string -> bool
+(** Whether a window key was ever observed. *)
+
+val count : t -> string -> int
+(** Occurrences of a window key (0 when absent). *)
+
+val total : t -> int
+(** Total number of recorded windows (with multiplicity). *)
+
+val cardinal : t -> int
+(** Number of distinct sequences. *)
+
+val freq : t -> string -> float
+(** Relative frequency: [count / total].  0 when the database is
+    empty. *)
+
+val is_foreign : t -> string -> bool
+(** Absent from the database. *)
+
+val is_rare : t -> threshold:float -> string -> bool
+(** Present with relative frequency strictly below [threshold]. *)
+
+val is_common : t -> threshold:float -> string -> bool
+(** Present with relative frequency at least [threshold]. *)
+
+val iter : t -> (string -> int -> unit) -> unit
+(** Iterate over distinct sequences and their counts. *)
+
+val fold : t -> init:'a -> f:('a -> string -> int -> 'a) -> 'a
+(** Fold over distinct sequences and their counts. *)
+
+val keys : t -> string list
+(** All distinct sequence keys (unspecified order). *)
+
+val rare_keys : t -> threshold:float -> string list
+(** Distinct sequences that are rare at the given threshold. *)
+
+val common_keys : t -> threshold:float -> string list
+(** Distinct sequences that are common at the given threshold. *)

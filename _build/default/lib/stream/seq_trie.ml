@@ -1,0 +1,132 @@
+open Seqdiv_util
+
+type node = { mutable count : int; children : node option array }
+
+type t = {
+  alphabet_size : int;
+  max_len : int;
+  root : node;
+  totals : int array;  (* windows recorded per length, index = len - 1 *)
+  mutable nodes : int;
+  distincts : int array;  (* distinct sequences per length *)
+}
+
+let new_node k = { count = 0; children = Array.make k None }
+
+let create ~alphabet_size ~max_len =
+  assert (alphabet_size >= 1 && alphabet_size <= 255);
+  assert (max_len >= 1);
+  {
+    alphabet_size;
+    max_len;
+    root = new_node alphabet_size;
+    totals = Array.make max_len 0;
+    nodes = 1;
+    distincts = Array.make max_len 0;
+  }
+
+let max_len t = t.max_len
+let alphabet_size t = t.alphabet_size
+
+let child t node symbol =
+  assert (symbol >= 0 && symbol < t.alphabet_size);
+  match node.children.(symbol) with
+  | Some c -> c
+  | None ->
+      let c = new_node t.alphabet_size in
+      node.children.(symbol) <- Some c;
+      t.nodes <- t.nodes + 1;
+      c
+
+let add t symbols =
+  let n = Array.length symbols in
+  assert (n >= 1 && n <= t.max_len);
+  let node = ref t.root in
+  for depth = 0 to n - 1 do
+    let c = child t !node symbols.(depth) in
+    if c.count = 0 then t.distincts.(depth) <- t.distincts.(depth) + 1;
+    c.count <- c.count + 1;
+    t.totals.(depth) <- t.totals.(depth) + 1;
+    node := c
+  done
+
+let of_trace ~max_len trace =
+  let k = Alphabet.size (Trace.alphabet trace) in
+  let t = create ~alphabet_size:k ~max_len in
+  let len = Trace.length trace in
+  for pos = 0 to len - 1 do
+    let depth_limit = Stdlib.min max_len (len - pos) in
+    let node = ref t.root in
+    for d = 0 to depth_limit - 1 do
+      let c = child t !node (Trace.get trace (pos + d)) in
+      if c.count = 0 then t.distincts.(d) <- t.distincts.(d) + 1;
+      c.count <- c.count + 1;
+      t.totals.(d) <- t.totals.(d) + 1;
+      node := c
+    done
+  done;
+  t
+
+let find t key =
+  let n = String.length key in
+  assert (n >= 1 && n <= t.max_len);
+  let rec descend node i =
+    if i = n then Some node
+    else begin
+      let symbol = Char.code key.[i] in
+      if symbol >= t.alphabet_size then None
+      else
+        match node.children.(symbol) with
+        | None -> None
+        | Some c -> descend c (i + 1)
+    end
+  in
+  descend t.root 0
+
+let count t key = match find t key with None -> 0 | Some n -> n.count
+let mem t key = count t key > 0
+let is_foreign t key = not (mem t key)
+
+let total t n =
+  assert (n >= 1 && n <= t.max_len);
+  t.totals.(n - 1)
+
+let freq t key =
+  let n = String.length key in
+  let tot = total t n in
+  if tot = 0 then 0.0 else float_of_int (count t key) /. float_of_int tot
+
+let is_rare t ~threshold key =
+  let c = count t key in
+  c > 0 && freq t key < threshold
+
+let distinct t n =
+  assert (n >= 1 && n <= t.max_len);
+  t.distincts.(n - 1)
+
+let node_count t = t.nodes
+
+let check_agrees_with_index t index trace =
+  (* Window counts at the boundary of the trace differ between the two
+     structures only if there is a bug: both count every window of every
+     length exactly once. *)
+  let ok = ref true in
+  let depth = Stdlib.min t.max_len (Ngram_index.max_len index) in
+  for n = 1 to depth do
+    Trace.iter_windows trace ~width:n (fun pos ->
+        let key = Trace.key trace ~pos ~len:n in
+        if count t key <> Ngram_index.count index key then ok := false)
+  done;
+  !ok
+
+let memory_words t = t.nodes * (t.alphabet_size + 2)
+
+let pp_stats ppf t =
+  Format.fprintf ppf "trie{max_len=%d nodes=%d distinct=[%s]}" t.max_len
+    t.nodes
+    (String.concat ";"
+       (List.init t.max_len (fun i -> string_of_int t.distincts.(i))))
+
+let random_probe t rng ~len =
+  assert (len >= 1 && len <= t.max_len);
+  String.init len (fun _ -> Char.chr (Prng.int rng t.alphabet_size))

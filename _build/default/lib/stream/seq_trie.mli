@@ -1,0 +1,64 @@
+(** Counting trie over fixed-alphabet sequences — an alternative backend
+    for the n-gram statistics of {!Ngram_index}.
+
+    {!Ngram_index} scans the trace once per length and hashes every
+    window; the trie makes a single pass, descending [max_len] symbols
+    from every position, and shares prefixes structurally.  The A5
+    benchmark compares the two; the property tests assert they agree on
+    every query. *)
+
+open Seqdiv_util
+
+type t
+
+val create : alphabet_size:int -> max_len:int -> t
+(** Empty trie for n-grams of length [1 .. max_len].
+    Requires [1 <= alphabet_size <= 255] and [max_len >= 1]. *)
+
+val of_trace : max_len:int -> Trace.t -> t
+(** Index every n-gram of the trace up to [max_len], in one pass. *)
+
+val max_len : t -> int
+val alphabet_size : t -> int
+
+val add : t -> int array -> unit
+(** Record one occurrence of a sequence and of each of its prefixes.
+    The sequence length must be within [1 .. max_len]; symbols must be
+    within the alphabet. *)
+
+val count : t -> string -> int
+(** Occurrences of a window key (see {!Trace.key}); 0 when absent.
+    Requires [1 <= length <= max_len]. *)
+
+val mem : t -> string -> bool
+val is_foreign : t -> string -> bool
+
+val total : t -> int -> int
+(** Total windows recorded at a length (with multiplicity). *)
+
+val freq : t -> string -> float
+(** Relative frequency among same-length windows. *)
+
+val is_rare : t -> threshold:float -> string -> bool
+(** Present with relative frequency strictly below the threshold. *)
+
+val distinct : t -> int -> int
+(** Number of distinct sequences of a length. *)
+
+val node_count : t -> int
+(** Total allocated trie nodes — the memory-footprint proxy reported by
+    the A5 benchmark. *)
+
+val check_agrees_with_index : t -> Ngram_index.t -> Trace.t -> bool
+(** Cross-validation helper: both structures report the same counts for
+    every window of the given trace (used by the property tests). *)
+
+val memory_words : t -> int
+(** Rough allocated size in machine words (nodes × (alphabet + 2)). *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: max length, node count, distinct counts. *)
+
+val random_probe : t -> Prng.t -> len:int -> string
+(** A uniformly random key of the given length over the trie's alphabet
+    (present or not) — handy for benchmarking lookups. *)

@@ -1,0 +1,54 @@
+let to_string t =
+  let buf = Buffer.create (Trace.length t * 3) in
+  Buffer.add_string buf
+    (Printf.sprintf "#alphabet %d\n" (Alphabet.size (Trace.alphabet t)));
+  for i = 0 to Trace.length t - 1 do
+    Buffer.add_string buf (string_of_int (Trace.get t i));
+    if (i + 1) mod 16 = 0 then Buffer.add_char buf '\n'
+    else Buffer.add_char buf ' '
+  done;
+  if Trace.length t mod 16 <> 0 then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | [] -> failwith "Trace_io.of_string: empty input"
+  | header :: rest ->
+      let size =
+        try Scanf.sscanf header "#alphabet %d" (fun n -> n)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+          failwith "Trace_io.of_string: malformed header"
+      in
+      if size < 1 || size > 255 then
+        failwith "Trace_io.of_string: alphabet size out of range";
+      let alphabet = Alphabet.make size in
+      let symbols =
+        rest
+        |> List.concat_map (fun line ->
+               String.split_on_char ' ' line
+               |> List.filter (fun tok -> tok <> ""))
+        |> List.map (fun tok ->
+               match int_of_string_opt tok with
+               | Some v -> v
+               | None ->
+                   failwith
+                     (Printf.sprintf "Trace_io.of_string: bad token %S" tok))
+      in
+      (try Trace.of_list alphabet symbols
+       with Invalid_argument msg -> failwith ("Trace_io.of_string: " ^ msg))
+
+let to_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      of_string s)

@@ -1,0 +1,18 @@
+(** Text serialisation of traces.
+
+    Format: one header line [#alphabet <size>] followed by
+    whitespace-separated integer symbols (any line structure).  This is
+    the interchange format of the [seqdiv synth] CLI command. *)
+
+val to_string : Trace.t -> string
+(** Serialise (symbols 16 per line). *)
+
+val of_string : string -> Trace.t
+(** Parse.  @raise Failure on a malformed header, a non-integer token or
+    an out-of-range symbol. *)
+
+val to_file : string -> Trace.t -> unit
+(** Write to a file path. *)
+
+val of_file : string -> Trace.t
+(** Read from a file path.  @raise Sys_error or [Failure]. *)

@@ -1,0 +1,1 @@
+lib/synth/dataset_io.ml: Alphabet Array Buffer Filename Fun Hashtbl Injector List Markov_chain Ngram_index Printf Seqdiv_stream Stdlib String Suite Sys Trace Trace_io

@@ -1,0 +1,1 @@
+lib/synth/dataset_io.mli: Suite

@@ -1,0 +1,1 @@
+lib/synth/generator.ml: Alphabet Array Markov_chain Seqdiv_stream Trace

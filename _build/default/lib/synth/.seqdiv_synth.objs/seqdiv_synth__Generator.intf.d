@@ -1,0 +1,1 @@
+lib/synth/generator.mli: Alphabet Markov_chain Prng Seqdiv_stream Seqdiv_util Trace

@@ -1,0 +1,1 @@
+lib/synth/injector.ml: Alphabet Array Generator List Logs Ngram_index Seqdiv_stream Stdlib String Trace

@@ -1,0 +1,1 @@
+lib/synth/injector.mli: Ngram_index Seqdiv_stream Trace

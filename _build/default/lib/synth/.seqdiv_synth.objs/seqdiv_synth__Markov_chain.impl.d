@@ -1,0 +1,1 @@
+lib/synth/markov_chain.ml: Alphabet Array Sampling Seqdiv_stream Seqdiv_util Trace

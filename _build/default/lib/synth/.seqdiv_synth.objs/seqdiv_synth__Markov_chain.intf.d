@@ -1,0 +1,1 @@
+lib/synth/markov_chain.mli: Alphabet Prng Seqdiv_stream Seqdiv_util Trace

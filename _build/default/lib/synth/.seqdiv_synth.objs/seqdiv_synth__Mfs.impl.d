@@ -1,0 +1,1 @@
+lib/synth/mfs.ml: Alphabet Array Char List Ngram_index Printf Seq_db Seqdiv_stream String Trace

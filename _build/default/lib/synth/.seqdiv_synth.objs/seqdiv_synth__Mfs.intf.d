@@ -1,0 +1,1 @@
+lib/synth/mfs.mli: Alphabet Ngram_index Seqdiv_stream

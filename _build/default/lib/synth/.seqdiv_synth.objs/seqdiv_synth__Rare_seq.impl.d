@@ -1,0 +1,1 @@
+lib/synth/rare_seq.ml: List Ngram_index Printf Seq_db Seqdiv_stream Trace

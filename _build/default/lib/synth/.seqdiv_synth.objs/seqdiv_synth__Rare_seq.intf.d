@@ -1,0 +1,1 @@
+lib/synth/rare_seq.mli: Ngram_index Seqdiv_stream

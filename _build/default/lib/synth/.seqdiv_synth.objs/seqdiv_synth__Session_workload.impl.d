@@ -1,0 +1,1 @@
+lib/synth/session_workload.ml: Array Generator Injector List Markov_chain Mfs Printf Seqdiv_stream Sessions Suite

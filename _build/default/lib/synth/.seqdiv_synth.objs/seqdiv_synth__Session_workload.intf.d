@@ -1,0 +1,1 @@
+lib/synth/session_workload.mli: Prng Seqdiv_stream Seqdiv_util Sessions Suite

@@ -1,0 +1,1 @@
+lib/synth/suite.ml: Alphabet Array Generator Injector List Logs Markov_chain Mfs Ngram_index Printf Prng Seq_db Seqdiv_stream Seqdiv_util Stdlib Trace

@@ -1,0 +1,1 @@
+lib/synth/suite.mli: Alphabet Injector Markov_chain Ngram_index Seqdiv_stream Trace

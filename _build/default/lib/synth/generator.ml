@@ -1,0 +1,23 @@
+open Seqdiv_stream
+
+let default_deviation = 0.0025
+
+let training chain rng ~len = Markov_chain.generate chain rng ~start:0 ~len
+
+let background alphabet ~len ~phase =
+  let k = Alphabet.size alphabet in
+  assert (phase >= 0 && phase < k);
+  assert (len >= 1);
+  Trace.of_array alphabet (Array.init len (fun i -> (phase + i) mod k))
+
+let cycle_fraction t =
+  let k = Alphabet.size (Trace.alphabet t) in
+  let n = Trace.length t in
+  if n < 2 then 1.0
+  else begin
+    let cycle = ref 0 in
+    for i = 0 to n - 2 do
+      if Trace.get t (i + 1) = (Trace.get t i + 1) mod k then incr cycle
+    done;
+    float_of_int !cycle /. float_of_int (n - 1)
+  end

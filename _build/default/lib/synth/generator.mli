@@ -1,0 +1,36 @@
+(** Synthesis of the paper's training and background data (Section 5.3
+    and 5.4.1).
+
+    The training stream is sampled from {!Markov_chain.paper_chain}: a
+    repeating cycle over the alphabet with a small per-step deviation
+    probability.  With the defaults, about 98 % of the stream is the
+    uninterrupted cycle and the remainder consists of rare sequences —
+    the material from which minimal foreign sequences are composed.
+
+    The background (test) data is the pure repeating cycle, guaranteed
+    free of rare or foreign sequences at every window width. *)
+
+open Seqdiv_stream
+open Seqdiv_util
+
+val default_deviation : float
+(** Per-step probability of leaving the cycle (0.0025).  Chosen so that
+    (a) every specific deviant 2-gram is rare at the paper's 0.5 %
+    threshold, (b) single-deviation n-grams up to width 15 occur in a
+    1M-element stream (so minimal foreign sequences have their proper
+    sub-sequences present), and (c) double-deviation n-grams at a
+    specific spacing are absent with high probability (so the full
+    sequences are foreign). *)
+
+val training : Markov_chain.t -> Prng.t -> len:int -> Trace.t
+(** Sample a training stream of [len] elements starting at symbol 0.
+    Requires [len >= 1]. *)
+
+val background : Alphabet.t -> len:int -> phase:int -> Trace.t
+(** Pure repeating cycle [phase, phase+1, ...] (mod size) of [len]
+    elements.  Requires a valid phase and [len >= 1]. *)
+
+val cycle_fraction : Trace.t -> float
+(** Fraction of positions whose transition follows the cycle
+    ([next = current + 1] mod size) — a direct check of the
+    "98 % repetition" property. *)

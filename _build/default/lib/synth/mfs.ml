@@ -1,0 +1,100 @@
+open Seqdiv_stream
+
+type verdict =
+  | Ok_minimal_foreign
+  | Not_foreign of int
+  | Sub_foreign of int * int
+  | Too_short
+
+let verify index candidate =
+  let n = Array.length candidate in
+  if n < 2 then Too_short
+  else begin
+    let key = Trace.key_of_symbols candidate in
+    let full_count = Ngram_index.count index key in
+    if full_count > 0 then Not_foreign full_count
+    else begin
+      (* Checking every contiguous proper sub-sequence directly; the two
+         (n-1)-windows would suffice, but the exhaustive check documents
+         the invariant and is what the tests rely on. *)
+      let missing = ref None in
+      for len = n - 1 downto 2 do
+        for pos = 0 to n - len do
+          if !missing = None then begin
+            let sub = String.sub key pos len in
+            if Ngram_index.is_foreign index sub then missing := Some (pos, len)
+          end
+        done
+      done;
+      match !missing with
+      | Some (pos, len) -> Sub_foreign (pos, len)
+      | None -> Ok_minimal_foreign
+    end
+  end
+
+let rare_twogram_count index ~threshold candidate =
+  let n = Array.length candidate in
+  let count = ref 0 in
+  for i = 0 to n - 2 do
+    let k = Trace.key_of_symbols [| candidate.(i); candidate.(i + 1) |] in
+    if Ngram_index.is_rare index ~threshold k then incr count
+  done;
+  !count
+
+let candidates_size2 index alphabet =
+  let k = Alphabet.size alphabet in
+  let out = ref [] in
+  for a = k - 1 downto 0 do
+    for b = k - 1 downto 0 do
+      let key = Trace.key_of_symbols [| a; b |] in
+      let a1 = Trace.key_of_symbols [| a |]
+      and b1 = Trace.key_of_symbols [| b |] in
+      if
+        Ngram_index.is_foreign index key
+        && Ngram_index.mem index a1
+        && Ngram_index.mem index b1
+      then out := [| a; b |] :: !out
+    done
+  done;
+  !out
+
+let candidates_larger index alphabet ~size =
+  let k = Alphabet.size alphabet in
+  let prefix_db = Ngram_index.db index (size - 1) in
+  let out = ref [] in
+  Seq_db.iter prefix_db (fun prefix_key _count ->
+      for c = 0 to k - 1 do
+        let full = prefix_key ^ String.make 1 (Char.chr c) in
+        if
+          Ngram_index.is_foreign index full
+          && Ngram_index.mem index (String.sub full 1 (size - 1))
+        then out := Trace.symbols_of_key full :: !out
+      done);
+  !out
+
+let candidates index alphabet ~size ~rare_threshold =
+  assert (size >= 2 && size <= Ngram_index.max_len index);
+  let raw =
+    if size = 2 then candidates_size2 index alphabet
+    else candidates_larger index alphabet ~size
+  in
+  let scored =
+    List.map
+      (fun c -> (rare_twogram_count index ~threshold:rare_threshold c, c))
+      raw
+  in
+  let compare_candidates (r1, c1) (r2, c2) =
+    match compare r2 r1 with 0 -> compare c1 c2 | d -> d
+  in
+  List.stable_sort compare_candidates scored |> List.map snd
+
+let find index alphabet ~size ~rare_threshold =
+  match candidates index alphabet ~size ~rare_threshold with
+  | c :: _ -> Ok c
+  | [] ->
+      Error
+        (Printf.sprintf
+           "no minimal foreign sequence of size %d exists in this training \
+            data; a longer training stream (or a different deviation rate) \
+            is needed"
+           size)

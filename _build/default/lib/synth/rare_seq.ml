@@ -1,0 +1,23 @@
+open Seqdiv_stream
+
+let candidates index ~size ~rare_threshold =
+  assert (size >= 2 && size <= Ngram_index.max_len index);
+  let db = Ngram_index.db index size in
+  let rare =
+    Seq_db.fold db ~init:[] ~f:(fun acc key _count ->
+        if Seq_db.is_rare db ~threshold:rare_threshold key then
+          (Seq_db.freq db key, key) :: acc
+        else acc)
+  in
+  List.sort compare rare
+  |> List.map (fun (_freq, key) -> Trace.symbols_of_key key)
+
+let find index ~size ~rare_threshold =
+  match candidates index ~size ~rare_threshold with
+  | c :: _ -> Ok c
+  | [] ->
+      Error
+        (Printf.sprintf
+           "no rare sequence of size %d at threshold %g exists in this \
+            training data"
+           size rare_threshold)

@@ -1,0 +1,34 @@
+open Seqdiv_stream
+
+let normal suite rng ~sessions ~length =
+  Sessions.generate
+    (fun rng _i -> Markov_chain.generate suite.Suite.chain rng ~start:0 ~len:length)
+    rng ~sessions ~length
+
+let anomalous suite ~sessions ~length ~anomaly_size ~window =
+  assert (sessions >= 1);
+  let p = suite.Suite.params in
+  assert (anomaly_size >= p.Suite.as_min && anomaly_size <= p.Suite.as_max);
+  let index = suite.Suite.index in
+  let background = Generator.background suite.Suite.alphabet ~len:length ~phase:0 in
+  let candidates =
+    Mfs.candidates index suite.Suite.alphabet ~size:anomaly_size
+      ~rare_threshold:p.Suite.rare_threshold
+    |> List.filter (fun anomaly ->
+           Injector.inject index ~background ~anomaly ~width:window <> None)
+  in
+  if candidates = [] then
+    failwith
+      (Printf.sprintf
+         "Session_workload.anomalous: no cleanly injectable anomaly of size \
+          %d at window %d"
+         anomaly_size window);
+  let pool = Array.of_list candidates in
+  let traces =
+    List.init sessions (fun i ->
+        let anomaly = pool.(i mod Array.length pool) in
+        match Injector.inject index ~background ~anomaly ~width:window with
+        | Some inj -> inj.Injector.trace
+        | None -> assert false)
+  in
+  Sessions.of_traces traces

@@ -1,0 +1,28 @@
+(** Session-style workloads for per-trace evaluation (experiment E4).
+
+    Deployed anomaly detectors rarely judge one endless stream; they
+    classify bounded units — a process's system-call trace, a login
+    session — as normal or anomalous.  This module builds such corpora
+    from the suite's generating process: normal sessions sampled from
+    the chain (rare content included), and attack sessions consisting of
+    clean background with one boundary-clean minimal foreign sequence
+    injected. *)
+
+open Seqdiv_stream
+open Seqdiv_util
+
+val normal : Suite.t -> Prng.t -> sessions:int -> length:int -> Sessions.t
+(** Benign sessions sampled from the suite's chain.  Each contains rare
+    transitions at the chain's deviation rate but no foreign content
+    (the chain's structural zeros guarantee it). *)
+
+val anomalous :
+  Suite.t -> sessions:int -> length:int -> anomaly_size:int -> window:int ->
+  Sessions.t
+(** Attack sessions: each is a clean cycle background of the given
+    length with one minimal foreign sequence of [anomaly_size] injected
+    cleanly for the given detector window.  Candidate anomalies are
+    rotated across sessions so the corpus is not one repeated stream.
+
+    Requires [length >= 4*window + 2*anomaly_size + 2].
+    @raise Failure when no candidate anomaly admits a clean injection. *)

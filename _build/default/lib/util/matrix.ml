@@ -1,0 +1,90 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  assert (rows > 0 && cols > 0);
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init ~rows ~cols f =
+  assert (rows > 0 && cols > 0);
+  let data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) in
+  { rows; cols; data }
+
+let random rng ~rows ~cols ~scale =
+  init ~rows ~cols (fun _ _ -> Prng.float rng (2.0 *. scale) -. scale)
+
+let rows m = m.rows
+let cols m = m.cols
+
+let get m i j =
+  assert (i >= 0 && i < m.rows && j >= 0 && j < m.cols);
+  m.data.((i * m.cols) + j)
+
+let set m i j x =
+  assert (i >= 0 && i < m.rows && j >= 0 && j < m.cols);
+  m.data.((i * m.cols) + j) <- x
+
+let copy m = { m with data = Array.copy m.data }
+
+let mul_vec m v =
+  assert (Array.length v = m.cols);
+  let out = Array.make m.rows 0.0 in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let acc = ref 0.0 in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. (m.data.(base + j) *. v.(j))
+    done;
+    out.(i) <- !acc
+  done;
+  out
+
+let tmul_vec m v =
+  assert (Array.length v = m.rows);
+  let out = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let vi = v.(i) in
+    if vi <> 0.0 then
+      for j = 0 to m.cols - 1 do
+        out.(j) <- out.(j) +. (m.data.(base + j) *. vi)
+      done
+  done;
+  out
+
+let add_outer m u v ~scale =
+  assert (Array.length u = m.rows);
+  assert (Array.length v = m.cols);
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let ui = scale *. u.(i) in
+    if ui <> 0.0 then
+      for j = 0 to m.cols - 1 do
+        m.data.(base + j) <- m.data.(base + j) +. (ui *. v.(j))
+      done
+  done
+
+let scale_in_place m c =
+  for k = 0 to Array.length m.data - 1 do
+    m.data.(k) <- m.data.(k) *. c
+  done
+
+let add_in_place dst src =
+  assert (dst.rows = src.rows && dst.cols = src.cols);
+  for k = 0 to Array.length dst.data - 1 do
+    dst.data.(k) <- dst.data.(k) +. src.data.(k)
+  done
+
+let map f m = { m with data = Array.map f m.data }
+
+let to_arrays m =
+  Array.init m.rows (fun i -> Array.init m.cols (fun j -> get m i j))
+
+let of_arrays a =
+  let rows = Array.length a in
+  assert (rows > 0);
+  let cols = Array.length a.(0) in
+  Array.iter (fun row -> assert (Array.length row = cols)) a;
+  init ~rows ~cols (fun i j -> a.(i).(j))
+
+let frobenius_norm m =
+  sqrt (Array.fold_left (fun s x -> s +. (x *. x)) 0.0 m.data)

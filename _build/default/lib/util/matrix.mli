@@ -1,0 +1,58 @@
+(** Dense row-major float matrices.
+
+    A minimal linear-algebra kernel sufficient for the feed-forward
+    neural-network detector: creation, element access, matrix–vector
+    products and in-place updates.  Dimensions are checked with
+    assertions. *)
+
+type t
+(** A dense [rows × cols] matrix of floats. *)
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled matrix.  Requires positive dimensions. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+(** [init ~rows ~cols f] fills position [(i, j)] with [f i j]. *)
+
+val random : Prng.t -> rows:int -> cols:int -> scale:float -> t
+(** Entries drawn uniformly from [\[-scale, scale\]] — the usual small
+    symmetric initialisation for neural-network weights. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val mul_vec : t -> float array -> float array
+(** [mul_vec m v] is the matrix–vector product [m · v].
+    Requires [Array.length v = cols m]. *)
+
+val tmul_vec : t -> float array -> float array
+(** [tmul_vec m v] is [mᵀ · v].  Requires [Array.length v = rows m]. *)
+
+val add_outer : t -> float array -> float array -> scale:float -> unit
+(** [add_outer m u v ~scale] performs the rank-1 update
+    [m ← m + scale · u vᵀ] in place.  Requires [Array.length u = rows m]
+    and [Array.length v = cols m].  This is the weight-gradient step of
+    back-propagation. *)
+
+val scale_in_place : t -> float -> unit
+(** Multiply every entry by a constant, in place. *)
+
+val add_in_place : t -> t -> unit
+(** [add_in_place dst src] adds [src] to [dst] element-wise. *)
+
+val map : (float -> float) -> t -> t
+(** Element-wise map into a fresh matrix. *)
+
+val to_arrays : t -> float array array
+(** Row-major copy, for inspection and tests. *)
+
+val of_arrays : float array array -> t
+(** Inverse of {!to_arrays}.  Requires a rectangular, non-empty input. *)
+
+val frobenius_norm : t -> float
+(** Square root of the sum of squared entries. *)

@@ -1,0 +1,50 @@
+type t = { probs : float array; cumulative : float array }
+
+let of_weights w =
+  let n = Array.length w in
+  assert (n > 0);
+  Array.iter (fun x -> assert (x >= 0.0)) w;
+  let total = Array.fold_left ( +. ) 0.0 w in
+  assert (total > 0.0);
+  let probs = Array.map (fun x -> x /. total) w in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. probs.(i);
+    cumulative.(i) <- !acc
+  done;
+  cumulative.(n - 1) <- 1.0;
+  { probs; cumulative }
+
+let size t = Array.length t.probs
+
+let prob t i =
+  assert (i >= 0 && i < size t);
+  t.probs.(i)
+
+let support t =
+  let out = ref [] in
+  for i = size t - 1 downto 0 do
+    if t.probs.(i) > 0.0 then out := i :: !out
+  done;
+  !out
+
+let draw t rng =
+  let u = Prng.float rng 1.0 in
+  (* Binary search for the first cumulative weight strictly above u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.cumulative.(mid) > u then search lo mid else search (mid + 1) hi
+    end
+  in
+  let i = search 0 (size t - 1) in
+  (* Skip any zero-probability outcome reached through ties. *)
+  let rec adjust i = if t.probs.(i) = 0.0 && i > 0 then adjust (i - 1) else i in
+  adjust i
+
+let entropy t =
+  Array.fold_left
+    (fun acc p -> if p > 0.0 then acc -. (p *. (log p /. log 2.0)) else acc)
+    0.0 t.probs

@@ -1,0 +1,28 @@
+(** Sampling from finite categorical distributions.
+
+    Used by the Markov-chain data generator: each state's outgoing
+    transition row is compiled once into a cumulative table and sampled
+    per step. *)
+
+type t
+(** A compiled categorical distribution over [0 .. n-1]. *)
+
+val of_weights : float array -> t
+(** [of_weights w] builds a distribution proportional to [w].  Weights
+    must be non-negative with a positive sum; zero-weight outcomes are
+    never drawn. *)
+
+val size : t -> int
+(** Number of categories (including zero-weight ones). *)
+
+val prob : t -> int -> float
+(** Normalised probability of an outcome. *)
+
+val support : t -> int list
+(** Outcomes with strictly positive probability, ascending. *)
+
+val draw : t -> Prng.t -> int
+(** Sample one outcome. *)
+
+val entropy : t -> float
+(** Shannon entropy in bits; zero-probability terms contribute nothing. *)

@@ -1,0 +1,52 @@
+let mean a =
+  assert (Array.length a > 0);
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  let m = mean a in
+  let acc = Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0.0 a in
+  acc /. float_of_int (Array.length a)
+
+let stddev a = sqrt (variance a)
+
+let min_max a =
+  assert (Array.length a > 0);
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0)) a
+
+let percentile a p =
+  assert (Array.length a > 0);
+  assert (p >= 0.0 && p <= 100.0);
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median a = percentile a 50.0
+
+let histogram ~bins a =
+  assert (bins > 0);
+  let lo, hi = min_max a in
+  let width = if hi = lo then 1.0 else (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  let bucket x =
+    let b = int_of_float ((x -. lo) /. width) in
+    Stdlib.min b (bins - 1)
+  in
+  Array.iter (fun x -> counts.(bucket x) <- counts.(bucket x) + 1) a;
+  Array.mapi
+    (fun i c ->
+      let l = lo +. (float_of_int i *. width) in
+      (l, l +. width, c))
+    counts
+
+let rate ~count ~total =
+  if total = 0 then 0.0 else float_of_int count /. float_of_int total

@@ -1,0 +1,31 @@
+(** Small descriptive-statistics helpers used by the evaluation harness
+    and the benchmark reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Requires a non-empty array. *)
+
+val variance : float array -> float
+(** Population variance (divides by [n]).  Requires a non-empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min_max : float array -> float * float
+(** [(min, max)] of a non-empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0, 100\]]: linear-interpolation
+    percentile of the (copied, sorted) data.  Requires a non-empty
+    array. *)
+
+val median : float array -> float
+(** [median a = percentile a 50.0]. *)
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins a] partitions [\[min, max\]] into [bins] equal-width
+    buckets and returns [(lo, hi, count)] per bucket.  The final bucket is
+    closed on the right.  Requires [bins > 0] and a non-empty array. *)
+
+val rate : count:int -> total:int -> float
+(** [rate ~count ~total] is [count / total] as a float, or [0.] when
+    [total = 0].  Used for hit and false-alarm rates. *)

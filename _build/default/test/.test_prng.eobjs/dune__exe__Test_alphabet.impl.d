@@ -1,0 +1,1 @@
+test/test_alphabet.ml: Alcotest Alphabet Array Format QCheck Seqdiv_stream Seqdiv_test_support

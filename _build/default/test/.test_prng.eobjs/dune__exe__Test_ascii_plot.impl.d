@@ -1,0 +1,1 @@
+test/test_ascii_plot.ml: Alcotest Ascii_plot List Seqdiv_report String

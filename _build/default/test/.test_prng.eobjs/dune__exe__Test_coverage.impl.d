@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Coverage List QCheck Seqdiv_core Seqdiv_test_support

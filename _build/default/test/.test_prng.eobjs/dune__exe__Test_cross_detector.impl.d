@@ -1,0 +1,1 @@
+test/test_cross_detector.ml: Alcotest Array Float Gen Hmm Lane_brodley List Markov Neural QCheck Response Seq_db Seqdiv_detectors Seqdiv_stream Seqdiv_test_support Stide Trace Tstide

@@ -1,0 +1,1 @@
+test/test_dataset_io.ml: Alcotest Array Dataset_io Filename Fun Generator Injector Seqdiv_core Seqdiv_detectors Seqdiv_stream Seqdiv_synth String Suite Sys Trace Trace_io

@@ -1,0 +1,1 @@
+test/test_detector_contract.ml: Alcotest Array Detector Injector Lazy List Printf Registry Response Seqdiv_detectors Seqdiv_stream Seqdiv_synth Seqdiv_test_support Suite Trace

@@ -1,0 +1,1 @@
+test/test_ensemble.ml: Alcotest Array Ensemble List Response Seqdiv_core Seqdiv_detectors

@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Generator List Ngram_index Printf Prng QCheck Seqdiv_stream Seqdiv_synth Seqdiv_test_support Seqdiv_util Trace

@@ -1,0 +1,1 @@
+test/test_hmm.ml: Alcotest Alphabet Array Hmm Printf Response Seqdiv_detectors Seqdiv_stream Seqdiv_synth Seqdiv_test_support Trace

@@ -1,0 +1,1 @@
+test/test_incident.ml: Alcotest Array Format Incident List Printf Registry Response Seqdiv_core Seqdiv_detectors Seqdiv_synth Seqdiv_test_support Trained

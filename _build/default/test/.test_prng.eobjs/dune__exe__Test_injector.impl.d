@@ -1,0 +1,1 @@
+test/test_injector.ml: Alcotest Array Generator Injector List Mfs Ngram_index Printf QCheck Seqdiv_stream Seqdiv_synth Seqdiv_test_support Stdlib Suite Trace

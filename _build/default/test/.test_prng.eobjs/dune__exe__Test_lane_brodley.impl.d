@@ -1,0 +1,1 @@
+test/test_lane_brodley.ml: Alcotest Array Gen Lane_brodley List Printf QCheck Response Seqdiv_detectors Seqdiv_synth Seqdiv_test_support Seqdiv_util

@@ -1,0 +1,1 @@
+test/test_lane_brodley.mli:

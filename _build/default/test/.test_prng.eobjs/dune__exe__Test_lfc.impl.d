@@ -1,0 +1,1 @@
+test/test_lfc.ml: Alcotest Array Lfc List Response Seqdiv_detectors

@@ -1,0 +1,1 @@
+test/test_markov_chain.ml: Alcotest Alphabet Float Generator List Markov_chain Printf Prng QCheck Seqdiv_stream Seqdiv_synth Seqdiv_test_support Seqdiv_util Trace

@@ -1,0 +1,1 @@
+test/test_markov_detector.ml: Alcotest Array Float Gen Hashtbl List Markov QCheck Response Seqdiv_detectors Seqdiv_stream Seqdiv_test_support Trace

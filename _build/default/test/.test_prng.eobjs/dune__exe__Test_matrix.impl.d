@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Float Matrix Prng QCheck Seqdiv_test_support Seqdiv_util

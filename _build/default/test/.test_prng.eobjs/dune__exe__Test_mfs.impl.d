@@ -1,0 +1,1 @@
+test/test_mfs.ml: Alcotest Array List Mfs Ngram_index Printf QCheck Seqdiv_stream Seqdiv_synth Seqdiv_test_support String Suite Trace

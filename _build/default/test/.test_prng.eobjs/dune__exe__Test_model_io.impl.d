@@ -1,0 +1,1 @@
+test/test_model_io.ml: Alcotest Array Filename Float Fun Markov Model_io Response Seq_db Seqdiv_detectors Seqdiv_stream Seqdiv_synth Seqdiv_test_support Stide Sys

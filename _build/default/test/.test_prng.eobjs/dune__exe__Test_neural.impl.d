@@ -1,0 +1,1 @@
+test/test_neural.ml: Alcotest Alphabet Array List Neural Printf Response Seqdiv_detectors Seqdiv_stream Seqdiv_synth Seqdiv_test_support Trace

@@ -1,0 +1,1 @@
+test/test_ngram_index.ml: Alcotest Array Gen List Ngram_index QCheck Seq_db Seqdiv_stream Seqdiv_test_support Trace

@@ -1,0 +1,1 @@
+test/test_ngram_index.mli:

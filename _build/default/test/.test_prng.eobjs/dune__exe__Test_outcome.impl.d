@@ -1,0 +1,1 @@
+test/test_outcome.ml: Alcotest List Outcome QCheck Seqdiv_core Seqdiv_test_support

@@ -1,0 +1,1 @@
+test/test_performance_map.ml: Alcotest List Outcome Performance_map Seqdiv_core

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Printf Prng QCheck Seqdiv_test_support Seqdiv_util

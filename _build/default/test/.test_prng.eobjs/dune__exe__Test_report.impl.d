@@ -1,0 +1,1 @@
+test/test_report.ml: Ablation Alcotest Ascii_map Csv List Outcome Paper Performance_map Seqdiv_core Seqdiv_report Seqdiv_test_support Session_eval String Table

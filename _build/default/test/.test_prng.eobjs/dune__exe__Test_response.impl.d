@@ -1,0 +1,1 @@
+test/test_response.ml: Alcotest Array List Response Seqdiv_detectors

@@ -1,0 +1,1 @@
+test/test_roc.ml: Alcotest Array Deployment List QCheck Response Roc Scoring Seqdiv_core Seqdiv_detectors Seqdiv_synth Seqdiv_test_support Trained

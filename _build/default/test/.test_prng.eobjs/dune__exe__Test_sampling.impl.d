@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Float List Printf Prng QCheck Sampling Seqdiv_test_support Seqdiv_util

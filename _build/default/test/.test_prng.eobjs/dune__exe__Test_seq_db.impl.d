@@ -1,0 +1,1 @@
+test/test_seq_db.ml: Alcotest Array Float Gen List QCheck Seq_db Seqdiv_stream Seqdiv_test_support Trace

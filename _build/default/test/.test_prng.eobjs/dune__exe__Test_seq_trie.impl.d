@@ -1,0 +1,1 @@
+test/test_seq_trie.ml: Alcotest Array Char Format Gen List Ngram_index Prng QCheck Seq_db Seq_trie Seqdiv_stream Seqdiv_synth Seqdiv_test_support Seqdiv_util Stdlib String Trace

@@ -1,0 +1,1 @@
+test/test_sessions.ml: Alcotest Alphabet Gen List Prng QCheck Seq_db Seqdiv_detectors Seqdiv_stream Seqdiv_synth Seqdiv_test_support Seqdiv_util Sessions Stdlib Trace

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float QCheck Seqdiv_test_support Seqdiv_util Stats

@@ -1,0 +1,1 @@
+test/test_stide.ml: Alcotest Array Gen List Printf QCheck Response Seq_db Seqdiv_detectors Seqdiv_stream Seqdiv_synth Seqdiv_test_support Stide Trace

@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Array Injector List Mfs Printf Seqdiv_stream Seqdiv_synth Seqdiv_test_support String Suite Trace

@@ -1,0 +1,1 @@
+test/test_syscall_trace.ml: Alcotest Alphabet Array Filename Fun Gen List Printf QCheck Seqdiv_detectors Seqdiv_stream Seqdiv_test_support Sessions String Sys Syscall_trace Trace

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Format Gen List QCheck Seqdiv_stream Seqdiv_test_support Stdlib String Trace

@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Alphabet Array Filename Fun Gen QCheck Seqdiv_stream Seqdiv_test_support String Sys Trace Trace_io

@@ -1,0 +1,1 @@
+test/test_trained_scoring.ml: Alcotest Array Detector Injector Outcome Response Scoring Seqdiv_core Seqdiv_detectors Seqdiv_stream Seqdiv_synth Seqdiv_test_support Stdlib Trace Trained

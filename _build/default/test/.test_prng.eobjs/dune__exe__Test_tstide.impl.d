@@ -1,0 +1,1 @@
+test/test_tstide.ml: Alcotest Array Injector List Printf Response Seqdiv_detectors Seqdiv_synth Seqdiv_test_support Seqdiv_util Stide Suite Tstide

@@ -1,0 +1,64 @@
+open Seqdiv_stream
+open Seqdiv_test_support
+
+let test_make () =
+  let a = Alphabet.make 8 in
+  Alcotest.(check int) "size" 8 (Alphabet.size a);
+  Alcotest.(check string) "default names" "s3" (Alphabet.name a 3)
+
+let test_of_names () =
+  let a = Alphabet.of_names [| "open"; "read"; "close" |] in
+  Alcotest.(check int) "size" 3 (Alphabet.size a);
+  Alcotest.(check string) "name" "read" (Alphabet.name a 1);
+  Alcotest.(check int) "index" 2 (Alphabet.index a "close")
+
+let test_index_missing () =
+  let a = Alphabet.make 3 in
+  Alcotest.check_raises "unknown name" Not_found (fun () ->
+      ignore (Alphabet.index a "zzz"))
+
+let test_mem () =
+  let a = Alphabet.make 4 in
+  Alcotest.(check bool) "0 valid" true (Alphabet.mem a 0);
+  Alcotest.(check bool) "3 valid" true (Alphabet.mem a 3);
+  Alcotest.(check bool) "4 invalid" false (Alphabet.mem a 4);
+  Alcotest.(check bool) "-1 invalid" false (Alphabet.mem a (-1))
+
+let test_symbols () =
+  Alcotest.(check (array int)) "symbols" [| 0; 1; 2 |]
+    (Alphabet.symbols (Alphabet.make 3))
+
+let test_pp () =
+  Alcotest.(check string) "pp" "{size=5}"
+    (Format.asprintf "%a" Alphabet.pp (Alphabet.make 5))
+
+let test_of_names_immutable () =
+  let names = [| "a"; "b" |] in
+  let a = Alphabet.of_names names in
+  names.(0) <- "mutated";
+  Alcotest.(check string) "copied on construction" "a" (Alphabet.name a 0)
+
+let prop_names_invertible =
+  qcheck "index (name i) = i" QCheck.(int_range 1 50) (fun n ->
+      let a = Alphabet.make n in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Alphabet.index a (Alphabet.name a i) <> i then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "alphabet"
+    [
+      ( "alphabet",
+        [
+          Alcotest.test_case "make" `Quick test_make;
+          Alcotest.test_case "of_names" `Quick test_of_names;
+          Alcotest.test_case "index missing" `Quick test_index_missing;
+          Alcotest.test_case "mem" `Quick test_mem;
+          Alcotest.test_case "symbols" `Quick test_symbols;
+          Alcotest.test_case "pp" `Quick test_pp;
+          Alcotest.test_case "immutability" `Quick test_of_names_immutable;
+          prop_names_invertible;
+        ] );
+    ]

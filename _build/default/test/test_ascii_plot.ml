@@ -1,0 +1,79 @@
+open Seqdiv_report
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_render_basic () =
+  let s =
+    Ascii_plot.render ~width:20 ~height:6
+      [ (0.0, 0.0); (1.0, 1.0); (2.0, 4.0) ]
+  in
+  Alcotest.(check bool) "has points" true (contains s "*");
+  Alcotest.(check bool) "y max annotated" true (contains s "4");
+  Alcotest.(check int) "expected line count" 9 (List.length (lines s))
+
+let test_render_single_point () =
+  (* Degenerate bounds must not crash. *)
+  let s = Ascii_plot.render ~width:10 ~height:4 [ (5.0, 5.0) ] in
+  Alcotest.(check bool) "renders" true (contains s "*")
+
+let test_render_constant_y () =
+  let s = Ascii_plot.render ~width:10 ~height:4 [ (0.0, 2.0); (9.0, 2.0) ] in
+  Alcotest.(check bool) "renders" true (contains s "*")
+
+let test_extremes_land_on_grid () =
+  let s =
+    Ascii_plot.render ~width:12 ~height:5 [ (0.0, 0.0); (10.0, 10.0) ]
+  in
+  let star_count =
+    String.fold_left (fun acc c -> if c = '*' then acc + 1 else acc) 0 s
+  in
+  Alcotest.(check int) "both extremes plotted" 2 star_count
+
+let test_labels () =
+  let s =
+    Ascii_plot.render ~width:10 ~height:4 ~x_label:"window" ~y_label:"rate"
+      [ (1.0, 2.0); (2.0, 3.0) ]
+  in
+  Alcotest.(check bool) "x label" true (contains s "x: window");
+  Alcotest.(check bool) "y label" true (contains s "y: rate")
+
+let test_series_marks_and_legend () =
+  let s =
+    Ascii_plot.render_series ~width:20 ~height:6
+      [
+        ("coverage", [ (0.0, 0.0); (1.0, 1.0) ]);
+        ("false alarms", [ (0.0, 1.0); (1.0, 0.0) ]);
+      ]
+  in
+  Alcotest.(check bool) "legend a" true (contains s "a=coverage");
+  Alcotest.(check bool) "legend b" true (contains s "b=false alarms");
+  Alcotest.(check bool) "marks a" true (contains s "a");
+  Alcotest.(check bool) "marks b" true (contains s "b")
+
+let test_series_overwrite () =
+  (* Two series on the same point: the later mark wins. *)
+  let s =
+    Ascii_plot.render_series ~width:10 ~height:4
+      [ ("first", [ (0.0, 0.0); (1.0, 1.0) ]); ("second", [ (1.0, 1.0) ]) ]
+  in
+  Alcotest.(check bool) "second visible" true (contains s "b")
+
+let () =
+  Alcotest.run "ascii_plot"
+    [
+      ( "ascii_plot",
+        [
+          Alcotest.test_case "basic" `Quick test_render_basic;
+          Alcotest.test_case "single point" `Quick test_render_single_point;
+          Alcotest.test_case "constant y" `Quick test_render_constant_y;
+          Alcotest.test_case "extremes" `Quick test_extremes_land_on_grid;
+          Alcotest.test_case "labels" `Quick test_labels;
+          Alcotest.test_case "series legend" `Quick test_series_marks_and_legend;
+          Alcotest.test_case "series overwrite" `Quick test_series_overwrite;
+        ] );
+    ]

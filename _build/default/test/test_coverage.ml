@@ -1,0 +1,99 @@
+open Seqdiv_core
+open Seqdiv_test_support
+
+let cells_gen =
+  QCheck.(
+    map
+      (fun l -> Coverage.of_cells (List.map (fun (a, w) -> (a mod 8, w mod 14)) l))
+      (small_list (pair small_int small_int)))
+
+let a3 = Coverage.of_cells [ (2, 2); (3, 4); (5, 6) ]
+let b2 = Coverage.of_cells [ (3, 4); (9, 9) ]
+
+let test_cardinal () =
+  Alcotest.(check int) "empty" 0 (Coverage.cardinal Coverage.empty);
+  Alcotest.(check int) "three" 3 (Coverage.cardinal a3);
+  Alcotest.(check int) "dedup" 1
+    (Coverage.cardinal (Coverage.of_cells [ (1, 1); (1, 1) ]))
+
+let test_mem () =
+  Alcotest.(check bool) "member" true (Coverage.mem a3 (3, 4));
+  Alcotest.(check bool) "not member" false (Coverage.mem a3 (9, 9))
+
+let test_union_inter_diff () =
+  Alcotest.(check int) "union" 4 (Coverage.cardinal (Coverage.union a3 b2));
+  Alcotest.(check int) "inter" 1 (Coverage.cardinal (Coverage.inter a3 b2));
+  Alcotest.(check int) "diff" 2 (Coverage.cardinal (Coverage.diff a3 b2));
+  Alcotest.(check (list (pair int int))) "inter cells" [ (3, 4) ]
+    (Coverage.cells (Coverage.inter a3 b2))
+
+let test_subset () =
+  Alcotest.(check bool) "empty subset" true (Coverage.subset Coverage.empty a3);
+  Alcotest.(check bool) "self subset" true (Coverage.subset a3 a3);
+  Alcotest.(check bool) "proper" true
+    (Coverage.subset (Coverage.of_cells [ (2, 2) ]) a3);
+  Alcotest.(check bool) "not subset" false (Coverage.subset b2 a3)
+
+let test_jaccard () =
+  check_float "disjoint" ~epsilon:1e-9 0.0
+    (Coverage.jaccard a3 (Coverage.of_cells [ (9, 9) ]));
+  check_float "identical" ~epsilon:1e-9 1.0 (Coverage.jaccard a3 a3);
+  check_float "empty-empty" ~epsilon:1e-9 1.0
+    (Coverage.jaccard Coverage.empty Coverage.empty);
+  check_float "partial" ~epsilon:1e-9 0.25 (Coverage.jaccard a3 b2)
+
+let test_gain () =
+  Alcotest.(check int) "gain" 1 (Coverage.gain ~base:a3 ~added:b2);
+  Alcotest.(check int) "no gain from subset" 0
+    (Coverage.gain ~base:a3 ~added:(Coverage.of_cells [ (2, 2) ]))
+
+let test_cells_sorted () =
+  let c = Coverage.of_cells [ (5, 1); (2, 9); (2, 3) ] in
+  Alcotest.(check (list (pair int int))) "ascending" [ (2, 3); (2, 9); (5, 1) ]
+    (Coverage.cells c)
+
+let prop_union_commutative =
+  qcheck "union commutative" QCheck.(pair cells_gen cells_gen) (fun (a, b) ->
+      Coverage.equal (Coverage.union a b) (Coverage.union b a))
+
+let prop_inter_subset_union =
+  qcheck "inter ⊆ each ⊆ union" QCheck.(pair cells_gen cells_gen) (fun (a, b) ->
+      Coverage.subset (Coverage.inter a b) a
+      && Coverage.subset a (Coverage.union a b))
+
+let prop_diff_disjoint =
+  qcheck "diff disjoint from subtrahend" QCheck.(pair cells_gen cells_gen)
+    (fun (a, b) ->
+      Coverage.cardinal (Coverage.inter (Coverage.diff a b) b) = 0)
+
+let prop_inclusion_exclusion =
+  qcheck "|a|+|b| = |a∪b|+|a∩b|" QCheck.(pair cells_gen cells_gen)
+    (fun (a, b) ->
+      Coverage.cardinal a + Coverage.cardinal b
+      = Coverage.cardinal (Coverage.union a b)
+        + Coverage.cardinal (Coverage.inter a b))
+
+let prop_jaccard_bounds =
+  qcheck "jaccard within [0,1]" QCheck.(pair cells_gen cells_gen) (fun (a, b) ->
+      let j = Coverage.jaccard a b in
+      j >= 0.0 && j <= 1.0)
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "coverage",
+        [
+          Alcotest.test_case "cardinal" `Quick test_cardinal;
+          Alcotest.test_case "mem" `Quick test_mem;
+          Alcotest.test_case "union/inter/diff" `Quick test_union_inter_diff;
+          Alcotest.test_case "subset" `Quick test_subset;
+          Alcotest.test_case "jaccard" `Quick test_jaccard;
+          Alcotest.test_case "gain" `Quick test_gain;
+          Alcotest.test_case "cells sorted" `Quick test_cells_sorted;
+          prop_union_commutative;
+          prop_inter_subset_union;
+          prop_diff_disjoint;
+          prop_inclusion_exclusion;
+          prop_jaccard_bounds;
+        ] );
+    ]

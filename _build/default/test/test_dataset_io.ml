@@ -1,0 +1,107 @@
+open Seqdiv_stream
+open Seqdiv_synth
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "seqdiv_suite" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun file -> Sys.remove (Filename.concat dir file))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let small () =
+  Suite.build
+    { (Suite.scaled_params ~train_len:20_000 ~background_len:1_000) with
+      Suite.as_max = 4;
+      dw_max = 5;
+    }
+
+let test_round_trip () =
+  with_temp_dir (fun dir ->
+      let suite = small () in
+      Dataset_io.save suite ~dir;
+      let loaded = Dataset_io.load ~dir in
+      Alcotest.(check bool) "training preserved" true
+        (Trace.equal suite.Suite.training loaded.Suite.training);
+      Alcotest.(check int) "stream count" (Array.length suite.Suite.streams)
+        (Array.length loaded.Suite.streams);
+      Alcotest.(check bool) "params preserved" true
+        (suite.Suite.params = loaded.Suite.params);
+      Array.iter2
+        (fun (a : Suite.test_stream) (b : Suite.test_stream) ->
+          Alcotest.(check int) "as" a.Suite.anomaly_size b.Suite.anomaly_size;
+          Alcotest.(check int) "dw" a.Suite.window b.Suite.window;
+          Alcotest.(check int) "position" a.Suite.injection.Injector.position
+            b.Suite.injection.Injector.position;
+          Alcotest.(check (array int)) "anomaly"
+            a.Suite.injection.Injector.anomaly b.Suite.injection.Injector.anomaly;
+          Alcotest.(check bool) "trace" true
+            (Trace.equal a.Suite.injection.Injector.trace
+               b.Suite.injection.Injector.trace))
+        suite.Suite.streams loaded.Suite.streams)
+
+let test_loaded_suite_evaluates_identically () =
+  with_temp_dir (fun dir ->
+      let suite = small () in
+      Dataset_io.save suite ~dir;
+      let loaded = Dataset_io.load ~dir in
+      let map s =
+        Seqdiv_core.Experiment.performance_map s
+          (Seqdiv_detectors.Registry.find_exn "stide")
+      in
+      Alcotest.(check bool) "same stide coverage" true
+        (Seqdiv_core.Coverage.equal
+           (Seqdiv_core.Coverage.of_map (map suite))
+           (Seqdiv_core.Coverage.of_map (map loaded))))
+
+let test_missing_manifest () =
+  with_temp_dir (fun dir ->
+      Sys.mkdir dir 0o755;
+      match Dataset_io.load ~dir with
+      | _ -> Alcotest.fail "expected failure"
+      | exception Failure message ->
+          Alcotest.(check bool) "mentions manifest" true
+            (String.length message > 0))
+
+let test_tampered_ground_truth_detected () =
+  with_temp_dir (fun dir ->
+      let suite = small () in
+      Dataset_io.save suite ~dir;
+      (* Corrupt one stream file: replace it with a pure background. *)
+      let victim = "stream_as2_dw2.trace" in
+      Trace_io.to_file (Filename.concat dir victim)
+        (Generator.background suite.Suite.alphabet ~len:1_002 ~phase:0);
+      match Dataset_io.load ~dir with
+      | _ -> Alcotest.fail "expected ground-truth mismatch"
+      | exception Failure message ->
+          Alcotest.(check bool) "names the stream" true
+            (String.length message > 0))
+
+let test_manifest_is_plain_text () =
+  with_temp_dir (fun dir ->
+      let suite = small () in
+      Dataset_io.save suite ~dir;
+      let ic = open_in (Filename.concat dir Dataset_io.manifest_file) in
+      let first = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "versioned header" "#seqdiv-suite 1" first)
+
+let () =
+  Alcotest.run "dataset_io"
+    [
+      ( "dataset_io",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "evaluates identically" `Quick
+            test_loaded_suite_evaluates_identically;
+          Alcotest.test_case "missing manifest" `Quick test_missing_manifest;
+          Alcotest.test_case "tampering detected" `Quick
+            test_tampered_ground_truth_detected;
+          Alcotest.test_case "plain-text manifest" `Quick test_manifest_is_plain_text;
+        ] );
+    ]

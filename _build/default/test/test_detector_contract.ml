@@ -1,0 +1,152 @@
+(* Generic contract every registered detector must satisfy — run over
+   the full extended roster so that adding a detector automatically
+   subjects it to the same obligations. *)
+
+open Seqdiv_stream
+open Seqdiv_synth
+open Seqdiv_detectors
+open Seqdiv_test_support
+
+let window = 4
+
+let training = lazy (tiny_suite ()).Suite.training
+
+let probe = lazy (
+  let suite = tiny_suite () in
+  let s = Suite.stream suite ~anomaly_size:4 ~window in
+  s.Suite.injection.Injector.trace)
+
+let with_detector f (module D : Detector.S) () =
+  f (module D : Detector.S)
+
+let contract_scores_in_range (module D : Detector.S) =
+  let model = D.train ~window (Lazy.force training) in
+  let r = D.score model (Lazy.force probe) in
+  Array.iter
+    (fun (i : Response.item) ->
+      if i.Response.score < 0.0 || i.Response.score > 1.0 then
+        Alcotest.fail (D.name ^ ": score out of [0,1]"))
+    r.Response.items
+
+let contract_item_alignment (module D : Detector.S) =
+  let model = D.train ~window (Lazy.force training) in
+  let r = D.score model (Lazy.force probe) in
+  let expected = Trace.window_count (Lazy.force probe) ~width:window in
+  Alcotest.(check int) (D.name ^ ": one item per window") expected
+    (Response.length r);
+  Array.iteri
+    (fun idx (i : Response.item) ->
+      Alcotest.(check int) (D.name ^ ": consecutive starts") idx
+        i.Response.start;
+      Alcotest.(check int) (D.name ^ ": cover = window") window
+        i.Response.cover)
+    r.Response.items
+
+let contract_score_range_consistent (module D : Detector.S) =
+  let model = D.train ~window (Lazy.force training) in
+  let full = D.score model (Lazy.force probe) in
+  let slice = D.score_range model (Lazy.force probe) ~lo:10 ~hi:20 in
+  Alcotest.(check int) (D.name ^ ": slice size") 11 (Response.length slice);
+  Array.iteri
+    (fun idx (i : Response.item) ->
+      let counterpart = full.Response.items.(10 + idx) in
+      if i.Response.score <> counterpart.Response.score then
+        Alcotest.fail (D.name ^ ": slice disagrees with full scoring"))
+    slice.Response.items
+
+let contract_training_deterministic (module D : Detector.S) =
+  let m1 = D.train ~window (Lazy.force training) in
+  let m2 = D.train ~window (Lazy.force training) in
+  let r1 = D.score_range m1 (Lazy.force probe) ~lo:0 ~hi:50 in
+  let r2 = D.score_range m2 (Lazy.force probe) ~lo:0 ~hi:50 in
+  Array.iteri
+    (fun idx (i : Response.item) ->
+      if i.Response.score <> r2.Response.items.(idx).Response.score then
+        Alcotest.fail (D.name ^ ": retraining changed responses"))
+    r1.Response.items
+
+let contract_window_recorded (module D : Detector.S) =
+  let model = D.train ~window (Lazy.force training) in
+  Alcotest.(check int) (D.name ^ ": window") window (D.window model);
+  let r = D.score_range model (Lazy.force probe) ~lo:0 ~hi:0 in
+  Alcotest.(check int) (D.name ^ ": response window") window r.Response.window;
+  Alcotest.(check string) (D.name ^ ": response label") D.name
+    r.Response.detector
+
+let contract_epsilon_sane (module D : Detector.S) =
+  Alcotest.(check bool) (D.name ^ ": epsilon in [0,1)") true
+    (D.maximal_epsilon >= 0.0 && D.maximal_epsilon < 1.0)
+
+let contract_capable_when_spanning (module D : Detector.S) =
+  (* Every detector except L&B must register a maximal response when the
+     window spans the whole foreign sequence; L&B must not (the paper's
+     Fig. 3 vs Figs. 4-6). *)
+  let suite = tiny_suite () in
+  let model = D.train ~window:6 suite.Suite.training in
+  let s = Suite.stream suite ~anomaly_size:4 ~window:6 in
+  let inj = s.Suite.injection in
+  let lo, hi =
+    Injector.incident_span ~position:inj.Injector.position ~size:4 ~width:6
+  in
+  let r = D.score_range model inj.Injector.trace ~lo ~hi in
+  let capable = Response.max_score r >= 1.0 -. D.maximal_epsilon in
+  Alcotest.(check bool)
+    (D.name ^ ": capable iff not lnb")
+    (D.name <> "lnb") capable
+
+let cases =
+  List.concat_map
+    (fun (module D : Detector.S) ->
+      let case name f =
+        Alcotest.test_case
+          (Printf.sprintf "%s: %s" D.name name)
+          `Quick
+          (with_detector f (module D))
+      in
+      [
+        case "scores in range" contract_scores_in_range;
+        case "item alignment" contract_item_alignment;
+        case "score_range consistent" contract_score_range_consistent;
+        case "training deterministic" contract_training_deterministic;
+        case "window recorded" contract_window_recorded;
+        case "epsilon sane" contract_epsilon_sane;
+        case "capable when spanning" contract_capable_when_spanning;
+      ])
+    Registry.extended
+
+let test_registry_names_unique () =
+  let names = Registry.names in
+  Alcotest.(check int) "no duplicates"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_registry_find () =
+  List.iter
+    (fun name ->
+      match Registry.find name with
+      | Some (module D : Detector.S) ->
+          Alcotest.(check string) "find returns named detector" name D.name
+      | None -> Alcotest.fail ("missing " ^ name))
+    Registry.names;
+  Alcotest.(check bool) "unknown name" true (Registry.find "nope" = None);
+  Alcotest.check_raises "find_exn message"
+    (Invalid_argument
+       "unknown detector \"nope\" (expected one of: markov, lnb, nn, stide, \
+        tstide, hmm)") (fun () -> ignore (Registry.find_exn "nope"))
+
+let test_paper_roster () =
+  Alcotest.(check int) "four studied detectors" 4 (List.length Registry.all);
+  Alcotest.(check int) "six in the extended roster" 6
+    (List.length Registry.extended)
+
+let () =
+  Alcotest.run "detector_contract"
+    [
+      ("contract", cases);
+      ( "registry",
+        [
+          Alcotest.test_case "names unique" `Quick test_registry_names_unique;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "paper roster" `Quick test_paper_roster;
+        ] );
+    ]

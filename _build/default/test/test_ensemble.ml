@@ -1,0 +1,117 @@
+open Seqdiv_core
+open Seqdiv_detectors
+
+let response name scores =
+  Response.make ~detector:name ~window:3
+    (Array.of_list
+       (List.mapi
+          (fun i s -> { Response.start = i; cover = 3; score = s })
+          scores))
+
+let scores_of r =
+  Array.to_list (Array.map (fun i -> i.Response.score) r.Response.items)
+
+let test_combine_any () =
+  let a = response "a" [ 1.0; 0.0; 0.0 ] in
+  let b = response "b" [ 0.0; 1.0; 0.0 ] in
+  let c = Ensemble.combine Ensemble.Any [ (a, 1.0); (b, 1.0) ] in
+  Alcotest.(check (list (float 0.0))) "disjunction" [ 1.0; 1.0; 0.0 ]
+    (scores_of c);
+  Alcotest.(check string) "label" "any(a,b)" c.Response.detector
+
+let test_combine_all () =
+  let a = response "a" [ 1.0; 1.0; 0.0 ] in
+  let b = response "b" [ 0.0; 1.0; 0.0 ] in
+  let c = Ensemble.combine Ensemble.All [ (a, 1.0); (b, 1.0) ] in
+  Alcotest.(check (list (float 0.0))) "conjunction" [ 0.0; 1.0; 0.0 ]
+    (scores_of c)
+
+let test_combine_thresholds_per_member () =
+  (* member b alarms at a lower threshold *)
+  let a = response "a" [ 1.0; 1.0 ] in
+  let b = response "b" [ 0.4; 0.6 ] in
+  let c = Ensemble.combine Ensemble.All [ (a, 1.0); (b, 0.5) ] in
+  Alcotest.(check (list (float 0.0))) "per-member thresholds" [ 0.0; 1.0 ]
+    (scores_of c)
+
+let test_combine_inner_join () =
+  let a = response "a" [ 1.0; 1.0; 1.0 ] in
+  let b =
+    Response.make ~detector:"b" ~window:3
+      [| { Response.start = 1; cover = 3; score = 1.0 } |]
+  in
+  let c = Ensemble.combine Ensemble.All [ (a, 1.0); (b, 1.0) ] in
+  Alcotest.(check int) "only common starts" 1 (Response.length c);
+  Alcotest.(check int) "start preserved" 1 c.Response.items.(0).Response.start
+
+let test_combine_empty_rejected () =
+  Alcotest.check_raises "no members"
+    (Invalid_argument "Ensemble.combine: no members") (fun () ->
+      ignore (Ensemble.combine Ensemble.Any []))
+
+let test_combine_single_member () =
+  let a = response "a" [ 0.8; 1.0 ] in
+  let c = Ensemble.combine Ensemble.Any [ (a, 0.9) ] in
+  Alcotest.(check (list (float 0.0))) "binarised" [ 0.0; 1.0 ] (scores_of c)
+
+let test_suppress () =
+  let primary = response "markov" [ 1.0; 1.0; 1.0; 0.0 ] in
+  let suppressor = response "stide" [ 1.0; 0.0; 1.0; 1.0 ] in
+  let s =
+    Ensemble.suppress ~primary:(primary, 1.0) ~suppressor:(suppressor, 1.0)
+  in
+  Alcotest.(check int) "primary alarms" 3 s.Ensemble.primary_alarms;
+  Alcotest.(check int) "corroborated" 2 s.Ensemble.corroborated;
+  Alcotest.(check int) "suppressed" 1 s.Ensemble.suppressed
+
+let test_suppress_no_alarms () =
+  let primary = response "markov" [ 0.0; 0.0 ] in
+  let suppressor = response "stide" [ 1.0; 1.0 ] in
+  let s =
+    Ensemble.suppress ~primary:(primary, 1.0) ~suppressor:(suppressor, 1.0)
+  in
+  Alcotest.(check int) "no primary alarms" 0 s.Ensemble.primary_alarms;
+  Alcotest.(check int) "nothing corroborated" 0 s.Ensemble.corroborated
+
+let test_suppress_missing_starts () =
+  (* A primary alarm with no matching suppressor item counts as
+     suppressed (the suppressor did not raise it). *)
+  let primary = response "markov" [ 1.0 ] in
+  let suppressor =
+    Response.make ~detector:"stide" ~window:3
+      [| { Response.start = 5; cover = 3; score = 1.0 } |]
+  in
+  let s =
+    Ensemble.suppress ~primary:(primary, 1.0) ~suppressor:(suppressor, 1.0)
+  in
+  Alcotest.(check int) "suppressed" 1 s.Ensemble.suppressed
+
+let test_partition_sums () =
+  let primary = response "p" [ 1.0; 0.9; 1.0; 1.0; 0.0 ] in
+  let suppressor = response "s" [ 0.0; 1.0; 1.0; 0.0; 1.0 ] in
+  let s =
+    Ensemble.suppress ~primary:(primary, 0.9) ~suppressor:(suppressor, 1.0)
+  in
+  Alcotest.(check int) "corroborated + suppressed = alarms"
+    s.Ensemble.primary_alarms
+    (s.Ensemble.corroborated + s.Ensemble.suppressed)
+
+let () =
+  Alcotest.run "ensemble"
+    [
+      ( "ensemble",
+        [
+          Alcotest.test_case "any" `Quick test_combine_any;
+          Alcotest.test_case "all" `Quick test_combine_all;
+          Alcotest.test_case "per-member thresholds" `Quick
+            test_combine_thresholds_per_member;
+          Alcotest.test_case "inner join" `Quick test_combine_inner_join;
+          Alcotest.test_case "empty rejected" `Quick test_combine_empty_rejected;
+          Alcotest.test_case "single member" `Quick test_combine_single_member;
+          Alcotest.test_case "suppress" `Quick test_suppress;
+          Alcotest.test_case "suppress no alarms" `Quick test_suppress_no_alarms;
+          Alcotest.test_case "suppress missing starts" `Quick
+            test_suppress_missing_starts;
+          Alcotest.test_case "partition sums" `Quick test_partition_sums;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Unit tests for the Experiment analysis functions using synthetic
+   maps, independent of any detector. *)
+
+open Seqdiv_core
+open Seqdiv_test_support
+
+let grid = ([ 2; 3; 4 ], [ 2; 3; 4; 5 ])
+
+let map name pred =
+  let anomaly_sizes, windows = grid in
+  Performance_map.build ~detector:name ~anomaly_sizes ~windows
+    ~f:(fun ~anomaly_size ~window ->
+      if pred anomaly_size window then Outcome.Capable 1.0 else Outcome.Blind)
+
+let full = map "full" (fun _ _ -> true)
+let empty = map "empty" (fun _ _ -> false)
+let diagonal = map "diagonal" (fun a w -> w >= a)
+let anti = map "anti" (fun a w -> w < a)
+
+let test_relation_subset () =
+  let r = Experiment.relation diagonal full in
+  Alcotest.(check bool) "diagonal subset of full" true
+    r.Experiment.left_subset_of_right;
+  Alcotest.(check bool) "full not subset of diagonal" false
+    r.Experiment.right_subset_of_left;
+  Alcotest.(check int) "left-only empty" 0 r.Experiment.left_only;
+  Alcotest.(check int) "both = diagonal size" 9 r.Experiment.both;
+  Alcotest.(check int) "right-only" 3 r.Experiment.right_only;
+  check_float "jaccard" ~epsilon:1e-9 0.75 r.Experiment.jaccard
+
+let test_relation_equal () =
+  let r = Experiment.relation full (map "full2" (fun _ _ -> true)) in
+  Alcotest.(check bool) "mutual subsets" true
+    (r.Experiment.left_subset_of_right && r.Experiment.right_subset_of_left);
+  check_float "jaccard 1" ~epsilon:1e-9 1.0 r.Experiment.jaccard
+
+let test_relation_disjoint () =
+  let r = Experiment.relation diagonal anti in
+  Alcotest.(check int) "no shared cells" 0 r.Experiment.both;
+  check_float "jaccard 0" ~epsilon:1e-9 0.0 r.Experiment.jaccard;
+  (* disjoint non-empty sets are subsets of each other only if empty *)
+  Alcotest.(check bool) "not subsets" false
+    (r.Experiment.left_subset_of_right || r.Experiment.right_subset_of_left)
+
+let test_relation_empty_is_universal_subset () =
+  let r = Experiment.relation empty diagonal in
+  Alcotest.(check bool) "empty subset of anything" true
+    r.Experiment.left_subset_of_right
+
+let test_relation_names () =
+  let r = Experiment.relation diagonal full in
+  Alcotest.(check string) "left name" "diagonal" r.Experiment.left;
+  Alcotest.(check string) "right name" "full" r.Experiment.right
+
+let test_summary_counts () =
+  let s = Experiment.summary diagonal in
+  Alcotest.(check string) "name" "diagonal" s.Experiment.detector;
+  Alcotest.(check int) "capable" 9 s.Experiment.capable;
+  Alcotest.(check int) "blind" 3 s.Experiment.blind;
+  Alcotest.(check int) "weak" 0 s.Experiment.weak;
+  check_float "fraction" ~epsilon:1e-9 0.75 s.Experiment.capable_fraction
+
+let test_pairwise_count_and_order () =
+  let rels = Experiment.pairwise_relations [ full; empty; diagonal ] in
+  Alcotest.(check int) "3 choose 2" 3 (List.length rels);
+  match rels with
+  | [ a; b; c ] ->
+      Alcotest.(check (pair string string)) "order preserved"
+        ("full", "empty")
+        (a.Experiment.left, a.Experiment.right);
+      Alcotest.(check (pair string string)) "order preserved 2"
+        ("full", "diagonal")
+        (b.Experiment.left, b.Experiment.right);
+      Alcotest.(check (pair string string)) "order preserved 3"
+        ("empty", "diagonal")
+        (c.Experiment.left, c.Experiment.right)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_performance_map_over_uses_injections () =
+  (* performance_map_over must consult the supplied injection per cell:
+     feed it cells whose anomalies are at distinguishable positions and
+     check via a counting wrapper. *)
+  let suite = tiny_suite () in
+  let calls = ref [] in
+  let injection ~anomaly_size ~window =
+    calls := (anomaly_size, window) :: !calls;
+    (Seqdiv_synth.Suite.stream suite ~anomaly_size ~window)
+      .Seqdiv_synth.Suite.injection
+  in
+  let m =
+    Experiment.performance_map_over suite ~injection
+      (Seqdiv_detectors.Registry.find_exn "stide")
+  in
+  Alcotest.(check int) "one call per cell"
+    (Performance_map.cell_count m)
+    (List.length !calls);
+  (* and the result equals the stock map *)
+  let stock =
+    Experiment.performance_map suite (Seqdiv_detectors.Registry.find_exn "stide")
+  in
+  Alcotest.(check bool) "same coverage" true
+    (Coverage.equal (Coverage.of_map m) (Coverage.of_map stock))
+
+let () =
+  Alcotest.run "experiment"
+    [
+      ( "relations",
+        [
+          Alcotest.test_case "subset" `Quick test_relation_subset;
+          Alcotest.test_case "equal" `Quick test_relation_equal;
+          Alcotest.test_case "disjoint" `Quick test_relation_disjoint;
+          Alcotest.test_case "empty subset" `Quick test_relation_empty_is_universal_subset;
+          Alcotest.test_case "names" `Quick test_relation_names;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "counts" `Quick test_summary_counts;
+          Alcotest.test_case "pairwise" `Quick test_pairwise_count_and_order;
+        ] );
+      ( "map_over",
+        [
+          Alcotest.test_case "uses injections" `Slow
+            test_performance_map_over_uses_injections;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+open Seqdiv_stream
+open Seqdiv_detectors
+open Seqdiv_test_support
+
+let fast = { Hmm.default_params with Hmm.iterations = 8; train_limit = 4_000 }
+
+(* A deterministic 4-cycle: easy for an HMM to learn exactly. *)
+let cycle4 len =
+  Trace.of_array (Alphabet.make 4) (Array.init len (fun i -> i mod 4))
+
+let test_predict_is_distribution () =
+  let model = Hmm.train_with fast ~window:3 (cycle4 1_000) in
+  let probs = Hmm.predict model [| 0; 1 |] in
+  let total = Array.fold_left ( +. ) 0.0 probs in
+  check_float "sums to 1" ~epsilon:1e-6 1.0 total;
+  Array.iter (fun p -> if p < 0.0 then Alcotest.fail "negative") probs
+
+let test_learns_cycle () =
+  let model = Hmm.train_with fast ~window:2 (cycle4 1_000) in
+  let probs = Hmm.predict model [| 1 |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "p(2|1)=%.3f dominant" probs.(2))
+    true (probs.(2) > 0.9)
+
+let test_likelihood_improves_with_training () =
+  let t = cycle4 1_000 in
+  let untrained = Hmm.train_with { fast with Hmm.iterations = 0 } ~window:2 t in
+  let trained = Hmm.train_with fast ~window:2 t in
+  let probe = cycle4 100 in
+  Alcotest.(check bool) "training raises likelihood" true
+    (Hmm.log_likelihood trained probe > Hmm.log_likelihood untrained probe)
+
+let test_deterministic () =
+  let t = cycle4 500 in
+  let m1 = Hmm.train_with fast ~window:2 t in
+  let m2 = Hmm.train_with fast ~window:2 t in
+  Alcotest.(check (array (float 0.0))) "same model" (Hmm.predict m1 [| 3 |])
+    (Hmm.predict m2 [| 3 |])
+
+let test_states_resolved () =
+  let model = Hmm.train_with fast ~window:2 (cycle4 200) in
+  Alcotest.(check int) "states default to alphabet size" 4
+    (Hmm.params model).Hmm.states;
+  let m2 = Hmm.train_with { fast with Hmm.states = 2 } ~window:2 (cycle4 200) in
+  Alcotest.(check int) "explicit states" 2 (Hmm.params m2).Hmm.states
+
+let test_degrades_gracefully_with_few_states () =
+  (* With fewer states than symbols the model blurs but stays a valid
+     distribution and still scores within range. *)
+  let model = Hmm.train_with { fast with Hmm.states = 2 } ~window:3 (cycle4 500) in
+  let r = Hmm.score model (cycle4 50) in
+  Array.iter
+    (fun (i : Response.item) ->
+      if i.Response.score < 0.0 || i.Response.score > 1.0 then
+        Alcotest.fail "score out of range")
+    r.Response.items
+
+let test_scores_cycle_low () =
+  let model = Hmm.train_with fast ~window:2 (cycle4 2_000) in
+  let r = Hmm.score model (cycle4 40) in
+  Alcotest.(check bool) "familiar data scores low" true
+    (Response.max_score r < 0.2)
+
+let test_scores_novel_high () =
+  let model = Hmm.train_with fast ~window:2 (cycle4 2_000) in
+  (* 0 followed by 3 never happens in the 4-cycle. *)
+  let r = Hmm.score model (Trace.of_list (Alphabet.make 4) [ 0; 3 ]) in
+  Alcotest.(check bool)
+    (Printf.sprintf "novel transition scores high (%.4f)" (Response.max_score r))
+    true
+    (Response.max_score r >= 1.0 -. Hmm.maximal_epsilon)
+
+let test_empty_context_prediction () =
+  let model = Hmm.train_with fast ~window:2 (cycle4 500) in
+  let probs = Hmm.predict model [||] in
+  check_float "prior sums to 1" ~epsilon:1e-6 1.0
+    (Array.fold_left ( +. ) 0.0 probs)
+
+let test_rejects_short_trace () =
+  Alcotest.check_raises "short"
+    (Invalid_argument "Hmm.train: trace shorter than window") (fun () ->
+      ignore (Hmm.train ~window:5 (cycle4 2)))
+
+let test_capable_on_suite_cell () =
+  (* Extension E1: the HMM behaves like the Markov detector on the
+     paper's data — capable below Stide's diagonal. *)
+  let suite = tiny_suite () in
+  let window = 3 and anomaly_size = 7 in
+  let model = Hmm.train ~window suite.Seqdiv_synth.Suite.training in
+  let s = Seqdiv_synth.Suite.stream suite ~anomaly_size ~window in
+  let inj = s.Seqdiv_synth.Suite.injection in
+  let lo, hi =
+    Seqdiv_synth.Injector.incident_span
+      ~position:inj.Seqdiv_synth.Injector.position ~size:anomaly_size
+      ~width:window
+  in
+  let r = Hmm.score_range model inj.Seqdiv_synth.Injector.trace ~lo ~hi in
+  Alcotest.(check bool) "capable below the diagonal" true
+    (Response.max_score r >= 1.0 -. Hmm.maximal_epsilon)
+
+let () =
+  Alcotest.run "hmm"
+    [
+      ( "hmm",
+        [
+          Alcotest.test_case "predict distribution" `Quick test_predict_is_distribution;
+          Alcotest.test_case "learns cycle" `Quick test_learns_cycle;
+          Alcotest.test_case "likelihood improves" `Quick
+            test_likelihood_improves_with_training;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "states resolved" `Quick test_states_resolved;
+          Alcotest.test_case "few states degrade gracefully" `Quick
+            test_degrades_gracefully_with_few_states;
+          Alcotest.test_case "familiar scores low" `Quick test_scores_cycle_low;
+          Alcotest.test_case "novel scores high" `Quick test_scores_novel_high;
+          Alcotest.test_case "empty context" `Quick test_empty_context_prediction;
+          Alcotest.test_case "rejects short" `Quick test_rejects_short_trace;
+          Alcotest.test_case "capable on suite (E1)" `Slow test_capable_on_suite_cell;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+open Seqdiv_core
+open Seqdiv_detectors
+
+let response ?(window = 3) scores =
+  Response.make ~detector:"x" ~window
+    (Array.of_list
+       (List.mapi
+          (fun i s -> { Response.start = i; cover = window; score = s })
+          scores))
+
+let incidents ?gap scores =
+  Incident.of_response ?gap (response scores) ~threshold:1.0
+
+let test_no_alarms_no_incidents () =
+  Alcotest.(check int) "empty" 0 (List.length (incidents [ 0.0; 0.5; 0.0 ]))
+
+let test_single_burst () =
+  match incidents [ 0.0; 1.0; 1.0; 1.0; 0.0 ] with
+  | [ i ] ->
+      Alcotest.(check int) "first" 1 i.Incident.first_start;
+      Alcotest.(check int) "last" 3 i.Incident.last_start;
+      Alcotest.(check int) "alarms" 3 i.Incident.alarms;
+      Alcotest.(check int) "cover from" 1 i.Incident.cover_from;
+      (* last alarm starts at 3 and covers 3 positions *)
+      Alcotest.(check int) "cover to" 5 i.Incident.cover_to
+  | l -> Alcotest.fail (Printf.sprintf "expected one incident, got %d" (List.length l))
+
+let test_two_separate_incidents () =
+  (* With window 1 the extents are single positions: alarms at 0 and 5
+     cannot touch. *)
+  let r = response ~window:1 [ 1.0; 0.0; 0.0; 0.0; 0.0; 1.0 ] in
+  Alcotest.(check int) "two incidents" 2
+    (Incident.count r ~threshold:1.0)
+
+let test_overlapping_extents_merge () =
+  (* Window 3: alarms at starts 0 and 2 — extents [0,2] and [2,4]
+     overlap. *)
+  let r = response [ 1.0; 0.0; 1.0 ] in
+  Alcotest.(check int) "merged" 1 (Incident.count r ~threshold:1.0)
+
+let test_gap_bridges () =
+  let r = response ~window:1 [ 1.0; 0.0; 0.0; 1.0 ] in
+  Alcotest.(check int) "no gap: separate" 2 (Incident.count r ~threshold:1.0);
+  Alcotest.(check int) "gap 2 bridges" 1 (Incident.count ~gap:2 r ~threshold:1.0)
+
+let test_peak_score () =
+  let r = response [ 0.9; 1.0; 0.95 ] in
+  match Incident.of_response r ~threshold:0.9 with
+  | [ i ] ->
+      Alcotest.(check (float 0.0)) "peak" 1.0 i.Incident.peak_score;
+      Alcotest.(check int) "all three alarms" 3 i.Incident.alarms
+  | _ -> Alcotest.fail "expected one incident"
+
+let test_covers () =
+  match incidents [ 0.0; 1.0; 0.0 ] with
+  | [ i ] ->
+      Alcotest.(check bool) "inside" true (Incident.covers i 2);
+      Alcotest.(check bool) "outside" false (Incident.covers i 0)
+  | _ -> Alcotest.fail "expected one incident"
+
+let test_ground_truth_matching () =
+  match incidents [ 0.0; 1.0; 1.0; 0.0 ] with
+  | [ i ] ->
+      (* extent [1, 4] *)
+      Alcotest.(check bool) "intersects anomaly" true
+        (Incident.matches_ground_truth i ~position:4 ~size:2);
+      Alcotest.(check bool) "misses far anomaly" false
+        (Incident.matches_ground_truth i ~position:10 ~size:3)
+  | _ -> Alcotest.fail "expected one incident"
+
+let test_split_by_ground_truth () =
+  let r = response ~window:1 [ 1.0; 0.0; 0.0; 0.0; 1.0 ] in
+  let incidents = Incident.of_response r ~threshold:1.0 in
+  let hits, false_alarms =
+    Incident.split_by_ground_truth incidents ~position:4 ~size:1
+  in
+  Alcotest.(check int) "one hit" 1 (List.length hits);
+  Alcotest.(check int) "one false incident" 1 (List.length false_alarms)
+
+let test_pp () =
+  match incidents [ 1.0 ] with
+  | [ i ] ->
+      let s = Format.asprintf "%a" Incident.pp i in
+      Alcotest.(check string) "render" "incident@[0,2] alarms=1 peak=1.00" s
+  | _ -> Alcotest.fail "expected one incident"
+
+let test_on_real_injection () =
+  (* The suite stream's burst of Stide alarms coalesces into exactly one
+     incident intersecting the ground truth. *)
+  let suite = Seqdiv_test_support.tiny_suite () in
+  let window = 7 and anomaly_size = 4 in
+  let stide =
+    Trained.train (Registry.find_exn "stide") ~window
+      suite.Seqdiv_synth.Suite.training
+  in
+  let s = Seqdiv_synth.Suite.stream suite ~anomaly_size ~window in
+  let inj = s.Seqdiv_synth.Suite.injection in
+  let r = Trained.score stide inj.Seqdiv_synth.Injector.trace in
+  let incidents = Incident.of_response r ~threshold:1.0 in
+  Alcotest.(check int) "single incident" 1 (List.length incidents);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "matches ground truth" true
+        (Incident.matches_ground_truth i
+           ~position:inj.Seqdiv_synth.Injector.position ~size:anomaly_size))
+    incidents
+
+let () =
+  Alcotest.run "incident"
+    [
+      ( "incident",
+        [
+          Alcotest.test_case "no alarms" `Quick test_no_alarms_no_incidents;
+          Alcotest.test_case "single burst" `Quick test_single_burst;
+          Alcotest.test_case "separate incidents" `Quick test_two_separate_incidents;
+          Alcotest.test_case "overlap merges" `Quick test_overlapping_extents_merge;
+          Alcotest.test_case "gap bridges" `Quick test_gap_bridges;
+          Alcotest.test_case "peak score" `Quick test_peak_score;
+          Alcotest.test_case "covers" `Quick test_covers;
+          Alcotest.test_case "ground truth" `Quick test_ground_truth_matching;
+          Alcotest.test_case "split" `Quick test_split_by_ground_truth;
+          Alcotest.test_case "pp" `Quick test_pp;
+          Alcotest.test_case "real injection" `Quick test_on_real_injection;
+        ] );
+    ]

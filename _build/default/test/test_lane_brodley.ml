@@ -1,0 +1,138 @@
+open Seqdiv_detectors
+open Seqdiv_test_support
+
+let test_similarity_identical () =
+  (* Figure 7 left: identical size-5 sequences score 15. *)
+  Alcotest.(check int) "identical" 15
+    (Lane_brodley.similarity [| 0; 1; 2; 3; 4 |] [| 0; 1; 2; 3; 4 |])
+
+let test_similarity_terminal_mismatch () =
+  (* Figure 7 right: a final-element mismatch scores 10. *)
+  Alcotest.(check int) "last mismatch" 10
+    (Lane_brodley.similarity [| 0; 1; 2; 3; 4 |] [| 0; 1; 2; 3; 0 |]);
+  Alcotest.(check int) "first mismatch" 10
+    (Lane_brodley.similarity [| 7; 1; 2; 3; 4 |] [| 0; 1; 2; 3; 4 |])
+
+let test_similarity_middle_mismatch () =
+  (* Mismatch in the middle costs more: runs 1+2 before and 1+2 after. *)
+  Alcotest.(check int) "middle mismatch" 6
+    (Lane_brodley.similarity [| 0; 1; 7; 3; 4 |] [| 0; 1; 2; 3; 4 |])
+
+let test_similarity_disjoint () =
+  Alcotest.(check int) "no matches" 0
+    (Lane_brodley.similarity [| 0; 0; 0 |] [| 1; 1; 1 |])
+
+let test_similarity_alternating () =
+  (* matches at 0 and 2 with a reset between: 1 + 1 = 2. *)
+  Alcotest.(check int) "alternating" 2
+    (Lane_brodley.similarity [| 5; 7; 5 |] [| 5; 6; 5 |])
+
+let test_similarity_length_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Lane_brodley.similarity: lengths") (fun () ->
+      ignore (Lane_brodley.similarity [| 1 |] [| 1; 2 |]))
+
+let test_max_similarity () =
+  Alcotest.(check int) "dw 5" 15 (Lane_brodley.max_similarity 5);
+  Alcotest.(check int) "dw 2" 3 (Lane_brodley.max_similarity 2);
+  Alcotest.(check int) "dw 15" 120 (Lane_brodley.max_similarity 15)
+
+let test_train_and_best_match () =
+  let model = Lane_brodley.train ~window:3 (trace8 [ 0; 1; 2; 3; 4 ]) in
+  Alcotest.(check int) "instances" 3 (Lane_brodley.instances model);
+  let best, sim = Lane_brodley.best_match model [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "exact instance" [| 1; 2; 3 |] best;
+  Alcotest.(check int) "max similarity" 6 sim
+
+let test_score_normalisation () =
+  let model = Lane_brodley.train ~window:3 (trace8 [ 0; 1; 2; 3; 4 ]) in
+  (* exact match scores 0 *)
+  let r = Lane_brodley.score model (trace8 [ 0; 1; 2 ]) in
+  Alcotest.(check (float 1e-9)) "known window scores 0" 0.0
+    (Response.max_score r);
+  (* a window sharing nothing positional with any instance scores 1;
+     instances are 012,123,234 — the window 777 matches nothing. *)
+  let r2 = Lane_brodley.score model (trace8 [ 7; 7; 7 ]) in
+  Alcotest.(check (float 1e-9)) "alien window scores 1" 1.0
+    (Response.max_score r2)
+
+let test_terminal_mismatch_close_to_normal () =
+  (* The paper's Section 7 point: a terminal mismatch leaves the score
+     at window/max_sim, far from the maximal response 1. *)
+  let model = Lane_brodley.train ~window:5 (trace8 [ 0; 1; 2; 3; 4; 5; 6; 7 ]) in
+  let r = Lane_brodley.score model (trace8 [ 0; 1; 2; 3; 0 ]) in
+  check_float "score = DW/max = 1/3" ~epsilon:1e-9 (1.0 /. 3.0)
+    (Response.max_score r)
+
+let test_blind_to_mfs_at_threshold_one () =
+  let suite = small_suite () in
+  let training = suite.Seqdiv_synth.Suite.training in
+  List.iter
+    (fun (anomaly_size, window) ->
+      let model = Lane_brodley.train ~window training in
+      let s = Seqdiv_synth.Suite.stream suite ~anomaly_size ~window in
+      let inj = s.Seqdiv_synth.Suite.injection in
+      let lo, hi =
+        Seqdiv_synth.Injector.incident_span
+          ~position:inj.Seqdiv_synth.Injector.position ~size:anomaly_size
+          ~width:window
+      in
+      let r =
+        Lane_brodley.score_range model inj.Seqdiv_synth.Injector.trace ~lo ~hi
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "never maximal (AS=%d DW=%d)" anomaly_size window)
+        true
+        (Response.max_score r < 1.0))
+    [ (3, 3); (5, 5); (5, 8); (8, 12) ]
+
+let prop_similarity_symmetric =
+  qcheck "similarity is symmetric"
+    QCheck.(pair (list_of_size Gen.(1 -- 12) (int_bound 7)) small_int)
+    (fun (l, seed) ->
+      let a = Array.of_list l in
+      let rng = Seqdiv_util.Prng.create ~seed in
+      let b = Array.map (fun x -> if Seqdiv_util.Prng.bool rng then x else Seqdiv_util.Prng.int rng 8) a in
+      Lane_brodley.similarity a b = Lane_brodley.similarity b a)
+
+let prop_similarity_bounds =
+  qcheck "similarity within [0, max]"
+    QCheck.(pair (list_of_size Gen.(1 -- 12) (int_bound 7))
+              (list_of_size Gen.(1 -- 12) (int_bound 7)))
+    (fun (la, lb) ->
+      QCheck.assume (List.length la = List.length lb);
+      let a = Array.of_list la and b = Array.of_list lb in
+      let s = Lane_brodley.similarity a b in
+      s >= 0 && s <= Lane_brodley.max_similarity (Array.length a))
+
+let prop_identical_is_max =
+  qcheck "self-similarity is maximal"
+    QCheck.(list_of_size Gen.(1 -- 15) (int_bound 7))
+    (fun l ->
+      let a = Array.of_list l in
+      Lane_brodley.similarity a a = Lane_brodley.max_similarity (Array.length a))
+
+let () =
+  Alcotest.run "lane_brodley"
+    [
+      ( "lane_brodley",
+        [
+          Alcotest.test_case "identical (fig 7)" `Quick test_similarity_identical;
+          Alcotest.test_case "terminal mismatch (fig 7)" `Quick
+            test_similarity_terminal_mismatch;
+          Alcotest.test_case "middle mismatch" `Quick test_similarity_middle_mismatch;
+          Alcotest.test_case "disjoint" `Quick test_similarity_disjoint;
+          Alcotest.test_case "alternating" `Quick test_similarity_alternating;
+          Alcotest.test_case "length mismatch" `Quick test_similarity_length_mismatch;
+          Alcotest.test_case "max similarity" `Quick test_max_similarity;
+          Alcotest.test_case "train/best match" `Quick test_train_and_best_match;
+          Alcotest.test_case "score normalisation" `Quick test_score_normalisation;
+          Alcotest.test_case "terminal mismatch near normal" `Quick
+            test_terminal_mismatch_close_to_normal;
+          Alcotest.test_case "blind to MFS at threshold 1" `Quick
+            test_blind_to_mfs_at_threshold_one;
+          prop_similarity_symmetric;
+          prop_similarity_bounds;
+          prop_identical_is_max;
+        ] );
+    ]

@@ -1,0 +1,77 @@
+open Seqdiv_detectors
+
+let item start score = { Response.start; cover = 3; score }
+
+let response scores =
+  Response.make ~detector:"stide" ~window:3
+    (Array.of_list (List.mapi (fun i s -> item i s) scores))
+
+let alarms r ~frame ~min_count =
+  Lfc.alarm_count r ~frame ~min_count ~threshold:1.0
+
+let test_min_count_one_keeps_alarms () =
+  let r = response [ 0.0; 1.0; 0.0; 0.0; 0.0 ] in
+  Alcotest.(check bool) "fires" true (alarms r ~frame:2 ~min_count:1 > 0)
+
+let test_isolated_alarm_suppressed () =
+  let r = response [ 0.0; 1.0; 0.0; 0.0; 0.0; 0.0 ] in
+  Alcotest.(check int) "suppressed" 0 (alarms r ~frame:3 ~min_count:2)
+
+let test_burst_passes () =
+  let r = response [ 0.0; 1.0; 1.0; 1.0; 0.0 ] in
+  Alcotest.(check bool) "burst fires" true (alarms r ~frame:3 ~min_count:2 > 0)
+
+let test_spread_alarms_within_frame () =
+  (* Two alarms within a frame of 4 but not adjacent. *)
+  let r = response [ 1.0; 0.0; 0.0; 1.0; 0.0 ] in
+  Alcotest.(check bool) "counted across frame" true
+    (alarms r ~frame:4 ~min_count:2 > 0);
+  Alcotest.(check int) "not when frame too small" 0
+    (alarms r ~frame:2 ~min_count:2)
+
+let test_sliding_window_expiry () =
+  (* An early alarm must leave the frame. *)
+  let r = response [ 1.0; 0.0; 0.0; 0.0; 0.0; 1.0 ] in
+  Alcotest.(check int) "alarms expire" 0 (alarms r ~frame:3 ~min_count:2)
+
+let test_output_is_binary_and_widened () =
+  let r = response [ 0.0; 1.0; 1.0; 0.0 ] in
+  let out = Lfc.apply r ~frame:2 ~min_count:2 ~threshold:1.0 in
+  Alcotest.(check int) "same item count" 4 (Response.length out);
+  Array.iteri
+    (fun i (it : Response.item) ->
+      if it.Response.score <> 0.0 && it.Response.score <> 1.0 then
+        Alcotest.fail "non-binary LFC output";
+      if i >= 1 then
+        Alcotest.(check bool) "cover widened to frame" true
+          (it.Response.cover >= 3))
+    out.Response.items
+
+let test_detector_label () =
+  let r = response [ 0.0 ] in
+  let out = Lfc.apply r ~frame:1 ~min_count:1 ~threshold:1.0 in
+  Alcotest.(check string) "label" "stide+lfc" out.Response.detector
+
+let test_threshold_respected () =
+  let r = response [ 0.9; 0.9; 0.9 ] in
+  Alcotest.(check int) "0.9 not an alarm at threshold 1" 0
+    (alarms r ~frame:2 ~min_count:1);
+  let out = Lfc.apply r ~frame:2 ~min_count:1 ~threshold:0.5 in
+  Alcotest.(check int) "all alarms at threshold 0.5" 3
+    (Response.count_over out ~threshold:1.0)
+
+let () =
+  Alcotest.run "lfc"
+    [
+      ( "lfc",
+        [
+          Alcotest.test_case "min count 1" `Quick test_min_count_one_keeps_alarms;
+          Alcotest.test_case "isolated suppressed" `Quick test_isolated_alarm_suppressed;
+          Alcotest.test_case "burst passes" `Quick test_burst_passes;
+          Alcotest.test_case "spread within frame" `Quick test_spread_alarms_within_frame;
+          Alcotest.test_case "expiry" `Quick test_sliding_window_expiry;
+          Alcotest.test_case "binary and widened" `Quick test_output_is_binary_and_widened;
+          Alcotest.test_case "label" `Quick test_detector_label;
+          Alcotest.test_case "threshold" `Quick test_threshold_respected;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+open Seqdiv_util
+open Seqdiv_stream
+open Seqdiv_synth
+open Seqdiv_test_support
+
+let test_of_matrix_normalises () =
+  let a = Alphabet.make 2 in
+  let chain = Markov_chain.of_matrix a [| [| 2.0; 6.0 |]; [| 1.0; 0.0 |] |] in
+  check_float "p(0->1)" ~epsilon:1e-9 0.75 (Markov_chain.prob chain 0 1);
+  check_float "p(1->0)" ~epsilon:1e-9 1.0 (Markov_chain.prob chain 1 0)
+
+let test_of_matrix_validation () =
+  let a = Alphabet.make 2 in
+  Alcotest.check_raises "row count"
+    (Invalid_argument "Markov_chain.of_matrix: row count") (fun () ->
+      ignore (Markov_chain.of_matrix a [| [| 1.0; 1.0 |] |]));
+  Alcotest.check_raises "column count"
+    (Invalid_argument "Markov_chain.of_matrix: column count") (fun () ->
+      ignore (Markov_chain.of_matrix a [| [| 1.0 |]; [| 1.0; 1.0 |] |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Markov_chain.of_matrix: negative") (fun () ->
+      ignore (Markov_chain.of_matrix a [| [| -1.0; 2.0 |]; [| 1.0; 1.0 |] |]));
+  Alcotest.check_raises "zero row"
+    (Invalid_argument "Markov_chain.of_matrix: zero row") (fun () ->
+      ignore (Markov_chain.of_matrix a [| [| 0.0; 0.0 |]; [| 1.0; 1.0 |] |]))
+
+let test_successors () =
+  let a = Alphabet.make 3 in
+  let chain =
+    Markov_chain.of_matrix a
+      [| [| 0.0; 1.0; 1.0 |]; [| 1.0; 0.0; 0.0 |]; [| 0.0; 0.0; 1.0 |] |]
+  in
+  Alcotest.(check (list int)) "successors of 0" [ 1; 2 ]
+    (Markov_chain.successors chain 0);
+  Alcotest.(check (list int)) "successors of 2" [ 2 ]
+    (Markov_chain.successors chain 2);
+  Alcotest.(check bool) "structural zeros" true
+    (Markov_chain.has_structural_zeros chain)
+
+let test_paper_chain_structure () =
+  let chain = training_chain () in
+  (* From each symbol: successor, +2 and +3 reachable; everything else a
+     structural zero. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "successors of %d" i)
+        (List.sort compare [ (i + 1) mod 8; (i + 2) mod 8; (i + 3) mod 8 ])
+        (Markov_chain.successors chain i))
+    [ 0; 3; 7 ];
+  Alcotest.(check bool) "has zeros" true (Markov_chain.has_structural_zeros chain);
+  check_float "cycle probability" ~epsilon:1e-9
+    (1.0 -. Generator.default_deviation)
+    (Markov_chain.prob chain 0 1)
+
+let test_paper_chain_validation () =
+  Alcotest.check_raises "alphabet too small"
+    (Invalid_argument "Markov_chain.paper_chain: alphabet too small") (fun () ->
+      ignore (Markov_chain.paper_chain (Alphabet.make 4) ~deviation:0.1));
+  Alcotest.check_raises "deviation range"
+    (Invalid_argument "Markov_chain.paper_chain: deviation out of range")
+    (fun () ->
+      ignore (Markov_chain.paper_chain (Alphabet.make 8) ~deviation:1.0))
+
+let test_generate_deterministic () =
+  let chain = training_chain () in
+  let t1 = Markov_chain.generate chain (Prng.create ~seed:5) ~start:0 ~len:500 in
+  let t2 = Markov_chain.generate chain (Prng.create ~seed:5) ~start:0 ~len:500 in
+  Alcotest.(check bool) "same seed same trace" true (Trace.equal t1 t2);
+  let t3 = Markov_chain.generate chain (Prng.create ~seed:6) ~start:0 ~len:500 in
+  Alcotest.(check bool) "different seed different trace" false
+    (Trace.equal t1 t3)
+
+let test_generate_starts_at_start () =
+  let chain = training_chain () in
+  let t = Markov_chain.generate chain (Prng.create ~seed:1) ~start:5 ~len:10 in
+  Alcotest.(check int) "first symbol" 5 (Trace.get t 0);
+  Alcotest.(check int) "length" 10 (Trace.length t)
+
+let test_generate_respects_zeros () =
+  let chain = training_chain () in
+  let t = Markov_chain.generate chain (Prng.create ~seed:2) ~start:0 ~len:20_000 in
+  for i = 0 to Trace.length t - 2 do
+    let a = Trace.get t i and b = Trace.get t (i + 1) in
+    let diff = (b - a + 8) mod 8 in
+    if diff < 1 || diff > 3 then
+      Alcotest.fail
+        (Printf.sprintf "forbidden transition %d -> %d at %d" a b i)
+  done
+
+let test_deviation_frequency () =
+  let chain = training_chain () in
+  let t = Markov_chain.generate chain (Prng.create ~seed:3) ~start:0 ~len:200_000 in
+  let frac = Generator.cycle_fraction t in
+  check_float "cycle fraction matches 1-deviation" ~epsilon:0.001
+    (1.0 -. Generator.default_deviation)
+    frac
+
+let test_stationary_cycle () =
+  let chain = training_chain () in
+  Alcotest.(check (array int)) "one period" [| 0; 1; 2; 3; 4; 5; 6; 7 |]
+    (Trace.to_array (Markov_chain.stationary_cycle chain))
+
+let prop_rows_are_distributions =
+  qcheck "normalised rows sum to 1" QCheck.(int_range 5 20) (fun k ->
+      let chain = Markov_chain.paper_chain (Alphabet.make k) ~deviation:0.01 in
+      List.for_all
+        (fun i ->
+          let total = ref 0.0 in
+          for j = 0 to k - 1 do
+            total := !total +. Markov_chain.prob chain i j
+          done;
+          Float.abs (!total -. 1.0) < 1e-9)
+        (List.init k (fun i -> i)))
+
+let () =
+  Alcotest.run "markov_chain"
+    [
+      ( "markov_chain",
+        [
+          Alcotest.test_case "normalisation" `Quick test_of_matrix_normalises;
+          Alcotest.test_case "validation" `Quick test_of_matrix_validation;
+          Alcotest.test_case "successors" `Quick test_successors;
+          Alcotest.test_case "paper chain structure" `Quick test_paper_chain_structure;
+          Alcotest.test_case "paper chain validation" `Quick test_paper_chain_validation;
+          Alcotest.test_case "generate deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "generate start" `Quick test_generate_starts_at_start;
+          Alcotest.test_case "respects zeros" `Quick test_generate_respects_zeros;
+          Alcotest.test_case "deviation frequency" `Quick test_deviation_frequency;
+          Alcotest.test_case "stationary cycle" `Quick test_stationary_cycle;
+          prop_rows_are_distributions;
+        ] );
+    ]

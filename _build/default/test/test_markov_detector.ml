@@ -1,0 +1,162 @@
+open Seqdiv_stream
+open Seqdiv_detectors
+open Seqdiv_test_support
+
+let test_window_semantics () =
+  let model = Markov.train ~window:3 (trace8 [ 0; 1; 2; 3; 4 ]) in
+  Alcotest.(check int) "window" 3 (Markov.window model);
+  Alcotest.(check int) "context length" 2 (Markov.context_length model)
+
+let test_probability_estimates () =
+  (* 0 1 0 1 0 2: after context [0], next is 1 twice and 2 once. *)
+  let model = Markov.train ~window:2 (trace8 [ 0; 1; 0; 1; 0; 2 ]) in
+  check_float "p(1|0)" ~epsilon:1e-9 (2.0 /. 3.0)
+    (Markov.probability model ~context:[| 0 |] ~next:1);
+  check_float "p(2|0)" ~epsilon:1e-9 (1.0 /. 3.0)
+    (Markov.probability model ~context:[| 0 |] ~next:2);
+  check_float "p(0|1) = 1" ~epsilon:1e-9 1.0
+    (Markov.probability model ~context:[| 1 |] ~next:0);
+  check_float "unseen continuation" ~epsilon:1e-9 0.0
+    (Markov.probability model ~context:[| 0 |] ~next:7)
+
+let test_unseen_context_scores_one () =
+  let model = Markov.train ~window:2 (trace8 [ 0; 1; 0; 1 ]) in
+  check_float "unseen context" ~epsilon:1e-9 0.0
+    (Markov.probability model ~context:[| 5 |] ~next:0);
+  let r = Markov.score model (trace8 [ 5; 0 ]) in
+  Alcotest.(check (float 0.0)) "score 1 on unseen context" 1.0
+    (Response.max_score r)
+
+let test_score_is_one_minus_p () =
+  let model = Markov.train ~window:2 (trace8 [ 0; 1; 0; 1; 0; 2 ]) in
+  let r = Markov.score model (trace8 [ 0; 1 ]) in
+  (match r.Response.items with
+  | [| i |] -> check_float "1 - 2/3" ~epsilon:1e-9 (1.0 /. 3.0) i.Response.score
+  | _ -> Alcotest.fail "expected one item")
+
+let test_contexts_counted () =
+  let model = Markov.train ~window:2 (trace8 [ 0; 1; 2; 0 ]) in
+  Alcotest.(check int) "three contexts" 3 (Markov.contexts model)
+
+let test_cover_spans_context_and_next () =
+  let model = Markov.train ~window:4 (trace8 [ 0; 1; 2; 3; 4; 5; 6 ]) in
+  let r = Markov.score model (trace8 [ 0; 1; 2; 3; 4 ]) in
+  Alcotest.(check int) "two predictions" 2 (Response.length r);
+  Array.iter
+    (fun (i : Response.item) -> Alcotest.(check int) "cover" 4 i.Response.cover)
+    r.Response.items
+
+let test_rejects_short_trace () =
+  Alcotest.check_raises "short"
+    (Invalid_argument "Markov.train: trace shorter than window") (fun () ->
+      ignore (Markov.train ~window:4 (trace8 [ 0; 1 ])))
+
+let test_maximal_epsilon_is_rare_threshold () =
+  check_float "epsilon" ~epsilon:0.0 0.005 Markov.maximal_epsilon
+
+let test_detects_rare_continuation () =
+  (* One rare continuation among many common ones: the response exceeds
+     the alarm threshold 1 - epsilon. *)
+  let symbols = List.concat (List.init 300 (fun i -> if i = 150 then [ 0; 3 ] else [ 0; 1 ])) in
+  let model = Markov.train ~window:2 (trace8 symbols) in
+  let r = Markov.score model (trace8 [ 0; 3 ]) in
+  Alcotest.(check bool) "rare continuation maximal" true
+    (Response.max_score r >= 1.0 -. Markov.maximal_epsilon)
+
+let test_smoothing_probabilities () =
+  (* 0 1 0 1 0 2: context 0 -> {1: 2, 2: 1}, total 3; alphabet 8. *)
+  let base = Markov.train ~window:2 (trace8 [ 0; 1; 0; 1; 0; 2 ]) in
+  check_float "default no smoothing" ~epsilon:0.0 0.0 (Markov.smoothing base);
+  let m = Markov.with_smoothing base ~alpha:1.0 in
+  check_float "alpha recorded" ~epsilon:0.0 1.0 (Markov.smoothing m);
+  check_float "p(1|0) smoothed" ~epsilon:1e-9 (3.0 /. 11.0)
+    (Markov.probability m ~context:[| 0 |] ~next:1);
+  check_float "p(7|0) smoothed nonzero" ~epsilon:1e-9 (1.0 /. 11.0)
+    (Markov.probability m ~context:[| 0 |] ~next:7);
+  (* unseen context predicts uniformly *)
+  check_float "unseen context uniform" ~epsilon:1e-9 (1.0 /. 8.0)
+    (Markov.probability m ~context:[| 5 |] ~next:0);
+  (* base model untouched *)
+  check_float "base unchanged" ~epsilon:1e-9 0.0
+    (Markov.probability base ~context:[| 0 |] ~next:7)
+
+let test_smoothing_kills_maximal_responses () =
+  let base = Markov.train ~window:2 (trace8 [ 0; 1; 0; 1; 0; 2 ]) in
+  let m = Markov.with_smoothing base ~alpha:5.0 in
+  let r = Markov.score m (trace8 [ 0; 7 ]) in
+  Alcotest.(check bool) "never reaches 1" true (Response.max_score r < 1.0);
+  Alcotest.(check bool) "still clearly anomalous" true
+    (Response.max_score r > 0.8)
+
+let prop_smoothed_distribution_normalised =
+  qcheck ~count:50 "smoothed conditionals sum to 1"
+    QCheck.(pair (list_of_size Gen.(5 -- 40) (int_bound 5)) (float_bound_inclusive 10.0))
+    (fun (l, alpha) ->
+      QCheck.assume (List.length l >= 2);
+      let m = Markov.with_smoothing (Markov.train ~window:2 (trace8 l)) ~alpha in
+      let total = ref 0.0 in
+      for next = 0 to 7 do
+        total := !total +. Markov.probability m ~context:[| List.hd l |] ~next
+      done;
+      Float.abs (!total -. 1.0) < 1e-9)
+
+let prop_conditional_distribution =
+  qcheck ~count:100 "sum over next of p(next|ctx) = 1 for seen contexts"
+    QCheck.(list_of_size Gen.(5 -- 80) (int_bound 5))
+    (fun l ->
+      QCheck.assume (List.length l >= 2);
+      let t = trace8 l in
+      let model = Markov.train ~window:2 t in
+      let seen = Hashtbl.create 8 in
+      for i = 0 to Trace.length t - 2 do
+        Hashtbl.replace seen (Trace.get t i) ()
+      done;
+      Hashtbl.fold
+        (fun ctx () acc ->
+          let total = ref 0.0 in
+          for next = 0 to 7 do
+            total := !total +. Markov.probability model ~context:[| ctx |] ~next
+          done;
+          acc && Float.abs (!total -. 1.0) < 1e-9)
+        seen true)
+
+let prop_scores_in_range =
+  qcheck ~count:50 "scores within [0,1]"
+    QCheck.(
+      pair
+        (list_of_size Gen.(6 -- 60) (int_bound 7))
+        (list_of_size Gen.(3 -- 30) (int_bound 7)))
+    (fun (train_l, test_l) ->
+      QCheck.assume (List.length train_l >= 3 && List.length test_l >= 3);
+      let model = Markov.train ~window:3 (trace8 train_l) in
+      let r = Markov.score model (trace8 test_l) in
+      Array.for_all
+        (fun (i : Response.item) ->
+          i.Response.score >= 0.0 && i.Response.score <= 1.0)
+        r.Response.items)
+
+let () =
+  Alcotest.run "markov_detector"
+    [
+      ( "markov",
+        [
+          Alcotest.test_case "window semantics" `Quick test_window_semantics;
+          Alcotest.test_case "probability estimates" `Quick test_probability_estimates;
+          Alcotest.test_case "unseen context" `Quick test_unseen_context_scores_one;
+          Alcotest.test_case "score = 1 - p" `Quick test_score_is_one_minus_p;
+          Alcotest.test_case "contexts" `Quick test_contexts_counted;
+          Alcotest.test_case "cover" `Quick test_cover_spans_context_and_next;
+          Alcotest.test_case "rejects short" `Quick test_rejects_short_trace;
+          Alcotest.test_case "epsilon = rare threshold" `Quick
+            test_maximal_epsilon_is_rare_threshold;
+          Alcotest.test_case "detects rare continuation" `Quick
+            test_detects_rare_continuation;
+          Alcotest.test_case "smoothing probabilities" `Quick
+            test_smoothing_probabilities;
+          Alcotest.test_case "smoothing vs maximality" `Quick
+            test_smoothing_kills_maximal_responses;
+          prop_smoothed_distribution_normalised;
+          prop_conditional_distribution;
+          prop_scores_in_range;
+        ] );
+    ]

@@ -1,0 +1,123 @@
+open Seqdiv_util
+open Seqdiv_test_support
+
+let m_2x3 () = Matrix.of_arrays [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |]
+
+let test_create_zero () =
+  let m = Matrix.create ~rows:3 ~cols:2 in
+  Alcotest.(check int) "rows" 3 (Matrix.rows m);
+  Alcotest.(check int) "cols" 2 (Matrix.cols m);
+  for i = 0 to 2 do
+    for j = 0 to 1 do
+      check_float "zero" ~epsilon:0.0 0.0 (Matrix.get m i j)
+    done
+  done
+
+let test_init () =
+  let m = Matrix.init ~rows:2 ~cols:2 (fun i j -> float_of_int ((10 * i) + j)) in
+  check_float "(0,1)" ~epsilon:0.0 1.0 (Matrix.get m 0 1);
+  check_float "(1,0)" ~epsilon:0.0 10.0 (Matrix.get m 1 0)
+
+let test_set_get () =
+  let m = Matrix.create ~rows:2 ~cols:2 in
+  Matrix.set m 1 1 42.0;
+  check_float "set/get" ~epsilon:0.0 42.0 (Matrix.get m 1 1);
+  check_float "others untouched" ~epsilon:0.0 0.0 (Matrix.get m 0 0)
+
+let test_mul_vec () =
+  let m = m_2x3 () in
+  let v = Matrix.mul_vec m [| 1.0; 0.0; -1.0 |] in
+  Alcotest.(check (array (float 1e-9))) "m*v" [| -2.0; -2.0 |] v
+
+let test_tmul_vec () =
+  let m = m_2x3 () in
+  let v = Matrix.tmul_vec m [| 1.0; -1.0 |] in
+  Alcotest.(check (array (float 1e-9))) "m'*v" [| -3.0; -3.0; -3.0 |] v
+
+let test_add_outer () =
+  let m = Matrix.create ~rows:2 ~cols:2 in
+  Matrix.add_outer m [| 1.0; 2.0 |] [| 3.0; 4.0 |] ~scale:0.5;
+  check_float "(0,0)" ~epsilon:1e-9 1.5 (Matrix.get m 0 0);
+  check_float "(1,1)" ~epsilon:1e-9 4.0 (Matrix.get m 1 1)
+
+let test_scale_add_in_place () =
+  let m = m_2x3 () in
+  let n = Matrix.copy m in
+  Matrix.scale_in_place n 2.0;
+  check_float "scaled" ~epsilon:1e-9 12.0 (Matrix.get n 1 2);
+  check_float "original untouched" ~epsilon:1e-9 6.0 (Matrix.get m 1 2);
+  Matrix.add_in_place n m;
+  check_float "added" ~epsilon:1e-9 18.0 (Matrix.get n 1 2)
+
+let test_map () =
+  let m = Matrix.map (fun x -> -.x) (m_2x3 ()) in
+  check_float "negated" ~epsilon:1e-9 (-5.0) (Matrix.get m 1 1)
+
+let test_round_trip () =
+  let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  let m = Matrix.of_arrays a in
+  Alcotest.(check bool) "round trip" true (Matrix.to_arrays m = a)
+
+let test_frobenius () =
+  let m = Matrix.of_arrays [| [| 3.0; 4.0 |] |] in
+  check_float "3-4-5" ~epsilon:1e-9 5.0 (Matrix.frobenius_norm m)
+
+let test_random_range () =
+  let rng = Prng.create ~seed:1 in
+  let m = Matrix.random rng ~rows:10 ~cols:10 ~scale:0.25 in
+  Array.iter
+    (Array.iter (fun x ->
+         if x < -0.25 || x > 0.25 then Alcotest.fail "out of scale"))
+    (Matrix.to_arrays m)
+
+let small_mat =
+  QCheck.(
+    map
+      (fun (rows, cols, seed) ->
+        let rng = Prng.create ~seed in
+        Matrix.random rng ~rows:(rows + 1) ~cols:(cols + 1) ~scale:1.0)
+      (triple (int_bound 6) (int_bound 6) small_int))
+
+let prop_adjoint =
+  (* <A v, u> = <v, A' u> — exercises mul_vec and tmul_vec together. *)
+  qcheck "adjoint identity" QCheck.(pair small_mat small_int) (fun (m, seed) ->
+      let rng = Prng.create ~seed:(seed + 1) in
+      let v = Array.init (Matrix.cols m) (fun _ -> Prng.float rng 2.0 -. 1.0) in
+      let u = Array.init (Matrix.rows m) (fun _ -> Prng.float rng 2.0 -. 1.0) in
+      let dot a b =
+        Array.fold_left ( +. ) 0.0 (Array.mapi (fun i x -> x *. b.(i)) a)
+      in
+      let lhs = dot (Matrix.mul_vec m v) u in
+      let rhs = dot v (Matrix.tmul_vec m u) in
+      Float.abs (lhs -. rhs) < 1e-9)
+
+let prop_outer_rank1 =
+  qcheck "add_outer adds u_i*v_j" QCheck.(pair (int_bound 5) (int_bound 5))
+    (fun (i, j) ->
+      let rows = 6 and cols = 6 in
+      let m = Matrix.create ~rows ~cols in
+      let u = Array.init rows (fun x -> float_of_int (x + 1)) in
+      let v = Array.init cols (fun x -> float_of_int ((2 * x) + 1)) in
+      Matrix.add_outer m u v ~scale:1.0;
+      Float.abs (Matrix.get m i j -. (u.(i) *. v.(j))) < 1e-9)
+
+let () =
+  Alcotest.run "matrix"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "create zero" `Quick test_create_zero;
+          Alcotest.test_case "init" `Quick test_init;
+          Alcotest.test_case "set/get" `Quick test_set_get;
+          Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+          Alcotest.test_case "tmul_vec" `Quick test_tmul_vec;
+          Alcotest.test_case "add_outer" `Quick test_add_outer;
+          Alcotest.test_case "scale/add in place" `Quick test_scale_add_in_place;
+          Alcotest.test_case "map" `Quick test_map;
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "frobenius" `Quick test_frobenius;
+          Alcotest.test_case "random range" `Quick test_random_range;
+          prop_adjoint;
+          prop_outer_rank1;
+        ] );
+    ]

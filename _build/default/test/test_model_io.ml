@@ -1,0 +1,109 @@
+open Seqdiv_stream
+open Seqdiv_detectors
+open Seqdiv_test_support
+
+let training () =
+  (Seqdiv_test_support.tiny_suite ()).Seqdiv_synth.Suite.training
+
+let probe () =
+  let suite = tiny_suite () in
+  let s = Seqdiv_synth.Suite.stream suite ~anomaly_size:4 ~window:5 in
+  s.Seqdiv_synth.Suite.injection.Seqdiv_synth.Injector.trace
+
+let responses_equal a b =
+  Array.length a.Response.items = Array.length b.Response.items
+  && Array.for_all2
+       (fun (x : Response.item) (y : Response.item) ->
+         x.Response.start = y.Response.start
+         && Float.equal x.Response.score y.Response.score)
+       a.Response.items b.Response.items
+
+let test_stide_round_trip () =
+  let model = Stide.train ~window:5 (training ()) in
+  let restored = Model_io.load_stide (Model_io.save_stide model) in
+  Alcotest.(check int) "window" 5 (Stide.window restored);
+  Alcotest.(check int) "cardinality"
+    (Seq_db.cardinal (Stide.db model))
+    (Seq_db.cardinal (Stide.db restored));
+  Alcotest.(check int) "totals"
+    (Seq_db.total (Stide.db model))
+    (Seq_db.total (Stide.db restored));
+  Alcotest.(check bool) "identical scoring" true
+    (responses_equal (Stide.score model (probe ())) (Stide.score restored (probe ())))
+
+let test_markov_round_trip () =
+  let model = Markov.train ~window:4 (training ()) in
+  let restored = Model_io.load_markov (Model_io.save_markov model) in
+  Alcotest.(check int) "window" 4 (Markov.window restored);
+  Alcotest.(check int) "contexts" (Markov.contexts model)
+    (Markov.contexts restored);
+  Alcotest.(check bool) "identical scoring" true
+    (responses_equal
+       (Markov.score model (probe ()))
+       (Markov.score restored (probe ())))
+
+let test_markov_probabilities_preserved () =
+  let model = Markov.train ~window:2 (trace8 [ 0; 1; 0; 1; 0; 2 ]) in
+  let restored = Model_io.load_markov (Model_io.save_markov model) in
+  check_float "p(1|0)" ~epsilon:1e-12 (2.0 /. 3.0)
+    (Markov.probability restored ~context:[| 0 |] ~next:1);
+  check_float "p(2|0)" ~epsilon:1e-12 (1.0 /. 3.0)
+    (Markov.probability restored ~context:[| 0 |] ~next:2)
+
+let test_stide_file_round_trip () =
+  let path = Filename.temp_file "seqdiv" ".stide" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let model = Stide.train ~window:3 (trace8 [ 0; 1; 2; 3; 4; 0; 1 ]) in
+      Model_io.save_stide_file path model;
+      let restored = Model_io.load_stide_file path in
+      Alcotest.(check int) "cardinality"
+        (Seq_db.cardinal (Stide.db model))
+        (Seq_db.cardinal (Stide.db restored)))
+
+let test_markov_file_round_trip () =
+  let path = Filename.temp_file "seqdiv" ".markov" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let model = Markov.train ~window:3 (trace8 [ 0; 1; 2; 3; 4; 0; 1 ]) in
+      Model_io.save_markov_file path model;
+      let restored = Model_io.load_markov_file path in
+      Alcotest.(check int) "contexts" (Markov.contexts model)
+        (Markov.contexts restored))
+
+let test_bad_inputs_rejected () =
+  let fails f s =
+    match f s with
+    | _ -> Alcotest.fail "expected Failure"
+    | exception Failure _ -> ()
+  in
+  fails Model_io.load_stide "";
+  fails Model_io.load_stide "#wrong header";
+  fails Model_io.load_stide "#seqdiv-stide 1 window=3\nnot-a-count 1,2,3";
+  fails Model_io.load_stide "#seqdiv-stide 1 window=3\n2 1,2";
+  fails Model_io.load_markov "";
+  fails Model_io.load_markov "#seqdiv-markov 1 window=2 alphabet=4\nmalformed";
+  fails Model_io.load_markov "#seqdiv-markov 1 window=2 alphabet=4\n0 | 1,2,3"
+
+let test_save_is_deterministic () =
+  let model = Markov.train ~window:3 (training ()) in
+  Alcotest.(check string) "stable output" (Model_io.save_markov model)
+    (Model_io.save_markov model)
+
+let () =
+  Alcotest.run "model_io"
+    [
+      ( "model_io",
+        [
+          Alcotest.test_case "stide round trip" `Quick test_stide_round_trip;
+          Alcotest.test_case "markov round trip" `Quick test_markov_round_trip;
+          Alcotest.test_case "markov probabilities" `Quick
+            test_markov_probabilities_preserved;
+          Alcotest.test_case "stide file" `Quick test_stide_file_round_trip;
+          Alcotest.test_case "markov file" `Quick test_markov_file_round_trip;
+          Alcotest.test_case "bad inputs" `Quick test_bad_inputs_rejected;
+          Alcotest.test_case "deterministic save" `Quick test_save_is_deterministic;
+        ] );
+    ]

@@ -1,0 +1,128 @@
+open Seqdiv_stream
+open Seqdiv_detectors
+open Seqdiv_test_support
+
+let fast_params = { Neural.default_params with Neural.epochs = 120 }
+
+(* A small but structured training trace: the cycle with one rare
+   deviation, so the network has both a dominant and a rare
+   continuation to learn. *)
+let structured_trace () =
+  let symbols =
+    List.concat
+      (List.init 80 (fun i ->
+           if i = 40 then [ 0; 1; 2; 4 ] else [ 0; 1; 2; 3 ]))
+  in
+  Trace.of_list (Alphabet.make 5) symbols
+
+let test_predict_is_distribution () =
+  let model = Neural.train_with fast_params ~window:2 (structured_trace ()) in
+  let probs = Neural.predict model [| 0 |] in
+  Alcotest.(check int) "size" 5 (Array.length probs);
+  let total = Array.fold_left ( +. ) 0.0 probs in
+  check_float "sums to 1" ~epsilon:1e-6 1.0 total;
+  Array.iter (fun p -> if p < 0.0 then Alcotest.fail "negative prob") probs
+
+let test_learns_dominant_transition () =
+  let model = Neural.train_with fast_params ~window:2 (structured_trace ()) in
+  let probs = Neural.predict model [| 0 |] in
+  Alcotest.(check bool) "p(1|0) dominant" true (probs.(1) > 0.9)
+
+let test_deterministic_in_seed () =
+  let t = structured_trace () in
+  let m1 = Neural.train_with fast_params ~window:2 t in
+  let m2 = Neural.train_with fast_params ~window:2 t in
+  let p1 = Neural.predict m1 [| 2 |] and p2 = Neural.predict m2 [| 2 |] in
+  Alcotest.(check (array (float 0.0))) "same weights" p1 p2
+
+let test_seed_changes_model () =
+  let t = structured_trace () in
+  let m1 = Neural.train_with fast_params ~window:2 t in
+  let m2 =
+    Neural.train_with { fast_params with Neural.seed = 7 } ~window:2 t
+  in
+  Alcotest.(check bool) "different predictions" false
+    (Neural.predict m1 [| 2 |] = Neural.predict m2 [| 2 |])
+
+let test_training_reduces_loss () =
+  let t = structured_trace () in
+  let untrained = Neural.train_with { fast_params with Neural.epochs = 1 } ~window:2 t in
+  let trained = Neural.train_with fast_params ~window:2 t in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss shrinks (%.4f -> %.4f)" (Neural.training_loss untrained)
+       (Neural.training_loss trained))
+    true
+    (Neural.training_loss trained < Neural.training_loss untrained)
+
+let test_scores_in_range () =
+  let t = structured_trace () in
+  let model = Neural.train_with fast_params ~window:3 t in
+  let r = Neural.score model t in
+  Array.iter
+    (fun (i : Response.item) ->
+      if i.Response.score < 0.0 || i.Response.score > 1.0 then
+        Alcotest.fail "score out of range";
+      Alcotest.(check int) "cover" 3 i.Response.cover)
+    r.Response.items
+
+let test_rare_transition_scores_high () =
+  let t = structured_trace () in
+  let model = Neural.train_with fast_params ~window:2 t in
+  (* window (2,4): the rare deviation *)
+  let r = Neural.score model (Trace.of_list (Alphabet.make 5) [ 2; 4 ]) in
+  Alcotest.(check bool) "rare continuation anomalous" true
+    (Response.max_score r > 0.8);
+  (* window (2,3): the common continuation *)
+  let r2 = Neural.score model (Trace.of_list (Alphabet.make 5) [ 2; 3 ]) in
+  Alcotest.(check bool) "common continuation normal" true
+    (Response.max_score r2 < 0.2)
+
+let test_params_recorded () =
+  let t = structured_trace () in
+  let model = Neural.train_with fast_params ~window:2 t in
+  Alcotest.(check int) "epochs" fast_params.Neural.epochs
+    (Neural.params model).Neural.epochs;
+  Alcotest.(check int) "window" 2 (Neural.window model)
+
+let test_rejects_short_trace () =
+  Alcotest.check_raises "short"
+    (Invalid_argument "Neural.train: trace shorter than window") (fun () ->
+      ignore (Neural.train ~window:5 (trace8 [ 0; 1 ])))
+
+let test_mimics_markov_on_suite () =
+  (* The paper's Section 7 conclusion: the NN approximates the Markov
+     detector.  On one suite cell both should be capable. *)
+  let suite = tiny_suite () in
+  let training = suite.Seqdiv_synth.Suite.training in
+  let window = 4 in
+  let nn =
+    Neural.train_with { Neural.default_params with Neural.epochs = 250 }
+      ~window training
+  in
+  let s = Seqdiv_synth.Suite.stream suite ~anomaly_size:6 ~window in
+  let inj = s.Seqdiv_synth.Suite.injection in
+  let lo, hi =
+    Seqdiv_synth.Injector.incident_span
+      ~position:inj.Seqdiv_synth.Injector.position ~size:6 ~width:window
+  in
+  let r = Neural.score_range nn inj.Seqdiv_synth.Injector.trace ~lo ~hi in
+  Alcotest.(check bool) "capable below the diagonal" true
+    (Response.max_score r >= 1.0 -. Neural.maximal_epsilon)
+
+let () =
+  Alcotest.run "neural"
+    [
+      ( "neural",
+        [
+          Alcotest.test_case "predict distribution" `Quick test_predict_is_distribution;
+          Alcotest.test_case "learns dominant" `Quick test_learns_dominant_transition;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_in_seed;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_model;
+          Alcotest.test_case "loss decreases" `Quick test_training_reduces_loss;
+          Alcotest.test_case "scores in range" `Quick test_scores_in_range;
+          Alcotest.test_case "rare transition" `Quick test_rare_transition_scores_high;
+          Alcotest.test_case "params recorded" `Quick test_params_recorded;
+          Alcotest.test_case "rejects short" `Quick test_rejects_short_trace;
+          Alcotest.test_case "mimics markov" `Quick test_mimics_markov_on_suite;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+open Seqdiv_stream
+open Seqdiv_test_support
+
+let key l = Trace.key_of_symbols (Array.of_list l)
+
+let test_mem_per_length () =
+  let index = Ngram_index.build ~max_len:3 (trace8 [ 0; 1; 2; 0; 1 ]) in
+  Alcotest.(check bool) "1-gram" true (Ngram_index.mem index (key [ 2 ]));
+  Alcotest.(check bool) "2-gram present" true (Ngram_index.mem index (key [ 2; 0 ]));
+  Alcotest.(check bool) "2-gram absent" false (Ngram_index.mem index (key [ 1; 0 ]));
+  Alcotest.(check bool) "3-gram present" true
+    (Ngram_index.mem index (key [ 0; 1; 2 ]));
+  Alcotest.(check bool) "3-gram absent" false
+    (Ngram_index.mem index (key [ 1; 2; 1 ]))
+
+let test_count () =
+  let index = Ngram_index.build ~max_len:2 (trace8 [ 0; 1; 0; 1; 0 ]) in
+  Alcotest.(check int) "01 twice" 2 (Ngram_index.count index (key [ 0; 1 ]));
+  Alcotest.(check int) "absent" 0 (Ngram_index.count index (key [ 1; 1 ]))
+
+let test_db_access () =
+  let index = Ngram_index.build ~max_len:4 (trace8 [ 0; 1; 2; 3; 4; 5 ]) in
+  Alcotest.(check int) "max_len" 4 (Ngram_index.max_len index);
+  Alcotest.(check int) "db width" 3 (Seq_db.width (Ngram_index.db index 3));
+  Alcotest.(check int) "db totals" 3 (Seq_db.total (Ngram_index.db index 4))
+
+let test_rare_foreign () =
+  (* 0 repeated with a single 1: the 2-gram (0,1) is rare. *)
+  let symbols = List.init 200 (fun i -> if i = 100 then 1 else 0) in
+  let index = Ngram_index.build ~max_len:2 (trace8 symbols) in
+  Alcotest.(check bool) "rare" true
+    (Ngram_index.is_rare index ~threshold:0.05 (key [ 0; 1 ]));
+  Alcotest.(check bool) "common not rare" false
+    (Ngram_index.is_rare index ~threshold:0.05 (key [ 0; 0 ]));
+  Alcotest.(check bool) "foreign" true (Ngram_index.is_foreign index (key [ 1; 1 ]))
+
+let test_minimal_foreign_basic () =
+  (* trace: 0 1 2 3 0 2 ... the 2-gram (3,1) is absent while 3 and 1 occur. *)
+  let index = Ngram_index.build ~max_len:3 (trace8 [ 0; 1; 2; 3; 0; 2 ]) in
+  Alcotest.(check bool) "minimal foreign 2-gram" true
+    (Ngram_index.is_minimal_foreign index (key [ 3; 1 ]));
+  Alcotest.(check bool) "present not MFS" false
+    (Ngram_index.is_minimal_foreign index (key [ 0; 1 ]));
+  (* (1,2,3): present -> not foreign *)
+  Alcotest.(check bool) "present 3-gram" false
+    (Ngram_index.is_minimal_foreign index (key [ 1; 2; 3 ]));
+  (* (2,3,0) present; (3,0,2) present; (2,3,0,2)? max_len 3, skip *)
+  (* (0,2,3): (0,2) present, (2,3) present, full absent -> MFS *)
+  Alcotest.(check bool) "3-gram MFS" true
+    (Ngram_index.is_minimal_foreign index (key [ 0; 2; 3 ]))
+
+let test_minimal_foreign_sub_foreign () =
+  (* (1,1,2): sub 2-gram (1,1) is foreign, so not minimal. *)
+  let index = Ngram_index.build ~max_len:3 (trace8 [ 0; 1; 2; 0; 1; 2 ]) in
+  Alcotest.(check bool) "sub-foreign rejected" false
+    (Ngram_index.is_minimal_foreign index (key [ 1; 1; 2 ]))
+
+(* Brute-force reference implementation over a random trace. *)
+let brute_minimal_foreign trace candidate =
+  let occurs sub =
+    let n = Trace.length trace and m = Array.length sub in
+    let rec at pos =
+      if pos + m > n then false
+      else if Array.for_all2 (fun a b -> a = b) sub (Trace.to_array (Trace.sub trace ~pos ~len:m))
+      then true
+      else at (pos + 1)
+    in
+    at 0
+  in
+  let n = Array.length candidate in
+  n >= 2
+  && (not (occurs candidate))
+  && (let ok = ref true in
+      for len = 1 to n - 1 do
+        for pos = 0 to n - len do
+          if not (occurs (Array.sub candidate pos len)) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_matches_brute_force =
+  qcheck ~count:300 "is_minimal_foreign matches brute force"
+    QCheck.(
+      pair
+        (list_of_size Gen.(8 -- 40) (int_bound 3))
+        (list_of_size Gen.(2 -- 4) (int_bound 3)))
+    (fun (trace_syms, cand) ->
+      let trace = trace8 trace_syms in
+      let index = Ngram_index.build ~max_len:5 trace in
+      let candidate = Array.of_list cand in
+      Ngram_index.is_minimal_foreign index (Trace.key_of_symbols candidate)
+      = brute_minimal_foreign trace candidate)
+
+let prop_count_sums =
+  qcheck "counts per length sum to window count"
+    QCheck.(list_of_size Gen.(4 -- 50) (int_bound 7))
+    (fun l ->
+      let t = trace8 l in
+      let index = Ngram_index.build ~max_len:3 t in
+      List.for_all
+        (fun n ->
+          Seq_db.total (Ngram_index.db index n) = Trace.window_count t ~width:n)
+        [ 1; 2; 3 ])
+
+let () =
+  Alcotest.run "ngram_index"
+    [
+      ( "ngram_index",
+        [
+          Alcotest.test_case "mem per length" `Quick test_mem_per_length;
+          Alcotest.test_case "count" `Quick test_count;
+          Alcotest.test_case "db access" `Quick test_db_access;
+          Alcotest.test_case "rare/foreign" `Quick test_rare_foreign;
+          Alcotest.test_case "minimal foreign basics" `Quick test_minimal_foreign_basic;
+          Alcotest.test_case "sub-foreign rejected" `Quick test_minimal_foreign_sub_foreign;
+          prop_matches_brute_force;
+          prop_count_sums;
+        ] );
+    ]

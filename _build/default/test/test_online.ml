@@ -1,0 +1,163 @@
+open Seqdiv_stream
+open Seqdiv_synth
+open Seqdiv_core
+open Seqdiv_detectors
+open Seqdiv_test_support
+
+let stide_monitor ?threshold () =
+  let suite = tiny_suite () in
+  let stide =
+    Trained.train (Registry.find_exn "stide") ~window:4 suite.Suite.training
+  in
+  (suite, Online.create stide ?threshold ())
+
+let feed_all monitor symbols =
+  List.concat_map (fun s -> Online.feed monitor s) symbols
+
+let windows_scored events =
+  List.filter_map
+    (function Online.Window_scored i -> Some i | _ -> None)
+    events
+
+let test_warmup_emits_nothing () =
+  let _, monitor = stide_monitor () in
+  Alcotest.(check int) "first window-1 symbols silent" 0
+    (List.length (feed_all monitor [ 0; 1; 2 ]));
+  Alcotest.(check int) "position tracked" 3 (Online.position monitor)
+
+let test_every_symbol_after_warmup_scores () =
+  let _, monitor = stide_monitor () in
+  let events = feed_all monitor [ 0; 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "three windows" 3 (List.length (windows_scored events))
+
+let test_matches_batch_scoring () =
+  let suite, monitor = stide_monitor () in
+  let test = Suite.stream suite ~anomaly_size:3 ~window:4 in
+  let trace = test.Suite.injection.Injector.trace in
+  let symbols = Array.to_list (Trace.to_array trace) in
+  let events = feed_all monitor symbols in
+  let online_scores =
+    windows_scored events |> List.map (fun i -> i.Response.score)
+  in
+  let stide =
+    Trained.train (Registry.find_exn "stide") ~window:4 suite.Suite.training
+  in
+  let batch = Trained.score stide trace in
+  let batch_scores =
+    Array.to_list (Array.map (fun i -> i.Response.score) batch.Response.items)
+  in
+  Alcotest.(check int) "same count" (List.length batch_scores)
+    (List.length online_scores);
+  List.iter2
+    (fun a b -> Alcotest.(check (float 0.0)) "same score" a b)
+    batch_scores online_scores
+
+let test_incident_lifecycle () =
+  let suite, monitor = stide_monitor () in
+  let test = Suite.stream suite ~anomaly_size:3 ~window:4 in
+  let trace = test.Suite.injection.Injector.trace in
+  let events = feed_all monitor (Array.to_list (Trace.to_array trace)) in
+  let opened =
+    List.filter (function Online.Incident_opened _ -> true | _ -> false) events
+  in
+  let closed =
+    List.filter_map
+      (function Online.Incident_closed i -> Some i | _ -> None)
+      events
+  in
+  Alcotest.(check int) "one incident opened" 1 (List.length opened);
+  Alcotest.(check int) "one incident closed" 1 (List.length closed);
+  List.iter
+    (fun incident ->
+      Alcotest.(check bool) "incident covers the anomaly" true
+        (Incident.matches_ground_truth incident
+           ~position:test.Suite.injection.Injector.position ~size:3))
+    closed;
+  Alcotest.(check int) "recorded" 1 (List.length (Online.incidents monitor))
+
+let test_flush_closes_open_incident () =
+  let _, monitor = stide_monitor () in
+  (* Feed a foreign window at the very end of the stream: the incident
+     stays open until flush. *)
+  let events = feed_all monitor [ 0; 1; 2; 3; 0; 0; 0; 0 ] in
+  let closed_during =
+    List.filter (function Online.Incident_closed _ -> true | _ -> false) events
+  in
+  (* The all-zeros windows are foreign, so an incident opened; it only
+     closes on flush. *)
+  Alcotest.(check int) "not closed during stream" 0 (List.length closed_during);
+  let flushed = Online.flush monitor in
+  Alcotest.(check int) "flush closes" 1 (List.length flushed)
+
+let test_clean_stream_no_incidents () =
+  let suite, monitor = stide_monitor () in
+  let bg = Generator.background suite.Suite.alphabet ~len:200 ~phase:0 in
+  let events = feed_all monitor (Array.to_list (Trace.to_array bg)) in
+  Alcotest.(check int) "no incidents" 0
+    (List.length
+       (List.filter
+          (function Online.Incident_opened _ -> true | _ -> false)
+          events));
+  Alcotest.(check int) "flush finds nothing" 0 (List.length (Online.flush monitor))
+
+let test_threshold_override () =
+  let suite = tiny_suite () in
+  let lnb =
+    Trained.train (Registry.find_exn "lnb") ~window:4 suite.Suite.training
+  in
+  (* L&B never reaches 1; with a lowered threshold the monitor fires. *)
+  let strict = Online.create lnb () in
+  let lenient = Online.create lnb ~threshold:0.2 () in
+  let symbols = [ 0; 1; 2; 3; 0; 0; 0; 0; 4; 5; 6; 7 ] in
+  let fired monitor =
+    feed_all monitor symbols
+    |> List.exists (function Online.Incident_opened _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "strict silent" false (fired strict);
+  Alcotest.(check bool) "lenient fires" true (fired lenient)
+
+let prop_online_incidents_match_batch =
+  (* The streaming monitor and the batch coalescer must report the same
+     incidents for the same trace. *)
+  qcheck ~count:25 "online incidents = batch incidents"
+    QCheck.(list_of_size Gen.(10 -- 120) (int_bound 7))
+    (fun symbols ->
+      let suite = tiny_suite () in
+      let stide =
+        Trained.train (Registry.find_exn "stide") ~window:4
+          suite.Suite.training
+      in
+      let trace = trace8 symbols in
+      let batch =
+        Incident.of_response (Trained.score stide trace) ~threshold:1.0
+      in
+      let monitor = Online.create stide () in
+      List.iter (fun s -> ignore (Online.feed monitor s)) symbols;
+      ignore (Online.flush monitor);
+      let online = Online.incidents monitor in
+      List.length batch = List.length online
+      && List.for_all2
+           (fun (a : Incident.t) (b : Incident.t) ->
+             a.Incident.first_start = b.Incident.first_start
+             && a.Incident.last_start = b.Incident.last_start
+             && a.Incident.cover_from = b.Incident.cover_from
+             && a.Incident.cover_to = b.Incident.cover_to
+             && a.Incident.alarms = b.Incident.alarms)
+           batch online)
+
+let () =
+  Alcotest.run "online"
+    [
+      ( "online",
+        [
+          Alcotest.test_case "warmup" `Quick test_warmup_emits_nothing;
+          Alcotest.test_case "scores each window" `Quick
+            test_every_symbol_after_warmup_scores;
+          Alcotest.test_case "matches batch" `Quick test_matches_batch_scoring;
+          Alcotest.test_case "incident lifecycle" `Quick test_incident_lifecycle;
+          Alcotest.test_case "flush" `Quick test_flush_closes_open_incident;
+          Alcotest.test_case "clean stream" `Quick test_clean_stream_no_incidents;
+          Alcotest.test_case "threshold override" `Quick test_threshold_override;
+          prop_online_incidents_match_batch;
+        ] );
+    ]

@@ -1,0 +1,84 @@
+open Seqdiv_core
+open Seqdiv_test_support
+
+let test_classify_blind () =
+  Alcotest.(check bool) "zero is blind" true
+    (Outcome.is_blind (Outcome.classify ~epsilon:0.0 ~max_response:0.0))
+
+let test_classify_capable_exact () =
+  let o = Outcome.classify ~epsilon:0.0 ~max_response:1.0 in
+  Alcotest.(check bool) "capable" true (Outcome.is_capable o);
+  check_float "max recorded" ~epsilon:0.0 1.0 (Outcome.max_response o)
+
+let test_classify_weak () =
+  let o = Outcome.classify ~epsilon:0.0 ~max_response:0.999 in
+  Alcotest.(check bool) "weak" true (Outcome.is_weak o);
+  check_float "max recorded" ~epsilon:0.0 0.999 (Outcome.max_response o)
+
+let test_epsilon_boundary () =
+  let eps = 0.005 in
+  Alcotest.(check bool) "at 1-eps capable" true
+    (Outcome.is_capable (Outcome.classify ~epsilon:eps ~max_response:0.995));
+  Alcotest.(check bool) "just under weak" true
+    (Outcome.is_weak (Outcome.classify ~epsilon:eps ~max_response:0.9949))
+
+let test_predicates_exclusive () =
+  List.iter
+    (fun o ->
+      let count =
+        List.length
+          (List.filter
+             (fun f -> f o)
+             [ Outcome.is_blind; Outcome.is_weak; Outcome.is_capable ])
+      in
+      Alcotest.(check int) "exactly one predicate" 1 count)
+    [ Outcome.Blind; Outcome.Weak 0.4; Outcome.Capable 1.0 ]
+
+let test_chars () =
+  Alcotest.(check char) "blind" '.' (Outcome.to_char Outcome.Blind);
+  Alcotest.(check char) "weak" 'o' (Outcome.to_char (Outcome.Weak 0.5));
+  Alcotest.(check char) "capable" '*' (Outcome.to_char (Outcome.Capable 1.0))
+
+let test_to_string () =
+  Alcotest.(check string) "blind" "blind" (Outcome.to_string Outcome.Blind);
+  Alcotest.(check string) "weak" "weak(0.5000)"
+    (Outcome.to_string (Outcome.Weak 0.5))
+
+let test_equal () =
+  Alcotest.(check bool) "blind = blind" true
+    (Outcome.equal Outcome.Blind Outcome.Blind);
+  Alcotest.(check bool) "weak mismatch" false
+    (Outcome.equal (Outcome.Weak 0.1) (Outcome.Weak 0.2));
+  Alcotest.(check bool) "weak vs capable" false
+    (Outcome.equal (Outcome.Weak 1.0) (Outcome.Capable 1.0))
+
+let prop_classification_total =
+  qcheck "classification covers [0,1]"
+    QCheck.(pair (float_bound_inclusive 1.0) (float_bound_exclusive 1.0))
+    (fun (m, eps) ->
+      let o = Outcome.classify ~epsilon:eps ~max_response:m in
+      Outcome.is_blind o || Outcome.is_weak o || Outcome.is_capable o)
+
+let prop_max_response_preserved =
+  qcheck "max_response round-trips" QCheck.(float_bound_inclusive 1.0)
+    (fun m ->
+      let o = Outcome.classify ~epsilon:0.01 ~max_response:m in
+      Outcome.max_response o = m || (m = 0.0 && Outcome.is_blind o))
+
+let () =
+  Alcotest.run "outcome"
+    [
+      ( "outcome",
+        [
+          Alcotest.test_case "blind" `Quick test_classify_blind;
+          Alcotest.test_case "capable exact" `Quick test_classify_capable_exact;
+          Alcotest.test_case "weak" `Quick test_classify_weak;
+          Alcotest.test_case "epsilon boundary" `Quick test_epsilon_boundary;
+          Alcotest.test_case "exclusive predicates" `Quick test_predicates_exclusive;
+          Alcotest.test_case "chars" `Quick test_chars;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "equal" `Quick test_equal;
+          prop_classification_total;
+          prop_max_response_preserved;
+        ] );
+    ]

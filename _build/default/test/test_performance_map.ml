@@ -1,0 +1,95 @@
+open Seqdiv_core
+
+(* A synthetic map: capable iff window >= anomaly_size, weak when one
+   less, blind otherwise. *)
+let diagonal_map () =
+  Performance_map.build ~detector:"synthetic" ~anomaly_sizes:[ 2; 3; 4 ]
+    ~windows:[ 2; 3; 4; 5 ] ~f:(fun ~anomaly_size ~window ->
+      if window >= anomaly_size then Outcome.Capable 1.0
+      else if window = anomaly_size - 1 then Outcome.Weak 0.5
+      else Outcome.Blind)
+
+let test_metadata () =
+  let m = diagonal_map () in
+  Alcotest.(check string) "detector" "synthetic" (Performance_map.detector m);
+  Alcotest.(check (list int)) "anomaly sizes" [ 2; 3; 4 ]
+    (Performance_map.anomaly_sizes m);
+  Alcotest.(check (list int)) "windows" [ 2; 3; 4; 5 ]
+    (Performance_map.windows m);
+  Alcotest.(check int) "cells" 12 (Performance_map.cell_count m)
+
+let test_outcome_lookup () =
+  let m = diagonal_map () in
+  Alcotest.(check bool) "capable cell" true
+    (Outcome.is_capable (Performance_map.outcome m ~anomaly_size:3 ~window:4));
+  Alcotest.(check bool) "weak cell" true
+    (Outcome.is_weak (Performance_map.outcome m ~anomaly_size:4 ~window:3));
+  Alcotest.(check bool) "blind cell" true
+    (Outcome.is_blind (Performance_map.outcome m ~anomaly_size:4 ~window:2))
+
+let test_cell_lists () =
+  let m = diagonal_map () in
+  (* capable: AS=2 -> DW 2..5 (4), AS=3 -> 3 cells, AS=4 -> 2 cells *)
+  Alcotest.(check int) "capable" 9 (List.length (Performance_map.capable_cells m));
+  Alcotest.(check int) "weak" 2 (List.length (Performance_map.weak_cells m));
+  Alcotest.(check int) "blind" 1 (List.length (Performance_map.blind_cells m));
+  Alcotest.(check (list (pair int int))) "blind cell" [ (4, 2) ]
+    (Performance_map.blind_cells m)
+
+let test_capable_fraction () =
+  let m = diagonal_map () in
+  Alcotest.(check (float 1e-9)) "fraction" 0.75
+    (Performance_map.capable_fraction m)
+
+let test_fold_visits_all () =
+  let m = diagonal_map () in
+  let count =
+    Performance_map.fold m ~init:0 ~f:(fun acc ~anomaly_size:_ ~window:_ _ ->
+        acc + 1)
+  in
+  Alcotest.(check int) "visits each cell" 12 count
+
+let test_build_validates_ranges () =
+  Alcotest.check_raises "descending"
+    (Invalid_argument "Performance_map: range not ascending") (fun () ->
+      ignore
+        (Performance_map.build ~detector:"x" ~anomaly_sizes:[ 3; 2 ]
+           ~windows:[ 2 ] ~f:(fun ~anomaly_size:_ ~window:_ -> Outcome.Blind)));
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Performance_map: empty range") (fun () ->
+      ignore
+        (Performance_map.build ~detector:"x" ~anomaly_sizes:[] ~windows:[ 2 ]
+           ~f:(fun ~anomaly_size:_ ~window:_ -> Outcome.Blind)))
+
+let test_outcome_out_of_range () =
+  let m = diagonal_map () in
+  Alcotest.check_raises "unknown cell" Not_found (fun () ->
+      ignore (Performance_map.outcome m ~anomaly_size:99 ~window:2))
+
+let test_f_receives_correct_cells () =
+  let seen = ref [] in
+  let _ =
+    Performance_map.build ~detector:"x" ~anomaly_sizes:[ 1; 2 ]
+      ~windows:[ 5; 6 ] ~f:(fun ~anomaly_size ~window ->
+        seen := (anomaly_size, window) :: !seen;
+        Outcome.Blind)
+  in
+  Alcotest.(check (list (pair int int))) "all cells visited"
+    [ (1, 5); (1, 6); (2, 5); (2, 6) ]
+    (List.sort compare !seen)
+
+let () =
+  Alcotest.run "performance_map"
+    [
+      ( "performance_map",
+        [
+          Alcotest.test_case "metadata" `Quick test_metadata;
+          Alcotest.test_case "lookup" `Quick test_outcome_lookup;
+          Alcotest.test_case "cell lists" `Quick test_cell_lists;
+          Alcotest.test_case "capable fraction" `Quick test_capable_fraction;
+          Alcotest.test_case "fold" `Quick test_fold_visits_all;
+          Alcotest.test_case "range validation" `Quick test_build_validates_ranges;
+          Alcotest.test_case "out of range" `Quick test_outcome_out_of_range;
+          Alcotest.test_case "build visits cells" `Quick test_f_receives_correct_cells;
+        ] );
+    ]

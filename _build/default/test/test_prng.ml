@@ -1,0 +1,151 @@
+open Seqdiv_util
+open Seqdiv_test_support
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" false
+    (Prng.bits64 a = Prng.bits64 b)
+
+let test_copy_independent () =
+  let a = Prng.create ~seed:7 in
+  let _ = Prng.bits64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a)
+    (Prng.bits64 b);
+  let _ = Prng.bits64 a in
+  (* advancing a does not advance b *)
+  let a' = Prng.copy a in
+  Alcotest.(check bool) "streams diverge after extra draw" false
+    (Prng.bits64 a' = Prng.bits64 (Prng.copy b))
+
+let test_split_diverges () =
+  let a = Prng.create ~seed:9 in
+  let b = Prng.split a in
+  Alcotest.(check bool) "split produces distinct stream" false
+    (Prng.bits64 a = Prng.bits64 b)
+
+let test_int_range () =
+  let rng = Prng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 13 in
+    if v < 0 || v >= 13 then Alcotest.fail "int out of range"
+  done
+
+let test_int_covers_all () =
+  let rng = Prng.create ~seed:5 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 5_000 do
+    seen.(Prng.int rng 8) <- true
+  done;
+  Array.iteri
+    (fun i s -> Alcotest.(check bool) (Printf.sprintf "value %d drawn" i) true s)
+    seen
+
+let test_float_range () =
+  let rng = Prng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "float out of range"
+  done
+
+let test_float_mean () =
+  let rng = Prng.create ~seed:13 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float rng 1.0
+  done;
+  check_float "mean near 0.5" ~epsilon:0.01 0.5 (!sum /. float_of_int n)
+
+let test_bool_balance () =
+  let rng = Prng.create ~seed:17 in
+  let n = 50_000 in
+  let trues = ref 0 in
+  for _ = 1 to n do
+    if Prng.bool rng then incr trues
+  done;
+  check_float "bool near fair" ~epsilon:0.02 0.5
+    (float_of_int !trues /. float_of_int n)
+
+let test_choose () =
+  let rng = Prng.create ~seed:19 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    let v = Prng.choose rng a in
+    Alcotest.(check bool) "chosen from array" true (Array.mem v a)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Prng.create ~seed:23 in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Prng.shuffle_in_place rng b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" a sorted
+
+let test_shuffle_moves_something () =
+  let rng = Prng.create ~seed:29 in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Prng.shuffle_in_place rng b;
+  Alcotest.(check bool) "shuffle changed order" true (a <> b)
+
+let test_gaussian_moments () =
+  let rng = Prng.create ~seed:31 in
+  let n = 100_000 in
+  let sum = ref 0.0 and sum2 = ref 0.0 in
+  for _ = 1 to n do
+    let v = Prng.gaussian rng in
+    sum := !sum +. v;
+    sum2 := !sum2 +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  check_float "gaussian mean near 0" ~epsilon:0.02 0.0 mean;
+  check_float "gaussian variance near 1" ~epsilon:0.03 1.0 var
+
+let prop_int_bounds =
+  qcheck "int stays in [0,n)" QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, n) ->
+      let n = n + 1 in
+      let rng = Prng.create ~seed in
+      let v = Prng.int rng n in
+      v >= 0 && v < n)
+
+let prop_float_bounds =
+  qcheck "float stays in [0,x)" QCheck.(pair small_int (float_bound_exclusive 100.0))
+    (fun (seed, x) ->
+      QCheck.assume (x > 0.0);
+      let rng = Prng.create ~seed in
+      let v = Prng.float rng x in
+      v >= 0.0 && v < x)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_diverges;
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "int covers all" `Quick test_int_covers_all;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "bool balance" `Quick test_bool_balance;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_something;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          prop_int_bounds;
+          prop_float_bounds;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+open Seqdiv_detectors
+
+let item start cover score = { Response.start; cover; score }
+
+let make items = Response.make ~detector:"test" ~window:3 (Array.of_list items)
+
+let test_make_valid () =
+  let r = make [ item 0 3 0.0; item 1 3 0.5; item 2 3 1.0 ] in
+  Alcotest.(check int) "length" 3 (Response.length r)
+
+let test_make_rejects_bad_score () =
+  Alcotest.check_raises "score > 1"
+    (Invalid_argument "Response.make: score out of [0,1]") (fun () ->
+      ignore (make [ item 0 3 1.5 ]));
+  Alcotest.check_raises "score < 0"
+    (Invalid_argument "Response.make: score out of [0,1]") (fun () ->
+      ignore (make [ item 0 3 (-0.1) ]))
+
+let test_make_rejects_bad_cover () =
+  Alcotest.check_raises "cover 0"
+    (Invalid_argument "Response.make: non-positive cover") (fun () ->
+      ignore (make [ item 0 0 0.5 ]))
+
+let test_make_rejects_unsorted () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Response.make: unsorted starts") (fun () ->
+      ignore (make [ item 5 3 0.5; item 1 3 0.5 ]))
+
+let test_max_score () =
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Response.max_score (make []));
+  Alcotest.(check (float 0.0)) "max" 0.8
+    (Response.max_score (make [ item 0 3 0.3; item 1 3 0.8; item 2 3 0.1 ]))
+
+let test_over_and_count () =
+  let r = make [ item 0 3 0.2; item 1 3 0.9; item 2 3 0.9 ] in
+  Alcotest.(check int) "count" 2 (Response.count_over r ~threshold:0.9);
+  Alcotest.(check int) "over" 2 (List.length (Response.over r ~threshold:0.9));
+  Alcotest.(check int) "all" 3 (Response.count_over r ~threshold:0.0)
+
+let test_restrict () =
+  (* items cover [start, start+2] *)
+  let r = make [ item 0 3 0.1; item 5 3 0.2; item 10 3 0.3 ] in
+  let sub = Response.restrict r ~lo:6 ~hi:9 in
+  (* item 5 covers 5..7 (intersects), item 10 covers 10..12 (no) *)
+  Alcotest.(check int) "restricted" 1 (Response.length sub);
+  let sub2 = Response.restrict r ~lo:0 ~hi:100 in
+  Alcotest.(check int) "all intersect" 3 (Response.length sub2);
+  let sub3 = Response.restrict r ~lo:3 ~hi:4 in
+  Alcotest.(check int) "none intersect" 0 (Response.length sub3)
+
+let test_binarize () =
+  let r = make [ item 0 3 0.2; item 1 3 0.7 ] in
+  let b = Response.binarize r ~threshold:0.5 in
+  let scores =
+    Array.to_list (Array.map (fun i -> i.Response.score) b.Response.items)
+  in
+  Alcotest.(check (list (float 0.0))) "binary" [ 0.0; 1.0 ] scores
+
+let test_metadata_preserved () =
+  let r = make [ item 0 3 0.5 ] in
+  Alcotest.(check string) "detector" "test" r.Response.detector;
+  Alcotest.(check int) "window" 3 r.Response.window
+
+let () =
+  Alcotest.run "response"
+    [
+      ( "response",
+        [
+          Alcotest.test_case "make valid" `Quick test_make_valid;
+          Alcotest.test_case "rejects bad score" `Quick test_make_rejects_bad_score;
+          Alcotest.test_case "rejects bad cover" `Quick test_make_rejects_bad_cover;
+          Alcotest.test_case "rejects unsorted" `Quick test_make_rejects_unsorted;
+          Alcotest.test_case "max score" `Quick test_max_score;
+          Alcotest.test_case "over/count" `Quick test_over_and_count;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "binarize" `Quick test_binarize;
+          Alcotest.test_case "metadata" `Quick test_metadata_preserved;
+        ] );
+    ]

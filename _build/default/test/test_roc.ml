@@ -1,0 +1,106 @@
+open Seqdiv_core
+open Seqdiv_detectors
+open Seqdiv_test_support
+
+let response scores =
+  Response.make ~detector:"x" ~window:2
+    (Array.of_list
+       (List.mapi
+          (fun i s -> { Response.start = i; cover = 2; score = s })
+          scores))
+
+let test_sweep_basic () =
+  let clean = response [ 0.0; 0.2; 0.9; 0.1 ] in
+  let spans = [ response [ 1.0 ]; response [ 0.5 ] ] in
+  let points = Roc.sweep ~clean ~spans ~thresholds:[ 0.4; 0.95 ] in
+  (match points with
+  | [ p1; p2 ] ->
+      check_float "hit rate at 0.4" ~epsilon:1e-9 1.0 p1.Roc.hit_rate;
+      check_float "fa rate at 0.4 (0.9 only)" ~epsilon:1e-9 0.25 p1.Roc.fa_rate;
+      check_float "hit rate at 0.95" ~epsilon:1e-9 0.5 p2.Roc.hit_rate;
+      check_float "fa rate at 0.95" ~epsilon:1e-9 0.0 p2.Roc.fa_rate
+  | _ -> Alcotest.fail "expected two points")
+
+let test_sweep_requires_spans () =
+  Alcotest.check_raises "no spans" (Invalid_argument "Roc.sweep: no spans")
+    (fun () ->
+      ignore (Roc.sweep ~clean:(response []) ~spans:[] ~thresholds:[ 0.5 ]))
+
+let test_default_thresholds () =
+  Alcotest.(check int) "grid size" 101 (List.length Roc.default_thresholds);
+  check_float "first" ~epsilon:0.0 0.0 (List.hd Roc.default_thresholds);
+  check_float "last" ~epsilon:1e-9 1.0
+    (List.nth Roc.default_thresholds 100)
+
+let test_auc_perfect () =
+  (* A perfect detector: full hit rate at zero FA rate. *)
+  let points =
+    [ { Roc.threshold = 0.9; hit_rate = 1.0; fa_rate = 0.0 } ]
+  in
+  check_float "perfect auc" ~epsilon:1e-9 1.0 (Roc.auc points)
+
+let test_auc_useless () =
+  (* hit rate equals fa rate everywhere: diagonal, AUC 1/2. *)
+  let points =
+    List.map
+      (fun x ->
+        { Roc.threshold = x; hit_rate = x; fa_rate = x })
+      [ 0.25; 0.5; 0.75 ]
+  in
+  check_float "diagonal auc" ~epsilon:1e-9 0.5 (Roc.auc points)
+
+let test_auc_empty_uses_anchors () =
+  check_float "anchors only" ~epsilon:1e-9 0.5 (Roc.auc [])
+
+let test_sweep_on_suite () =
+  (* End-to-end: the Markov detector on the small suite — high hit rate
+     at every threshold, small FA rate at high thresholds. *)
+  let suite = small_suite () in
+  let window = 6 in
+  let markov =
+    Trained.train (Seqdiv_detectors.Registry.find_exn "markov") ~window
+      suite.Seqdiv_synth.Suite.training
+  in
+  let deploy = Deployment.deployment_stream suite ~len:10_000 ~seed:4 in
+  let clean = Trained.score markov deploy in
+  let spans =
+    List.map
+      (fun anomaly_size ->
+        let t = Seqdiv_synth.Suite.stream suite ~anomaly_size ~window in
+        Scoring.incident_response markov t.Seqdiv_synth.Suite.injection)
+      [ 2; 5; 9 ]
+  in
+  let points = Roc.sweep ~clean ~spans ~thresholds:[ 0.5; 0.995 ] in
+  List.iter
+    (fun p ->
+      check_float "all spans hit" ~epsilon:1e-9 1.0 p.Roc.hit_rate;
+      Alcotest.(check bool) "fa rate below 5%" true (p.Roc.fa_rate < 0.05))
+    points
+
+let prop_fa_rate_monotone =
+  qcheck ~count:50 "fa rate non-increasing in threshold"
+    QCheck.(small_list (float_bound_inclusive 1.0))
+    (fun scores ->
+      let clean = response scores in
+      let spans = [ response [ 1.0 ] ] in
+      match
+        Roc.sweep ~clean ~spans ~thresholds:[ 0.1; 0.5; 0.9 ]
+      with
+      | [ a; b; c ] -> a.Roc.fa_rate >= b.Roc.fa_rate && b.Roc.fa_rate >= c.Roc.fa_rate
+      | _ -> false)
+
+let () =
+  Alcotest.run "roc"
+    [
+      ( "roc",
+        [
+          Alcotest.test_case "sweep basic" `Quick test_sweep_basic;
+          Alcotest.test_case "requires spans" `Quick test_sweep_requires_spans;
+          Alcotest.test_case "default thresholds" `Quick test_default_thresholds;
+          Alcotest.test_case "auc perfect" `Quick test_auc_perfect;
+          Alcotest.test_case "auc diagonal" `Quick test_auc_useless;
+          Alcotest.test_case "auc anchors" `Quick test_auc_empty_uses_anchors;
+          Alcotest.test_case "sweep on suite" `Quick test_sweep_on_suite;
+          prop_fa_rate_monotone;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+open Seqdiv_util
+open Seqdiv_test_support
+
+let test_normalisation () =
+  let d = Sampling.of_weights [| 2.0; 6.0 |] in
+  check_float "p0" ~epsilon:1e-9 0.25 (Sampling.prob d 0);
+  check_float "p1" ~epsilon:1e-9 0.75 (Sampling.prob d 1)
+
+let test_size () =
+  let d = Sampling.of_weights [| 1.0; 0.0; 3.0 |] in
+  Alcotest.(check int) "size includes zeros" 3 (Sampling.size d)
+
+let test_support () =
+  let d = Sampling.of_weights [| 1.0; 0.0; 3.0; 0.0 |] in
+  Alcotest.(check (list int)) "support skips zeros" [ 0; 2 ] (Sampling.support d)
+
+let test_draw_in_support () =
+  let d = Sampling.of_weights [| 0.0; 1.0; 0.0; 2.0; 0.0 |] in
+  let rng = Prng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Sampling.draw d rng in
+    if v <> 1 && v <> 3 then
+      Alcotest.fail (Printf.sprintf "drew zero-probability outcome %d" v)
+  done
+
+let test_draw_frequencies () =
+  let d = Sampling.of_weights [| 1.0; 3.0 |] in
+  let rng = Prng.create ~seed:7 in
+  let n = 100_000 in
+  let ones = ref 0 in
+  for _ = 1 to n do
+    if Sampling.draw d rng = 1 then incr ones
+  done;
+  check_float "empirical frequency" ~epsilon:0.01 0.75
+    (float_of_int !ones /. float_of_int n)
+
+let test_draw_rare () =
+  (* Rare outcomes must still be drawn at roughly their probability. *)
+  let d = Sampling.of_weights [| 0.999; 0.001 |] in
+  let rng = Prng.create ~seed:11 in
+  let n = 200_000 in
+  let rare = ref 0 in
+  for _ = 1 to n do
+    if Sampling.draw d rng = 1 then incr rare
+  done;
+  check_float "rare frequency" ~epsilon:0.0005 0.001
+    (float_of_int !rare /. float_of_int n)
+
+let test_entropy () =
+  check_float "fair coin" ~epsilon:1e-9 1.0
+    (Sampling.entropy (Sampling.of_weights [| 1.0; 1.0 |]));
+  check_float "deterministic" ~epsilon:1e-9 0.0
+    (Sampling.entropy (Sampling.of_weights [| 5.0 |]));
+  check_float "zeros ignored" ~epsilon:1e-9 1.0
+    (Sampling.entropy (Sampling.of_weights [| 1.0; 0.0; 1.0 |]))
+
+let test_singleton () =
+  let d = Sampling.of_weights [| 7.0 |] in
+  let rng = Prng.create ~seed:13 in
+  Alcotest.(check int) "only outcome" 0 (Sampling.draw d rng)
+
+let positive_weights =
+  QCheck.(
+    map
+      (fun (x, xs) -> Array.of_list (List.map (fun w -> w +. 0.01) (x :: xs)))
+      (pair (float_bound_inclusive 10.0) (small_list (float_bound_inclusive 10.0))))
+
+let prop_probs_sum_to_one =
+  qcheck "probabilities sum to 1" positive_weights (fun w ->
+      let d = Sampling.of_weights w in
+      let total = ref 0.0 in
+      for i = 0 to Sampling.size d - 1 do
+        total := !total +. Sampling.prob d i
+      done;
+      Float.abs (!total -. 1.0) < 1e-9)
+
+let prop_draw_valid =
+  qcheck "draws are valid indices" QCheck.(pair positive_weights small_int)
+    (fun (w, seed) ->
+      let d = Sampling.of_weights w in
+      let rng = Prng.create ~seed in
+      let v = Sampling.draw d rng in
+      v >= 0 && v < Sampling.size d && Sampling.prob d v > 0.0)
+
+let () =
+  Alcotest.run "sampling"
+    [
+      ( "sampling",
+        [
+          Alcotest.test_case "normalisation" `Quick test_normalisation;
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "draw in support" `Quick test_draw_in_support;
+          Alcotest.test_case "draw frequencies" `Quick test_draw_frequencies;
+          Alcotest.test_case "draw rare" `Quick test_draw_rare;
+          Alcotest.test_case "entropy" `Quick test_entropy;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          prop_probs_sum_to_one;
+          prop_draw_valid;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+open Seqdiv_stream
+open Seqdiv_test_support
+
+let key l = Trace.key_of_symbols (Array.of_list l)
+
+let test_empty () =
+  let db = Seq_db.create ~width:3 in
+  Alcotest.(check int) "total" 0 (Seq_db.total db);
+  Alcotest.(check int) "cardinal" 0 (Seq_db.cardinal db);
+  Alcotest.(check bool) "mem" false (Seq_db.mem db (key [ 0; 1; 2 ]));
+  check_float "freq" ~epsilon:0.0 0.0 (Seq_db.freq db (key [ 0; 1; 2 ]))
+
+let test_add_counts () =
+  let db = Seq_db.create ~width:2 in
+  Seq_db.add db (key [ 0; 1 ]);
+  Seq_db.add db (key [ 0; 1 ]);
+  Seq_db.add db (key [ 1; 2 ]);
+  Alcotest.(check int) "total" 3 (Seq_db.total db);
+  Alcotest.(check int) "cardinal" 2 (Seq_db.cardinal db);
+  Alcotest.(check int) "count" 2 (Seq_db.count db (key [ 0; 1 ]));
+  check_float "freq" ~epsilon:1e-9 (2.0 /. 3.0) (Seq_db.freq db (key [ 0; 1 ]))
+
+let test_of_trace () =
+  (* 0 1 0 1 0 -> 2-windows: 01 10 01 10 *)
+  let db = Seq_db.of_trace ~width:2 (trace8 [ 0; 1; 0; 1; 0 ]) in
+  Alcotest.(check int) "total = window count" 4 (Seq_db.total db);
+  Alcotest.(check int) "cardinal" 2 (Seq_db.cardinal db);
+  Alcotest.(check int) "01 twice" 2 (Seq_db.count db (key [ 0; 1 ]))
+
+let test_classification () =
+  let db = Seq_db.create ~width:1 in
+  for _ = 1 to 99 do
+    Seq_db.add db (key [ 0 ])
+  done;
+  Seq_db.add db (key [ 1 ]);
+  let threshold = 0.05 in
+  Alcotest.(check bool) "common" true (Seq_db.is_common db ~threshold (key [ 0 ]));
+  Alcotest.(check bool) "rare" true (Seq_db.is_rare db ~threshold (key [ 1 ]));
+  Alcotest.(check bool) "foreign" true (Seq_db.is_foreign db (key [ 2 ]));
+  Alcotest.(check bool) "foreign not rare" false
+    (Seq_db.is_rare db ~threshold (key [ 2 ]));
+  Alcotest.(check bool) "rare not common" false
+    (Seq_db.is_common db ~threshold (key [ 1 ]))
+
+let test_rare_common_keys () =
+  let db = Seq_db.create ~width:1 in
+  for _ = 1 to 99 do
+    Seq_db.add db (key [ 0 ])
+  done;
+  Seq_db.add db (key [ 1 ]);
+  Alcotest.(check (list string)) "rare keys" [ key [ 1 ] ]
+    (Seq_db.rare_keys db ~threshold:0.05);
+  Alcotest.(check (list string)) "common keys" [ key [ 0 ] ]
+    (Seq_db.common_keys db ~threshold:0.05)
+
+let test_boundary_threshold () =
+  (* Frequency exactly at the threshold counts as common, not rare. *)
+  let db = Seq_db.create ~width:1 in
+  Seq_db.add db (key [ 0 ]);
+  Seq_db.add db (key [ 1 ]);
+  Alcotest.(check bool) "at threshold is common" true
+    (Seq_db.is_common db ~threshold:0.5 (key [ 0 ]));
+  Alcotest.(check bool) "at threshold not rare" false
+    (Seq_db.is_rare db ~threshold:0.5 (key [ 0 ]))
+
+let test_fold_iter_agree () =
+  let db = Seq_db.of_trace ~width:2 (trace8 [ 0; 1; 2; 3; 0; 1 ]) in
+  let via_fold = Seq_db.fold db ~init:0 ~f:(fun acc _ c -> acc + c) in
+  let via_iter = ref 0 in
+  Seq_db.iter db (fun _ c -> via_iter := !via_iter + c);
+  Alcotest.(check int) "fold = iter" via_fold !via_iter;
+  Alcotest.(check int) "= total" (Seq_db.total db) via_fold
+
+let symbols_gen = QCheck.(list_of_size Gen.(5 -- 60) (int_bound 7))
+
+let prop_total_equals_windows =
+  qcheck "total = window count" QCheck.(pair symbols_gen (int_range 1 4))
+    (fun (l, width) ->
+      QCheck.assume (List.length l >= width);
+      let t = trace8 l in
+      let db = Seq_db.of_trace ~width t in
+      Seq_db.total db = Trace.window_count t ~width)
+
+let prop_every_window_member =
+  qcheck "every window is a member" QCheck.(pair symbols_gen (int_range 1 4))
+    (fun (l, width) ->
+      QCheck.assume (List.length l >= width);
+      let t = trace8 l in
+      let db = Seq_db.of_trace ~width t in
+      let ok = ref true in
+      Trace.iter_windows t ~width (fun pos ->
+          if not (Seq_db.mem db (Trace.key t ~pos ~len:width)) then ok := false);
+      !ok)
+
+let prop_freqs_sum_to_one =
+  qcheck "relative frequencies sum to 1" QCheck.(pair symbols_gen (int_range 1 3))
+    (fun (l, width) ->
+      QCheck.assume (List.length l >= width);
+      let db = Seq_db.of_trace ~width (trace8 l) in
+      let total = Seq_db.fold db ~init:0.0 ~f:(fun acc k _ -> acc +. Seq_db.freq db k) in
+      Float.abs (total -. 1.0) < 1e-9)
+
+let () =
+  Alcotest.run "seq_db"
+    [
+      ( "seq_db",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add counts" `Quick test_add_counts;
+          Alcotest.test_case "of_trace" `Quick test_of_trace;
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "rare/common keys" `Quick test_rare_common_keys;
+          Alcotest.test_case "threshold boundary" `Quick test_boundary_threshold;
+          Alcotest.test_case "fold/iter agree" `Quick test_fold_iter_agree;
+          prop_total_equals_windows;
+          prop_every_window_member;
+          prop_freqs_sum_to_one;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+open Seqdiv_util
+open Seqdiv_stream
+open Seqdiv_test_support
+
+let key l = Trace.key_of_symbols (Array.of_list l)
+
+let test_empty () =
+  let t = Seq_trie.create ~alphabet_size:8 ~max_len:4 in
+  Alcotest.(check int) "count" 0 (Seq_trie.count t (key [ 0; 1 ]));
+  Alcotest.(check bool) "foreign" true (Seq_trie.is_foreign t (key [ 0 ]));
+  Alcotest.(check int) "total" 0 (Seq_trie.total t 2);
+  Alcotest.(check int) "one node (root)" 1 (Seq_trie.node_count t)
+
+let test_add_counts_prefixes () =
+  let t = Seq_trie.create ~alphabet_size:8 ~max_len:3 in
+  Seq_trie.add t [| 0; 1; 2 |];
+  Seq_trie.add t [| 0; 1; 3 |];
+  Alcotest.(check int) "prefix 0" 2 (Seq_trie.count t (key [ 0 ]));
+  Alcotest.(check int) "prefix 01" 2 (Seq_trie.count t (key [ 0; 1 ]));
+  Alcotest.(check int) "012" 1 (Seq_trie.count t (key [ 0; 1; 2 ]));
+  Alcotest.(check int) "distinct at 3" 2 (Seq_trie.distinct t 3);
+  Alcotest.(check int) "distinct at 2" 1 (Seq_trie.distinct t 2)
+
+let test_of_trace_totals () =
+  let trace = trace8 [ 0; 1; 2; 3; 4 ] in
+  let t = Seq_trie.of_trace ~max_len:3 trace in
+  Alcotest.(check int) "total 1-grams" 5 (Seq_trie.total t 1);
+  Alcotest.(check int) "total 2-grams" 4 (Seq_trie.total t 2);
+  Alcotest.(check int) "total 3-grams" 3 (Seq_trie.total t 3)
+
+let test_freq () =
+  let trace = trace8 [ 0; 1; 0; 1; 0 ] in
+  let t = Seq_trie.of_trace ~max_len:2 trace in
+  check_float "freq 01" ~epsilon:1e-9 0.5 (Seq_trie.freq t (key [ 0; 1 ]));
+  check_float "freq absent" ~epsilon:0.0 0.0 (Seq_trie.freq t (key [ 1; 1 ]))
+
+let test_is_rare () =
+  let symbols = List.init 200 (fun i -> if i = 100 then 2 else i mod 2) in
+  let t = Seq_trie.of_trace ~max_len:2 (trace8 symbols) in
+  Alcotest.(check bool) "rare symbol" true
+    (Seq_trie.is_rare t ~threshold:0.05 (key [ 2 ]));
+  Alcotest.(check bool) "common not rare" false
+    (Seq_trie.is_rare t ~threshold:0.05 (key [ 0 ]));
+  Alcotest.(check bool) "foreign not rare" false
+    (Seq_trie.is_rare t ~threshold:0.05 (key [ 3 ]))
+
+let test_agrees_with_ngram_index () =
+  let suite = tiny_suite () in
+  let training =
+    Trace.sub suite.Seqdiv_synth.Suite.training ~pos:0 ~len:5_000
+  in
+  let trie = Seq_trie.of_trace ~max_len:6 training in
+  let index = Ngram_index.build ~max_len:6 training in
+  Alcotest.(check bool) "full agreement" true
+    (Seq_trie.check_agrees_with_index trie index training)
+
+let test_memory_and_stats () =
+  let trace = trace8 [ 0; 1; 2; 3 ] in
+  let t = Seq_trie.of_trace ~max_len:2 trace in
+  Alcotest.(check bool) "memory positive" true (Seq_trie.memory_words t > 0);
+  let s = Format.asprintf "%a" Seq_trie.pp_stats t in
+  Alcotest.(check bool) "stats mentions nodes" true
+    (String.length s > 0 && String.sub s 0 5 = "trie{")
+
+let test_random_probe () =
+  let t = Seq_trie.create ~alphabet_size:8 ~max_len:5 in
+  let rng = Prng.create ~seed:1 in
+  let p = Seq_trie.random_probe t rng ~len:4 in
+  Alcotest.(check int) "length" 4 (String.length p);
+  String.iter (fun c -> Alcotest.(check bool) "in alphabet" true (Char.code c < 8)) p
+
+let symbols_gen = QCheck.(list_of_size Gen.(3 -- 80) (int_bound 7))
+
+let prop_counts_match_hash_index =
+  qcheck ~count:80 "trie counts = hash-index counts" symbols_gen (fun l ->
+      let trace = trace8 l in
+      let depth = Stdlib.min 4 (List.length l) in
+      let trie = Seq_trie.of_trace ~max_len:depth trace in
+      let index = Ngram_index.build ~max_len:depth trace in
+      Seq_trie.check_agrees_with_index trie index trace)
+
+let prop_distinct_matches =
+  qcheck ~count:80 "trie distinct = hash-index cardinal" symbols_gen (fun l ->
+      let trace = trace8 l in
+      let depth = Stdlib.min 3 (List.length l) in
+      let trie = Seq_trie.of_trace ~max_len:depth trace in
+      let index = Ngram_index.build ~max_len:depth trace in
+      List.for_all
+        (fun n -> Seq_trie.distinct trie n = Seq_db.cardinal (Ngram_index.db index n))
+        (List.init depth (fun i -> i + 1)))
+
+let prop_totals_match_window_counts =
+  qcheck ~count:80 "trie totals = window counts" symbols_gen (fun l ->
+      let trace = trace8 l in
+      let depth = Stdlib.min 4 (List.length l) in
+      let trie = Seq_trie.of_trace ~max_len:depth trace in
+      List.for_all
+        (fun n -> Seq_trie.total trie n = Trace.window_count trace ~width:n)
+        (List.init depth (fun i -> i + 1)))
+
+let () =
+  Alcotest.run "seq_trie"
+    [
+      ( "seq_trie",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add counts prefixes" `Quick test_add_counts_prefixes;
+          Alcotest.test_case "of_trace totals" `Quick test_of_trace_totals;
+          Alcotest.test_case "freq" `Quick test_freq;
+          Alcotest.test_case "is_rare" `Quick test_is_rare;
+          Alcotest.test_case "agrees with ngram index" `Quick
+            test_agrees_with_ngram_index;
+          Alcotest.test_case "memory/stats" `Quick test_memory_and_stats;
+          Alcotest.test_case "random probe" `Quick test_random_probe;
+          prop_counts_match_hash_index;
+          prop_distinct_matches;
+          prop_totals_match_window_counts;
+        ] );
+    ]

@@ -1,0 +1,107 @@
+open Seqdiv_util
+open Seqdiv_test_support
+
+let test_mean () =
+  check_float "mean" ~epsilon:1e-9 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  check_float "singleton" ~epsilon:1e-9 5.0 (Stats.mean [| 5.0 |])
+
+let test_variance () =
+  check_float "variance of constant" ~epsilon:1e-9 0.0
+    (Stats.variance [| 4.0; 4.0; 4.0 |]);
+  (* population variance of 1..5 is 2 *)
+  check_float "variance" ~epsilon:1e-9 2.0
+    (Stats.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_stddev () =
+  check_float "stddev" ~epsilon:1e-9 (sqrt 2.0)
+    (Stats.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 7.5; 2.0 |] in
+  check_float "min" ~epsilon:1e-9 (-1.0) lo;
+  check_float "max" ~epsilon:1e-9 7.5 hi
+
+let test_percentile () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "p0" ~epsilon:1e-9 1.0 (Stats.percentile a 0.0);
+  check_float "p100" ~epsilon:1e-9 4.0 (Stats.percentile a 100.0);
+  check_float "p50 interpolates" ~epsilon:1e-9 2.5 (Stats.percentile a 50.0);
+  check_float "singleton" ~epsilon:1e-9 9.0 (Stats.percentile [| 9.0 |] 75.0)
+
+let test_median () =
+  check_float "odd" ~epsilon:1e-9 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  check_float "even" ~epsilon:1e-9 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_percentile_unsorted_input () =
+  let a = [| 9.0; 1.0; 5.0 |] in
+  check_float "sorts internally" ~epsilon:1e-9 5.0 (Stats.percentile a 50.0);
+  (* input untouched *)
+  Alcotest.(check (array (float 0.0))) "input preserved" [| 9.0; 1.0; 5.0 |] a
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:2 [| 0.0; 0.25; 0.75; 1.0 |] in
+  Alcotest.(check int) "two buckets" 2 (Array.length h);
+  let _, _, c0 = h.(0) and _, _, c1 = h.(1) in
+  Alcotest.(check int) "lower bucket" 2 c0;
+  Alcotest.(check int) "upper bucket (closed right)" 2 c1
+
+let test_histogram_constant () =
+  let h = Stats.histogram ~bins:3 [| 2.0; 2.0 |] in
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all counted" 2 total
+
+let test_rate () =
+  check_float "rate" ~epsilon:1e-9 0.25 (Stats.rate ~count:1 ~total:4);
+  check_float "zero total" ~epsilon:1e-9 0.0 (Stats.rate ~count:0 ~total:0)
+
+let nonempty_floats =
+  QCheck.(
+    map
+      (fun (x, xs) -> Array.of_list (x :: xs))
+      (pair (float_bound_inclusive 1000.0) (small_list (float_bound_inclusive 1000.0))))
+
+let prop_mean_bounds =
+  qcheck "mean within min..max" nonempty_floats (fun a ->
+      let lo, hi = Stats.min_max a in
+      let m = Stats.mean a in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_variance_nonneg =
+  qcheck "variance non-negative" nonempty_floats (fun a ->
+      Stats.variance a >= -1e-9)
+
+let prop_percentile_monotone =
+  qcheck "percentile monotone in p"
+    QCheck.(pair nonempty_floats (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (a, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile a lo <= Stats.percentile a hi +. 1e-9)
+
+let prop_histogram_total =
+  qcheck "histogram counts everything"
+    QCheck.(pair (int_range 1 10) nonempty_floats)
+    (fun (bins, a) ->
+      let h = Stats.histogram ~bins a in
+      Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h = Array.length a)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "variance" `Quick test_variance;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "min_max" `Quick test_min_max;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "percentile input" `Quick test_percentile_unsorted_input;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram constant" `Quick test_histogram_constant;
+          Alcotest.test_case "rate" `Quick test_rate;
+          prop_mean_bounds;
+          prop_variance_nonneg;
+          prop_percentile_monotone;
+          prop_histogram_total;
+        ] );
+    ]

@@ -1,0 +1,74 @@
+open Seqdiv_stream
+open Seqdiv_test_support
+
+let test_round_trip () =
+  let t = trace8 [ 0; 7; 3; 3; 1; 2; 4; 5; 6; 0 ] in
+  let t' = Trace_io.of_string (Trace_io.to_string t) in
+  Alcotest.(check bool) "round trip" true (Trace.equal t t');
+  Alcotest.(check int) "alphabet size preserved" 8
+    (Alphabet.size (Trace.alphabet t'))
+
+let test_round_trip_long () =
+  (* Exercise the 16-per-line wrapping. *)
+  let t = Trace.of_array alphabet8 (Array.init 100 (fun i -> i mod 8)) in
+  Alcotest.(check bool) "long round trip" true
+    (Trace.equal t (Trace_io.of_string (Trace_io.to_string t)))
+
+let test_header () =
+  let s = Trace_io.to_string (trace8 [ 1; 2 ]) in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 11 && String.sub s 0 11 = "#alphabet 8")
+
+let test_malformed_header () =
+  Alcotest.check_raises "no header"
+    (Failure "Trace_io.of_string: malformed header") (fun () ->
+      ignore (Trace_io.of_string "1 2 3"))
+
+let test_bad_token () =
+  Alcotest.check_raises "bad token"
+    (Failure "Trace_io.of_string: bad token \"x\"") (fun () ->
+      ignore (Trace_io.of_string "#alphabet 8\n1 x 3"))
+
+let test_out_of_range_symbol () =
+  Alcotest.check_raises "symbol out of range"
+    (Failure "Trace_io.of_string: Trace.of_array: symbol 9 out of range")
+    (fun () -> ignore (Trace_io.of_string "#alphabet 8\n1 9"))
+
+let test_bad_alphabet_size () =
+  Alcotest.check_raises "alphabet size"
+    (Failure "Trace_io.of_string: alphabet size out of range") (fun () ->
+      ignore (Trace_io.of_string "#alphabet 900\n1 2"))
+
+let test_file_round_trip () =
+  let path = Filename.temp_file "seqdiv" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let t = trace8 [ 5; 4; 3; 2; 1 ] in
+      Trace_io.to_file path t;
+      Alcotest.(check bool) "file round trip" true
+        (Trace.equal t (Trace_io.of_file path)))
+
+let prop_round_trip =
+  qcheck "string round trip"
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 7))
+    (fun l ->
+      let t = trace8 l in
+      Trace.equal t (Trace_io.of_string (Trace_io.to_string t)))
+
+let () =
+  Alcotest.run "trace_io"
+    [
+      ( "trace_io",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "round trip long" `Quick test_round_trip_long;
+          Alcotest.test_case "header" `Quick test_header;
+          Alcotest.test_case "malformed header" `Quick test_malformed_header;
+          Alcotest.test_case "bad token" `Quick test_bad_token;
+          Alcotest.test_case "out of range" `Quick test_out_of_range_symbol;
+          Alcotest.test_case "bad alphabet" `Quick test_bad_alphabet_size;
+          Alcotest.test_case "file round trip" `Quick test_file_round_trip;
+          prop_round_trip;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Unit tests for the Trained wrapper and the Scoring pipeline, using a
+   stub detector with fully predictable behaviour. *)
+
+open Seqdiv_stream
+open Seqdiv_detectors
+open Seqdiv_synth
+open Seqdiv_core
+open Seqdiv_test_support
+
+(* A stub detector: scores 1 exactly on windows whose first symbol is 7,
+   0.5 on windows whose first symbol is 6, else 0. *)
+module Stub : Detector.S = struct
+  type model = { window : int }
+
+  let name = "stub"
+  let maximal_epsilon = 0.0
+  let train ~window _trace = { window }
+  let window m = m.window
+
+  let score_range m trace ~lo ~hi =
+    let lo, hi =
+      Detector.clamp_range ~trace_len:(Trace.length trace) ~window:m.window
+        ~lo ~hi
+    in
+    let n = Stdlib.max 0 (hi - lo + 1) in
+    let items =
+      Array.init n (fun i ->
+          let start = lo + i in
+          let score =
+            match Trace.get trace start with 7 -> 1.0 | 6 -> 0.5 | _ -> 0.0
+          in
+          { Response.start; cover = m.window; score })
+    in
+    Response.make ~detector:name ~window:m.window items
+
+  let score m trace =
+    let lo, hi =
+      Detector.full_range ~trace_len:(Trace.length trace) ~window:m.window
+    in
+    score_range m trace ~lo ~hi
+end
+
+let stub = (module Stub : Detector.S)
+
+let any_trace = trace8 [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_trained_accessors () =
+  let t = Trained.train stub ~window:3 any_trace in
+  Alcotest.(check string) "name" "stub" (Trained.name t);
+  Alcotest.(check int) "window" 3 (Trained.window t);
+  check_float "epsilon" ~epsilon:0.0 0.0 (Trained.maximal_epsilon t);
+  check_float "alarm threshold" ~epsilon:0.0 1.0 (Trained.alarm_threshold t)
+
+let test_trained_score_passthrough () =
+  let t = Trained.train stub ~window:2 any_trace in
+  let r = Trained.score t (trace8 [ 7; 0; 6; 0 ]) in
+  let scores =
+    Array.to_list (Array.map (fun i -> i.Response.score) r.Response.items)
+  in
+  Alcotest.(check (list (float 0.0))) "scores" [ 1.0; 0.0; 0.5 ] scores
+
+let test_trained_score_range_passthrough () =
+  let t = Trained.train stub ~window:2 any_trace in
+  let r = Trained.score_range t (trace8 [ 7; 0; 6; 0 ]) ~lo:1 ~hi:2 in
+  Alcotest.(check int) "two items" 2 (Response.length r)
+
+(* A hand-built injection so the incident span is fully predictable. *)
+let injection_at ~background_len ~position ~anomaly =
+  let bg = Seqdiv_synth.Generator.background alphabet8 ~len:background_len ~phase:0 in
+  let trace = Trace.insert bg ~pos:position (trace8 (Array.to_list anomaly)) in
+  { Injector.trace; position; anomaly }
+
+let test_incident_response_restricts () =
+  let inj = injection_at ~background_len:100 ~position:50 ~anomaly:[| 7; 7 |] in
+  let t = Trained.train stub ~window:4 any_trace in
+  let r = Scoring.incident_response t inj in
+  (* span = [50-3, 51] = 5 windows *)
+  Alcotest.(check int) "span windows" 5 (Response.length r);
+  Alcotest.(check int) "first start" 47 r.Response.items.(0).Response.start;
+  Alcotest.(check int) "last start" 51
+    r.Response.items.(Response.length r - 1).Response.start
+
+let test_outcome_capable () =
+  let inj = injection_at ~background_len:100 ~position:50 ~anomaly:[| 7 |] in
+  let t = Trained.train stub ~window:3 any_trace in
+  Alcotest.(check bool) "capable" true
+    (Outcome.is_capable (Scoring.outcome t inj))
+
+let test_outcome_weak () =
+  let inj = injection_at ~background_len:100 ~position:50 ~anomaly:[| 6 |] in
+  let t = Trained.train stub ~window:3 any_trace in
+  (match Scoring.outcome t inj with
+  | Outcome.Weak m -> check_float "max 0.5" ~epsilon:0.0 0.5 m
+  | o -> Alcotest.fail ("expected weak, got " ^ Outcome.to_string o))
+
+let test_outcome_blind () =
+  (* Anomaly symbol scores 0 under the stub: blind. *)
+  let inj = injection_at ~background_len:100 ~position:50 ~anomaly:[| 3 |] in
+  let t = Trained.train stub ~window:3 any_trace in
+  Alcotest.(check bool) "blind" true
+    (Outcome.is_blind (Scoring.outcome t inj))
+
+let test_outcome_uses_span_only () =
+  (* A 7 far outside the anomaly must not make the outcome capable. *)
+  let bg = Seqdiv_synth.Generator.background alphabet8 ~len:100 ~phase:0 in
+  let with_seven = Trace.insert bg ~pos:10 (trace8 [ 7 ]) in
+  (* Position chosen so the span's window-start symbols avoid the stub's
+     trigger symbols 6 and 7. *)
+  let trace = Trace.insert with_seven ~pos:84 (trace8 [ 3 ]) in
+  let inj = { Injector.trace; position = 84; anomaly = [| 3 |] } in
+  let t = Trained.train stub ~window:3 any_trace in
+  Alcotest.(check bool) "outside-span response ignored" true
+    (Outcome.is_blind (Scoring.outcome t inj))
+
+let () =
+  Alcotest.run "trained_scoring"
+    [
+      ( "trained",
+        [
+          Alcotest.test_case "accessors" `Quick test_trained_accessors;
+          Alcotest.test_case "score passthrough" `Quick test_trained_score_passthrough;
+          Alcotest.test_case "score_range passthrough" `Quick
+            test_trained_score_range_passthrough;
+        ] );
+      ( "scoring",
+        [
+          Alcotest.test_case "incident response restricts" `Quick
+            test_incident_response_restricts;
+          Alcotest.test_case "capable" `Quick test_outcome_capable;
+          Alcotest.test_case "weak" `Quick test_outcome_weak;
+          Alcotest.test_case "blind" `Quick test_outcome_blind;
+          Alcotest.test_case "span only" `Quick test_outcome_uses_span_only;
+        ] );
+    ]

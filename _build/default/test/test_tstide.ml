@@ -1,0 +1,104 @@
+open Seqdiv_synth
+open Seqdiv_detectors
+open Seqdiv_test_support
+
+let test_default_threshold () =
+  check_float "paper's rare threshold" ~epsilon:0.0 0.005
+    Tstide.default_threshold
+
+let test_foreign_flagged () =
+  let model = Tstide.train ~window:2 (trace8 [ 0; 1; 2; 0; 1 ]) in
+  let r = Tstide.score model (trace8 [ 1; 7 ]) in
+  Alcotest.(check (float 0.0)) "foreign window" 1.0 (Response.max_score r)
+
+let test_rare_flagged_foreign_by_stide_missed () =
+  (* 0 1 repeated with a single 0 2: the window (0,2) is PRESENT but
+     rare — t-stide flags it, stide does not. *)
+  let symbols =
+    List.concat (List.init 500 (fun i -> if i = 250 then [ 0; 2 ] else [ 0; 1 ]))
+  in
+  let trace = trace8 symbols in
+  let tstide = Tstide.train ~window:2 trace in
+  let stide = Stide.train ~window:2 trace in
+  let probe = trace8 [ 0; 2 ] in
+  Alcotest.(check (float 0.0)) "t-stide flags rare" 1.0
+    (Response.max_score (Tstide.score tstide probe));
+  Alcotest.(check (float 0.0)) "stide does not" 0.0
+    (Response.max_score (Stide.score stide probe))
+
+let test_common_not_flagged () =
+  let model = Tstide.train ~window:2 (trace8 [ 0; 1; 0; 1; 0; 1 ]) in
+  let r = Tstide.score model (trace8 [ 0; 1 ]) in
+  Alcotest.(check (float 0.0)) "common window" 0.0 (Response.max_score r)
+
+let test_threshold_recorded () =
+  let model = Tstide.train_with ~threshold:0.1 ~window:3 (trace8 [ 0; 1; 2; 3 ]) in
+  check_float "threshold" ~epsilon:0.0 0.1 (Tstide.threshold model);
+  Alcotest.(check int) "window" 3 (Tstide.window model)
+
+let test_binary_scores () =
+  let suite = tiny_suite () in
+  let model = Tstide.train ~window:5 suite.Suite.training in
+  let test = Suite.stream suite ~anomaly_size:4 ~window:5 in
+  let r = Tstide.score model test.Suite.injection.Injector.trace in
+  Array.iter
+    (fun (i : Response.item) ->
+      if i.Response.score <> 0.0 && i.Response.score <> 1.0 then
+        Alcotest.fail "non-binary t-stide score")
+    r.Response.items
+
+let test_covers_below_diagonal () =
+  (* The extension claim: t-stide patches Stide's blind triangle because
+     the MFS's sub-sequences are rare windows. *)
+  let suite = tiny_suite () in
+  List.iter
+    (fun (anomaly_size, window) ->
+      let model = Tstide.train ~window suite.Suite.training in
+      let s = Suite.stream suite ~anomaly_size ~window in
+      let inj = s.Suite.injection in
+      let lo, hi =
+        Injector.incident_span ~position:inj.Injector.position
+          ~size:anomaly_size ~width:window
+      in
+      let r = Tstide.score_range model inj.Injector.trace ~lo ~hi in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "capable at AS=%d DW=%d" anomaly_size window)
+        1.0 (Response.max_score r))
+    [ (5, 2); (9, 3); (6, 5); (4, 8) ]
+
+let test_rare_exposure () =
+  (* The cost: like Markov, t-stide raises alarms on rare-but-benign
+     deployment content where stide stays quiet. *)
+  let suite = tiny_suite () in
+  let chain = suite.Suite.chain in
+  let deploy =
+    Seqdiv_synth.Markov_chain.generate chain
+      (Seqdiv_util.Prng.create ~seed:31)
+      ~start:0 ~len:15_000
+  in
+  let window = 6 in
+  let tstide = Tstide.train ~window suite.Suite.training in
+  let stide = Stide.train ~window suite.Suite.training in
+  let t_alarms = Response.count_over (Tstide.score tstide deploy) ~threshold:1.0 in
+  let s_alarms = Response.count_over (Stide.score stide deploy) ~threshold:1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "t-stide (%d) noisier than stide (%d)" t_alarms s_alarms)
+    true (t_alarms > s_alarms)
+
+let () =
+  Alcotest.run "tstide"
+    [
+      ( "tstide",
+        [
+          Alcotest.test_case "default threshold" `Quick test_default_threshold;
+          Alcotest.test_case "foreign flagged" `Quick test_foreign_flagged;
+          Alcotest.test_case "rare flagged" `Quick
+            test_rare_flagged_foreign_by_stide_missed;
+          Alcotest.test_case "common ignored" `Quick test_common_not_flagged;
+          Alcotest.test_case "threshold recorded" `Quick test_threshold_recorded;
+          Alcotest.test_case "binary scores" `Quick test_binary_scores;
+          Alcotest.test_case "covers below diagonal" `Quick
+            test_covers_below_diagonal;
+          Alcotest.test_case "rare exposure" `Quick test_rare_exposure;
+        ] );
+    ]
