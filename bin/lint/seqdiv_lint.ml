@@ -1,0 +1,24 @@
+(* seqdiv-lint: static determinism & detector-contract checks.
+
+   Usage: seqdiv_lint [ROOT ...]   (defaults to lib bin bench)
+
+   Exit status 0 when no error-severity finding remains, 1 on
+   findings, 2 on usage errors (e.g. an unreadable root) —
+   `dune build @lint` uses this as its CI gate. *)
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "lib"; "bin"; "bench" ]
+    | roots -> roots
+  in
+  let files =
+    try Seqdiv_analysis.Lint.load_tree roots
+    with Sys_error msg ->
+      Format.eprintf "seqdiv-lint: %s@." msg;
+      exit 2
+  in
+  let diags = Seqdiv_analysis.Rules.run files in
+  Seqdiv_analysis.Lint.report Format.std_formatter ~files:(List.length files)
+    diags;
+  exit (if Seqdiv_analysis.Lint.has_errors diags then 1 else 0)

@@ -1,0 +1,33 @@
+type severity = Warning | Error
+
+type t = {
+  rule : string;
+  rule_name : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~rule_name ~severity ~file ~line ~col message =
+  { rule; rule_name; severity; file; line; col; message }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Stdlib.compare (a.line, a.col) (b.line, b.col) with
+      | 0 -> String.compare a.rule b.rule
+      | d -> d)
+  | d -> d
+
+let is_error t = t.severity = Error
+
+let severity_string = function Warning -> "warning" | Error -> "error"
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: %s [%s %s] %s" t.file t.line t.col
+    (severity_string t.severity)
+    t.rule t.rule_name t.message
+
+let to_string t = Format.asprintf "%a" pp t

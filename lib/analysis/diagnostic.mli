@@ -1,0 +1,40 @@
+(** A single linter finding.
+
+    Diagnostics are plain data so that rules stay decoupled from
+    reporting: the engine produces a sorted list, and the front end
+    ([Lint], the [seqdiv-lint] executable, or the test suite) decides
+    how to render it and whether the run fails. *)
+
+type severity = Warning | Error
+
+type t = {
+  rule : string;  (** Rule identifier, e.g. ["R1"]. *)
+  rule_name : string;  (** Human name, e.g. ["determinism"]. *)
+  severity : severity;
+  file : string;  (** Path as given to the linter. *)
+  line : int;  (** 1-based line of the offending construct. *)
+  col : int;  (** 0-based column, compiler convention. *)
+  message : string;
+}
+
+val make :
+  rule:string ->
+  rule_name:string ->
+  severity:severity ->
+  file:string ->
+  line:int ->
+  col:int ->
+  string ->
+  t
+
+val compare : t -> t -> int
+(** Order by file, then position, then rule — the stable reporting
+    order. *)
+
+val is_error : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: severity [rule rule-name] message] — one line,
+    recognisable to editors that parse compiler output. *)
+
+val to_string : t -> string

@@ -1,0 +1,39 @@
+let read_file path =
+  In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
+
+let load_file path = Source.make ~path ~content:(read_file path)
+
+let skip_dir name =
+  name = "_build" || (String.length name > 0 && name.[0] = '.')
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    (* Sorted traversal: Sys.readdir order is platform-dependent, and the
+       linter's output must itself be deterministic. *)
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if skip_dir entry then acc
+        else walk (Filename.concat path entry) acc)
+      acc entries
+  else if is_source path then path :: acc
+  else acc
+
+let load_tree roots =
+  List.concat_map (fun root -> List.rev (walk root [])) roots
+  |> List.sort String.compare |> List.map load_file
+
+let run roots = Rules.run (load_tree roots)
+
+let report ppf ~files diags =
+  List.iter (fun d -> Format.fprintf ppf "%a@." Diagnostic.pp d) diags;
+  let errors = List.length (List.filter Diagnostic.is_error diags) in
+  let warnings = List.length diags - errors in
+  Format.fprintf ppf "seqdiv-lint: %d files checked, %d errors, %d warnings@."
+    files errors warnings
+
+let has_errors diags = List.exists Diagnostic.is_error diags

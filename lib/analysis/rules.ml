@@ -1,0 +1,360 @@
+type t = {
+  id : string;
+  name : string;
+  severity : Diagnostic.severity;
+  doc : string;
+}
+
+let syntax =
+  {
+    id = "R0";
+    name = "syntax";
+    severity = Diagnostic.Error;
+    doc = "every linted file must parse with the installed compiler front end";
+  }
+
+let determinism =
+  {
+    id = "R1";
+    name = "determinism";
+    severity = Diagnostic.Error;
+    doc =
+      "library code must not read ambient randomness or wall-clock time, nor \
+       iterate hash tables in unspecified order: a run is a pure function of \
+       its seed";
+  }
+
+let output_hygiene =
+  {
+    id = "R2";
+    name = "output-hygiene";
+    severity = Diagnostic.Error;
+    doc =
+      "library code must not print to std channels directly; formatting goes \
+       through Fmt, logging through Logs";
+  }
+
+let partiality =
+  {
+    id = "R3";
+    name = "partiality";
+    severity = Diagnostic.Error;
+    doc =
+      "library code avoids anonymous partial escapes (failwith, assert \
+       false, invalid_arg, Option.get, List.hd/tl) outside whitelisted, \
+       documented preconditions";
+  }
+
+let interfaces =
+  {
+    id = "R4";
+    name = "interfaces";
+    severity = Diagnostic.Error;
+    doc = "every library .ml has a matching .mli that pins its public surface";
+  }
+
+let detector_contract =
+  {
+    id = "R5";
+    name = "detector-contract";
+    severity = Diagnostic.Error;
+    doc =
+      "every detector packed into the registry exposes the Detector.S \
+       contract (name/train/score)";
+  }
+
+let all =
+  [
+    syntax;
+    determinism;
+    output_hygiene;
+    partiality;
+    interfaces;
+    detector_contract;
+  ]
+
+let diag rule (src : Source.t) ~line ~col message =
+  Diagnostic.make ~rule:rule.id ~rule_name:rule.name ~severity:rule.severity
+    ~file:src.Source.path ~line ~col message
+
+let diag_at rule src (loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  diag rule src ~line:p.Lexing.pos_lnum
+    ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+    message
+
+let flatten lid = try Longident.flatten lid with Misc.Fatal_error -> []
+let strip_stdlib = function "Stdlib" :: rest -> rest | parts -> parts
+
+let print_fns =
+  [
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+    "print_bytes";
+    "prerr_string";
+    "prerr_endline";
+    "prerr_newline";
+    "prerr_char";
+    "prerr_int";
+    "prerr_float";
+    "prerr_bytes";
+  ]
+
+let determinism_violation parts =
+  match parts with
+  | "Random" :: _ ->
+      Some
+        "Stdlib.Random is ambient state; thread randomness through \
+         Seqdiv_util.Prng so every result is a function of its seed"
+  | [ "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] ->
+      Some
+        "wall-clock reads make results depend on when they were computed; \
+         take time as explicit input if it is data"
+  | [ "Hashtbl"; "iter" ] | [ "Hashtbl"; "fold" ] ->
+      Some
+        "Hashtbl iteration order is unspecified; fold over sorted keys, or \
+         whitelist the site if it is provably order-insensitive"
+  | _ -> None
+
+let output_violation parts =
+  match parts with
+  | [ "Printf"; "printf" ] | [ "Printf"; "eprintf" ] ->
+      Some
+        "library code must not print; render through Fmt or log through Logs"
+  | [ f ] when List.mem f print_fns ->
+      Some
+        "library code must not print; return a string/formatter or log \
+         through Logs"
+  | _ -> None
+
+let partiality_violation parts =
+  match parts with
+  | [ "failwith" ] ->
+      Some
+        "failwith raises an anonymous Failure; raise a dedicated exception \
+         with context, or return a Result"
+  | [ "invalid_arg" ] ->
+      Some
+        "invalid_arg is a partial escape; prefer a total API, or whitelist \
+         the documented precondition"
+  | [ "Option"; "get" ] ->
+      Some "Option.get is partial; match on the option"
+  | [ "List"; "hd" ] | [ "List"; "tl" ] ->
+      Some "List.hd/List.tl are partial; match on the list"
+  | _ -> None
+
+(* R1–R3 over one parsed library implementation. *)
+let check_structure src structure =
+  let found = ref [] in
+  let add rule loc message = found := diag_at rule src loc message :: !found in
+  let on_ident lid (loc : Location.t) =
+    let parts = strip_stdlib (flatten lid) in
+    (match determinism_violation parts with
+    | Some m -> add determinism loc m
+    | None -> ());
+    (match output_violation parts with
+    | Some m -> add output_hygiene loc m
+    | None -> ());
+    match partiality_violation parts with
+    | Some m -> add partiality loc m
+    | None -> ()
+  in
+  let default = Ast_iterator.default_iterator in
+  let expr self (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; loc } -> on_ident txt loc
+    | Parsetree.Pexp_assert
+        {
+          pexp_desc = Parsetree.Pexp_construct ({ txt = Longident.Lident "false"; _ }, None);
+          _;
+        } ->
+        add partiality e.Parsetree.pexp_loc
+          "assert false is not total; make the invariant explicit in the \
+           types or raise a dedicated exception"
+    | _ -> ());
+    default.Ast_iterator.expr self e
+  in
+  let it = { default with Ast_iterator.expr } in
+  it.Ast_iterator.structure it structure;
+  List.rev !found
+
+let check_parsed (src : Source.t) parsed =
+  match parsed with
+  | Source.Broken { line; col; message } -> [ diag syntax src ~line ~col message ]
+  | Source.Structure structure when src.Source.role = Source.Lib ->
+      check_structure src structure
+  | Source.Structure _ | Source.Signature _ -> []
+
+let not_allowed (src : Source.t) (d : Diagnostic.t) =
+  not
+    (Source.allowed src ~rule:d.Diagnostic.rule ~rule_name:d.Diagnostic.rule_name
+       ~line:d.Diagnostic.line)
+
+let check_file src =
+  check_parsed src (Source.parse src)
+  |> List.filter (not_allowed src)
+  |> List.sort Diagnostic.compare
+
+(* R4: every lib .ml needs a sibling .mli. *)
+let check_interfaces files =
+  let mli_bases =
+    List.filter_map
+      (fun (f : Source.t) ->
+        if f.Source.kind = Source.Mli then Some (Source.base f) else None)
+      files
+  in
+  List.filter_map
+    (fun (f : Source.t) ->
+      if
+        f.Source.role = Source.Lib
+        && f.Source.kind = Source.Ml
+        && not (List.mem (Source.base f) mli_bases)
+      then
+        Some
+          (diag interfaces f ~line:1 ~col:0
+             (Printf.sprintf "missing interface: expected %s.mli alongside %s"
+                (Source.base f) f.Source.path))
+      else None)
+    files
+
+(* R5 helpers. *)
+let packed_modules structure =
+  let found = ref [] in
+  let default = Ast_iterator.default_iterator in
+  let expr self (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_pack
+        { Parsetree.pmod_desc = Parsetree.Pmod_ident { txt; loc }; _ } -> (
+        match List.rev (flatten txt) with
+        | name :: _ -> found := (name, loc) :: !found
+        | [] -> ())
+    | _ -> ());
+    default.Ast_iterator.expr self e
+  in
+  let it = { default with Ast_iterator.expr } in
+  it.Ast_iterator.structure it structure;
+  let seen = ref [] in
+  List.rev !found
+  |> List.filter (fun (name, _) ->
+         if List.mem name !seen then false
+         else begin
+           seen := name :: !seen;
+           true
+         end)
+
+let signature_vals items =
+  List.filter_map
+    (fun (item : Parsetree.signature_item) ->
+      match item.Parsetree.psig_desc with
+      | Parsetree.Psig_value vd -> Some vd.Parsetree.pval_name.Location.txt
+      | _ -> None)
+    items
+
+let includes_detector_s items =
+  List.exists
+    (fun (item : Parsetree.signature_item) ->
+      match item.Parsetree.psig_desc with
+      | Parsetree.Psig_include incl -> (
+          match incl.Parsetree.pincl_mod.Parsetree.pmty_desc with
+          | Parsetree.Pmty_ident { txt; _ } -> (
+              match List.rev (flatten txt) with
+              | [ "S" ] -> true
+              | "S" :: "Detector" :: _ -> true
+              | _ -> false)
+          | _ -> false)
+      | _ -> false)
+    items
+
+let required_contract = [ "name"; "train"; "score" ]
+
+let check_detector_contract files parsed_of =
+  let registry =
+    List.find_opt
+      (fun (f : Source.t) ->
+        f.Source.role = Source.Lib
+        && f.Source.kind = Source.Ml
+        && Source.module_name f = "Registry")
+      files
+  in
+  match registry with
+  | None -> []
+  | Some reg -> (
+      match parsed_of reg with
+      | Source.Structure structure ->
+          let interface_of name =
+            let candidates =
+              List.filter
+                (fun (f : Source.t) ->
+                  f.Source.kind = Source.Mli
+                  && f.Source.role = Source.Lib
+                  && Source.module_name f = name)
+                files
+            in
+            match
+              List.find_opt (fun f -> Source.dir f = Source.dir reg) candidates
+            with
+            | Some f -> Some f
+            | None -> ( match candidates with f :: _ -> Some f | [] -> None)
+          in
+          packed_modules structure
+          |> List.concat_map (fun (name, loc) ->
+                 match interface_of name with
+                 | None ->
+                     [
+                       diag_at detector_contract reg loc
+                         (Printf.sprintf
+                            "detector %s is in the registry but has no .mli; \
+                             the contract cannot be checked"
+                            name);
+                     ]
+                 | Some mli -> (
+                     match parsed_of mli with
+                     | Source.Signature items ->
+                         if includes_detector_s items then []
+                         else
+                           let vals = signature_vals items in
+                           let missing =
+                             List.filter
+                               (fun v -> not (List.mem v vals))
+                               required_contract
+                           in
+                           if missing = [] then []
+                           else
+                             [
+                               diag_at detector_contract reg loc
+                                 (Printf.sprintf
+                                    "detector %s does not satisfy the \
+                                     Detector contract: %s missing %s \
+                                     (declare the vals or include Detector.S)"
+                                    name mli.Source.path
+                                    (String.concat ", " missing));
+                             ]
+                     | Source.Structure _ | Source.Broken _ ->
+                         (* An unparseable .mli is already an R0 finding. *)
+                         []))
+      | Source.Signature _ | Source.Broken _ -> [])
+
+let run files =
+  let parsed =
+    List.map (fun (f : Source.t) -> (f.Source.path, Source.parse f)) files
+  in
+  let parsed_of (f : Source.t) = List.assoc f.Source.path parsed in
+  let per_file =
+    List.concat_map (fun f -> check_parsed f (parsed_of f)) files
+  in
+  let project =
+    check_interfaces files @ check_detector_contract files parsed_of
+  in
+  let source_of path =
+    List.find_opt (fun (f : Source.t) -> f.Source.path = path) files
+  in
+  per_file @ project
+  |> List.filter (fun (d : Diagnostic.t) ->
+         match source_of d.Diagnostic.file with
+         | Some src -> not_allowed src d
+         | None -> true)
+  |> List.sort_uniq Diagnostic.compare

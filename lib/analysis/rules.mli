@@ -1,0 +1,46 @@
+(** The rule set and the engine that applies it.
+
+    Five rules guard the properties the paper's methodology depends on
+    (see docs/LINTING.md for the full rationale):
+
+    - [R1 determinism] — no ambient randomness or wall-clock reads, and
+      no order-sensitive hash-table iteration, in library code.
+    - [R2 output-hygiene] — no direct printing from library code.
+    - [R3 partiality] — no [failwith] / [assert false] / [invalid_arg] /
+      [Option.get] / [List.hd] / [List.tl] in library code outside
+      explicitly whitelisted sites.
+    - [R4 interfaces] — every library [.ml] has a matching [.mli].
+    - [R5 detector-contract] — every detector packed into
+      [lib/detectors/registry.ml] exposes the [Detector.S] contract
+      ([name] / [train] / [score]).
+
+    A sixth pseudo-rule, [R0 syntax], reports files that do not parse.
+
+    The engine is pure: it maps a list of {!Source.t} values to a
+    sorted list of {!Diagnostic.t}, which is what makes the rules
+    testable on inline fixtures. *)
+
+type t = {
+  id : string;
+  name : string;
+  severity : Diagnostic.severity;
+  doc : string;
+}
+
+val all : t list
+(** Every rule the engine knows, [R0]–[R5], in order. *)
+
+val syntax : t
+val determinism : t
+val output_hygiene : t
+val partiality : t
+val interfaces : t
+val detector_contract : t
+
+val check_file : Source.t -> Diagnostic.t list
+(** File-local rules only ([R0]–[R3]), whitelist already applied.
+    Project-wide rules need the whole file set; use {!run}. *)
+
+val run : Source.t list -> Diagnostic.t list
+(** All rules over a file set, whitelist applied, sorted by
+    {!Diagnostic.compare}. *)

@@ -1,0 +1,122 @@
+type role = Lib | Bin | Bench | Test | Other
+type kind = Ml | Mli
+
+type parsed =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+  | Broken of { line : int; col : int; message : string }
+
+type t = {
+  path : string;
+  role : role;
+  kind : kind;
+  content : string;
+  allows : string list array;
+}
+
+let role_of_path path =
+  let first =
+    match String.index_opt path '/' with
+    | Some i -> String.sub path 0 i
+    | None -> Filename.dirname path
+  in
+  match first with
+  | "lib" -> Lib
+  | "bin" -> Bin
+  | "bench" -> Bench
+  | "test" -> Test
+  | _ -> Other
+
+let kind_of_path path = if Filename.check_suffix path ".mli" then Mli else Ml
+
+let split_lines content = String.split_on_char '\n' content
+
+let is_token_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+(* Extract the rule tokens of a [lint: allow r1 r2 ...] marker on one
+   line.  The scan is purely lexical — a marker inside a string literal
+   would also count — but the marker is unusual enough that this cannot
+   misfire in practice, and a lexical scan keeps comments (which the
+   Parsetree drops) visible to the linter. *)
+let allows_of_line line =
+  match
+    (* Find "lint:" then require the next word to be "allow". *)
+    let n = String.length line in
+    let rec find i =
+      if i + 5 > n then None
+      else if String.sub line i 5 = "lint:" then Some (i + 5)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> []
+  | Some start ->
+      let n = String.length line in
+      let rec skip_blank i =
+        if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_blank (i + 1)
+        else i
+      in
+      let token i =
+        let rec stop j =
+          if j < n && is_token_char line.[j] then stop (j + 1) else j
+        in
+        let j = stop i in
+        (String.lowercase_ascii (String.sub line i (j - i)), j)
+      in
+      let i = skip_blank start in
+      let verb, i = token i in
+      if verb <> "allow" then []
+      else
+        let rec tokens i acc =
+          let i = skip_blank i in
+          if i >= n || not (is_token_char line.[i]) then List.rev acc
+          else
+            let tok, j = token i in
+            tokens j (tok :: acc)
+        in
+        tokens i []
+
+let make ~path ~content =
+  let allows =
+    split_lines content |> List.map allows_of_line |> Array.of_list
+  in
+  { path; role = role_of_path path; kind = kind_of_path path; content; allows }
+
+let parse t =
+  let lexbuf = Lexing.from_string t.content in
+  Location.init lexbuf t.path;
+  let broken (loc : Location.t) message =
+    let p = loc.loc_start in
+    Broken { line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; message }
+  in
+  try
+    match t.kind with
+    | Ml -> Structure (Parse.implementation lexbuf)
+    | Mli -> Signature (Parse.interface lexbuf)
+  with
+  | Syntaxerr.Error err ->
+      broken (Syntaxerr.location_of_error err) "syntax error"
+  | Lexer.Error (_, loc) -> broken loc "lexing error"
+  | exn ->
+      Broken { line = 1; col = 0; message = Printexc.to_string exn }
+
+let module_name t =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename t.path))
+
+let base t = Filename.remove_extension t.path
+let dir t = Filename.dirname t.path
+
+let line_allows t line =
+  if line < 1 || line > Array.length t.allows then []
+  else t.allows.(line - 1)
+
+let allowed t ~rule ~rule_name ~line =
+  let rule = String.lowercase_ascii rule
+  and rule_name = String.lowercase_ascii rule_name in
+  let covers tok = tok = rule || tok = rule_name || tok = "all" in
+  List.exists covers (line_allows t line)
+  || List.exists covers (line_allows t (line - 1))

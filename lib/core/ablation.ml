@@ -223,7 +223,7 @@ let deviation_sweep ~(base : Suite.params) ~deviations =
           in
           { deviation; sizes_constructible; suite_builds = true;
             stide_diagonal_held }
-      | exception Failure _ ->
+      | exception Injector.No_clean_injection _ ->
           { deviation; sizes_constructible; suite_builds = false;
             stide_diagonal_held = false })
     deviations

@@ -13,11 +13,12 @@ let alarm_map (r, threshold) =
     Int_map.empty r.Response.items
 
 let combine rule members =
-  if members = [] then invalid_arg "Ensemble.combine: no members";
-  let maps = List.map alarm_map members in
-  let merged =
-    match maps with
-    | first :: rest ->
+  match members with
+  | [] ->
+      (* lint: allow partiality — an empty ensemble has no window size *)
+      invalid_arg "Ensemble.combine: no members"
+  | ((first_response, _) as first_member) :: rest_members ->
+      let merged =
         List.fold_left
           (fun acc m ->
             Int_map.merge
@@ -29,26 +30,28 @@ let combine rule members =
                     in
                     Some (combined, cover)
                 | Some _, None | None, Some _ | None, None -> None)
-              acc m)
-          first rest
-    | [] -> assert false
-  in
-  let first_response, _ = List.hd members in
-  let names =
-    members
-    |> List.map (fun (r, _) -> r.Response.detector)
-    |> String.concat ","
-  in
-  let label =
-    match rule with Any -> "any(" ^ names ^ ")" | All -> "all(" ^ names ^ ")"
-  in
-  let items =
-    Int_map.bindings merged
-    |> List.map (fun (start, (alarm, cover)) ->
-           { Response.start; cover; score = (if alarm then 1.0 else 0.0) })
-    |> Array.of_list
-  in
-  Response.make ~detector:label ~window:first_response.Response.window items
+              acc (alarm_map m))
+          (alarm_map first_member)
+          rest_members
+      in
+      let names =
+        members
+        |> List.map (fun (r, _) -> r.Response.detector)
+        |> String.concat ","
+      in
+      let label =
+        match rule with
+        | Any -> "any(" ^ names ^ ")"
+        | All -> "all(" ^ names ^ ")"
+      in
+      let items =
+        Int_map.bindings merged
+        |> List.map (fun (start, (alarm, cover)) ->
+               { Response.start; cover; score = (if alarm then 1.0 else 0.0) })
+        |> Array.of_list
+      in
+      Response.make ~detector:label ~window:first_response.Response.window
+        items
 
 type suppression = {
   primary_alarms : int;

@@ -12,10 +12,12 @@ let windows t = Array.to_list t.windows
 let check_ascending l =
   let rec go = function
     | a :: (b :: _ as rest) ->
+        (* lint: allow partiality — documented precondition *)
         if a >= b then invalid_arg "Performance_map: range not ascending"
         else go rest
     | [ _ ] | [] -> ()
   in
+  (* lint: allow partiality — documented precondition *)
   if l = [] then invalid_arg "Performance_map: empty range";
   go l
 

@@ -31,11 +31,10 @@ let build suite =
         with
         | Some injection -> injection
         | None ->
-            failwith
-              (Printf.sprintf
-                 "Rare_anomaly.build: no clean rare-sequence injection for \
-                  size %d at window %d (%d candidates)"
-                 anomaly_size window (List.length candidates)))
+            Injector.no_clean_injection
+              "Rare_anomaly.build: no clean rare-sequence injection for size \
+               %d at window %d (%d candidates)"
+              anomaly_size window (List.length candidates))
   in
   { as_min = p.Suite.as_min; dw_min = p.Suite.dw_min; n_dw; injections }
 

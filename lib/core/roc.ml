@@ -3,6 +3,7 @@ open Seqdiv_detectors
 type point = { threshold : float; hit_rate : float; fa_rate : float }
 
 let sweep ~clean ~spans ~thresholds =
+  (* lint: allow partiality — documented precondition *)
   if spans = [] then invalid_arg "Roc.sweep: no spans";
   let span_maxima = List.map Response.max_score spans in
   let n_spans = float_of_int (List.length spans) in

@@ -129,6 +129,7 @@ let train_with p ~window trace =
   assert (window >= 2);
   assert (p.iterations >= 0 && p.train_limit >= 2);
   if Trace.length trace < window then
+    (* lint: allow partiality — documented precondition *)
     invalid_arg "Hmm.train: trace shorter than window";
   let k = Alphabet.size (Trace.alphabet trace) in
   let states = if p.states = 0 then k else p.states in

@@ -10,6 +10,7 @@ let maximal_epsilon = 0.0
 
 let similarity a b =
   let n = Array.length a in
+  (* lint: allow partiality — documented precondition *)
   if Array.length b <> n then invalid_arg "Lane_brodley.similarity: lengths";
   let total = ref 0 in
   let run = ref 0 in
@@ -27,6 +28,7 @@ let max_similarity dw = dw * (dw + 1) / 2
 let train ~window trace =
   assert (window >= 2);
   if Trace.length trace < window then
+    (* lint: allow partiality — documented precondition *)
     invalid_arg "Lane_brodley.train: trace shorter than window";
   let db = Seq_db.of_trace ~width:window trace in
   let instances =

@@ -22,6 +22,7 @@ let maximal_epsilon = 0.005
 let train ~window trace =
   assert (window >= 2);
   if Trace.length trace < window then
+    (* lint: allow partiality — documented precondition *)
     invalid_arg "Markov.train: trace shorter than window";
   let k = Alphabet.size (Trace.alphabet trace) in
   let table = Hashtbl.create 256 in
@@ -52,9 +53,13 @@ let context_length m = m.window - 1
 let contexts m = Hashtbl.length m.table
 
 let fold_contexts m ~init ~f =
-  Hashtbl.fold
-    (fun context stats acc -> f acc ~context ~counts:(Array.copy stats.counts))
-    m.table init
+  (* lint: allow determinism — collection order is erased by the sort *)
+  Hashtbl.fold (fun context stats acc -> (context, stats) :: acc) m.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.fold_left
+       (fun acc (context, stats) ->
+         f acc ~context ~counts:(Array.copy stats.counts))
+       init
 
 let of_context_counts ~window ~alphabet_size entries =
   assert (window >= 2 && alphabet_size >= 1);
@@ -62,10 +67,13 @@ let of_context_counts ~window ~alphabet_size entries =
   List.iter
     (fun (context, counts) ->
       if String.length context <> window - 1 then
+        (* lint: allow partiality — documented precondition *)
         invalid_arg "Markov.of_context_counts: context length";
       if Array.length counts <> alphabet_size then
+        (* lint: allow partiality — documented precondition *)
         invalid_arg "Markov.of_context_counts: counts length";
       let total = Array.fold_left ( + ) 0 counts in
+      (* lint: allow partiality — documented precondition *)
       if total <= 0 then invalid_arg "Markov.of_context_counts: empty context";
       Hashtbl.replace table context { counts = Array.copy counts; total })
     entries;

@@ -32,9 +32,10 @@ val contexts : model -> int
 
 val fold_contexts :
   model -> init:'a -> f:('a -> context:string -> counts:int array -> 'a) -> 'a
-(** Fold over the trained conditional-count table: each context key
-    (encoded as in {!Seqdiv_stream.Trace.key}) with its per-symbol
-    continuation counts.  Used by model serialisation. *)
+(** Fold over the trained conditional-count table in ascending context
+    order: each context key (encoded as in
+    {!Seqdiv_stream.Trace.key}) with its per-symbol continuation
+    counts.  Deterministic traversal; used by model serialisation. *)
 
 val of_context_counts :
   window:int -> alphabet_size:int -> (string * int array) list -> model

@@ -9,7 +9,7 @@ let symbols_of_string s =
   |> List.map (fun tok ->
          match int_of_string_opt tok with
          | Some v when v >= 0 && v < 256 -> v
-         | Some _ | None -> failwith ("Model_io: bad symbol " ^ tok))
+         | Some _ | None -> Parse_error.fail "Model_io: bad symbol %s" tok)
   |> Array.of_list
 
 let save_stide model =
@@ -27,32 +27,34 @@ let nonempty_lines s =
 
 let load_stide s =
   match nonempty_lines s with
-  | [] -> failwith "Model_io.load_stide: empty input"
+  | [] -> Parse_error.fail "Model_io.load_stide: empty input"
   | header :: rest ->
       let window =
         try Scanf.sscanf header "#seqdiv-stide 1 window=%d" (fun w -> w)
         with Scanf.Scan_failure _ | Failure _ | End_of_file ->
-          failwith "Model_io.load_stide: bad header"
+          Parse_error.fail "Model_io.load_stide: bad header"
       in
-      if window < 2 then failwith "Model_io.load_stide: bad window";
+      if window < 2 then Parse_error.fail "Model_io.load_stide: bad window";
       let db = Seq_db.create ~width:window in
       List.iter
         (fun line ->
           match String.index_opt line ' ' with
-          | None -> failwith ("Model_io.load_stide: malformed line: " ^ line)
+          | None ->
+              Parse_error.fail "Model_io.load_stide: malformed line: %s" line
           | Some i ->
               let count =
                 match int_of_string_opt (String.sub line 0 i) with
                 | Some c when c > 0 -> c
                 | Some _ | None ->
-                    failwith ("Model_io.load_stide: bad count in: " ^ line)
+                    Parse_error.fail "Model_io.load_stide: bad count in: %s"
+                      line
               in
               let symbols =
                 symbols_of_string
                   (String.sub line (i + 1) (String.length line - i - 1))
               in
               if Array.length symbols <> window then
-                failwith ("Model_io.load_stide: wrong arity in: " ^ line);
+                Parse_error.fail "Model_io.load_stide: wrong arity in: %s" line;
               Seq_db.add_many db (Trace.key_of_symbols symbols) ~count)
         rest;
       Stide.train_of_db db
@@ -83,21 +85,24 @@ let save_markov model =
 
 let load_markov s =
   match nonempty_lines s with
-  | [] -> failwith "Model_io.load_markov: empty input"
+  | [] -> Parse_error.fail "Model_io.load_markov: empty input"
   | header :: rest ->
       let window, k =
         try
           Scanf.sscanf header "#seqdiv-markov 1 window=%d alphabet=%d"
             (fun w k -> (w, k))
         with Scanf.Scan_failure _ | Failure _ | End_of_file ->
-          failwith "Model_io.load_markov: bad header"
+          Parse_error.fail "Model_io.load_markov: bad header"
       in
-      if window < 2 || k < 1 then failwith "Model_io.load_markov: bad header";
+      if window < 2 || k < 1 then
+        Parse_error.fail "Model_io.load_markov: bad header";
       let entries =
         List.map
           (fun line ->
             match String.index_opt line '|' with
-            | None -> failwith ("Model_io.load_markov: malformed line: " ^ line)
+            | None ->
+                Parse_error.fail "Model_io.load_markov: malformed line: %s"
+                  line
             | Some i ->
                 let context_part = String.trim (String.sub line 0 i) in
                 let counts_part =
@@ -113,15 +118,16 @@ let load_markov s =
                          match int_of_string_opt tok with
                          | Some c when c >= 0 -> c
                          | Some _ | None ->
-                             failwith
-                               ("Model_io.load_markov: bad count " ^ tok))
+                             Parse_error.fail
+                               "Model_io.load_markov: bad count %s" tok)
                   |> Array.of_list
                 in
                 (context, counts))
           rest
       in
       (try Markov.of_context_counts ~window ~alphabet_size:k entries
-       with Invalid_argument msg -> failwith ("Model_io.load_markov: " ^ msg))
+       with Invalid_argument msg ->
+         Parse_error.fail "Model_io.load_markov: %s" msg)
 
 let write_file path contents =
   let oc = open_out path in

@@ -16,14 +16,16 @@ val save_stide : Stide.model -> string
     with its count). *)
 
 val load_stide : string -> Stide.model
-(** Inverse of {!save_stide}.  @raise Failure on malformed input. *)
+(** Inverse of {!save_stide}.
+    @raise Seqdiv_stream.Parse_error.Error on malformed input. *)
 
 val save_markov : Markov.model -> string
 (** Serialise a Markov model (window, alphabet size, and the
     context-continuation count table). *)
 
 val load_markov : string -> Markov.model
-(** Inverse of {!save_markov}.  @raise Failure on malformed input. *)
+(** Inverse of {!save_markov}.
+    @raise Seqdiv_stream.Parse_error.Error on malformed input. *)
 
 val save_stide_file : string -> Stide.model -> unit
 val load_stide_file : string -> Stide.model

@@ -66,8 +66,10 @@ let gather_pairs ~window trace =
       let prev = Option.value (Hashtbl.find_opt table key) ~default:0 in
       Hashtbl.replace table key (prev + 1));
   let total =
+    (* lint: allow determinism — integer sum is order-insensitive *)
     float_of_int (Hashtbl.fold (fun _ c acc -> acc + c) table 0)
   in
+  (* lint: allow determinism — collection order is erased by the sort *)
   Hashtbl.fold
     (fun (ctx, next) c acc ->
       (Trace.symbols_of_key ctx, next, float_of_int c /. total) :: acc)
@@ -77,6 +79,7 @@ let gather_pairs ~window trace =
 let train_with p ~window trace =
   assert (window >= 2);
   if Trace.length trace < window then
+    (* lint: allow partiality — documented precondition *)
     invalid_arg "Neural.train: trace shorter than window";
   assert (p.hidden > 0 && p.epochs >= 0);
   let k = Alphabet.size (Trace.alphabet trace) in

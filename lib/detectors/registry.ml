@@ -12,6 +12,7 @@ let find_exn name =
   match find name with
   | Some d -> d
   | None ->
+      (* lint: allow partiality — documented precondition *)
       invalid_arg
         (Printf.sprintf "unknown detector %S (expected one of: %s)" name
            (String.concat ", " names))

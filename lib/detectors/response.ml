@@ -7,8 +7,11 @@ let make ~detector ~window items =
   Array.iter
     (fun { start; cover; score } ->
       if score < 0.0 || score > 1.0 || Float.is_nan score then
+        (* lint: allow partiality — documented precondition *)
         invalid_arg "Response.make: score out of [0,1]";
+      (* lint: allow partiality — documented precondition *)
       if cover <= 0 then invalid_arg "Response.make: non-positive cover";
+      (* lint: allow partiality — documented precondition *)
       if start < !prev then invalid_arg "Response.make: unsorted starts";
       prev := start)
     items;

@@ -8,6 +8,7 @@ let maximal_epsilon = 0.0
 let train ~window trace =
   assert (window >= 2);
   if Trace.length trace < window then
+    (* lint: allow partiality — documented precondition *)
     invalid_arg "Stide.train: trace shorter than window";
   { window; db = Seq_db.of_trace ~width:window trace }
 

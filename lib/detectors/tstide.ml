@@ -11,6 +11,7 @@ let train_with ~threshold ~window trace =
   assert (window >= 2);
   assert (threshold > 0.0 && threshold < 1.0);
   if Trace.length trace < window then
+    (* lint: allow partiality — documented precondition *)
     invalid_arg "Tstide.train: trace shorter than window";
   { window; threshold; db = Seq_db.of_trace ~width:window trace }
 

@@ -43,4 +43,4 @@ let render_compact map =
          |> String.concat "")
   |> String.concat "\n"
 
-let print map = print_string (render map)
+let print map = Fmt.pr "%s@?" (render map)

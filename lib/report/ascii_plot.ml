@@ -1,11 +1,20 @@
 let bounds points =
-  let xs = List.map fst points and ys = List.map snd points in
-  let min_l l = List.fold_left Float.min (List.hd l) l in
-  let max_l l = List.fold_left Float.max (List.hd l) l in
   let widen lo hi = if hi > lo then (lo, hi) else (lo -. 0.5, hi +. 0.5) in
-  let x0, x1 = widen (min_l xs) (max_l xs) in
-  let y0, y1 = widen (min_l ys) (max_l ys) in
-  (x0, x1, y0, y1)
+  match points with
+  | [] -> widen 0.0 0.0 |> fun (x0, x1) -> (x0, x1, x0, x1)
+  | (x, y) :: rest ->
+      let xmin, xmax, ymin, ymax =
+        List.fold_left
+          (fun (xmin, xmax, ymin, ymax) (px, py) ->
+            ( Float.min xmin px,
+              Float.max xmax px,
+              Float.min ymin py,
+              Float.max ymax py ))
+          (x, x, y, y) rest
+      in
+      let x0, x1 = widen xmin xmax in
+      let y0, y1 = widen ymin ymax in
+      (x0, x1, y0, y1)
 
 let plot_onto grid ~width ~height ~boundsxy mark points =
   let x0, x1, y0, y1 = boundsxy in

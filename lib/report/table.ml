@@ -1,11 +1,13 @@
 type t = { columns : string list; mutable rows : string list list }
 
 let make ~columns =
+  (* lint: allow partiality — documented precondition *)
   if columns = [] then invalid_arg "Table.make: no columns";
   { columns; rows = [] }
 
 let add_row t row =
   if List.length row <> List.length t.columns then
+    (* lint: allow partiality — documented precondition *)
     invalid_arg "Table.add_row: wrong arity";
   t.rows <- t.rows @ [ row ]
 
@@ -37,4 +39,4 @@ let to_string t =
     t.rows;
   Buffer.contents buf
 
-let print t = print_string (to_string t)
+let print t = Fmt.pr "%s@?" (to_string t)

@@ -1,0 +1,13 @@
+(** Dedicated exception for malformed external input.
+
+    Every textual format the system reads (trace files, suite
+    manifests, saved detector models, UNM syscall logs) raises
+    {!Error} with a message naming the parser and the offending
+    datum — never an anonymous [Failure] — so callers can distinguish
+    "your input is bad" from a programming error and handle it without
+    catching everything. *)
+
+exception Error of string
+
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Error} with the formatted message. *)

@@ -50,17 +50,23 @@ let is_rare t ~threshold k =
 
 let is_common t ~threshold k = count t k > 0 && freq t k >= threshold
 
-let iter t f = Hashtbl.iter f t.counts
+(* Hashtbl iteration order is unspecified, so every traversal goes
+   through a key-sorted binding list: iteration is deterministic and
+   identical across runs, machines and OCaml versions. *)
+let sorted_bindings t =
+  (* lint: allow determinism — collection order is erased by the sort *)
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let iter t f = List.iter (fun (k, c) -> f k c) (sorted_bindings t)
 
 let fold t ~init ~f =
-  Hashtbl.fold (fun k c acc -> f acc k c) t.counts init
+  List.fold_left (fun acc (k, c) -> f acc k c) init (sorted_bindings t)
 
-let keys t = fold t ~init:[] ~f:(fun acc k _ -> k :: acc)
+let keys t = List.map fst (sorted_bindings t)
 
 let rare_keys t ~threshold =
-  fold t ~init:[] ~f:(fun acc k _ ->
-      if is_rare t ~threshold k then k :: acc else acc)
+  List.filter (is_rare t ~threshold) (keys t)
 
 let common_keys t ~threshold =
-  fold t ~init:[] ~f:(fun acc k _ ->
-      if is_common t ~threshold k then k :: acc else acc)
+  List.filter (is_common t ~threshold) (keys t)

@@ -60,13 +60,15 @@ val is_common : t -> threshold:float -> string -> bool
 (** Present with relative frequency at least [threshold]. *)
 
 val iter : t -> (string -> int -> unit) -> unit
-(** Iterate over distinct sequences and their counts. *)
+(** Iterate over distinct sequences and their counts, in ascending key
+    order — traversal is deterministic, never hash order. *)
 
 val fold : t -> init:'a -> f:('a -> string -> int -> 'a) -> 'a
-(** Fold over distinct sequences and their counts. *)
+(** Fold over distinct sequences and their counts, in ascending key
+    order. *)
 
 val keys : t -> string list
-(** All distinct sequence keys (unspecified order). *)
+(** All distinct sequence keys, sorted ascending. *)
 
 val rare_keys : t -> threshold:float -> string list
 (** Distinct sequences that are rare at the given threshold. *)

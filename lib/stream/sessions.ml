@@ -3,12 +3,14 @@ type t = { alphabet : Alphabet.t; traces : Trace.t list }
 
 let of_traces traces =
   match traces with
+  (* lint: allow partiality — documented precondition *)
   | [] -> invalid_arg "Sessions.of_traces: empty corpus"
   | first :: rest ->
       let alphabet = Trace.alphabet first in
       List.iter
         (fun tr ->
           if Alphabet.size (Trace.alphabet tr) <> Alphabet.size alphabet then
+            (* lint: allow partiality — documented precondition *)
             invalid_arg "Sessions.of_traces: mismatched alphabets")
         rest;
       { alphabet; traces }

@@ -8,7 +8,8 @@ let parse text =
     | Some s -> s
     | None ->
         let s = Hashtbl.length compact in
-        if s >= 255 then failwith "Syscall_trace.parse: too many distinct calls";
+        if s >= 255 then
+          Parse_error.fail "Syscall_trace.parse: too many distinct calls";
         Hashtbl.add compact call s;
         order := call :: !order;
         s
@@ -37,16 +38,14 @@ let parse text =
               let cell = Hashtbl.find events pid in
               cell := symbol :: !cell
           | _ ->
-              failwith
-                (Printf.sprintf "Syscall_trace.parse: bad line %d: %S"
-                   (lineno + 1) line))
+              Parse_error.fail "Syscall_trace.parse: bad line %d: %S"
+                (lineno + 1) line)
       | _ ->
-          failwith
-            (Printf.sprintf "Syscall_trace.parse: bad line %d: %S" (lineno + 1)
-               line))
+          Parse_error.fail "Syscall_trace.parse: bad line %d: %S" (lineno + 1)
+            line)
     lines;
   if Hashtbl.length events = 0 then
-    failwith "Syscall_trace.parse: no events";
+    Parse_error.fail "Syscall_trace.parse: no events";
   let mapping = Array.of_list (List.rev !order) in
   let alphabet = Alphabet.make (Stdlib.max 1 (Array.length mapping)) in
   let traces =

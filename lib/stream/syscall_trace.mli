@@ -17,8 +17,8 @@ type mapping = int array
 
 val parse : string -> Sessions.t * mapping
 (** Parse the pid/syscall text format.
-    @raise Failure on a malformed line, a negative number, or more than
-    255 distinct call numbers (the alphabet limit). *)
+    @raise Parse_error.Error on a malformed line, a negative number, or
+    more than 255 distinct call numbers (the alphabet limit). *)
 
 val parse_file : string -> Sessions.t * mapping
 (** {!parse} on a file's contents. *)

@@ -4,6 +4,7 @@ let of_array alphabet data =
   Array.iter
     (fun s ->
       if not (Alphabet.mem alphabet s) then
+        (* lint: allow partiality — documented precondition *)
         invalid_arg (Printf.sprintf "Trace.of_array: symbol %d out of range" s))
     data;
   { alphabet; data = Array.copy data }
@@ -25,6 +26,7 @@ let to_array t = Array.copy t.data
 
 let check_compatible a b =
   if Alphabet.size a.alphabet <> Alphabet.size b.alphabet then
+    (* lint: allow partiality — documented precondition *)
     invalid_arg "Trace: incompatible alphabets"
 
 let concat a b =

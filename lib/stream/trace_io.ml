@@ -13,15 +13,15 @@ let to_string t =
 let of_string s =
   let lines = String.split_on_char '\n' s in
   match lines with
-  | [] -> failwith "Trace_io.of_string: empty input"
+  | [] -> Parse_error.fail "Trace_io.of_string: empty input"
   | header :: rest ->
       let size =
         try Scanf.sscanf header "#alphabet %d" (fun n -> n)
         with Scanf.Scan_failure _ | Failure _ | End_of_file ->
-          failwith "Trace_io.of_string: malformed header"
+          Parse_error.fail "Trace_io.of_string: malformed header"
       in
       if size < 1 || size > 255 then
-        failwith "Trace_io.of_string: alphabet size out of range";
+        Parse_error.fail "Trace_io.of_string: alphabet size out of range";
       let alphabet = Alphabet.make size in
       let symbols =
         rest
@@ -31,12 +31,11 @@ let of_string s =
         |> List.map (fun tok ->
                match int_of_string_opt tok with
                | Some v -> v
-               | None ->
-                   failwith
-                     (Printf.sprintf "Trace_io.of_string: bad token %S" tok))
+               | None -> Parse_error.fail "Trace_io.of_string: bad token %S" tok)
       in
       (try Trace.of_list alphabet symbols
-       with Invalid_argument msg -> failwith ("Trace_io.of_string: " ^ msg))
+       with Invalid_argument msg ->
+         Parse_error.fail "Trace_io.of_string: %s" msg)
 
 let to_file path t =
   let oc = open_out path in

@@ -8,11 +8,11 @@ val to_string : Trace.t -> string
 (** Serialise (symbols 16 per line). *)
 
 val of_string : string -> Trace.t
-(** Parse.  @raise Failure on a malformed header, a non-integer token or
-    an out-of-range symbol. *)
+(** Parse.  @raise Parse_error.Error on a malformed header, a
+    non-integer token or an out-of-range symbol. *)
 
 val to_file : string -> Trace.t -> unit
 (** Write to a file path. *)
 
 val of_file : string -> Trace.t
-(** Read from a file path.  @raise Sys_error or [Failure]. *)
+(** Read from a file path.  @raise Sys_error or {!Parse_error.Error}. *)

@@ -50,7 +50,7 @@ let save suite ~dir =
 
 let parse_kv line =
   match String.index_opt line '=' with
-  | None -> failwith ("Dataset_io.load: malformed line: " ^ line)
+  | None -> Parse_error.fail "Dataset_io.load: malformed line: %s" line
   | Some i ->
       (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
 
@@ -64,7 +64,7 @@ let parse_params lines =
   let get k =
     match Hashtbl.find_opt table k with
     | Some v -> v
-    | None -> failwith ("Dataset_io.load: missing parameter " ^ k)
+    | None -> Parse_error.fail "Dataset_io.load: missing parameter %s" k
   in
   let geti k = int_of_string (get k) in
   let getf k = float_of_string (get k) in
@@ -97,7 +97,7 @@ let parse_stream_line dir line =
       let get k =
         match Hashtbl.find_opt table k with
         | Some v -> v
-        | None -> failwith ("Dataset_io.load: stream line missing " ^ k)
+        | None -> Parse_error.fail "Dataset_io.load: stream line missing %s" k
       in
       let anomaly =
         String.split_on_char ',' (get "anomaly")
@@ -111,21 +111,20 @@ let parse_stream_line dir line =
         || position + size > Trace.length trace
         || Trace.to_array (Trace.sub trace ~pos:position ~len:size) <> anomaly
       then
-        failwith
-          (Printf.sprintf
-             "Dataset_io.load: stream %s disagrees with its ground truth"
-             (get "file"));
+        Parse_error.fail
+          "Dataset_io.load: stream %s disagrees with its ground truth"
+          (get "file");
       {
         Suite.anomaly_size = size;
         window = int_of_string (get "dw");
         injection = { Injector.trace; position; anomaly };
       }
-  | _ -> failwith ("Dataset_io.load: malformed stream line: " ^ line)
+  | _ -> Parse_error.fail "Dataset_io.load: malformed stream line: %s" line
 
 let load ~dir =
   let manifest = Filename.concat dir manifest_file in
   if not (Sys.file_exists manifest) then
-    failwith ("Dataset_io.load: no manifest at " ^ manifest);
+    Parse_error.fail "Dataset_io.load: no manifest at %s" manifest;
   let ic = open_in manifest in
   let contents =
     Fun.protect
@@ -149,7 +148,8 @@ let load ~dir =
       in
       let training = Trace_io.of_file (Filename.concat dir "training.trace") in
       if Trace.length training <> params.Suite.train_len then
-        failwith "Dataset_io.load: training length disagrees with manifest";
+        Parse_error.fail
+          "Dataset_io.load: training length disagrees with manifest";
       let max_len =
         Stdlib.max params.Suite.dw_max (params.Suite.as_max + 1)
       in
@@ -160,7 +160,8 @@ let load ~dir =
       let n_as = params.Suite.as_max - params.Suite.as_min + 1 in
       let n_dw = params.Suite.dw_max - params.Suite.dw_min + 1 in
       if Array.length streams <> n_as * n_dw then
-        failwith "Dataset_io.load: stream count disagrees with manifest";
+        Parse_error.fail
+          "Dataset_io.load: stream count disagrees with manifest";
       (* Restore row-major cell order regardless of manifest order. *)
       let ordered =
         Array.map
@@ -175,10 +176,9 @@ let load ~dir =
             with
             | Some s -> s
             | None ->
-                failwith
-                  (Printf.sprintf "Dataset_io.load: missing stream AS=%d DW=%d"
-                     anomaly_size window))
+                Parse_error.fail "Dataset_io.load: missing stream AS=%d DW=%d"
+                  anomaly_size window)
           (Array.init (n_as * n_dw) (fun i -> i))
       in
       { Suite.params; alphabet; chain; training; index; streams = ordered }
-  | _ -> failwith "Dataset_io.load: bad manifest header"
+  | _ -> Parse_error.fail "Dataset_io.load: bad manifest header"

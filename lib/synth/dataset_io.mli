@@ -18,8 +18,9 @@ val save : Suite.t -> dir:string -> unit
 
 val load : dir:string -> Suite.t
 (** Read a corpus written by {!save}.
-    @raise Failure on a missing or malformed manifest, or when a stream
-    file disagrees with its recorded ground truth. *)
+    @raise Seqdiv_stream.Parse_error.Error on a missing or malformed
+    manifest, or when a stream file disagrees with its recorded ground
+    truth. *)
 
 val manifest_file : string
 (** ["manifest.txt"], exposed for tooling. *)

@@ -10,6 +10,11 @@ type injection = {
   anomaly : int array;
 }
 
+exception No_clean_injection of string
+
+let no_clean_injection fmt =
+  Format.kasprintf (fun msg -> raise (No_clean_injection msg)) fmt
+
 let clean_boundaries index trace ~position ~size ~width =
   let first = Stdlib.max 0 (position - width + 1) in
   let last =
@@ -32,6 +37,7 @@ let inject index ~background ~anomaly ~width =
   let k = Alphabet.size alphabet in
   let n = Trace.length background in
   if n < (4 * width) + (2 * size) + 2 then
+    (* lint: allow partiality — documented length precondition *)
     invalid_arg "Injector.inject: background too short";
   (* Phase-align the cut so the left junction follows the cycle: the
      element before the anomaly must be the cycle predecessor of its
@@ -39,6 +45,7 @@ let inject index ~background ~anomaly ~width =
   let mid = n / 2 in
   let want_prev = ((anomaly.(0) - 1) + k) mod k in
   let rec align at =
+    (* lint: allow partiality — cyclic background guarantees alignment *)
     if at >= n then invalid_arg "Injector.inject: cannot phase-align"
     else if Trace.get background (at - 1) = want_prev then at
     else align (at + 1)

@@ -25,6 +25,16 @@ type injection = {
   anomaly : int array;  (** the injected symbols *)
 }
 
+exception No_clean_injection of string
+(** Raised by suite builders when no candidate anomaly admits a
+    boundary-clean injection — the training stream is too short or the
+    parameters too tight.  The message names the anomaly size, window
+    and how many candidates were tried. *)
+
+val no_clean_injection : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [no_clean_injection fmt ...] raises {!No_clean_injection} with the
+    formatted message. *)
+
 val clean_boundaries :
   Ngram_index.t -> Trace.t -> position:int -> size:int -> width:int -> bool
 (** [clean_boundaries index trace ~position ~size ~width] checks that

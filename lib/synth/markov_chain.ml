@@ -9,17 +9,21 @@ type t = {
 
 let of_matrix alphabet p =
   let k = Alphabet.size alphabet in
+  (* lint: allow partiality — documented precondition *)
   if Array.length p <> k then invalid_arg "Markov_chain.of_matrix: row count";
   let rows =
     Array.map
       (fun row ->
         if Array.length row <> k then
+          (* lint: allow partiality — documented precondition *)
           invalid_arg "Markov_chain.of_matrix: column count";
         Array.iter
           (fun x ->
+            (* lint: allow partiality — documented precondition *)
             if x < 0.0 then invalid_arg "Markov_chain.of_matrix: negative")
           row;
         let total = Array.fold_left ( +. ) 0.0 row in
+        (* lint: allow partiality — documented precondition *)
         if total <= 0.0 then invalid_arg "Markov_chain.of_matrix: zero row";
         Array.map (fun x -> x /. total) row)
       p
@@ -42,8 +46,10 @@ let has_structural_zeros t =
 
 let paper_chain alphabet ~deviation =
   let k = Alphabet.size alphabet in
+  (* lint: allow partiality — documented precondition *)
   if k < 5 then invalid_arg "Markov_chain.paper_chain: alphabet too small";
   if deviation < 0.0 || deviation >= 1.0 then
+    (* lint: allow partiality — documented precondition *)
     invalid_arg "Markov_chain.paper_chain: deviation out of range";
   let rows =
     Array.init k (fun i ->

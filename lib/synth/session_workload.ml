@@ -18,17 +18,20 @@ let anomalous suite ~sessions ~length ~anomaly_size ~window =
            Injector.inject index ~background ~anomaly ~width:window <> None)
   in
   if candidates = [] then
-    failwith
-      (Printf.sprintf
-         "Session_workload.anomalous: no cleanly injectable anomaly of size \
-          %d at window %d"
-         anomaly_size window);
+    Injector.no_clean_injection
+      "Session_workload.anomalous: no cleanly injectable anomaly of size %d \
+       at window %d"
+      anomaly_size window;
   let pool = Array.of_list candidates in
   let traces =
     List.init sessions (fun i ->
         let anomaly = pool.(i mod Array.length pool) in
         match Injector.inject index ~background ~anomaly ~width:window with
         | Some inj -> inj.Injector.trace
-        | None -> assert false)
+        | None ->
+            (* Unreachable: every pool member passed the injectability
+               filter above on the same background and width. *)
+            (* lint: allow partiality *)
+            assert false)
   in
   Sessions.of_traces traces

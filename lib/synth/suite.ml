@@ -51,13 +51,20 @@ type t = {
 }
 
 let validate p =
+  (* lint: allow partiality — documented precondition *)
   if p.alphabet_size < 5 then invalid_arg "Suite: alphabet_size < 5";
+  (* lint: allow partiality — documented precondition *)
   if p.as_min < 2 then invalid_arg "Suite: as_min < 2";
+  (* lint: allow partiality — documented precondition *)
   if p.as_max < p.as_min then invalid_arg "Suite: as_max < as_min";
+  (* lint: allow partiality — documented precondition *)
   if p.dw_min < 2 then invalid_arg "Suite: dw_min < 2";
+  (* lint: allow partiality — documented precondition *)
   if p.dw_max < p.dw_min then invalid_arg "Suite: dw_max < dw_min";
   if p.rare_threshold <= 0.0 || p.rare_threshold >= 1.0 then
+    (* lint: allow partiality — documented precondition *)
     invalid_arg "Suite: rare_threshold out of range";
+  (* lint: allow partiality — documented precondition *)
   if p.train_len < 1000 then invalid_arg "Suite: train_len too small"
 
 let build p =
@@ -98,12 +105,11 @@ let build p =
         with
         | Some injection -> { anomaly_size; window; injection }
         | None ->
-            failwith
-              (Printf.sprintf
-                 "Suite.build: no clean injection for anomaly size %d at \
-                  window %d (training stream of %d elements; %d candidate \
-                  anomalies tried)"
-                 anomaly_size window p.train_len (List.length candidates)))
+            Injector.no_clean_injection
+              "Suite.build: no clean injection for anomaly size %d at window \
+               %d (training stream of %d elements; %d candidate anomalies \
+               tried)"
+              anomaly_size window p.train_len (List.length candidates))
   in
   { params = p; alphabet; chain; training; index; streams }
 

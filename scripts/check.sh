@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 gate: build, lint, test.  Run from the repository root.
+#
+# `dune build @lint` runs the seqdiv-lint executable over lib/, bin/
+# and bench/; it exits non-zero on any error-severity finding, which
+# fails the alias and therefore this script.  See docs/LINTING.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build
+dune build @lint
+dune runtest

@@ -64,7 +64,7 @@ let test_missing_manifest () =
       Sys.mkdir dir 0o755;
       match Dataset_io.load ~dir with
       | _ -> Alcotest.fail "expected failure"
-      | exception Failure message ->
+      | exception Seqdiv_stream.Parse_error.Error message ->
           Alcotest.(check bool) "mentions manifest" true
             (String.length message > 0))
 
@@ -78,7 +78,7 @@ let test_tampered_ground_truth_detected () =
         (Generator.background suite.Suite.alphabet ~len:1_002 ~phase:0);
       match Dataset_io.load ~dir with
       | _ -> Alcotest.fail "expected ground-truth mismatch"
-      | exception Failure message ->
+      | exception Seqdiv_stream.Parse_error.Error message ->
           Alcotest.(check bool) "names the stream" true
             (String.length message > 0))
 

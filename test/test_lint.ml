@@ -1,0 +1,261 @@
+(* The rule engine is a pure function from a file set to diagnostics,
+   so every fixture here is an inline string.  Each test builds a tiny
+   virtual tree, runs the engine, and checks which rules fire and
+   where. *)
+
+open Seqdiv_analysis
+
+let file path content = Source.make ~path ~content
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else at (i + 1)
+  in
+  at 0
+
+let run_on files = Rules.run files
+
+let rules_of diags = List.map (fun d -> d.Diagnostic.rule) diags
+
+let find_rule rule diags =
+  List.filter (fun d -> d.Diagnostic.rule = rule) diags
+
+(* A lib module that breaks no rule: total, silent, deterministic. *)
+let clean_ml = "let double x = 2 * x\n"
+let clean_mli = "val double : int -> int\n"
+
+let clean_pair name =
+  [
+    file ("lib/" ^ name ^ ".ml") clean_ml;
+    file ("lib/" ^ name ^ ".mli") clean_mli;
+  ]
+
+let test_clean_tree () =
+  let diags = run_on (clean_pair "a" @ clean_pair "b") in
+  Alcotest.(check (list string)) "no diagnostics" [] (rules_of diags)
+
+(* R0: syntax errors surface as diagnostics, never exceptions. *)
+let test_syntax_error () =
+  let diags =
+    run_on [ file "lib/broken.ml" "let x = (\n"; file "lib/broken.mli" "" ]
+  in
+  match find_rule "R0" diags with
+  | [ d ] ->
+      Alcotest.(check string) "file" "lib/broken.ml" d.Diagnostic.file;
+      Alcotest.(check bool) "is error" true (Diagnostic.is_error d)
+  | ds -> Alcotest.failf "expected one R0 diagnostic, got %d" (List.length ds)
+
+(* R1: ambient randomness in lib code. *)
+let test_r1_random () =
+  let bad = "let roll () = Random.int 6\n" in
+  let diags =
+    run_on [ file "lib/dice.ml" bad; file "lib/dice.mli" "val roll : unit -> int\n" ]
+  in
+  match find_rule "R1" diags with
+  | [ d ] ->
+      Alcotest.(check string) "file" "lib/dice.ml" d.Diagnostic.file;
+      Alcotest.(check int) "line" 1 d.Diagnostic.line;
+      Alcotest.(check string) "name" "determinism" d.Diagnostic.rule_name
+  | ds -> Alcotest.failf "expected one R1 diagnostic, got %d" (List.length ds)
+
+(* R1 also covers qualified Stdlib paths and clock reads. *)
+let test_r1_qualified_and_clock () =
+  let bad = "let a () = Stdlib.Random.bits ()\nlet b () = Sys.time ()\n" in
+  let diags =
+    run_on
+      [
+        file "lib/clocky.ml" bad;
+        file "lib/clocky.mli" "val a : unit -> int\nval b : unit -> float\n";
+      ]
+  in
+  let r1 = find_rule "R1" diags in
+  Alcotest.(check int) "two findings" 2 (List.length r1);
+  Alcotest.(check (list int)) "lines" [ 1; 2 ]
+    (List.map (fun d -> d.Diagnostic.line) r1)
+
+(* R1: order-sensitive hash traversal. *)
+let test_r1_hashtbl_iter () =
+  let bad = "let dump t f = Hashtbl.iter f t\n" in
+  let diags =
+    run_on
+      [
+        file "lib/h.ml" bad;
+        file "lib/h.mli" "val dump : ('a, 'b) Hashtbl.t -> ('a -> 'b -> unit) -> unit\n";
+      ]
+  in
+  Alcotest.(check int) "one R1" 1 (List.length (find_rule "R1" diags))
+
+(* The same constructs are fine outside lib/. *)
+let test_r1_not_in_bin () =
+  let diags = run_on [ file "bin/main.ml" "let () = Printf.printf \"%d\" (Random.int 6)\n" ] in
+  Alcotest.(check (list string)) "bin is exempt" [] (rules_of diags)
+
+(* R2: printing from library code. *)
+let test_r2_print () =
+  let bad = "let shout () = print_endline \"hi\"\nlet log () = Printf.eprintf \"x\"\n" in
+  let diags =
+    run_on
+      [
+        file "lib/noisy.ml" bad;
+        file "lib/noisy.mli" "val shout : unit -> unit\nval log : unit -> unit\n";
+      ]
+  in
+  let r2 = find_rule "R2" diags in
+  Alcotest.(check int) "two findings" 2 (List.length r2);
+  Alcotest.(check string) "name" "output-hygiene"
+    (List.hd r2).Diagnostic.rule_name
+
+(* R3: partial functions. *)
+let test_r3_partiality () =
+  let bad =
+    "let a () = failwith \"boom\"\n\
+     let b () = assert false\n\
+     let c o = Option.get o\n\
+     let d l = List.hd l\n"
+  in
+  let diags =
+    run_on
+      [
+        file "lib/partial.ml" bad;
+        file "lib/partial.mli"
+          "val a : unit -> 'a\nval b : unit -> 'a\nval c : 'a option -> 'a\nval d : 'a list -> 'a\n";
+      ]
+  in
+  let r3 = find_rule "R3" diags in
+  Alcotest.(check (list int)) "all four lines" [ 1; 2; 3; 4 ]
+    (List.map (fun d -> d.Diagnostic.line) r3)
+
+(* Whitelist: an allow comment silences the line below, and only for
+   the named rule. *)
+let test_whitelist_suppresses () =
+  let src =
+    "(* lint: allow partiality -- documented precondition *)\n\
+     let a () = failwith \"boom\"\n"
+  in
+  let diags =
+    run_on [ file "lib/ok.ml" src; file "lib/ok.mli" "val a : unit -> 'a\n" ]
+  in
+  Alcotest.(check (list string)) "suppressed" [] (rules_of diags)
+
+let test_whitelist_same_line () =
+  let src = "let a () = failwith \"boom\" (* lint: allow R3 *)\n" in
+  let diags =
+    run_on [ file "lib/ok2.ml" src; file "lib/ok2.mli" "val a : unit -> 'a\n" ]
+  in
+  Alcotest.(check (list string)) "suppressed by id token" [] (rules_of diags)
+
+let test_whitelist_wrong_rule () =
+  let src =
+    "(* lint: allow determinism *)\nlet a () = failwith \"boom\"\n"
+  in
+  let diags =
+    run_on [ file "lib/no.ml" src; file "lib/no.mli" "val a : unit -> 'a\n" ]
+  in
+  Alcotest.(check (list string)) "R3 still fires" [ "R3" ] (rules_of diags)
+
+(* R4: a lib .ml with no matching .mli. *)
+let test_r4_missing_mli () =
+  let diags = run_on [ file "lib/orphan.ml" clean_ml ] in
+  match find_rule "R4" diags with
+  | [ d ] ->
+      Alcotest.(check string) "file" "lib/orphan.ml" d.Diagnostic.file;
+      Alcotest.(check int) "line" 1 d.Diagnostic.line
+  | ds -> Alcotest.failf "expected one R4 diagnostic, got %d" (List.length ds)
+
+let test_r4_not_for_test_role () =
+  let diags = run_on [ file "test/test_x.ml" clean_ml ] in
+  Alcotest.(check (list string)) "tests need no .mli" [] (rules_of diags)
+
+(* R5: modules packed in the registry must expose the contract. *)
+let registry_ml =
+  "let all = [ (module Good : Detector.S); (module Bad : Detector.S) ]\n"
+
+let good_mli =
+  "val name : string\n\
+   val train : window:int -> int -> int\n\
+   val score : int -> int -> int\n"
+
+let bad_mli = "val name : string\n"
+
+let r5_tree =
+  [
+    file "lib/detectors/registry.ml" registry_ml;
+    file "lib/detectors/registry.mli" "val all : int list\n";
+    file "lib/detectors/good.ml" clean_ml;
+    file "lib/detectors/good.mli" good_mli;
+    file "lib/detectors/bad.ml" clean_ml;
+    file "lib/detectors/bad.mli" bad_mli;
+  ]
+
+let test_r5_contract () =
+  let r5 = find_rule "R5" (run_on r5_tree) in
+  match r5 with
+  | [ d ] ->
+      Alcotest.(check string) "reported at the registry"
+        "lib/detectors/registry.ml" d.Diagnostic.file;
+      Alcotest.(check bool) "names the module" true
+        (contains_sub d.Diagnostic.message "Bad")
+  | ds -> Alcotest.failf "expected one R5 diagnostic, got %d" (List.length ds)
+
+let test_r5_include_detector_s () =
+  (* The repo's own idiom: [include Detector.S] satisfies the contract. *)
+  let tree =
+    [
+      file "lib/detectors/registry.ml"
+        "let all = [ (module Incl : Detector.S) ]\n";
+      file "lib/detectors/registry.mli" "val all : int list\n";
+      file "lib/detectors/incl.ml" clean_ml;
+      file "lib/detectors/incl.mli" "include Detector.S\n";
+    ]
+  in
+  Alcotest.(check (list string)) "include satisfies R5" []
+    (rules_of (run_on tree))
+
+(* Diagnostics render as file:line:col with the rule named — what the
+   acceptance check greps for. *)
+let test_diagnostic_rendering () =
+  let diags =
+    run_on
+      [ file "lib/dice.ml" "let roll () = Random.int 6\n";
+        file "lib/dice.mli" "val roll : unit -> int\n" ]
+  in
+  match diags with
+  | [ d ] ->
+      let s = Diagnostic.to_string d in
+      Alcotest.(check bool) "has position" true
+        (contains_sub s "lib/dice.ml:1:");
+      Alcotest.(check bool) "names the rule" true
+        (contains_sub s "R1")
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "clean tree" `Quick test_clean_tree;
+          Alcotest.test_case "R0 syntax" `Quick test_syntax_error;
+          Alcotest.test_case "R1 random" `Quick test_r1_random;
+          Alcotest.test_case "R1 qualified + clock" `Quick
+            test_r1_qualified_and_clock;
+          Alcotest.test_case "R1 hashtbl iter" `Quick test_r1_hashtbl_iter;
+          Alcotest.test_case "R1 exempt in bin" `Quick test_r1_not_in_bin;
+          Alcotest.test_case "R2 print" `Quick test_r2_print;
+          Alcotest.test_case "R3 partiality" `Quick test_r3_partiality;
+          Alcotest.test_case "whitelist line below" `Quick
+            test_whitelist_suppresses;
+          Alcotest.test_case "whitelist same line" `Quick
+            test_whitelist_same_line;
+          Alcotest.test_case "whitelist wrong rule" `Quick
+            test_whitelist_wrong_rule;
+          Alcotest.test_case "R4 missing mli" `Quick test_r4_missing_mli;
+          Alcotest.test_case "R4 exempts tests" `Quick
+            test_r4_not_for_test_role;
+          Alcotest.test_case "R5 contract" `Quick test_r5_contract;
+          Alcotest.test_case "R5 include" `Quick test_r5_include_detector_s;
+          Alcotest.test_case "rendering" `Quick test_diagnostic_rendering;
+        ] );
+    ]

@@ -76,8 +76,8 @@ let test_markov_file_round_trip () =
 let test_bad_inputs_rejected () =
   let fails f s =
     match f s with
-    | _ -> Alcotest.fail "expected Failure"
-    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected Parse_error"
+    | exception Seqdiv_stream.Parse_error.Error _ -> ()
   in
   fails Model_io.load_stide "";
   fails Model_io.load_stide "#wrong header";

@@ -93,7 +93,7 @@ let test_build_failure_is_descriptive () =
   in
   match Suite.build p with
   | _ -> Alcotest.fail "expected Suite.build to fail"
-  | exception Failure message ->
+  | exception Injector.No_clean_injection message ->
       Alcotest.(check bool) "mentions the anomaly size" true
         (String.length message > 0
         &&

@@ -31,8 +31,8 @@ let test_parse_tabs_and_blanks () =
 let test_parse_rejects_garbage () =
   let fails s =
     match Syscall_trace.parse s with
-    | _ -> Alcotest.fail "expected Failure"
-    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected Parse_error"
+    | exception Seqdiv_stream.Parse_error.Error _ -> ()
   in
   fails "1 2 3\n";
   fails "x 2\n";

@@ -21,23 +21,25 @@ let test_header () =
 
 let test_malformed_header () =
   Alcotest.check_raises "no header"
-    (Failure "Trace_io.of_string: malformed header") (fun () ->
+    (Seqdiv_stream.Parse_error.Error "Trace_io.of_string: malformed header")
+    (fun () ->
       ignore (Trace_io.of_string "1 2 3"))
 
 let test_bad_token () =
   Alcotest.check_raises "bad token"
-    (Failure "Trace_io.of_string: bad token \"x\"") (fun () ->
+    (Seqdiv_stream.Parse_error.Error "Trace_io.of_string: bad token \"x\"")
+    (fun () ->
       ignore (Trace_io.of_string "#alphabet 8\n1 x 3"))
 
 let test_out_of_range_symbol () =
   Alcotest.check_raises "symbol out of range"
-    (Failure "Trace_io.of_string: Trace.of_array: symbol 9 out of range")
+    (Parse_error.Error "Trace_io.of_string: Trace.of_array: symbol 9 out of range")
     (fun () -> ignore (Trace_io.of_string "#alphabet 8\n1 9"))
 
 let test_bad_alphabet_size () =
   Alcotest.check_raises "alphabet size"
-    (Failure "Trace_io.of_string: alphabet size out of range") (fun () ->
-      ignore (Trace_io.of_string "#alphabet 900\n1 2"))
+    (Parse_error.Error "Trace_io.of_string: alphabet size out of range")
+    (fun () -> ignore (Trace_io.of_string "#alphabet 900\n1 2"))
 
 let test_file_round_trip () =
   let path = Filename.temp_file "seqdiv" ".trace" in
