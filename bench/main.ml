@@ -3,11 +3,17 @@
    experiment kernel.
 
    Usage: dune exec bench/main.exe -- [--full] [--train-len N]
-            [--deploy-len N] [--no-micro] [--csv-dir DIR]
+            [--background-len N] [--deploy-len N] [--no-micro]
+            [--csv-dir DIR] [-j N | --jobs N] [--trace] [--json FILE]
 
    By default a reduced scale is used (150k training elements); --full
    switches to the paper's 1M-element training stream.  The map shapes
-   are identical at both scales (DESIGN.md section 4). *)
+   are identical at both scales (DESIGN.md section 4).
+   --background-len sets the injected test streams' background length
+   (default 8000).  --jobs N runs detector training/scoring on N worker
+   domains (results are byte-identical for every N); --trace prints the
+   engine's per-stage timers to stderr; --json FILE additionally writes
+   machine-readable per-stage timings and map summaries. *)
 
 open Seqdiv_stream
 open Seqdiv_synth
@@ -21,6 +27,9 @@ type options = {
   deploy_len : int;
   micro : bool;
   csv_dir : string option;
+  jobs : int;
+  trace : bool;
+  json : string option;
 }
 
 let default_options =
@@ -30,6 +39,9 @@ let default_options =
     deploy_len = 30_000;
     micro = true;
     csv_dir = None;
+    jobs = 1;
+    trace = false;
+    json = None;
   }
 
 let parse_options () =
@@ -38,10 +50,20 @@ let parse_options () =
     | "--full" :: rest -> go { acc with train_len = 1_000_000 } rest
     | "--train-len" :: v :: rest ->
         go { acc with train_len = int_of_string v } rest
+    | "--background-len" :: v :: rest ->
+        go { acc with background_len = int_of_string v } rest
     | "--deploy-len" :: v :: rest ->
         go { acc with deploy_len = int_of_string v } rest
     | "--no-micro" :: rest -> go { acc with micro = false } rest
     | "--csv-dir" :: v :: rest -> go { acc with csv_dir = Some v } rest
+    | ("-j" | "--jobs") :: v :: rest ->
+        let jobs = int_of_string v in
+        let jobs =
+          if jobs <= 0 then Seqdiv_util.Pool.recommended_jobs () else jobs
+        in
+        go { acc with jobs } rest
+    | "--trace" :: rest -> go { acc with trace = true } rest
+    | "--json" :: v :: rest -> go { acc with json = Some v } rest
     | arg :: _ ->
         prerr_endline ("unknown argument: " ^ arg);
         exit 2
@@ -50,10 +72,16 @@ let parse_options () =
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
 
+(* Every [timed] section is also recorded here so --json can replay the
+   stage timings machine-readably. *)
+let stages : (string * float) list ref = ref []
+
 let timed label f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
-  Printf.printf "[%s: %.2fs]\n%!" label (Unix.gettimeofday () -. t0);
+  let dt = Unix.gettimeofday () -. t0 in
+  stages := (label, dt) :: !stages;
+  Printf.printf "[%s: %.2fs]\n%!" label dt;
   result
 
 let figure_order maps =
@@ -85,7 +113,7 @@ let write_csvs maps dir =
 
 (* --- the paper reproduction ------------------------------------------- *)
 
-let run_paper opts =
+let run_paper opts engine =
   let params =
     Suite.scaled_params ~train_len:opts.train_len
       ~background_len:opts.background_len
@@ -108,7 +136,7 @@ let run_paper opts =
 
   section "Figures 3-6 — performance maps";
   let maps =
-    timed "all maps" (fun () -> Experiment.all_maps suite Registry.all)
+    timed "all maps" (fun () -> Experiment.all_maps ~engine suite Registry.all)
   in
   List.iter
     (fun (label, map) -> Printf.printf "%s:\n%s\n" label (Paper.figure_map map))
@@ -121,7 +149,7 @@ let run_paper opts =
   section "T2 — false alarms and the Stide-suppressor ensemble";
   let t2 =
     timed "T2" (fun () ->
-        Deployment.suppressor_experiment suite ~window:8 ~anomaly_size:5
+        Deployment.suppressor_experiment ~engine suite ~window:8 ~anomaly_size:5
           ~deploy_len:opts.deploy_len ~seed:(params.Suite.seed + 1))
   in
   print_string (Paper.table2 t2);
@@ -137,7 +165,7 @@ let run_paper opts =
   in
   let t3 =
     timed "T3" (fun () ->
-        Deployment.lnb_threshold_experiment suite ~anomaly_size:5
+        Deployment.lnb_threshold_experiment ~engine suite ~anomaly_size:5
           ~deploy_trace:deploy ~fa_training)
   in
   print_string (Paper.table3 t3);
@@ -169,9 +197,9 @@ let run_paper opts =
   let a1 =
     let test = Suite.stream suite ~anomaly_size:4 ~window:6 in
     timed "A1" (fun () ->
-        Ablation.lfc_experiment ~training:fa_training
+        Ablation.lfc_experiment ~engine ~training:fa_training
           ~injection:test.Suite.injection ~deploy ~window:6
-          ~settings:[ (20, 1); (20, 2); (20, 4); (50, 8) ])
+          ~settings:[ (20, 1); (20, 2); (20, 4); (50, 8) ] ())
   in
   print_string (Paper.ablation1 a1);
 
@@ -179,7 +207,7 @@ let run_paper opts =
   let a2 =
     let base = Neural.default_params in
     timed "A2" (fun () ->
-        Ablation.nn_sensitivity suite ~window:6
+        Ablation.nn_sensitivity ~engine suite ~window:6
           ~params:
             [
               base;
@@ -199,7 +227,7 @@ let run_paper opts =
         ~background_len:4_000
     in
     timed "A3" (fun () ->
-        Ablation.alphabet_invariance ~base ~sizes:[ 6; 8; 12 ])
+        Ablation.alphabet_invariance ~engine ~base ~sizes:[ 6; 8; 12 ] ())
   in
   print_string (Paper.ablation3 a3);
 
@@ -214,7 +242,7 @@ let run_paper opts =
   section "A6 — window selection trade-off";
   let a6 =
     timed "A6" (fun () ->
-        Ablation.window_tradeoff suite ~fa_training ~deploy)
+        Ablation.window_tradeoff ~engine suite ~fa_training ~deploy)
   in
   print_string (Paper.ablation6 a6);
   Option.iter
@@ -256,8 +284,8 @@ let run_paper opts =
         ~background_len:3_000
     in
     timed "A7" (fun () ->
-        Ablation.deviation_sweep ~base
-          ~deviations:[ 0.00002; 0.0005; 0.0025; 0.01; 0.05; 0.2 ])
+        Ablation.deviation_sweep ~engine ~base
+          ~deviations:[ 0.00002; 0.0005; 0.0025; 0.01; 0.05; 0.2 ] ())
   in
   print_string (Paper.ablation7 a7);
 
@@ -272,7 +300,7 @@ let run_paper opts =
   section "E1 — extension detectors (t-stide, HMM)";
   let extension_maps =
     timed "E1" (fun () ->
-        Experiment.all_maps suite
+        Experiment.all_maps ~engine suite
           [ Registry.find_exn "tstide"; Registry.find_exn "hmm" ])
   in
   print_string (Paper.extension1 ~paper_maps:maps ~extension_maps);
@@ -282,7 +310,7 @@ let run_paper opts =
     timed "E2" (fun () ->
         let rare = Rare_anomaly.build suite in
         List.map
-          (fun d -> Rare_anomaly.performance_map rare suite d)
+          (fun d -> Rare_anomaly.performance_map ~engine rare suite d)
           Registry.extended)
   in
   print_string (Paper.extension2 e2);
@@ -295,7 +323,7 @@ let run_paper opts =
         ~background_len:3_000
     in
     timed "E3" (fun () ->
-        Ablation.seed_robustness ~base ~seeds:[ 1; 7; 42; 2005 ])
+        Ablation.seed_robustness ~engine ~base ~seeds:[ 1; 7; 42; 2005 ] ())
   in
   print_string (Paper.extension3 e3);
 
@@ -312,7 +340,7 @@ let run_paper opts =
         in
         List.map
           (fun d ->
-            let trained = Trained.train d ~window:8 suite.Suite.training in
+            let trained = Engine.train engine d ~window:8 suite.Suite.training in
             let (module D : Detector.S) = d in
             (D.name, Session_eval.evaluate trained ~normal ~anomalous ()))
           Registry.extended)
@@ -506,8 +534,73 @@ let run_micro suite maps deploy trie =
     rows;
   Table.print table
 
+(* --- machine-readable report (--json) ---------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path opts engine maps =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  let stats = Engine.stats engine in
+  out "{\n";
+  out "  \"options\": {\n";
+  out "    \"train_len\": %d,\n" opts.train_len;
+  out "    \"background_len\": %d,\n" opts.background_len;
+  out "    \"deploy_len\": %d,\n" opts.deploy_len;
+  out "    \"jobs\": %d\n" opts.jobs;
+  out "  },\n";
+  out "  \"stages\": [\n";
+  let stages = List.rev !stages in
+  List.iteri
+    (fun i (label, seconds) ->
+      out "    { \"label\": \"%s\", \"seconds\": %.6f }%s\n" (json_escape label)
+        seconds
+        (if i = List.length stages - 1 then "" else ","))
+    stages;
+  out "  ],\n";
+  out "  \"engine\": {\n";
+  out "    \"train_executed\": %d,\n" stats.Engine.train_executed;
+  out "    \"train_cached\": %d,\n" stats.Engine.train_cached;
+  out "    \"score_tasks\": %d,\n" stats.Engine.score_tasks;
+  out "    \"train_seconds\": %.6f,\n" stats.Engine.train_seconds;
+  out "    \"score_seconds\": %.6f\n" stats.Engine.score_seconds;
+  out "  },\n";
+  out "  \"maps\": [\n";
+  let summaries = List.map Experiment.summary maps in
+  List.iteri
+    (fun i (s : Experiment.summary) ->
+      out
+        "    { \"detector\": \"%s\", \"capable\": %d, \"weak\": %d, \"blind\": \
+         %d, \"capable_fraction\": %.6f }%s\n"
+        (json_escape s.Experiment.detector)
+        s.Experiment.capable s.Experiment.weak s.Experiment.blind
+        s.Experiment.capable_fraction
+        (if i = List.length summaries - 1 then "" else ","))
+    summaries;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let () =
   let opts = parse_options () in
-  let suite, maps, deploy, trie = run_paper opts in
+  let engine = Engine.create ~clock:Unix.gettimeofday ~jobs:opts.jobs () in
+  let suite, maps, deploy, trie = run_paper opts engine in
   if opts.micro then run_micro suite maps deploy trie;
+  if opts.trace then
+    Format.eprintf "%a@." Engine.pp_stats (Engine.stats engine);
+  Option.iter (fun path -> write_json path opts engine maps) opts.json;
   print_newline ()

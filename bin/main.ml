@@ -42,6 +42,33 @@ let verbose_t =
   let doc = "Log suite construction and injection details to stderr." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let jobs_t =
+  let doc =
+    "Worker domains for detector training and scoring (0 = one per core). \
+     Results are byte-identical for every value: only pure train/score \
+     tasks run in parallel."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let trace_t =
+  let doc = "Print engine stage timings and task counts to stderr." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let engine_t =
+  let make jobs trace =
+    let jobs =
+      if jobs <= 0 then Seqdiv_util.Pool.recommended_jobs () else jobs
+    in
+    (Engine.create ~clock:Unix.gettimeofday ~jobs (), trace)
+  in
+  Term.(const make $ jobs_t $ trace_t)
+
+(* Run one command body against the shared engine and honour --trace. *)
+let with_engine (engine, trace) f =
+  let result = f engine in
+  if trace then Format.eprintf "%a@." Engine.pp_stats (Engine.stats engine);
+  result
+
 let setup_logging verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
@@ -128,12 +155,13 @@ let mfs_cmd =
 (* --- map --------------------------------------------------------------- *)
 
 let map_cmd =
-  let run params detectors csv_dir =
+  let run params eng detectors csv_dir =
+    with_engine eng @@ fun engine ->
     let suite = Suite.build params in
     let detectors = if detectors = [] then Registry.all else detectors in
     List.iter
       (fun d ->
-        let map = Experiment.performance_map suite d in
+        let map = Experiment.performance_map ~engine suite d in
         Ascii_map.print map;
         print_newline ();
         Option.iter
@@ -166,18 +194,19 @@ let map_cmd =
   Cmd.v
     (Cmd.info "map"
        ~doc:"Reproduce the performance maps of Figures 3-6 for chosen detectors.")
-    Term.(const run $ params_t $ detectors_t $ csv_t)
+    Term.(const run $ params_t $ engine_t $ detectors_t $ csv_t)
 
 (* --- full -------------------------------------------------------------- *)
 
 let full_cmd =
-  let run params =
+  let run params eng =
+    with_engine eng @@ fun engine ->
     let suite = Suite.build params in
     print_string (Paper.figure2 suite ~window:5 ~anomaly_size:8);
     print_newline ();
     print_string (Paper.figure7 ());
     print_newline ();
-    let maps = Experiment.all_maps suite Registry.all in
+    let maps = Experiment.all_maps ~engine suite Registry.all in
     List.iter
       (fun m ->
         print_string (Paper.figure_map m);
@@ -186,7 +215,7 @@ let full_cmd =
     print_string (Paper.table1 maps);
     print_newline ();
     let t2 =
-      Deployment.suppressor_experiment suite ~window:8 ~anomaly_size:5
+      Deployment.suppressor_experiment ~engine suite ~window:8 ~anomaly_size:5
         ~deploy_len:30_000 ~seed:(params.Suite.seed + 1)
     in
     print_string (Paper.table2 t2);
@@ -199,7 +228,7 @@ let full_cmd =
         ~len:(Stdlib.min (Trace.length suite.Suite.training) 20_000)
     in
     let t3 =
-      Deployment.lnb_threshold_experiment suite ~anomaly_size:5
+      Deployment.lnb_threshold_experiment ~engine suite ~anomaly_size:5
         ~deploy_trace:deploy ~fa_training
     in
     print_string (Paper.table3 t3)
@@ -207,7 +236,7 @@ let full_cmd =
   Cmd.v
     (Cmd.info "full"
        ~doc:"Run the complete paper reproduction (figures and tables).")
-    Term.(const run $ params_t)
+    Term.(const run $ params_t $ engine_t)
 
 (* --- roc --------------------------------------------------------------- *)
 
@@ -269,11 +298,12 @@ let roc_cmd =
 (* --- ensemble ---------------------------------------------------------- *)
 
 let ensemble_cmd =
-  let run params window anomaly_size deploy_len =
+  let run params eng window anomaly_size deploy_len =
+    with_engine eng @@ fun engine ->
     let suite = Suite.build params in
     let report =
-      Deployment.suppressor_experiment suite ~window ~anomaly_size ~deploy_len
-        ~seed:(params.Suite.seed + 1)
+      Deployment.suppressor_experiment ~engine suite ~window ~anomaly_size
+        ~deploy_len ~seed:(params.Suite.seed + 1)
     in
     print_string (Paper.table2 report)
   in
@@ -289,12 +319,13 @@ let ensemble_cmd =
   Cmd.v
     (Cmd.info "ensemble"
        ~doc:"Markov+Stide false-alarm suppression experiment (T2).")
-    Term.(const run $ params_t $ window_t $ as_t $ deploy_t)
+    Term.(const run $ params_t $ engine_t $ window_t $ as_t $ deploy_t)
 
 (* --- lnb-threshold ----------------------------------------------------- *)
 
 let lnb_cmd =
-  let run params anomaly_size deploy_len fa_train_len =
+  let run params eng anomaly_size deploy_len fa_train_len =
+    with_engine eng @@ fun engine ->
     let suite = Suite.build params in
     let deploy =
       Deployment.deployment_stream suite ~len:deploy_len
@@ -305,7 +336,7 @@ let lnb_cmd =
         ~len:(Stdlib.min (Trace.length suite.Suite.training) fa_train_len)
     in
     let points =
-      Deployment.lnb_threshold_experiment suite ~anomaly_size
+      Deployment.lnb_threshold_experiment ~engine suite ~anomaly_size
         ~deploy_trace:deploy ~fa_training
     in
     print_string (Paper.table3 points)
@@ -325,12 +356,13 @@ let lnb_cmd =
   Cmd.v
     (Cmd.info "lnb-threshold"
        ~doc:"Cost of lowering the L&B threshold to catch an MFS (T3).")
-    Term.(const run $ params_t $ as_t $ deploy_t $ fa_train_t)
+    Term.(const run $ params_t $ engine_t $ as_t $ deploy_t $ fa_train_t)
 
 (* --- ablation ----------------------------------------------------------- *)
 
 let ablation_cmd =
-  let run params which =
+  let run params eng which =
+    with_engine eng @@ fun engine ->
     let suite = Suite.build params in
     let deploy =
       Deployment.deployment_stream suite ~len:30_000 ~seed:(params.Suite.seed + 2)
@@ -343,15 +375,15 @@ let ablation_cmd =
       let test = Suite.stream suite ~anomaly_size:4 ~window:6 in
       print_string
         (Paper.ablation1
-           (Ablation.lfc_experiment ~training:fa_training
+           (Ablation.lfc_experiment ~engine ~training:fa_training
               ~injection:test.Suite.injection ~deploy ~window:6
-              ~settings:[ (20, 1); (20, 2); (20, 4); (50, 8) ]))
+              ~settings:[ (20, 1); (20, 2); (20, 4); (50, 8) ] ()))
     in
     let run_a2 () =
       let base = Neural.default_params in
       print_string
         (Paper.ablation2
-           (Ablation.nn_sensitivity suite ~window:6
+           (Ablation.nn_sensitivity ~engine suite ~window:6
               ~params:
                 [
                   base;
@@ -367,7 +399,8 @@ let ablation_cmd =
           ~background_len:4_000
       in
       print_string
-        (Paper.ablation3 (Ablation.alphabet_invariance ~base ~sizes:[ 6; 8; 12 ]))
+        (Paper.ablation3
+           (Ablation.alphabet_invariance ~engine ~base ~sizes:[ 6; 8; 12 ] ()))
     in
     let run_a4 () =
       print_string
@@ -396,7 +429,7 @@ let ablation_cmd =
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run the A1-A4 ablation studies.")
-    Term.(const run $ params_t $ which_t)
+    Term.(const run $ params_t $ engine_t $ which_t)
 
 (* --- detect ------------------------------------------------------------- *)
 

@@ -63,6 +63,17 @@ let detector_contract =
        contract (name/train/score)";
   }
 
+let concurrency =
+  {
+    id = "R6";
+    name = "concurrency";
+    severity = Diagnostic.Error;
+    doc =
+      "library code must not touch Domain/Atomic/Mutex/Condition/Semaphore \
+       outside lib/util/pool.ml: all parallelism flows through the pool so \
+       the determinism contract stays auditable";
+  }
+
 let all =
   [
     syntax;
@@ -71,6 +82,7 @@ let all =
     partiality;
     interfaces;
     detector_contract;
+    concurrency;
   ]
 
 let diag rule (src : Source.t) ~line ~col message =
@@ -131,6 +143,30 @@ let output_violation parts =
          through Logs"
   | _ -> None
 
+(* R6: the concurrency primitives are legitimate only inside the worker
+   pool; anywhere else in the library they would let order-dependent or
+   racy computation reach results unaudited. *)
+let concurrency_modules = [ "Domain"; "Atomic"; "Mutex"; "Condition"; "Semaphore" ]
+
+let concurrency_violation parts =
+  match parts with
+  | m :: _ when List.mem m concurrency_modules ->
+      Some
+        (Printf.sprintf
+           "%s belongs in lib/util/pool.ml: library code stays single-domain \
+            and hands the pool pure closures (or whitelist with `lint: allow \
+            concurrency`)"
+           m)
+  | _ -> None
+
+let pool_path = "lib/util/pool.ml"
+
+let concurrency_exempt (src : Source.t) =
+  let p = src.Source.path and n = String.length pool_path in
+  p = pool_path
+  || (String.length p > n
+     && String.sub p (String.length p - n - 1) (n + 1) = "/" ^ pool_path)
+
 let partiality_violation parts =
   match parts with
   | [ "failwith" ] ->
@@ -159,6 +195,9 @@ let check_structure src structure =
     (match output_violation parts with
     | Some m -> add output_hygiene loc m
     | None -> ());
+    (match concurrency_violation parts with
+    | Some m when not (concurrency_exempt src) -> add concurrency loc m
+    | Some _ | None -> ());
     match partiality_violation parts with
     | Some m -> add partiality loc m
     | None -> ()

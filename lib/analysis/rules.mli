@@ -13,8 +13,13 @@
     - [R5 detector-contract] — every detector packed into
       [lib/detectors/registry.ml] exposes the [Detector.S] contract
       ([name] / [train] / [score]).
+    - [R6 concurrency] — [Domain] / [Atomic] / [Mutex] / [Condition] /
+      [Semaphore] in library code are confined to [lib/util/pool.ml]
+      (or a [lint: allow concurrency] site), so every place parallelism
+      can enter a result is auditable.
 
-    A sixth pseudo-rule, [R0 syntax], reports files that do not parse.
+    A further pseudo-rule, [R0 syntax], reports files that do not
+    parse.
 
     The engine is pure: it maps a list of {!Source.t} values to a
     sorted list of {!Diagnostic.t}, which is what makes the rules
@@ -28,7 +33,7 @@ type t = {
 }
 
 val all : t list
-(** Every rule the engine knows, [R0]–[R5], in order. *)
+(** Every rule the engine knows, [R0]–[R6], in order. *)
 
 val syntax : t
 val determinism : t
@@ -36,6 +41,7 @@ val output_hygiene : t
 val partiality : t
 val interfaces : t
 val detector_contract : t
+val concurrency : t
 
 val check_file : Source.t -> Diagnostic.t list
 (** File-local rules only ([R0]–[R3]), whitelist already applied.

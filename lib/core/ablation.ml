@@ -1,3 +1,4 @@
+open Seqdiv_util
 open Seqdiv_stream
 open Seqdiv_detectors
 open Seqdiv_synth
@@ -11,10 +12,10 @@ type lfc_point = {
   lfc_false_alarms : int;
 }
 
-let lfc_experiment ~training ~(injection : Injector.injection) ~deploy ~window
-    ~settings =
+let lfc_experiment ?engine ~training ~(injection : Injector.injection) ~deploy
+    ~window ~settings () =
   let stide = Registry.find_exn "stide" in
-  let trained = Trained.train stide ~window training in
+  let trained = Engine.train (Engine.default engine) stide ~window training in
   let threshold = Trained.alarm_threshold trained in
   let span = Scoring.incident_response trained injection in
   let deploy_response = Trained.score trained deploy in
@@ -41,8 +42,11 @@ type nn_point = {
   min_span_response : float;
 }
 
-let nn_sensitivity suite ~window ~params =
-  List.map
+let nn_sensitivity ?engine suite ~window ~params =
+  (* Each parameter point trains its own deterministically-seeded
+     network — pure, so the points run on the engine's pool. *)
+  Pool.map
+    (Engine.pool (Engine.default engine))
     (fun p ->
       let model = Neural.train_with p ~window suite.Suite.training in
       let loss = Neural.training_loss model in
@@ -79,15 +83,15 @@ type alphabet_point = {
   markov_everywhere : bool;
 }
 
-let alphabet_invariance ~(base : Suite.params) ~sizes =
+let alphabet_invariance ?engine ~(base : Suite.params) ~sizes () =
   List.map
     (fun alphabet_size ->
       let suite = Suite.build { base with Suite.alphabet_size } in
       let stide_map =
-        Experiment.performance_map suite (Registry.find_exn "stide")
+        Experiment.performance_map ?engine suite (Registry.find_exn "stide")
       in
       let markov_map =
-        Experiment.performance_map suite (Registry.find_exn "markov")
+        Experiment.performance_map ?engine suite (Registry.find_exn "markov")
       in
       let stide_diagonal =
         Performance_map.fold stide_map ~init:true
@@ -115,13 +119,23 @@ type window_point = {
   false_alarm_rate : float;
 }
 
-let window_tradeoff suite ~fa_training ~deploy =
+let window_tradeoff ?engine suite ~fa_training ~deploy =
+  let e = Engine.default engine in
   let stide = Registry.find_exn "stide" in
   let anomaly_sizes = Suite.anomaly_sizes suite in
   let n_sizes = float_of_int (List.length anomaly_sizes) in
-  List.map
-    (fun window ->
-      let trained = Trained.train stide ~window suite.Suite.training in
+  let windows = Suite.windows suite in
+  (* Train phase for both model families, then pure per-window scoring
+     on the pool. *)
+  let trained =
+    Engine.train_batch e
+      (List.map (fun w -> (stide, w, suite.Suite.training)) windows)
+  in
+  let fa_models =
+    Engine.train_batch e (List.map (fun w -> (stide, w, fa_training)) windows)
+  in
+  Pool.map (Engine.pool e)
+    (fun (window, trained, fa_model) ->
       let detected =
         List.filter
           (fun anomaly_size ->
@@ -129,14 +143,15 @@ let window_tradeoff suite ~fa_training ~deploy =
             Outcome.is_capable (Scoring.outcome trained s.Suite.injection))
           anomaly_sizes
       in
-      let fa_model = Trained.train stide ~window fa_training in
       let fa = False_alarm.on_clean fa_model deploy in
       {
         window;
         coverage = float_of_int (List.length detected) /. n_sizes;
         false_alarm_rate = fa.False_alarm.rate;
       })
-    (Suite.windows suite)
+    (List.map2
+       (fun (w, t) fa -> (w, t, fa))
+       (List.combine windows trained) fa_models)
 
 type smoothing_point = {
   alpha : float;
@@ -187,7 +202,7 @@ type deviation_point = {
   stide_diagonal_held : bool;
 }
 
-let deviation_sweep ~(base : Suite.params) ~deviations =
+let deviation_sweep ?engine ~(base : Suite.params) ~deviations () =
   List.map
     (fun deviation ->
       let p = { base with Suite.deviation } in
@@ -214,7 +229,7 @@ let deviation_sweep ~(base : Suite.params) ~deviations =
       match Suite.build p with
       | suite ->
           let stide_map =
-            Experiment.performance_map suite (Registry.find_exn "stide")
+            Experiment.performance_map ?engine suite (Registry.find_exn "stide")
           in
           let stide_diagonal_held =
             Performance_map.fold stide_map ~init:true
@@ -235,11 +250,13 @@ type seed_point = {
   lnb_nowhere : bool;
 }
 
-let seed_robustness ~(base : Suite.params) ~seeds =
+let seed_robustness ?engine ~(base : Suite.params) ~seeds () =
   List.map
     (fun seed ->
       let suite = Suite.build { base with Suite.seed } in
-      let map name = Experiment.performance_map suite (Registry.find_exn name) in
+      let map name =
+        Experiment.performance_map ?engine suite (Registry.find_exn name)
+      in
       let stide_diagonal =
         Performance_map.fold (map "stide") ~init:true
           ~f:(fun acc ~anomaly_size ~window o ->

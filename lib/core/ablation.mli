@@ -1,5 +1,11 @@
 (** Ablation studies of the design choices the paper sets aside or
-    flags (experiments A1–A4 of DESIGN.md). *)
+    flags (experiments A1–A4 of DESIGN.md).
+
+    Sweeps that train or score detectors accept an [?engine] so their
+    models come from the shared trained-model cache and their pure
+    per-point work runs on the engine's worker pool; the default is a
+    fresh serial engine.  Functions whose parameters are all labelled
+    take a final [unit] so the optional engine can be erased. *)
 
 open Seqdiv_stream
 open Seqdiv_detectors
@@ -17,8 +23,9 @@ type lfc_point = {
 }
 
 val lfc_experiment :
+  ?engine:Engine.t ->
   training:Trace.t -> injection:Injector.injection -> deploy:Trace.t ->
-  window:int -> settings:(int * int) list -> lfc_point list
+  window:int -> settings:(int * int) list -> unit -> lfc_point list
 (** For each [(frame, min_count)] setting, compare Stide with and
     without the LFC post-processor on a hit (the injected stream) and on
     false alarms (the deployment stream).  Train Stide on [training] —
@@ -39,6 +46,7 @@ type nn_point = {
 }
 
 val nn_sensitivity :
+  ?engine:Engine.t ->
   Suite.t -> window:int -> params:Neural.params list -> nn_point list
 (** Train the neural detector at one window under each hyper-parameter
     setting and score every anomaly size of the suite — reproducing the
@@ -55,7 +63,8 @@ type alphabet_point = {
 }
 
 val alphabet_invariance :
-  base:Suite.params -> sizes:int list -> alphabet_point list
+  ?engine:Engine.t ->
+  base:Suite.params -> sizes:int list -> unit -> alphabet_point list
 (** Rebuild the suite at each alphabet size and check that the shape of
     the Stide and Markov maps is unchanged — the paper's Section 5.3
     claim that alphabet size does not affect foreign-sequence
@@ -91,6 +100,7 @@ type window_point = {
 }
 
 val window_tradeoff :
+  ?engine:Engine.t ->
   Suite.t -> fa_training:Seqdiv_stream.Trace.t ->
   deploy:Seqdiv_stream.Trace.t -> window_point list
 (** The operational trade-off behind window selection: growing the
@@ -133,7 +143,8 @@ type deviation_point = {
 }
 
 val deviation_sweep :
-  base:Suite.params -> deviations:float list -> deviation_point list
+  ?engine:Engine.t ->
+  base:Suite.params -> deviations:float list -> unit -> deviation_point list
 (** DESIGN.md §5 argues the deviation rate must sit in a band: low
     enough that two-deviation sequences at a fixed spacing stay foreign,
     high enough that single-deviation sub-sequences are present.  This
@@ -150,7 +161,8 @@ type seed_point = {
   lnb_nowhere : bool;  (** L&B capable at no cell *)
 }
 
-val seed_robustness : base:Suite.params -> seeds:int list -> seed_point list
+val seed_robustness :
+  ?engine:Engine.t -> base:Suite.params -> seeds:int list -> unit -> seed_point list
 (** Rebuild the suite under each seed and check that the paper's map
     shapes are invariant — the reproduction does not hinge on a lucky
     random stream. *)

@@ -20,18 +20,20 @@ let deployment_stream suite ~len ~seed =
   let rng = Prng.create ~seed in
   Markov_chain.generate suite.Suite.chain rng ~start:0 ~len
 
-let suppressor_experiment suite ~window ~anomaly_size ~deploy_len ~seed =
+let suppressor_experiment ?engine suite ~window ~anomaly_size ~deploy_len ~seed
+    =
   assert (window >= anomaly_size);
+  let e = Engine.default engine in
   let deploy = deployment_stream suite ~len:deploy_len ~seed in
   let test = Suite.stream suite ~anomaly_size ~window in
   let injection = test.Suite.injection in
   let trained =
-    List.map
-      (fun d -> Trained.train d ~window suite.Suite.training)
-      Registry.all
+    Engine.train_batch e
+      (List.map (fun d -> (d, window, suite.Suite.training)) Registry.all)
   in
   let detectors =
-    List.map
+    (* Pure per-detector scoring: safe on the engine's pool. *)
+    Pool.map (Engine.pool e)
       (fun t ->
         {
           name = Trained.name t;
@@ -71,11 +73,23 @@ type lnb_threshold_point = {
   false_alarm_rate : float;
 }
 
-let lnb_threshold_experiment suite ~anomaly_size ~deploy_trace ~fa_training =
+let lnb_threshold_experiment ?engine suite ~anomaly_size ~deploy_trace
+    ~fa_training =
+  let e = Engine.default engine in
   let lnb = Registry.find_exn "lnb" in
-  List.map
-    (fun window ->
-      let trained = Trained.train lnb ~window suite.Suite.training in
+  let windows = Suite.windows suite in
+  (* Train phase: the full-training and undertrained false-alarm models
+     for every window, deduplicated against the engine cache. *)
+  let trained =
+    Engine.train_batch e
+      (List.map (fun w -> (lnb, w, suite.Suite.training)) windows)
+  in
+  let fa_models =
+    Engine.train_batch e (List.map (fun w -> (lnb, w, fa_training)) windows)
+  in
+  (* Score phase: per-window work is pure once the models exist. *)
+  Pool.map (Engine.pool e)
+    (fun (window, trained, fa_model) ->
       (* One terminal mismatch costs a run of length [window]:
          sim = max_sim - window, so the response threshold that just
          admits it is window / max_sim = 2 / (window + 1). *)
@@ -86,10 +100,11 @@ let lnb_threshold_experiment suite ~anomaly_size ~deploy_trace ~fa_training =
       let test = Suite.stream suite ~anomaly_size ~window in
       let span = Scoring.incident_response trained test.Suite.injection in
       let hit = Response.max_score span >= score_threshold in
-      let fa_model = Trained.train lnb ~window fa_training in
       let deploy_response = Trained.score fa_model deploy_trace in
       let fa =
         False_alarm.of_response deploy_response ~threshold:score_threshold
       in
       { window; score_threshold; hit; false_alarm_rate = fa.False_alarm.rate })
-    (Suite.windows suite)
+    (List.map2
+       (fun (w, t) fa -> (w, t, fa))
+       (List.combine windows trained) fa_models)

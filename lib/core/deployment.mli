@@ -29,6 +29,7 @@ type suppressor_report = {
 }
 
 val suppressor_experiment :
+  ?engine:Engine.t ->
   Suite.t -> window:int -> anomaly_size:int -> deploy_len:int -> seed:int ->
   suppressor_report
 (** Run T2 at one cell: sample a fresh deployment stream from the
@@ -51,6 +52,7 @@ type lnb_threshold_point = {
 }
 
 val lnb_threshold_experiment :
+  ?engine:Engine.t ->
   Suite.t -> anomaly_size:int -> deploy_trace:Trace.t ->
   fa_training:Trace.t -> lnb_threshold_point list
 (** Run T3: for every window size of the suite, lower the L&B threshold

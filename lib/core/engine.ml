@@ -1,0 +1,247 @@
+open Seqdiv_util
+open Seqdiv_stream
+open Seqdiv_detectors
+open Seqdiv_synth
+
+let src = Logs.Src.create "seqdiv.engine" ~doc:"Plan/execute experiment engine"
+
+module Log = (val Logs.src_log src)
+
+type stats = {
+  train_executed : int;
+  train_cached : int;
+  score_tasks : int;
+  train_seconds : float;
+  score_seconds : float;
+}
+
+let zero_stats =
+  {
+    train_executed = 0;
+    train_cached = 0;
+    score_tasks = 0;
+    train_seconds = 0.0;
+    score_seconds = 0.0;
+  }
+
+type key = string * int * int64
+
+type t = {
+  pool : Pool.t;
+  clock : unit -> float;
+  cache : (key, Trained.t) Hashtbl.t;
+  mutable fingerprints : (Trace.t * int64) list;
+      (* physical-equality memo: the same training trace is
+         fingerprinted once per engine, not once per task *)
+  mutable stats : stats;
+}
+
+let create ?(clock = fun () -> 0.0) ?(jobs = 1) () =
+  {
+    pool = Pool.create ~jobs ();
+    clock;
+    cache = Hashtbl.create 64;
+    fingerprints = [];
+    stats = zero_stats;
+  }
+
+let default = function Some e -> e | None -> create ()
+let jobs t = Pool.jobs t.pool
+let pool t = t.pool
+let stats t = t.stats
+let reset_stats t = t.stats <- zero_stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "engine: trained %d model(s) (%d cache hit(s)) in %.3fs; scored %d \
+     cell(s) in %.3fs"
+    s.train_executed s.train_cached s.train_seconds s.score_tasks
+    s.score_seconds
+
+(* --- cache keys -------------------------------------------------------- *)
+
+let compute_fingerprint trace =
+  (* FNV-1a over the length and every symbol. *)
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  let mix x = h := Int64.mul (Int64.logxor !h (Int64.of_int x)) prime in
+  mix (Trace.length trace);
+  for i = 0 to Trace.length trace - 1 do
+    mix (Trace.get trace i)
+  done;
+  !h
+
+let max_fingerprint_memo = 8
+
+let fingerprint t trace =
+  match List.find_opt (fun (tr, _) -> tr == trace) t.fingerprints with
+  | Some (_, fp) -> fp
+  | None ->
+      let fp = compute_fingerprint trace in
+      let keep =
+        if List.length t.fingerprints >= max_fingerprint_memo then
+          List.filteri (fun i _ -> i < max_fingerprint_memo - 1) t.fingerprints
+        else t.fingerprints
+      in
+      t.fingerprints <- (trace, fp) :: keep;
+      fp
+
+let key t (module D : Detector.S) ~window trace : key =
+  (D.name, window, fingerprint t trace)
+
+(* --- train phase ------------------------------------------------------- *)
+
+let train t d ~window trace =
+  let k = key t d ~window trace in
+  match Hashtbl.find_opt t.cache k with
+  | Some trained ->
+      t.stats <- { t.stats with train_cached = t.stats.train_cached + 1 };
+      trained
+  | None ->
+      let t0 = t.clock () in
+      let trained = Trained.train d ~window trace in
+      Hashtbl.add t.cache k trained;
+      t.stats <-
+        {
+          t.stats with
+          train_executed = t.stats.train_executed + 1;
+          train_seconds = t.stats.train_seconds +. (t.clock () -. t0);
+        };
+      trained
+
+let train_batch t specs =
+  (* Plan: resolve keys serially, keep the first spec of every
+     cache-missing key.  Execute: train the misses on the pool, commit
+     on the calling domain, answer every spec from the cache. *)
+  let keyed =
+    List.map (fun (d, window, trace) -> (key t d ~window trace, d, window, trace)) specs
+  in
+  let misses =
+    List.fold_left
+      (fun acc (k, d, window, trace) ->
+        if Hashtbl.mem t.cache k || List.exists (fun (k', _, _, _) -> k' = k) acc
+        then acc
+        else (k, d, window, trace) :: acc)
+      [] keyed
+    |> List.rev
+  in
+  let t0 = t.clock () in
+  let models =
+    Pool.map t.pool
+      (fun (_, d, window, trace) -> Trained.train d ~window trace)
+      misses
+  in
+  List.iter2 (fun (k, _, _, _) trained -> Hashtbl.add t.cache k trained) misses
+    models;
+  let dt = t.clock () -. t0 in
+  let executed = List.length misses in
+  t.stats <-
+    {
+      t.stats with
+      train_executed = t.stats.train_executed + executed;
+      train_cached = t.stats.train_cached + List.length specs - executed;
+      train_seconds = t.stats.train_seconds +. dt;
+    };
+  Log.debug (fun m ->
+      m "train phase: %d task(s), %d trained, %d from cache, %.3fs (%d job(s))"
+        (List.length specs) executed
+        (List.length specs - executed)
+        dt (Pool.jobs t.pool));
+  List.map (fun (k, _, _, _) -> Hashtbl.find t.cache k) keyed
+
+(* --- score phase ------------------------------------------------------- *)
+
+let score_batch t tasks =
+  let t0 = t.clock () in
+  let outcomes =
+    Pool.map t.pool (fun (trained, inj) -> Scoring.outcome trained inj) tasks
+  in
+  let dt = t.clock () -. t0 in
+  t.stats <-
+    {
+      t.stats with
+      score_tasks = t.stats.score_tasks + List.length tasks;
+      score_seconds = t.stats.score_seconds +. dt;
+    };
+  Log.debug (fun m ->
+      m "score phase: %d cell(s), %.3fs (%d job(s))" (List.length tasks) dt
+        (Pool.jobs t.pool));
+  outcomes
+
+(* --- whole-experiment plans -------------------------------------------- *)
+
+(* One detector's cells in the row-major order of
+   [Performance_map.build]. *)
+let cells suite =
+  let windows = Suite.windows suite in
+  List.concat_map
+    (fun anomaly_size -> List.map (fun window -> (anomaly_size, window)) windows)
+    (Suite.anomaly_sizes suite)
+
+let assemble_map suite ~detector outcomes =
+  let anomaly_sizes = Array.of_list (Suite.anomaly_sizes suite) in
+  let windows = Array.of_list (Suite.windows suite) in
+  let index_of a v =
+    let n = Array.length a in
+    let rec go i = if i >= n || a.(i) = v then i else go (i + 1) in
+    go 0
+  in
+  Performance_map.build ~detector
+    ~anomaly_sizes:(Suite.anomaly_sizes suite)
+    ~windows:(Suite.windows suite)
+    ~f:(fun ~anomaly_size ~window ->
+      outcomes.((index_of anomaly_sizes anomaly_size * Array.length windows)
+                + index_of windows window))
+
+let maps_over t suite ~injection detectors =
+  let windows = Suite.windows suite in
+  let train_specs =
+    List.concat_map
+      (fun d -> List.map (fun w -> (d, w, suite.Suite.training)) windows)
+      detectors
+  in
+  ignore (train_batch t train_specs);
+  (* Resolve injections serially, per detector per cell, before any
+     parallel work: the callback may consume PRNG state. *)
+  let score_specs =
+    List.map
+      (fun d ->
+        let trained_at =
+          List.map
+            (fun w ->
+              (w, Hashtbl.find t.cache (key t d ~window:w suite.Suite.training)))
+            windows
+        in
+        ( d,
+          List.map
+            (fun (anomaly_size, window) ->
+              (List.assoc window trained_at, injection ~anomaly_size ~window))
+            (cells suite) ))
+      detectors
+  in
+  let flat = List.concat_map snd score_specs in
+  let outcomes = Array.of_list (score_batch t flat) in
+  let per_map = List.length (cells suite) in
+  List.mapi
+    (fun i (d, _) ->
+      let (module D : Detector.S) = d in
+      assemble_map suite ~detector:D.name
+        (Array.sub outcomes (i * per_map) per_map))
+    score_specs
+
+let performance_map_over t suite ~injection d =
+  match maps_over t suite ~injection [ d ] with
+  | [ m ] -> m
+  | _ ->
+      (* Unreachable: one detector in, one map out. *)
+      (* lint: allow partiality — arity invariant *)
+      invalid_arg "Engine.performance_map_over: plan arity mismatch"
+
+let suite_injection suite ~anomaly_size ~window =
+  (Suite.stream suite ~anomaly_size ~window).Suite.injection
+
+let performance_map t suite d =
+  performance_map_over t suite ~injection:(suite_injection suite) d
+
+let all_maps t suite detectors =
+  maps_over t suite ~injection:(suite_injection suite) detectors

@@ -1,0 +1,112 @@
+(** The execution engine: every experiment driver reduces its work to
+    an explicit plan of {e train tasks} (one per detector × window,
+    deduplicated through a trained-model cache) and {e score tasks}
+    (one per performance-map cell), which the engine executes
+    train-phase-then-score-phase on a {!Seqdiv_util.Pool} of worker
+    domains.
+
+    {b Determinism contract.}  Results are byte-identical for every
+    jobs count.  The engine only ever hands the pool pure work:
+    training (each detector seeds its own PRNG deterministically) and
+    scoring (a function of model and trace).  Everything that consumes
+    shared randomness or mutates shared state — suite generation,
+    injection search, the model cache, the stage counters — runs on
+    the calling domain.  {!Pool.map} is order-preserving, so phase
+    outputs are assembled in plan order regardless of which domain
+    computed them.
+
+    {b Cache keying.}  A trained model is cached under
+    (detector name, window, training-trace fingerprint), where the
+    fingerprint is a 64-bit FNV-1a hash of the trace contents.  The
+    cache is what removes the duplicated retraining between
+    [Experiment] and [Deployment]: any driver asking for the same
+    (detector, window, trace) triple gets the already-trained model.
+
+    {b Instrumentation.}  Per-stage wall-clock timers and task
+    counters accumulate in {!stats} and are logged through [Logs]
+    (source ["seqdiv.engine"]).  The clock is injected — the library
+    default reads no wall clock at all (timings stay 0); executables
+    pass [Unix.gettimeofday] to get real [--trace] output. *)
+
+open Seqdiv_stream
+open Seqdiv_detectors
+open Seqdiv_synth
+
+type t
+
+val create : ?clock:(unit -> float) -> ?jobs:int -> unit -> t
+(** A fresh engine with an empty model cache.  [jobs] defaults to 1
+    (strictly serial); [clock] defaults to [fun () -> 0.] so that
+    library code performs no wall-clock reads. *)
+
+val default : t option -> t
+(** [default (Some e)] is [e]; [default None] is a fresh serial
+    engine — the idiom drivers use for their [?engine] parameter. *)
+
+val jobs : t -> int
+(** Worker count of the underlying pool. *)
+
+val pool : t -> Seqdiv_util.Pool.t
+(** The engine's pool, for drivers that parallelise pure per-item
+    work of their own (e.g. per-window false-alarm scoring).  The
+    pool contract applies: closures must not touch the engine, any
+    PRNG, or other shared mutable state. *)
+
+(** {1 Stage instrumentation} *)
+
+type stats = {
+  train_executed : int;  (** train tasks actually run *)
+  train_cached : int;  (** train tasks satisfied by the model cache *)
+  score_tasks : int;  (** score tasks run *)
+  train_seconds : float;  (** wall-clock spent in train phases *)
+  score_seconds : float;  (** wall-clock spent in score phases *)
+}
+
+val stats : t -> stats
+(** Cumulative counters since creation (or the last {!reset_stats}). *)
+
+val reset_stats : t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line rendering used by the [--trace] flag of the
+    executables. *)
+
+(** {1 Training (the only [Trained.train] call sites in the tree)} *)
+
+val train : t -> Detector.t -> window:int -> Trace.t -> Trained.t
+(** Train one model through the cache, on the calling domain. *)
+
+val train_batch : t -> (Detector.t * int * Trace.t) list -> Trained.t list
+(** The train phase of a plan: deduplicate the (detector, window,
+    trace) specs against each other and the cache, train the misses in
+    parallel on the pool, commit them to the cache, and return one
+    trained model per input spec, in input order. *)
+
+(** {1 Score phase} *)
+
+val score_batch : t -> (Trained.t * Injector.injection) list -> Outcome.t list
+(** Score every (model, injection) cell in parallel on the pool;
+    results in input order. *)
+
+(** {1 Whole-experiment plans} *)
+
+val performance_map : t -> Suite.t -> Detector.t -> Performance_map.t
+(** Plan and execute one detector's map over the suite's own injected
+    streams. *)
+
+val performance_map_over :
+  t ->
+  Suite.t ->
+  injection:(anomaly_size:int -> window:int -> Injector.injection) ->
+  Detector.t ->
+  Performance_map.t
+(** Like {!performance_map} against caller-supplied injections.  The
+    [injection] callback runs serially on the calling domain, once per
+    cell in row-major order, before the score phase starts — callbacks
+    may therefore consume PRNG state or count calls. *)
+
+val all_maps : t -> Suite.t -> Detector.t list -> Performance_map.t list
+(** One plan for all detectors: a single train phase over every
+    (detector, window) pair followed by a single score phase over
+    every (detector, cell) pair — the maximally parallel form of the
+    paper's Figures 3–6 sweep. *)

@@ -1,29 +1,16 @@
-open Seqdiv_detectors
-open Seqdiv_synth
+(* Every map is a plan over the engine: train tasks deduplicated
+   through its model cache, score tasks executed on its domain pool.
+   Without an explicit [?engine] a fresh serial one is used, which is
+   exactly the old hand-rolled loop. *)
 
-let performance_map_over suite ~injection (module D : Detector.S) =
-  let anomaly_sizes = Suite.anomaly_sizes suite in
-  let windows = Suite.windows suite in
-  (* One model per window, shared across anomaly sizes. *)
-  let models =
-    List.map
-      (fun window ->
-        (window, Trained.train (module D) ~window suite.Suite.training))
-      windows
-  in
-  Performance_map.build ~detector:D.name ~anomaly_sizes ~windows
-    ~f:(fun ~anomaly_size ~window ->
-      let trained = List.assoc window models in
-      Scoring.outcome trained (injection ~anomaly_size ~window))
+let performance_map_over ?engine suite ~injection detector =
+  Engine.performance_map_over (Engine.default engine) suite ~injection detector
 
-let performance_map suite detector =
-  performance_map_over suite
-    ~injection:(fun ~anomaly_size ~window ->
-      (Suite.stream suite ~anomaly_size ~window).Suite.injection)
-    detector
+let performance_map ?engine suite detector =
+  Engine.performance_map (Engine.default engine) suite detector
 
-let all_maps suite detectors =
-  List.map (fun d -> performance_map suite d) detectors
+let all_maps ?engine suite detectors =
+  Engine.all_maps (Engine.default engine) suite detectors
 
 type relation = {
   left : string;

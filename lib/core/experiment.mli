@@ -4,15 +4,22 @@
 
     Training is shared across anomaly sizes: for each detector-window
     size every detector is trained once on the training stream and then
-    scored against the incident span of each injected test stream. *)
+    scored against the incident span of each injected test stream.
+
+    The map builders are thin plans over {!Engine}: pass [?engine] to
+    share a trained-model cache across calls and to run train/score
+    tasks on its worker pool; the default is a fresh serial engine.
+    Results are byte-identical for every jobs count. *)
 
 open Seqdiv_detectors
 open Seqdiv_synth
 
-val performance_map : Suite.t -> Detector.t -> Performance_map.t
+val performance_map :
+  ?engine:Engine.t -> Suite.t -> Detector.t -> Performance_map.t
 (** Evaluate one detector over every cell of the suite. *)
 
 val performance_map_over :
+  ?engine:Engine.t ->
   Suite.t ->
   injection:(anomaly_size:int -> window:int -> Injector.injection) ->
   Detector.t ->
@@ -22,8 +29,10 @@ val performance_map_over :
     used by the rare-anomaly extension ({!Rare_anomaly}).  Models are
     still trained once per window on the suite's training stream. *)
 
-val all_maps : Suite.t -> Detector.t list -> Performance_map.t list
-(** {!performance_map} for each detector, in the given order. *)
+val all_maps :
+  ?engine:Engine.t -> Suite.t -> Detector.t list -> Performance_map.t list
+(** {!performance_map} for each detector, in the given order, as one
+    engine plan (single train phase, single score phase). *)
 
 type relation = {
   left : string;

@@ -43,7 +43,7 @@ let injection t ~anomaly_size ~window =
   assert (cell >= 0 && cell < Array.length t.injections);
   t.injections.(cell)
 
-let performance_map t suite detector =
-  Experiment.performance_map_over suite
+let performance_map ?engine t suite detector =
+  Experiment.performance_map_over ?engine suite
     ~injection:(fun ~anomaly_size ~window -> injection t ~anomaly_size ~window)
     detector

@@ -26,6 +26,8 @@ val build : Suite.t -> t
 val injection : t -> anomaly_size:int -> window:int -> Injector.injection
 (** The injected stream of a cell. *)
 
-val performance_map : t -> Suite.t -> Detector.t -> Performance_map.t
+val performance_map :
+  ?engine:Engine.t -> t -> Suite.t -> Detector.t -> Performance_map.t
 (** Chart one detector against the rare-anomaly streams (training on the
-    suite's training stream, one model per window). *)
+    suite's training stream, one model per window).  An [?engine] shares
+    its model cache and worker pool with the main experiment. *)

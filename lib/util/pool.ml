@@ -1,0 +1,70 @@
+(* The one concurrency-bearing module of the library (lint rule R6).
+   Work items are claimed from a shared atomic cursor in chunks and
+   results land in their input slot, which is what makes the map
+   order-preserving and hence byte-identical across jobs counts. *)
+
+type t = { jobs : int; chunk : int }
+
+let create ?(chunk = 1) ~jobs () =
+  { jobs = Stdlib.max 1 jobs; chunk = Stdlib.max 1 chunk }
+
+let jobs t = t.jobs
+let chunk t = t.chunk
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+exception Worker_failure of exn * Printexc.raw_backtrace
+
+let map_array t f input =
+  let n = Array.length input in
+  if t.jobs = 1 || n <= 1 then Array.map f input
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add next t.chunk in
+        if start < n && Atomic.get failure = None then begin
+          let stop = Stdlib.min n (start + t.chunk) in
+          (try
+             for i = start to stop - 1 do
+               results.(i) <- Some (f input.(i))
+             done
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore
+               (Atomic.compare_and_set failure None
+                  (Some (Worker_failure (e, bt)))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init
+        (Stdlib.min (t.jobs - 1) (n - 1))
+        (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get failure with
+    | Some (Worker_failure (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | Some _ | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None ->
+            (* Unreachable: every slot below [n] is filled unless a
+               worker failed, and failures re-raise above. *)
+            (* lint: allow partiality — pool fill invariant *)
+            invalid_arg "Pool.map: unfilled result slot")
+      results
+  end
+
+let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
+
+let map2 t f xs ys =
+  if List.length xs <> List.length ys then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg "Pool.map2: lists of unequal length";
+  map t (fun (x, y) -> f x y) (List.combine xs ys)

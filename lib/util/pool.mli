@@ -1,0 +1,45 @@
+(** A fixed-size worker pool over OCaml 5 [Domain]s.
+
+    The pool parallelises {e pure} work only: the experiment engine
+    keeps every PRNG-consuming step (stream generation, injection
+    search) serial and hands the pool nothing but train/score closures
+    whose results are a function of their arguments.  Under that
+    contract the pool is deterministic by construction — {!map} and
+    {!map2} are order-preserving, so results are byte-identical for
+    every [jobs] count, including [jobs = 1] which degrades to a plain
+    serial map without spawning any domain.
+
+    This is the only module of the library permitted to touch
+    [Domain] / [Atomic] / [Mutex] (lint rule R6, concurrency-hygiene);
+    everything above it stays single-domain and auditable. *)
+
+type t
+
+val create : ?chunk:int -> jobs:int -> unit -> t
+(** [create ~jobs ()] is a pool of [jobs] workers ([jobs] is clamped
+    to at least 1).  [chunk] (default 1, clamped to at least 1) is the
+    number of consecutive tasks a worker claims at a time: 1 gives the
+    best load balance for heavy tasks (training a detector), larger
+    chunks amortise contention for many tiny tasks. *)
+
+val jobs : t -> int
+(** The worker count the pool was created with. *)
+
+val chunk : t -> int
+(** The chunk size the pool was created with. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [-j 0] resolves to in
+    the executables. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map.  With [jobs = 1] this is exactly
+    [List.map f] on the calling domain.  With [jobs > 1] the calling
+    domain participates as one of the workers, so [jobs - 1] domains
+    are spawned per call.  If [f] raises on any element, the first
+    exception (in claim order) is re-raised on the calling domain
+    after every worker has stopped. *)
+
+val map2 : t -> ('a -> 'b -> 'c) -> 'a list -> 'b list -> 'c list
+(** Order-preserving binary {!map}.  The lists must have equal
+    lengths.  @raise Invalid_argument otherwise. *)

@@ -9,5 +9,10 @@ set -eu
 cd "$(dirname "$0")/.."
 
 dune build
+dune build @all
 dune build @lint
 dune runtest
+
+# The engine's determinism contract, exercised with real parallelism:
+# the equivalence suite compares jobs=1 against jobs=4 cell by cell.
+dune exec test/test_engine.exe -- test determinism

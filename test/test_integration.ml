@@ -133,7 +133,7 @@ let test_lfc_ablation () =
   let points =
     Ablation.lfc_experiment ~training:fa_training
       ~injection:test.Suite.injection ~deploy ~window:6
-      ~settings:[ (20, 1); (20, 3) ]
+      ~settings:[ (20, 1); (20, 3) ] ()
   in
   List.iter
     (fun (p : Ablation.lfc_point) ->
@@ -178,7 +178,7 @@ let test_seed_robustness () =
       Suite.dw_max = 6;
     }
   in
-  let points = Ablation.seed_robustness ~base ~seeds:[ 3; 11 ] in
+  let points = Ablation.seed_robustness ~base ~seeds:[ 3; 11 ] () in
   List.iter
     (fun (p : Ablation.seed_point) ->
       Alcotest.(check bool)
@@ -199,7 +199,7 @@ let test_deviation_sweep () =
     }
   in
   let points =
-    Ablation.deviation_sweep ~base ~deviations:[ 0.00002; 0.0025; 0.2 ]
+    Ablation.deviation_sweep ~base ~deviations:[ 0.00002; 0.0025; 0.2 ] ()
   in
   (match points with
   | [ too_low; paper; too_high ] ->

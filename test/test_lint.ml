@@ -231,6 +231,53 @@ let test_diagnostic_rendering () =
         (contains_sub s "R1")
   | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
 
+(* R6: concurrency primitives in ordinary lib code. *)
+let test_r6_domain_in_lib () =
+  let bad = "let go f = Domain.join (Domain.spawn f)\n" in
+  let diags =
+    run_on
+      [ file "lib/foo.ml" bad; file "lib/foo.mli" "val go : (unit -> 'a) -> 'a\n" ]
+  in
+  match find_rule "R6" diags with
+  | d :: _ ->
+      Alcotest.(check string) "file" "lib/foo.ml" d.Diagnostic.file;
+      Alcotest.(check string) "name" "concurrency" d.Diagnostic.rule_name
+  | [] -> Alcotest.fail "expected an R6 diagnostic"
+
+(* R6 exempts the worker pool itself. *)
+let test_r6_exempts_pool () =
+  let body = "let go f = Domain.join (Domain.spawn f)\nlet c = Atomic.make 0\n" in
+  let diags =
+    run_on
+      [
+        file "lib/util/pool.ml" body;
+        file "lib/util/pool.mli"
+          "val go : (unit -> 'a) -> 'a\nval c : int Atomic.t\n";
+      ]
+  in
+  Alcotest.(check (list string)) "no R6 in pool" []
+    (rules_of (find_rule "R6" diags))
+
+(* R6 is a library rule; executables may use Domain freely. *)
+let test_r6_not_in_bin () =
+  let diags =
+    run_on [ file "bin/main.ml" "let () = Domain.join (Domain.spawn ignore)\n" ]
+  in
+  Alcotest.(check (list string)) "no R6 in bin" []
+    (rules_of (find_rule "R6" diags))
+
+(* R6 honours the standard whitelist comment. *)
+let test_r6_whitelist () =
+  let body =
+    "(* lint: allow concurrency — measured fence *)\n\
+     let c = Atomic.make 0\n"
+  in
+  let diags =
+    run_on [ file "lib/fence.ml" body; file "lib/fence.mli" "val c : int Atomic.t\n" ]
+  in
+  Alcotest.(check (list string)) "suppressed" []
+    (rules_of (find_rule "R6" diags))
+
 let () =
   Alcotest.run "lint"
     [
@@ -256,6 +303,10 @@ let () =
             test_r4_not_for_test_role;
           Alcotest.test_case "R5 contract" `Quick test_r5_contract;
           Alcotest.test_case "R5 include" `Quick test_r5_include_detector_s;
+          Alcotest.test_case "R6 domain in lib" `Quick test_r6_domain_in_lib;
+          Alcotest.test_case "R6 exempts pool" `Quick test_r6_exempts_pool;
+          Alcotest.test_case "R6 exempt in bin" `Quick test_r6_not_in_bin;
+          Alcotest.test_case "R6 whitelist" `Quick test_r6_whitelist;
           Alcotest.test_case "rendering" `Quick test_diagnostic_rendering;
         ] );
     ]
