@@ -26,6 +26,7 @@ type options = {
   background_len : int;
   deploy_len : int;
   micro : bool;
+  grid_only : bool;
   csv_dir : string option;
   jobs : int;
   trace : bool;
@@ -38,6 +39,7 @@ let default_options =
     background_len = 8_000;
     deploy_len = 30_000;
     micro = true;
+    grid_only = false;
     csv_dir = None;
     jobs = 1;
     trace = false;
@@ -55,6 +57,7 @@ let parse_options () =
     | "--deploy-len" :: v :: rest ->
         go { acc with deploy_len = int_of_string v } rest
     | "--no-micro" :: rest -> go { acc with micro = false } rest
+    | "--grid-only" :: rest -> go { acc with grid_only = true; micro = false } rest
     | "--csv-dir" :: v :: rest -> go { acc with csv_dir = Some v } rest
     | ("-j" | "--jobs") :: v :: rest ->
         let jobs = int_of_string v in
@@ -75,6 +78,13 @@ let section title = Printf.printf "\n=== %s ===\n%!" title
 (* Every [timed] section is also recorded here so --json can replay the
    stage timings machine-readably. *)
 let stages : (string * float) list ref = ref []
+
+(* Scalar measurements (allocation rates, node counts) for --json. *)
+let measurements : (string * float) list ref = ref []
+
+let measure label value =
+  measurements := (label, value) :: !measurements;
+  Printf.printf "%s: %.3f\n%!" label value
 
 let timed label f =
   let t0 = Unix.gettimeofday () in
@@ -110,6 +120,68 @@ let write_csvs maps dir =
         (Csv.map_rows m);
       Printf.printf "wrote %s\n" path)
     maps
+
+(* Minor-heap words allocated per window lookup: the trie cursor descends
+   over the raw trace array and must allocate nothing, while the legacy
+   path builds one Trace.key string per window.  Run on the calling
+   domain with warm code; 10k lookups average out GC noise. *)
+let measure_lookup_allocation training trie =
+  let width = Stdlib.min 8 (Seq_trie.max_len trie) in
+  let data = Trace.raw training in
+  let starts = Trace.window_count training ~width in
+  let hash_db =
+    let tbl = Hashtbl.create 4096 in
+    Trace.iter_windows training ~width (fun pos ->
+        let k = Trace.key training ~pos ~len:width in
+        Hashtbl.replace tbl k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)));
+    tbl
+  in
+  let iters = Stdlib.min 10_000 starts in
+  let per_lookup f =
+    let before = Gc.minor_words () in
+    for i = 0 to iters - 1 do
+      f (i mod starts)
+    done;
+    (Gc.minor_words () -. before) /. float_of_int iters
+  in
+  let trie_alloc =
+    per_lookup (fun pos -> ignore (Seq_trie.count_at trie data ~pos ~len:width))
+  in
+  let hash_alloc =
+    per_lookup (fun pos ->
+        ignore (Hashtbl.find_opt hash_db (Trace.key training ~pos ~len:width)))
+  in
+  measure "A5_alloc_words_per_trie_lookup" trie_alloc;
+  measure "A5_alloc_words_per_hash_lookup" hash_alloc
+
+(* --- full-grid macro benchmark (--grid-only) --------------------------- *)
+
+(* The perf-trajectory kernel tracked by scripts/bench.sh: the whole
+   (AS x DW) grid for the sequence-database detectors whose train/score
+   hot paths this repo optimises.  Engine train/score stage timings are
+   the figures of merit; map summaries double as a correctness probe
+   (the optimised paths must not move a single cell). *)
+let run_grid opts engine =
+  let params =
+    Suite.scaled_params ~train_len:opts.train_len
+      ~background_len:opts.background_len
+  in
+  section "Full-grid macro benchmark (stide, tstide, markov)";
+  let suite = timed "suite build" (fun () -> Suite.build params) in
+  let detectors = List.map Registry.find_exn [ "stide"; "tstide"; "markov" ] in
+  let maps =
+    timed "grid maps" (fun () -> Experiment.all_maps ~engine suite detectors)
+  in
+  List.iter
+    (fun m ->
+      let s = Experiment.summary m in
+      Printf.printf "%s: capable %d, weak %d, blind %d\n" s.Experiment.detector
+        s.Experiment.capable s.Experiment.weak s.Experiment.blind)
+    maps;
+  measure_lookup_allocation suite.Suite.training
+    (Ngram_index.trie suite.Suite.index);
+  (suite, maps)
 
 (* --- the paper reproduction ------------------------------------------- *)
 
@@ -352,12 +424,31 @@ let run_paper opts engine =
   let trie = Seq_trie.of_trace ~max_len:15 suite.Suite.training in
   let trie_dt = Unix.gettimeofday () -. trie_t0 in
   let hash_t0 = Unix.gettimeofday () in
-  let rebuilt = Ngram_index.build ~max_len:15 suite.Suite.training in
+  let hash_dbs =
+    (* the legacy backend the trie replaced: one string-keyed hash
+       table per width, each filled by its own scan of the trace *)
+    Array.init 15 (fun i ->
+        let width = i + 1 in
+        let tbl = Hashtbl.create 4096 in
+        Trace.iter_windows suite.Suite.training ~width (fun pos ->
+            let k = Trace.key suite.Suite.training ~pos ~len:width in
+            Hashtbl.replace tbl k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)));
+        tbl)
+  in
   let hash_dt = Unix.gettimeofday () -. hash_t0 in
   let agreement =
-    Seq_trie.check_agrees_with_index trie rebuilt
-      (Trace.sub suite.Suite.training ~pos:0
-         ~len:(Stdlib.min 5_000 (Trace.length suite.Suite.training)))
+    let len = Stdlib.min 5_000 (Trace.length suite.Suite.training) in
+    let data = Trace.raw suite.Suite.training in
+    let ok = ref true in
+    for width = 1 to 15 do
+      for pos = 0 to len - width do
+        let k = Trace.key suite.Suite.training ~pos ~len:width in
+        let h = Option.value ~default:0 (Hashtbl.find_opt hash_dbs.(width - 1) k) in
+        if Seq_trie.count_at trie data ~pos ~len:width <> h then ok := false
+      done
+    done;
+    !ok
   in
   let a5 = Table.make ~columns:[ "backend"; "build time"; "memory proxy" ] in
   Table.add_row a5
@@ -372,6 +463,7 @@ let run_paper opts engine =
   Table.print a5;
   Printf.printf "backends agree on all counts: %s\n"
     (if agreement then "yes" else "NO — BUG");
+  measure_lookup_allocation suite.Suite.training trie;
   (suite, maps, deploy, trie)
 
 (* --- Bechamel micro-benchmarks ---------------------------------------- *)
@@ -451,22 +543,40 @@ let micro_tests suite maps deploy trie =
      Test.make ~name:"E1_tstide_span_scoring" (Staged.stage (span tstide)));
     (let hmm = Trained.train (Registry.find_exn "hmm") ~window training in
      Test.make ~name:"E1_hmm_span_scoring" (Staged.stage (span hmm)));
-    (let rng = Seqdiv_util.Prng.create ~seed:7 in
-     let probes =
-       Array.init 64 (fun _ -> Seq_trie.random_probe trie rng ~len:8)
+    (* A5: one window lookup, trie descent over the raw trace array vs
+       the legacy string-hash probe (Trace.key + Hashtbl).  The probes
+       are real windows of the training trace, so both backends hit. *)
+    (let data = Trace.raw training in
+     let starts = Trace.window_count training ~width:8 in
+     let rng = Seqdiv_util.Prng.create ~seed:7 in
+     let positions =
+       Array.init 64 (fun _ -> Seqdiv_util.Prng.int rng starts)
      in
      Test.make ~name:"A5_trie_lookup"
        (Staged.stage (fun () ->
-            Array.iter (fun p -> ignore (Seq_trie.count trie p)) probes)));
-    (let rng = Seqdiv_util.Prng.create ~seed:7 in
-     let probes =
-       Array.init 64 (fun _ -> Seq_trie.random_probe trie rng ~len:8)
+            Array.iter
+              (fun pos -> ignore (Seq_trie.count_at trie data ~pos ~len:8))
+              positions)));
+    (let hash_db =
+       let tbl = Hashtbl.create 4096 in
+       Trace.iter_windows training ~width:8 (fun pos ->
+           let k = Trace.key training ~pos ~len:8 in
+           Hashtbl.replace tbl k
+             (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)));
+       tbl
+     in
+     let starts = Trace.window_count training ~width:8 in
+     let rng = Seqdiv_util.Prng.create ~seed:7 in
+     let positions =
+       Array.init 64 (fun _ -> Seqdiv_util.Prng.int rng starts)
      in
      Test.make ~name:"A5_hash_lookup"
        (Staged.stage (fun () ->
             Array.iter
-              (fun p -> ignore (Ngram_index.count suite.Suite.index p))
-              probes)));
+              (fun pos ->
+                ignore
+                  (Hashtbl.find_opt hash_db (Trace.key training ~pos ~len:8)))
+              positions)));
     Test.make ~name:"A6_stide_cell_outcome"
       (Staged.stage (fun () ->
            ignore (Scoring.outcome stide injection)));
@@ -576,8 +686,20 @@ let write_json path opts engine maps =
   out "    \"train_cached\": %d,\n" stats.Engine.train_cached;
   out "    \"score_tasks\": %d,\n" stats.Engine.score_tasks;
   out "    \"train_seconds\": %.6f,\n" stats.Engine.train_seconds;
-  out "    \"score_seconds\": %.6f\n" stats.Engine.score_seconds;
+  out "    \"score_seconds\": %.6f,\n" stats.Engine.score_seconds;
+  out "    \"tries_built\": %d,\n" stats.Engine.tries_built;
+  out "    \"trie_hits\": %d,\n" stats.Engine.trie_hits;
+  out "    \"trie_nodes\": %d\n" stats.Engine.trie_nodes;
   out "  },\n";
+  out "  \"measurements\": [\n";
+  let ms = List.rev !measurements in
+  List.iteri
+    (fun i (label, value) ->
+      out "    { \"label\": \"%s\", \"value\": %.6f }%s\n" (json_escape label)
+        value
+        (if i = List.length ms - 1 then "" else ","))
+    ms;
+  out "  ],\n";
   out "  \"maps\": [\n";
   let summaries = List.map Experiment.summary maps in
   List.iteri
@@ -598,9 +720,17 @@ let write_json path opts engine maps =
 let () =
   let opts = parse_options () in
   let engine = Engine.create ~clock:Unix.gettimeofday ~jobs:opts.jobs () in
-  let suite, maps, deploy, trie = run_paper opts engine in
-  if opts.micro then run_micro suite maps deploy trie;
-  if opts.trace then
-    Format.eprintf "%a@." Engine.pp_stats (Engine.stats engine);
-  Option.iter (fun path -> write_json path opts engine maps) opts.json;
+  if opts.grid_only then begin
+    let _suite, maps = run_grid opts engine in
+    if opts.trace then
+      Format.eprintf "%a@." Engine.pp_stats (Engine.stats engine);
+    Option.iter (fun path -> write_json path opts engine maps) opts.json
+  end
+  else begin
+    let suite, maps, deploy, trie = run_paper opts engine in
+    if opts.micro then run_micro suite maps deploy trie;
+    if opts.trace then
+      Format.eprintf "%a@." Engine.pp_stats (Engine.stats engine);
+    Option.iter (fun path -> write_json path opts engine maps) opts.json
+  end;
   print_newline ()

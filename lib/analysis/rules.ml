@@ -74,6 +74,17 @@ let concurrency =
        the determinism contract stays auditable";
   }
 
+let hot_path =
+  {
+    id = "R7";
+    name = "hot-path";
+    severity = Diagnostic.Error;
+    doc =
+      "detector score/score_range paths must not build window strings \
+       (Trace.key) or run string-keyed lookups per window; score over the \
+       raw trace through the allocation-free *_at trie cursor API";
+  }
+
 let all =
   [
     syntax;
@@ -83,6 +94,7 @@ let all =
     interfaces;
     detector_contract;
     concurrency;
+    hot_path;
   ]
 
 let diag rule (src : Source.t) ~line ~col message =
@@ -183,6 +195,73 @@ let partiality_violation parts =
       Some "List.hd/List.tl are partial; match on the list"
   | _ -> None
 
+(* R7: the scoring hot paths serve every window of every test stream;
+   a string key built or hashed per window is exactly the allocation
+   profile the trie-backed data layer removed.  Confined to detector
+   implementations, and within those to the [score]/[score_range]
+   bindings (train-time key building is legitimate). *)
+let string_key_queries =
+  [ "mem"; "count"; "freq"; "is_foreign"; "is_rare"; "is_common"; "find" ]
+
+let hot_path_violation parts =
+  match parts with
+  | [ "Trace"; ("key" | "key_of_symbols") ] ->
+      Some
+        "builds a window string per call; score over Trace.raw with the \
+         *_at cursor API (or whitelist with `lint: allow hot-path`)"
+  | [ (("Seq_db" | "Seq_trie" | "Ngram_index") as m); f ]
+    when List.mem f string_key_queries ->
+      Some
+        (Printf.sprintf
+           "%s.%s is a string-keyed lookup; descend with the %s *_at cursor \
+            API over the raw trace (or whitelist with `lint: allow hot-path`)"
+           m f m)
+  | [ "Hashtbl"; ("find" | "find_opt" | "mem") ] ->
+      Some
+        "per-window hash lookups belong to the replaced string-key backend; \
+         read counts out of the shared trie (or whitelist with `lint: allow \
+         hot-path`)"
+  | _ -> None
+
+let detectors_dir (src : Source.t) =
+  let dir = Source.dir src in
+  let suffix = "detectors" in
+  let n = String.length suffix and dn = String.length dir in
+  dir = suffix || (dn > n && String.sub dir (dn - n - 1) (n + 1) = "/" ^ suffix)
+
+let score_binding_names = [ "score"; "score_range" ]
+
+let check_hot_paths src structure =
+  let found = ref [] in
+  let default = Ast_iterator.default_iterator in
+  let in_score = ref false in
+  let expr self (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; loc } when !in_score -> (
+        match hot_path_violation (strip_stdlib (flatten txt)) with
+        | Some m -> found := diag_at hot_path src loc m :: !found
+        | None -> ())
+    | _ -> ());
+    default.Ast_iterator.expr self e
+  in
+  let value_binding self (vb : Parsetree.value_binding) =
+    let is_score =
+      match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+      | Parsetree.Ppat_var { txt; _ } -> List.mem txt score_binding_names
+      | _ -> false
+    in
+    if is_score then begin
+      let saved = !in_score in
+      in_score := true;
+      default.Ast_iterator.value_binding self vb;
+      in_score := saved
+    end
+    else default.Ast_iterator.value_binding self vb
+  in
+  let it = { default with Ast_iterator.expr; Ast_iterator.value_binding } in
+  it.Ast_iterator.structure it structure;
+  List.rev !found
+
 (* R1–R3 over one parsed library implementation. *)
 let check_structure src structure =
   let found = ref [] in
@@ -226,6 +305,7 @@ let check_parsed (src : Source.t) parsed =
   | Source.Broken { line; col; message } -> [ diag syntax src ~line ~col message ]
   | Source.Structure structure when src.Source.role = Source.Lib ->
       check_structure src structure
+      @ (if detectors_dir src then check_hot_paths src structure else [])
   | Source.Structure _ | Source.Signature _ -> []
 
 let not_allowed (src : Source.t) (d : Diagnostic.t) =

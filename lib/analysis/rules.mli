@@ -17,6 +17,11 @@
       [Semaphore] in library code are confined to [lib/util/pool.ml]
       (or a [lint: allow concurrency] site), so every place parallelism
       can enter a result is auditable.
+    - [R7 hot-path] — detector [score] / [score_range] bodies (in
+      [lib/detectors]) must not build window strings ([Trace.key]) or
+      run string-keyed / hash-table lookups per window; scoring descends
+      the shared trie over the raw trace via the [*_at] cursor API.
+      Escape hatch: [lint: allow hot-path].
 
     A further pseudo-rule, [R0 syntax], reports files that do not
     parse.
@@ -33,7 +38,7 @@ type t = {
 }
 
 val all : t list
-(** Every rule the engine knows, [R0]–[R6], in order. *)
+(** Every rule the engine knows, [R0]–[R7], in order. *)
 
 val syntax : t
 val determinism : t
@@ -42,6 +47,7 @@ val partiality : t
 val interfaces : t
 val detector_contract : t
 val concurrency : t
+val hot_path : t
 
 val check_file : Source.t -> Diagnostic.t list
 (** File-local rules only ([R0]–[R3]), whitelist already applied.

@@ -13,6 +13,9 @@ type stats = {
   score_tasks : int;
   train_seconds : float;
   score_seconds : float;
+  tries_built : int;
+  trie_hits : int;
+  trie_nodes : int;
 }
 
 let zero_stats =
@@ -22,6 +25,9 @@ let zero_stats =
     score_tasks = 0;
     train_seconds = 0.0;
     score_seconds = 0.0;
+    tries_built = 0;
+    trie_hits = 0;
+    trie_nodes = 0;
   }
 
 type key = string * int * int64
@@ -30,6 +36,9 @@ type t = {
   pool : Pool.t;
   clock : unit -> float;
   cache : (key, Trained.t) Hashtbl.t;
+  tries : (int64, Seq_trie.t) Hashtbl.t;
+      (* fingerprint -> deepest trie built for that training trace;
+         every trie-capable (detector, window) model is a view of it *)
   mutable fingerprints : (Trace.t * int64) list;
       (* physical-equality memo: the same training trace is
          fingerprinted once per engine, not once per task *)
@@ -41,6 +50,7 @@ let create ?(clock = fun () -> 0.0) ?(jobs = 1) () =
     pool = Pool.create ~jobs ();
     clock;
     cache = Hashtbl.create 64;
+    tries = Hashtbl.create 8;
     fingerprints = [];
     stats = zero_stats;
   }
@@ -54,9 +64,9 @@ let reset_stats t = t.stats <- zero_stats
 let pp_stats ppf s =
   Format.fprintf ppf
     "engine: trained %d model(s) (%d cache hit(s)) in %.3fs; scored %d \
-     cell(s) in %.3fs"
+     cell(s) in %.3fs; %d trie(s) built (%d node(s), %d view hit(s))"
     s.train_executed s.train_cached s.train_seconds s.score_tasks
-    s.score_seconds
+    s.score_seconds s.tries_built s.trie_nodes s.trie_hits
 
 (* --- cache keys -------------------------------------------------------- *)
 
@@ -89,6 +99,38 @@ let fingerprint t trace =
 let key t (module D : Detector.S) ~window trace : key =
   (D.name, window, fingerprint t trace)
 
+(* --- shared-trie plan --------------------------------------------------- *)
+
+(* One trie per training trace serves every trie-capable
+   (detector, window) model as a cheap width-slice view.  The cache
+   keeps the deepest trie built so far for a fingerprint; a shallower
+   request is a hit, a deeper one rebuilds (and the deeper trie then
+   serves everything the old one did). *)
+let obtain_trie t fp trace ~max_len =
+  match Hashtbl.find_opt t.tries fp with
+  | Some trie when Seq_trie.max_len trie >= max_len -> (trie, false)
+  | Some _ | None ->
+      let trie = Seq_trie.of_trace ~max_len trace in
+      Hashtbl.replace t.tries fp trie;
+      t.stats <-
+        {
+          t.stats with
+          tries_built = t.stats.tries_built + 1;
+          trie_nodes = t.stats.trie_nodes + Seq_trie.node_count trie;
+        };
+      (trie, true)
+
+let train_miss t d ~window trace fp =
+  if Trained.trie_capable d then begin
+    let trie, built = obtain_trie t fp trace ~max_len:window in
+    if not built then
+      t.stats <- { t.stats with trie_hits = t.stats.trie_hits + 1 };
+    match Trained.train_of_trie d trie ~window with
+    | Some trained -> trained
+    | None -> Trained.train d ~window trace
+  end
+  else Trained.train d ~window trace
+
 (* --- train phase ------------------------------------------------------- *)
 
 let train t d ~window trace =
@@ -99,7 +141,8 @@ let train t d ~window trace =
       trained
   | None ->
       let t0 = t.clock () in
-      let trained = Trained.train d ~window trace in
+      let _, _, fp = k in
+      let trained = train_miss t d ~window trace fp in
       Hashtbl.add t.cache k trained;
       t.stats <-
         {
@@ -126,13 +169,70 @@ let train_batch t specs =
     |> List.rev
   in
   let t0 = t.clock () in
-  let models =
+  let trie_misses, plain_misses =
+    List.partition (fun (_, d, _, _) -> Trained.trie_capable d) misses
+  in
+  (* Shared-trie plan: one trie per distinct training trace, deep
+     enough for every trie-capable miss that shares it; the 14x3
+     (window x detector) grid then trains as one trace scan plus cheap
+     view constructions. *)
+  let upsert groups fp trace window =
+    let rec go = function
+      | [] -> [ (fp, (trace, window)) ]
+      | (fp', (tr, w)) :: rest when Int64.equal fp' fp ->
+          (fp', (tr, Stdlib.max w window)) :: rest
+      | g :: rest -> g :: go rest
+    in
+    go groups
+  in
+  let groups =
+    List.fold_left
+      (fun acc ((_, _, fp), _, window, trace) -> upsert acc fp trace window)
+      [] trie_misses
+  in
+  let needs_build =
+    List.filter
+      (fun (fp, (_, maxw)) ->
+        match Hashtbl.find_opt t.tries fp with
+        | Some trie -> Seq_trie.max_len trie < maxw
+        | None -> true)
+      groups
+  in
+  let built =
+    Pool.map t.pool
+      (fun (_, (trace, maxw)) -> Seq_trie.of_trace ~max_len:maxw trace)
+      needs_build
+  in
+  List.iter2 (fun (fp, _) trie -> Hashtbl.replace t.tries fp trie) needs_build
+    built;
+  t.stats <-
+    {
+      t.stats with
+      tries_built = t.stats.tries_built + List.length needs_build;
+      trie_nodes =
+        List.fold_left
+          (fun acc trie -> acc + Seq_trie.node_count trie)
+          t.stats.trie_nodes built;
+      trie_hits =
+        t.stats.trie_hits + List.length trie_misses - List.length needs_build;
+    };
+  let trie_models =
+    List.map
+      (fun ((_, _, fp), d, window, trace) ->
+        match Trained.train_of_trie d (Hashtbl.find t.tries fp) ~window with
+        | Some trained -> trained
+        | None -> Trained.train d ~window trace)
+      trie_misses
+  in
+  let plain_models =
     Pool.map t.pool
       (fun (_, d, window, trace) -> Trained.train d ~window trace)
-      misses
+      plain_misses
   in
-  List.iter2 (fun (k, _, _, _) trained -> Hashtbl.add t.cache k trained) misses
-    models;
+  List.iter2 (fun (k, _, _, _) trained -> Hashtbl.add t.cache k trained)
+    trie_misses trie_models;
+  List.iter2 (fun (k, _, _, _) trained -> Hashtbl.add t.cache k trained)
+    plain_misses plain_models;
   let dt = t.clock () -. t0 in
   let executed = List.length misses in
   t.stats <-

@@ -22,6 +22,15 @@
     [Experiment] and [Deployment]: any driver asking for the same
     (detector, window, trace) triple gets the already-trained model.
 
+    {b Shared tries.}  Alongside the model cache, the engine keeps one
+    counting {!Seqdiv_stream.Seq_trie} per training-trace fingerprint
+    (the deepest requested so far).  Detectors that declare
+    {!Seqdiv_detectors.Detector.S.train_of_trie} — Stide, t-stide,
+    Markov — train as width-slice views of that trie: a whole
+    detector x window grid over one training trace costs a single
+    O(length x max window) trace scan instead of one scan per cell.
+    Trie construction and reuse are reported in {!stats}.
+
     {b Instrumentation.}  Per-stage wall-clock timers and task
     counters accumulate in {!stats} and are logged through [Logs]
     (source ["seqdiv.engine"]).  The clock is injected — the library
@@ -60,6 +69,11 @@ type stats = {
   score_tasks : int;  (** score tasks run *)
   train_seconds : float;  (** wall-clock spent in train phases *)
   score_seconds : float;  (** wall-clock spent in score phases *)
+  tries_built : int;  (** shared training tries constructed *)
+  trie_hits : int;
+      (** trie-capable models served as views of an already-built trie
+          (rather than triggering a trie construction) *)
+  trie_nodes : int;  (** total nodes across all constructed tries *)
 }
 
 val stats : t -> stats

@@ -8,6 +8,13 @@ type t =
 let train (module D : Detector.S) ~window trace =
   Trained ((module D), D.train ~window trace)
 
+let trie_capable (module D : Detector.S) = Option.is_some D.train_of_trie
+
+let train_of_trie (module D : Detector.S) trie ~window =
+  match D.train_of_trie with
+  | None -> None
+  | Some of_trie -> Some (Trained ((module D), of_trie trie ~window))
+
 let name (Trained ((module D), _)) = D.name
 let window (Trained ((module D), m)) = D.window m
 let maximal_epsilon (Trained ((module D), _)) = D.maximal_epsilon

@@ -13,6 +13,16 @@ type t
 val train : Detector.t -> window:int -> Trace.t -> t
 (** Train one detector at one window size. *)
 
+val trie_capable : Detector.t -> bool
+(** Whether the detector can build its model as a view over a shared
+    counting trie ({!Detector.S.train_of_trie}). *)
+
+val train_of_trie : Detector.t -> Seq_trie.t -> window:int -> t option
+(** Build a model from a shared trie that indexed the training trace at
+    least [window] symbols deep.  [None] when the detector is not
+    {!trie_capable}.  The result must be indistinguishable from {!train}
+    on the trace the trie was built from. *)
+
 val name : t -> string
 (** The underlying detector's name. *)
 

@@ -6,6 +6,7 @@ module type S = sig
   val name : string
   val maximal_epsilon : float
   val train : window:int -> Trace.t -> model
+  val train_of_trie : (Seq_trie.t -> window:int -> model) option
   val window : model -> int
   val score_range : model -> Trace.t -> lo:int -> hi:int -> Response.t
   val score : model -> Trace.t -> Response.t

@@ -27,6 +27,17 @@ module type S = sig
       given detector-window size.  Requires [window >= 2] and a trace no
       shorter than the window. *)
 
+  val train_of_trie : (Seq_trie.t -> window:int -> model) option
+  (** When the detector's model is a view over a counting trie, the
+      shared-trie constructor: build the model for one window size from
+      a trie that indexed the training trace at least [window] symbols
+      deep (one symbol deeper for context models such as Markov).  The
+      engine builds that trie once per training trace and reuses it for
+      every window cell and every capable detector; the result must be
+      indistinguishable from [train] on the same trace.  [None] for
+      detectors whose training is not trie-shaped (neural, HMM,
+      instance-based). *)
+
   val window : model -> int
   (** The window size the model was trained with. *)
 

@@ -26,6 +26,7 @@ let name = "hmm"
    maximally anomalous. *)
 let maximal_epsilon = 0.01
 
+let train_of_trie = None
 let window m = m.window
 let params m = m.params
 

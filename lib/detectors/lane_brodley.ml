@@ -36,6 +36,7 @@ let train ~window trace =
   in
   { window; instances }
 
+let train_of_trie = None
 let window m = m.window
 let instances m = Array.length m.instances
 

@@ -1,11 +1,9 @@
 open Seqdiv_stream
 
-type stats = { counts : int array; mutable total : int }
-
 type model = {
   window : int;
-  k : int;  (* alphabet size *)
-  table : (string, stats) Hashtbl.t;
+  k : int;  (* alphabet size: the uniform-prediction denominator *)
+  trie : Seq_trie.t;  (* indexes the training trace >= window deep *)
   smoothing : float;  (* Laplace constant; 0 = maximum likelihood *)
 }
 
@@ -19,28 +17,28 @@ let name = "markov"
    rare sequences" while Stide detects only foreign ones. *)
 let maximal_epsilon = 0.005
 
+(* The conditional-count table is the trie itself: a context is the
+   depth-(window-1) node on its symbol path, the denominator is that
+   node's continuation total and each numerator is a child count.  A
+   context that only ever occurred at the very end of the training trace
+   never continued, so its continuation total is 0 — [Seq_trie.context_at]
+   reports such contexts as absent, exactly like the window-sliding
+   hashtable build that never saw them. *)
+
 let train ~window trace =
   assert (window >= 2);
   if Trace.length trace < window then
     (* lint: allow partiality — documented precondition *)
     invalid_arg "Markov.train: trace shorter than window";
   let k = Alphabet.size (Trace.alphabet trace) in
-  let table = Hashtbl.create 256 in
-  let ctx_len = window - 1 in
-  Trace.iter_windows trace ~width:window (fun pos ->
-      let ctx = Trace.key trace ~pos ~len:ctx_len in
-      let next = Trace.get trace (pos + ctx_len) in
-      let stats =
-        match Hashtbl.find_opt table ctx with
-        | Some s -> s
-        | None ->
-            let s = { counts = Array.make k 0; total = 0 } in
-            Hashtbl.add table ctx s;
-            s
-      in
-      stats.counts.(next) <- stats.counts.(next) + 1;
-      stats.total <- stats.total + 1);
-  { window; k; table; smoothing = 0.0 }
+  { window; k; trie = Seq_trie.of_trace ~max_len:window trace; smoothing = 0.0 }
+
+let of_trie trie ~window =
+  assert (window >= 2);
+  assert (window <= Seq_trie.max_len trie);
+  { window; k = Seq_trie.alphabet_size trie; trie; smoothing = 0.0 }
+
+let train_of_trie = Some of_trie
 
 let with_smoothing m ~alpha =
   assert (alpha >= 0.0);
@@ -50,20 +48,36 @@ let smoothing m = m.smoothing
 
 let window m = m.window
 let context_length m = m.window - 1
-let contexts m = Hashtbl.length m.table
+
+let contexts m =
+  let n = ref 0 in
+  Seq_trie.iter_contexts m.trie ~depth:(context_length m) (fun _ _ -> incr n);
+  !n
 
 let fold_contexts m ~init ~f =
-  (* lint: allow determinism — collection order is erased by the sort *)
-  Hashtbl.fold (fun context stats acc -> (context, stats) :: acc) m.table []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.fold_left
-       (fun acc (context, stats) ->
-         f acc ~context ~counts:(Array.copy stats.counts))
-       init
+  let acc = ref init in
+  Seq_trie.iter_contexts m.trie ~depth:(context_length m) (fun buf node ->
+      let counts =
+        Array.init m.k (fun s -> Seq_trie.continuation_count m.trie node s)
+      in
+      acc := f !acc ~context:(Trace.key_of_symbols buf) ~counts);
+  !acc
 
 let of_context_counts ~window ~alphabet_size entries =
   assert (window >= 2 && alphabet_size >= 1);
-  let table = Hashtbl.create (List.length entries) in
+  (* Context keys may carry symbols beyond the nominal alphabet (they
+     are arbitrary bytes in a serialised model); widen the trie to admit
+     them while keeping [k] — the smoothing denominator — as given. *)
+  let trie_k =
+    List.fold_left
+      (fun acc (context, _) ->
+        String.fold_left
+          (fun acc c -> Stdlib.max acc (Char.code c + 1))
+          acc context)
+      alphabet_size entries
+  in
+  let trie = Seq_trie.create ~alphabet_size:trie_k ~max_len:window in
+  let buf = Array.make window 0 in
   List.iter
     (fun (context, counts) ->
       if String.length context <> window - 1 then
@@ -75,38 +89,48 @@ let of_context_counts ~window ~alphabet_size entries =
       let total = Array.fold_left ( + ) 0 counts in
       (* lint: allow partiality — documented precondition *)
       if total <= 0 then invalid_arg "Markov.of_context_counts: empty context";
-      Hashtbl.replace table context { counts = Array.copy counts; total })
+      String.iteri (fun i c -> buf.(i) <- Char.code c) context;
+      Array.iteri
+        (fun next count ->
+          if count > 0 then begin
+            buf.(window - 1) <- next;
+            Seq_trie.add_many_at trie buf ~pos:0 ~len:window ~count
+          end)
+        counts)
     entries;
-  { window; k = alphabet_size; table; smoothing = 0.0 }
+  { window; k = alphabet_size; trie; smoothing = 0.0 }
 
-let probability_key m ctx next =
+let probability_at m a ~pos ~next =
   let alpha = m.smoothing in
-  match Hashtbl.find_opt m.table ctx with
+  match Seq_trie.context_at m.trie a ~pos ~len:(m.window - 1) with
   | None -> if alpha > 0.0 then 1.0 /. float_of_int m.k else 0.0
-  | Some s ->
-      if s.total = 0 then 0.0
-      else
-        (float_of_int s.counts.(next) +. alpha)
-        /. (float_of_int s.total +. (alpha *. float_of_int m.k))
+  | Some node ->
+      let count =
+        if next >= 0 && next < Seq_trie.alphabet_size m.trie then
+          Seq_trie.continuation_count m.trie node next
+        else 0
+      in
+      (float_of_int count +. alpha)
+      /. (float_of_int (Seq_trie.context_total node) +. (alpha *. float_of_int m.k))
 
 let probability m ~context ~next =
   assert (Array.length context = context_length m);
   assert (next >= 0 && next < m.k);
-  probability_key m (Trace.key_of_symbols context) next
+  probability_at m context ~pos:0 ~next
 
 let score_range m trace ~lo ~hi =
   let lo, hi =
     Detector.clamp_range ~trace_len:(Trace.length trace) ~window:m.window ~lo
       ~hi
   in
+  let data = Trace.raw trace in
   let ctx_len = context_length m in
   let n = Stdlib.max 0 (hi - lo + 1) in
   let items =
     Array.init n (fun i ->
         let start = lo + i in
-        let ctx = Trace.key trace ~pos:start ~len:ctx_len in
-        let next = Trace.get trace (start + ctx_len) in
-        let score = 1.0 -. probability_key m ctx next in
+        let next = data.(start + ctx_len) in
+        let score = 1.0 -. probability_at m data ~pos:start ~next in
         { Response.start; cover = m.window; score })
   in
   Response.make ~detector:name ~window:m.window items

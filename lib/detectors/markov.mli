@@ -20,6 +20,12 @@
 
 include Detector.S
 
+val of_trie : Seqdiv_stream.Seq_trie.t -> window:int -> model
+(** Model reading its conditional counts straight out of a shared
+    counting trie — what {!Detector.S.train_of_trie} exposes to the
+    engine.  The trie must index the training trace at least [window]
+    symbols deep.  Requires [2 <= window <= Seq_trie.max_len trie]. *)
+
 val context_length : model -> int
 (** [window − 1]: the number of conditioning elements. *)
 

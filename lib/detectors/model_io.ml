@@ -35,7 +35,7 @@ let load_stide s =
           Parse_error.fail "Model_io.load_stide: bad header"
       in
       if window < 2 then Parse_error.fail "Model_io.load_stide: bad window";
-      let db = Seq_db.create ~width:window in
+      let db = Seq_db.create ~width:window () in
       List.iter
         (fun line ->
           match String.index_opt line ' ' with

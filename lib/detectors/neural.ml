@@ -31,6 +31,7 @@ let name = "nn"
    continuations stay close to 1. *)
 let maximal_epsilon = 1e-2
 
+let train_of_trie = None
 let window m = m.window
 let params m = m.params
 let training_loss m = m.loss

@@ -12,6 +12,11 @@ let train ~window trace =
     invalid_arg "Stide.train: trace shorter than window";
   { window; db = Seq_db.of_trace ~width:window trace }
 
+let of_trie trie ~window =
+  assert (window >= 2);
+  { window; db = Seq_db.of_trie trie ~width:window }
+
+let train_of_trie = Some of_trie
 let window m = m.window
 let db m = m.db
 let train_of_db db = { window = Seq_db.width db; db }
@@ -21,12 +26,12 @@ let score_range m trace ~lo ~hi =
     Detector.clamp_range ~trace_len:(Trace.length trace) ~window:m.window ~lo
       ~hi
   in
+  let data = Trace.raw trace in
   let n = Stdlib.max 0 (hi - lo + 1) in
   let items =
     Array.init n (fun i ->
         let start = lo + i in
-        let key = Trace.key trace ~pos:start ~len:m.window in
-        let score = if Seq_db.mem m.db key then 0.0 else 1.0 in
+        let score = if Seq_db.mem_at m.db data ~pos:start then 0.0 else 1.0 in
         { Response.start; cover = m.window; score })
   in
   Response.make ~detector:name ~window:m.window items

@@ -19,3 +19,8 @@ val db : model -> Seq_db.t
 val train_of_db : Seq_db.t -> model
 (** Wrap an existing database as a model — used to share one database
     between Stide and the L&B detector in ablations. *)
+
+val of_trie : Seq_trie.t -> window:int -> model
+(** Model viewing the [window]-slice of a shared trie — what
+    {!Detector.S.train_of_trie} exposes to the engine.  Requires
+    [2 <= window <= Seq_trie.max_len trie]. *)

@@ -17,6 +17,15 @@ let train_with ~threshold ~window trace =
 
 let train ~window trace = train_with ~threshold:default_threshold ~window trace
 
+let of_trie trie ~window =
+  assert (window >= 2);
+  {
+    window;
+    threshold = default_threshold;
+    db = Seq_db.of_trie trie ~width:window;
+  }
+
+let train_of_trie = Some of_trie
 let window m = m.window
 let threshold m = m.threshold
 let db m = m.db
@@ -26,14 +35,14 @@ let score_range m trace ~lo ~hi =
     Detector.clamp_range ~trace_len:(Trace.length trace) ~window:m.window ~lo
       ~hi
   in
+  let data = Trace.raw trace in
   let n = Stdlib.max 0 (hi - lo + 1) in
   let items =
     Array.init n (fun i ->
         let start = lo + i in
-        let key = Trace.key trace ~pos:start ~len:m.window in
         let anomalous =
-          Seq_db.is_foreign m.db key
-          || Seq_db.is_rare m.db ~threshold:m.threshold key
+          (not (Seq_db.mem_at m.db data ~pos:start))
+          || Seq_db.is_rare_at m.db ~threshold:m.threshold data ~pos:start
         in
         let score = if anomalous then 1.0 else 0.0 in
         { Response.start; cover = m.window; score })

@@ -30,3 +30,8 @@ val threshold : model -> float
 
 val db : model -> Seq_db.t
 (** The underlying sequence database. *)
+
+val of_trie : Seq_trie.t -> window:int -> model
+(** Model (at {!default_threshold}) viewing the [window]-slice of a
+    shared trie — what {!Detector.S.train_of_trie} exposes to the
+    engine.  Requires [2 <= window <= Seq_trie.max_len trie]. *)

@@ -2,7 +2,7 @@ type t = { names : string array }
 
 let validate names =
   let n = Array.length names in
-  assert (n >= 1 && n <= 255);
+  assert (n >= 1);
   let seen = Hashtbl.create n in
   Array.iter
     (fun s ->
@@ -12,7 +12,7 @@ let validate names =
     names
 
 let make n =
-  assert (n >= 1 && n <= 255);
+  assert (n >= 1);
   { names = Array.init n (fun i -> "s" ^ string_of_int i) }
 
 let of_names names =

@@ -8,12 +8,13 @@ type t
 
 val make : int -> t
 (** [make n] is an alphabet of [n] symbols named ["s0" .. "s(n-1)"].
-    Requires [1 <= n <= 255] (symbols are packed into bytes when windows
-    are hashed). *)
+    Requires [n >= 1].  Alphabets beyond 256 symbols are fully served by
+    the trie-backed data layer; only the byte-packed {!Trace.key}
+    encoding is then unavailable. *)
 
 val of_names : string array -> t
 (** Alphabet whose symbol [i] displays as the [i]-th name.  Names must be
-    distinct and non-empty; at most 255 of them. *)
+    distinct and non-empty. *)
 
 val size : t -> int
 (** Number of symbols. *)

@@ -1,33 +1,51 @@
-type t = { max_len : int; dbs : Seq_db.t array }
+type t = { trie : Seq_trie.t; dbs : Seq_db.t array }
 
 let build ~max_len trace =
   assert (max_len >= 1);
-  let dbs =
-    Array.init max_len (fun i ->
-        Seq_db.of_trace ~width:(i + 1) trace)
-  in
-  { max_len; dbs }
+  let trie = Seq_trie.of_trace ~max_len trace in
+  let dbs = Array.init max_len (fun i -> Seq_db.of_trie trie ~width:(i + 1)) in
+  { trie; dbs }
 
-let max_len t = t.max_len
+let max_len t = Seq_trie.max_len t.trie
+let trie t = t.trie
 
 let db t n =
-  assert (n >= 1 && n <= t.max_len);
+  assert (n >= 1 && n <= max_len t);
   t.dbs.(n - 1)
 
-let db_of_key t k =
-  let n = String.length k in
-  assert (n >= 1 && n <= t.max_len);
-  t.dbs.(n - 1)
+let check_len t n = assert (n >= 1 && n <= max_len t)
 
-let mem t k = Seq_db.mem (db_of_key t k) k
-let count t k = Seq_db.count (db_of_key t k) k
-let freq t k = Seq_db.freq (db_of_key t k) k
+let mem t k =
+  check_len t (String.length k);
+  Seq_trie.mem t.trie k
+
+let count t k =
+  check_len t (String.length k);
+  Seq_trie.count t.trie k
+
+let freq t k =
+  check_len t (String.length k);
+  Seq_trie.freq t.trie k
+
 let is_foreign t k = not (mem t k)
-let is_rare t ~threshold k = Seq_db.is_rare (db_of_key t k) ~threshold k
+
+let is_rare t ~threshold k =
+  check_len t (String.length k);
+  Seq_trie.is_rare t.trie ~threshold k
+
+let mem_at t a ~pos ~len =
+  check_len t len;
+  Seq_trie.mem_at t.trie a ~pos ~len
+
+let is_foreign_at t a ~pos ~len = not (mem_at t a ~pos ~len)
+
+let is_rare_at t ~threshold a ~pos ~len =
+  check_len t len;
+  Seq_trie.is_rare_at t.trie ~threshold a ~pos ~len
 
 let is_minimal_foreign t k =
   let n = String.length k in
-  n >= 2 && n <= t.max_len
+  n >= 2 && n <= max_len t
   && is_foreign t k
   && mem t (String.sub k 0 (n - 1))
   && mem t (String.sub k 1 (n - 1))

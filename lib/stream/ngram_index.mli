@@ -1,21 +1,28 @@
 (** Multi-length n-gram index over a training trace.
 
-    Bundles one {!Seq_db.t} per length [1 .. max_len].  The anomaly
-    synthesiser needs to ask, for arbitrary candidate sequences, whether
-    every proper sub-sequence exists in the training data (minimality)
-    while the full sequence does not (foreignness); this index answers
-    those queries in O(length). *)
+    One shared {!Seq_trie} indexes every n-gram of the trace for every
+    length [1 .. max_len] in a single scan; the per-length {!Seq_db.t}
+    views are width slices of that trie (the pre-trie implementation
+    re-scanned the trace once per length).  The anomaly synthesiser
+    needs to ask, for arbitrary candidate sequences, whether every
+    proper sub-sequence exists in the training data (minimality) while
+    the full sequence does not (foreignness); this index answers those
+    queries in O(length). *)
 
 type t
 
 val build : max_len:int -> Trace.t -> t
-(** Index every n-gram of the trace for n in [1 .. max_len].
-    Requires [max_len >= 1]. *)
+(** Index every n-gram of the trace for n in [1 .. max_len] in one
+    pass.  Requires [max_len >= 1]. *)
 
 val max_len : t -> int
 
+val trie : t -> Seq_trie.t
+(** The shared backing trie (e.g. to hand to detectors trained on the
+    same trace). *)
+
 val db : t -> int -> Seq_db.t
-(** The per-length database.  Requires [1 <= n <= max_len]. *)
+(** The per-length database view.  Requires [1 <= n <= max_len]. *)
 
 val mem : t -> string -> bool
 (** Whether a key of any indexed length occurs in the trace.
@@ -32,6 +39,16 @@ val is_foreign : t -> string -> bool
 
 val is_rare : t -> threshold:float -> string -> bool
 (** Occurs, with relative frequency strictly below [threshold]. *)
+
+val mem_at : t -> int array -> pos:int -> len:int -> bool
+(** Allocation-free {!mem} over a raw trace slice.  Requires the slice
+    in bounds and [1 <= len <= max_len]. *)
+
+val is_foreign_at : t -> int array -> pos:int -> len:int -> bool
+(** Allocation-free {!is_foreign} over a raw trace slice. *)
+
+val is_rare_at : t -> threshold:float -> int array -> pos:int -> len:int -> bool
+(** Allocation-free {!is_rare} over a raw trace slice. *)
 
 val is_minimal_foreign : t -> string -> bool
 (** [is_minimal_foreign t k] holds when [k] (length ≥ 2, within

@@ -1,46 +1,89 @@
+(* A width-slice view over a counting trie.  Standalone databases own a
+   private trie of exactly [width] levels; [of_trie] views share one
+   deeper trie across many widths (the engine's train-once layout).
+   Either way every query is a trie descent — no string keys are built
+   on the lookup paths. *)
+
 type t = {
   width : int;
-  counts : (string, int) Hashtbl.t;
-  mutable total : int;
+  trie : Seq_trie.t;
+  mutable bindings : (string * int) list option;
+      (* memoized sorted traversal; invalidated on every add *)
 }
 
-let create ~width =
+let default_alphabet = 256
+(* [create] has no trace to size the alphabet from; 256 covers every
+   symbol a string key can carry. *)
+
+let create ?(alphabet_size = default_alphabet) ~width () =
   assert (width > 0);
-  { width; counts = Hashtbl.create 64; total = 0 }
+  assert (alphabet_size >= 1);
+  {
+    width;
+    trie = Seq_trie.create ~alphabet_size ~max_len:width;
+    bindings = None;
+  }
+
+let of_trie trie ~width =
+  assert (width >= 1 && width <= Seq_trie.max_len trie);
+  { width; trie; bindings = None }
 
 let width t = t.width
+let trie t = t.trie
 
 let add_many t k ~count =
   assert (String.length k = t.width);
   assert (count > 0);
-  let prev = Option.value (Hashtbl.find_opt t.counts k) ~default:0 in
-  Hashtbl.replace t.counts k (prev + count);
-  t.total <- t.total + count
+  let symbols = Trace.symbols_of_key k in
+  Seq_trie.add_many_at t.trie symbols ~pos:0 ~len:t.width ~count;
+  t.bindings <- None
 
 let add t k = add_many t k ~count:1
 
 let add_trace t trace =
+  let data = Trace.raw trace in
   Trace.iter_windows trace ~width:t.width (fun pos ->
-      add t (Trace.key trace ~pos ~len:t.width))
+      Seq_trie.add_at t.trie data ~pos ~len:t.width);
+  t.bindings <- None
 
 let of_trace ~width trace =
-  let t = create ~width in
+  let t =
+    create ~alphabet_size:(Alphabet.size (Trace.alphabet trace)) ~width ()
+  in
   add_trace t trace;
   t
 
+let alphabet_of_traces traces =
+  List.fold_left
+    (fun acc trace -> Stdlib.max acc (Alphabet.size (Trace.alphabet trace)))
+    1 traces
+
 let of_traces ~width traces =
-  let t = create ~width in
+  let t = create ~alphabet_size:(alphabet_of_traces traces) ~width () in
   List.iter (add_trace t) traces;
   t
 
-let mem t k = Hashtbl.mem t.counts k
-let count t k = Option.value (Hashtbl.find_opt t.counts k) ~default:0
-let total t = t.total
-let cardinal t = Hashtbl.length t.counts
+(* --- queries: every one a descent at depth [width] ---------------------- *)
+
+let mem_at t a ~pos = Seq_trie.mem_at t.trie a ~pos ~len:t.width
+let count_at t a ~pos = Seq_trie.count_at t.trie a ~pos ~len:t.width
+let freq_at t a ~pos = Seq_trie.freq_at t.trie a ~pos ~len:t.width
+
+let is_rare_at t ~threshold a ~pos =
+  Seq_trie.is_rare_at t.trie ~threshold a ~pos ~len:t.width
+
+let check_key t k =
+  assert (String.length k = t.width);
+  k
+
+let mem t k = Seq_trie.mem t.trie (check_key t k)
+let count t k = Seq_trie.count t.trie (check_key t k)
+let total t = Seq_trie.total t.trie t.width
+let cardinal t = Seq_trie.distinct t.trie t.width
 
 let freq t k =
-  if t.total = 0 then 0.0
-  else float_of_int (count t k) /. float_of_int t.total
+  let tot = total t in
+  if tot = 0 then 0.0 else float_of_int (count t k) /. float_of_int tot
 
 let is_foreign t k = not (mem t k)
 
@@ -50,13 +93,20 @@ let is_rare t ~threshold k =
 
 let is_common t ~threshold k = count t k > 0 && freq t k >= threshold
 
-(* Hashtbl iteration order is unspecified, so every traversal goes
-   through a key-sorted binding list: iteration is deterministic and
-   identical across runs, machines and OCaml versions. *)
+(* The in-order trie walk already yields ascending key order, so the
+   memo never sorts: it caches the (key, count) materialisation, which
+   the pre-trie implementation rebuilt (and re-sorted) on every single
+   traversal. *)
 let sorted_bindings t =
-  (* lint: allow determinism — collection order is erased by the sort *)
-  Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.counts []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  match t.bindings with
+  | Some bs -> bs
+  | None ->
+      let acc = ref [] in
+      Seq_trie.iter_slice t.trie ~depth:t.width (fun buf count ->
+          acc := (Trace.key_of_symbols buf, count) :: !acc);
+      let bs = List.rev !acc in
+      t.bindings <- Some bs;
+      bs
 
 let iter t f = List.iter (fun (k, c) -> f k c) (sorted_bindings t)
 
@@ -65,8 +115,18 @@ let fold t ~init ~f =
 
 let keys t = List.map fst (sorted_bindings t)
 
+(* Classification over the memoized bindings: counts ride along, so no
+   per-key second lookup. *)
 let rare_keys t ~threshold =
-  List.filter (is_rare t ~threshold) (keys t)
+  let tot = float_of_int (total t) in
+  List.filter_map
+    (fun (k, c) ->
+      if c > 0 && float_of_int c /. tot < threshold then Some k else None)
+    (sorted_bindings t)
 
 let common_keys t ~threshold =
-  List.filter (is_common t ~threshold) (keys t)
+  let tot = float_of_int (total t) in
+  List.filter_map
+    (fun (k, c) ->
+      if c > 0 && float_of_int c /. tot >= threshold then Some k else None)
+    (sorted_bindings t)

@@ -5,15 +5,35 @@
     trace.  It also backs the rare/common/foreign classification of the
     data synthesiser: a sequence is {e foreign} when absent, {e rare}
     when its relative frequency is below a threshold, {e common}
-    otherwise. *)
+    otherwise.
+
+    A database is a width-slice view over a counting {!Seq_trie}.
+    Standalone databases ({!create}, {!of_trace}) own their trie;
+    {!of_trie} views one shared, deeper trie — the engine's
+    train-once-serve-every-window layout, where all window widths of an
+    experiment grid read the same structure.  The [*_at] cursor queries
+    descend over raw trace arrays and build no string keys; the
+    string-key functions remain as a compatibility shim for
+    serialisation and tests (alphabets up to 256 symbols). *)
 
 type t
 
-val create : width:int -> t
-(** Empty database of [width]-sequences.  Requires [width > 0]. *)
+val create : ?alphabet_size:int -> width:int -> unit -> t
+(** Empty database of [width]-sequences backed by a private trie.
+    Requires [width > 0].  [alphabet_size] defaults to 256 (every symbol
+    a string key can carry); pass the real size to shrink the trie's
+    child arrays or to admit symbols beyond 255. *)
+
+val of_trie : Seq_trie.t -> width:int -> t
+(** View of the [width]-slice of a shared trie.  Additions through the
+    view write into the shared trie.  Requires
+    [1 <= width <= Seq_trie.max_len trie]. *)
 
 val width : t -> int
 (** The fixed sequence length. *)
+
+val trie : t -> Seq_trie.t
+(** The backing trie (shared when the view came from {!of_trie}). *)
 
 val add : t -> string -> unit
 (** Record one occurrence of a window key (see {!Trace.key}).  The key
@@ -33,6 +53,23 @@ val add_trace : t -> Trace.t -> unit
 
 val of_traces : width:int -> Trace.t list -> t
 (** Database over a corpus of traces ({!add_trace} for each). *)
+
+(** {1 Cursor queries — allocation-free lookups over raw trace arrays} *)
+
+val mem_at : t -> int array -> pos:int -> bool
+(** Whether the [width]-window starting at [pos] was ever observed.
+    Requires the window in bounds. *)
+
+val count_at : t -> int array -> pos:int -> int
+(** Occurrences of the window at [pos] (0 when absent). *)
+
+val freq_at : t -> int array -> pos:int -> float
+(** Relative frequency of the window at [pos]. *)
+
+val is_rare_at : t -> threshold:float -> int array -> pos:int -> bool
+(** Present with relative frequency strictly below [threshold]. *)
+
+(** {1 String-key queries (compatibility shim)} *)
 
 val mem : t -> string -> bool
 (** Whether a window key was ever observed. *)
@@ -58,6 +95,12 @@ val is_rare : t -> threshold:float -> string -> bool
 
 val is_common : t -> threshold:float -> string -> bool
 (** Present with relative frequency at least [threshold]. *)
+
+(** {1 Traversal}
+
+    All traversals run over one memoized materialisation of the
+    bindings, built on first use and invalidated by additions — repeated
+    traversals no longer re-walk (or re-sort) anything. *)
 
 val iter : t -> (string -> int -> unit) -> unit
 (** Iterate over distinct sequences and their counts, in ascending key

@@ -1,6 +1,13 @@
 open Seqdiv_util
 
-type node = { mutable count : int; children : node option array }
+type node = {
+  mutable count : int;
+  mutable ctotal : int;
+      (* occurrences of this prefix that continued one symbol deeper —
+         the Markov denominator sum(children counts), maintained
+         incrementally so context lookups stay O(1) *)
+  children : node option array;
+}
 
 type t = {
   alphabet_size : int;
@@ -11,10 +18,10 @@ type t = {
   distincts : int array;  (* distinct sequences per length *)
 }
 
-let new_node k = { count = 0; children = Array.make k None }
+let new_node k = { count = 0; ctotal = 0; children = Array.make k None }
 
 let create ~alphabet_size ~max_len =
-  assert (alphabet_size >= 1 && alphabet_size <= 255);
+  assert (alphabet_size >= 1);
   assert (max_len >= 1);
   {
     alphabet_size;
@@ -38,34 +45,118 @@ let child t node symbol =
       t.nodes <- t.nodes + 1;
       c
 
-let add t symbols =
-  let n = Array.length symbols in
-  assert (n >= 1 && n <= t.max_len);
+(* Shared recording step: one occurrence (with multiplicity [count]) of
+   the slice [a.(pos) .. a.(pos + len - 1)]. *)
+let record t a ~pos ~len ~count =
+  assert (len >= 1 && len <= t.max_len);
+  assert (pos >= 0 && pos + len <= Array.length a);
+  assert (count > 0);
   let node = ref t.root in
-  for depth = 0 to n - 1 do
-    let c = child t !node symbols.(depth) in
-    if c.count = 0 then t.distincts.(depth) <- t.distincts.(depth) + 1;
-    c.count <- c.count + 1;
-    t.totals.(depth) <- t.totals.(depth) + 1;
+  for d = 0 to len - 1 do
+    let c = child t !node a.(pos + d) in
+    if c.count = 0 then t.distincts.(d) <- t.distincts.(d) + 1;
+    c.count <- c.count + count;
+    (!node).ctotal <- (!node).ctotal + count;
+    t.totals.(d) <- t.totals.(d) + count;
     node := c
   done
+
+let add_at t a ~pos ~len = record t a ~pos ~len ~count:1
+let add_many_at t a ~pos ~len ~count = record t a ~pos ~len ~count
+let add t symbols = record t symbols ~pos:0 ~len:(Array.length symbols) ~count:1
 
 let of_trace ~max_len trace =
   let k = Alphabet.size (Trace.alphabet trace) in
   let t = create ~alphabet_size:k ~max_len in
-  let len = Trace.length trace in
+  let data = Trace.raw trace in
+  let len = Array.length data in
   for pos = 0 to len - 1 do
     let depth_limit = Stdlib.min max_len (len - pos) in
     let node = ref t.root in
     for d = 0 to depth_limit - 1 do
-      let c = child t !node (Trace.get trace (pos + d)) in
+      let c = child t !node data.(pos + d) in
       if c.count = 0 then t.distincts.(d) <- t.distincts.(d) + 1;
       c.count <- c.count + 1;
+      (!node).ctotal <- (!node).ctotal + 1;
       t.totals.(d) <- t.totals.(d) + 1;
       node := c
     done
   done;
   t
+
+(* --- cursor/descent API over raw symbol slices -------------------------- *)
+
+(* The scoring hot path: descend [len] symbols from the root without
+   allocating.  The descent functions take every parameter explicitly —
+   a local [let rec] capturing [t]/[a]/[pos]/[len] would allocate a
+   closure on each call, which is most of what this module exists to
+   avoid.  [descend_at] returns [None] when the path is absent or a
+   symbol is outside the alphabet; [count_descend] is the option-free
+   variant so count/membership probes allocate nothing at all. *)
+let rec descend_at k a pos len node i =
+  if i = len then Some node
+  else
+    let symbol = a.(pos + i) in
+    if symbol < 0 || symbol >= k then None
+    else
+      match node.children.(symbol) with
+      | None -> None
+      | Some c -> descend_at k a pos len c (i + 1)
+
+let rec count_descend k a pos len node i =
+  if i = len then node.count
+  else
+    let symbol = a.(pos + i) in
+    if symbol < 0 || symbol >= k then 0
+    else
+      match node.children.(symbol) with
+      | None -> 0
+      | Some c -> count_descend k a pos len c (i + 1)
+
+let find_at t a ~pos ~len =
+  assert (len >= 1 && len <= t.max_len);
+  assert (pos >= 0 && pos + len <= Array.length a);
+  descend_at t.alphabet_size a pos len t.root 0
+
+let count_at t a ~pos ~len =
+  assert (len >= 1 && len <= t.max_len);
+  assert (pos >= 0 && pos + len <= Array.length a);
+  count_descend t.alphabet_size a pos len t.root 0
+
+let mem_at t a ~pos ~len = count_at t a ~pos ~len > 0
+
+let total t n =
+  assert (n >= 1 && n <= t.max_len);
+  t.totals.(n - 1)
+
+let freq_at t a ~pos ~len =
+  let tot = total t len in
+  if tot = 0 then 0.0
+  else float_of_int (count_at t a ~pos ~len) /. float_of_int tot
+
+let is_rare_at t ~threshold a ~pos ~len =
+  let c = count_at t a ~pos ~len in
+  c > 0 && float_of_int c /. float_of_int (total t len) < threshold
+
+(* Markov support: the conditional-count row of a context slice.  The
+   context node's [ctotal] is exactly the number of occurrences that
+   continued — the denominator of P(next | context). *)
+let context_at t a ~pos ~len =
+  match find_at t a ~pos ~len with
+  | Some node when node.ctotal > 0 -> Some node
+  | Some _ | None -> None
+
+let context_total node = node.ctotal
+
+let continuation_count t node symbol =
+  assert (symbol >= 0 && symbol < t.alphabet_size);
+  match node.children.(symbol) with None -> 0 | Some c -> c.count
+
+(* --- string-key compatibility API --------------------------------------- *)
+
+(* Window keys (see {!Trace.key}) pack one symbol per byte, so the
+   string API only reaches symbols 0..255; the [*_at] cursor API above
+   is the full-alphabet (and allocation-free) form. *)
 
 let find t key =
   let n = String.length key in
@@ -87,10 +178,6 @@ let count t key = match find t key with None -> 0 | Some n -> n.count
 let mem t key = count t key > 0
 let is_foreign t key = not (mem t key)
 
-let total t n =
-  assert (n >= 1 && n <= t.max_len);
-  t.totals.(n - 1)
-
 let freq t key =
   let n = String.length key in
   let tot = total t n in
@@ -106,20 +193,48 @@ let distinct t n =
 
 let node_count t = t.nodes
 
-let check_agrees_with_index t index trace =
-  (* Window counts at the boundary of the trace differ between the two
-     structures only if there is a bug: both count every window of every
-     length exactly once. *)
-  let ok = ref true in
-  let depth = Stdlib.min t.max_len (Ngram_index.max_len index) in
-  for n = 1 to depth do
-    Trace.iter_windows trace ~width:n (fun pos ->
-        let key = Trace.key trace ~pos ~len:n in
-        if count t key <> Ngram_index.count index key then ok := false)
-  done;
-  !ok
+(* --- depth-slice traversal ---------------------------------------------- *)
 
-let memory_words t = t.nodes * (t.alphabet_size + 2)
+(* In-order walk of every distinct sequence at one depth: children are
+   visited in ascending symbol order, so the traversal is ascending in
+   the lexicographic (= string-key) order — deterministic without any
+   sort.  [f] receives the symbol buffer (valid up to [depth], reused
+   between calls) and the occurrence count. *)
+let iter_slice t ~depth f =
+  assert (depth >= 1 && depth <= t.max_len);
+  let buf = Array.make depth 0 in
+  let rec walk node d =
+    if d = depth then f buf node.count
+    else
+      Array.iteri
+        (fun symbol c ->
+          match c with
+          | None -> ()
+          | Some c ->
+              buf.(d) <- symbol;
+              walk c (d + 1))
+        node.children
+  in
+  walk t.root 0
+
+let iter_contexts t ~depth f =
+  assert (depth >= 1 && depth < t.max_len);
+  let buf = Array.make depth 0 in
+  let rec walk node d =
+    if d = depth then begin if node.ctotal > 0 then f buf node end
+    else
+      Array.iteri
+        (fun symbol c ->
+          match c with
+          | None -> ()
+          | Some c ->
+              buf.(d) <- symbol;
+              walk c (d + 1))
+        node.children
+  in
+  walk t.root 0
+
+let memory_words t = t.nodes * (t.alphabet_size + 3)
 
 let pp_stats ppf t =
   Format.fprintf ppf "trie{max_len=%d nodes=%d distinct=[%s]}" t.max_len
@@ -129,4 +244,5 @@ let pp_stats ppf t =
 
 let random_probe t rng ~len =
   assert (len >= 1 && len <= t.max_len);
+  assert (t.alphabet_size <= 256);
   String.init len (fun _ -> Char.chr (Prng.int rng t.alphabet_size))

@@ -1,22 +1,35 @@
-(** Counting trie over fixed-alphabet sequences — an alternative backend
-    for the n-gram statistics of {!Ngram_index}.
+(** Counting trie over fixed-alphabet sequences — the shared data layer
+    behind {!Seq_db}, {!Ngram_index} and the sequence detectors' hot
+    paths.
 
-    {!Ngram_index} scans the trace once per length and hashes every
-    window; the trie makes a single pass, descending [max_len] symbols
-    from every position, and shares prefixes structurally.  The A5
-    benchmark compares the two; the property tests assert they agree on
-    every query. *)
+    One single-pass build ({!of_trace}) indexes every n-gram of a trace
+    for every length [1 .. max_len] at once, sharing prefixes
+    structurally; one trie therefore serves all detector-window widths
+    of an experiment grid.  The cursor API ({!mem_at}, {!count_at},
+    {!freq_at}, {!context_at}) descends over raw [int array] slices and
+    allocates nothing — it is the train-once/serve-every-window scoring
+    path.  A string-key API compatible with {!Trace.key} is kept for
+    serialisation, diagnostics and tests; unlike the cursor API it is
+    limited to alphabets of at most 256 symbols (one byte per
+    symbol). *)
 
 open Seqdiv_util
 
 type t
 
+type node
+(** A trie position reached by descent — used to answer several queries
+    about one context without re-descending. *)
+
 val create : alphabet_size:int -> max_len:int -> t
 (** Empty trie for n-grams of length [1 .. max_len].
-    Requires [1 <= alphabet_size <= 255] and [max_len >= 1]. *)
+    Requires [alphabet_size >= 1] and [max_len >= 1]; alphabets larger
+    than 256 are fully supported (only the string-key API is then
+    unavailable). *)
 
 val of_trace : max_len:int -> Trace.t -> t
-(** Index every n-gram of the trace up to [max_len], in one pass. *)
+(** Index every n-gram of the trace up to [max_len], in one
+    O(length x max_len) pass. *)
 
 val max_len : t -> int
 val alphabet_size : t -> int
@@ -25,6 +38,49 @@ val add : t -> int array -> unit
 (** Record one occurrence of a sequence and of each of its prefixes.
     The sequence length must be within [1 .. max_len]; symbols must be
     within the alphabet. *)
+
+val add_at : t -> int array -> pos:int -> len:int -> unit
+(** Incremental {!add} of the slice [a.(pos) .. a.(pos + len - 1)]
+    without copying it out.  Requires the slice in bounds and
+    [1 <= len <= max_len]. *)
+
+val add_many_at : t -> int array -> pos:int -> len:int -> count:int -> unit
+(** {!add_at} with multiplicity (used when deserialising counted
+    models).  Requires [count > 0]. *)
+
+(** {1 Cursor API — allocation-free lookups over raw slices} *)
+
+val mem_at : t -> int array -> pos:int -> len:int -> bool
+(** Whether the slice occurs.  Requires the slice in bounds and
+    [1 <= len <= max_len].  Symbols outside the alphabet are simply
+    absent (never an error), so foreign-symbol test traces score as
+    foreign. *)
+
+val count_at : t -> int array -> pos:int -> len:int -> int
+(** Occurrences of the slice; 0 when absent. *)
+
+val freq_at : t -> int array -> pos:int -> len:int -> float
+(** Relative frequency among same-length windows; 0 when no window of
+    that length was recorded. *)
+
+val is_rare_at : t -> threshold:float -> int array -> pos:int -> len:int -> bool
+(** Present with relative frequency strictly below the threshold. *)
+
+val context_at : t -> int array -> pos:int -> len:int -> node option
+(** The node of a Markov context slice, when the context was observed
+    with at least one continuation.  Requires [len < max_len] windows to
+    have been recorded deep enough, i.e. the trie must extend at least
+    one symbol past [len]. *)
+
+val context_total : node -> int
+(** Occurrences of the context that continued one symbol deeper — the
+    denominator of [P(next | context)]. *)
+
+val continuation_count : t -> node -> int -> int
+(** Occurrences of [context . symbol] — the numerator of
+    [P(symbol | context)].  Requires a valid alphabet symbol. *)
+
+(** {1 String-key API (alphabets up to 256 symbols)} *)
 
 val count : t -> string -> int
 (** Occurrences of a window key (see {!Trace.key}); 0 when absent.
@@ -47,18 +103,29 @@ val distinct : t -> int -> int
 
 val node_count : t -> int
 (** Total allocated trie nodes — the memory-footprint proxy reported by
-    the A5 benchmark. *)
+    the A5 benchmark and by {!Seqdiv_core.Engine.stats}. *)
 
-val check_agrees_with_index : t -> Ngram_index.t -> Trace.t -> bool
-(** Cross-validation helper: both structures report the same counts for
-    every window of the given trace (used by the property tests). *)
+(** {1 Traversal} *)
+
+val iter_slice : t -> depth:int -> (int array -> int -> unit) -> unit
+(** Visit every distinct sequence of one length with its count, in
+    ascending lexicographic (string-key) order.  The symbol buffer
+    passed to the callback is reused between calls — copy it if it
+    escapes.  Requires [1 <= depth <= max_len]. *)
+
+val iter_contexts : t -> depth:int -> (int array -> node -> unit) -> unit
+(** Visit every distinct context of one length that has at least one
+    recorded continuation, in ascending order, with its node (query it
+    with {!context_total} / {!continuation_count}).  The symbol buffer
+    is reused between calls.  Requires [1 <= depth < max_len]. *)
 
 val memory_words : t -> int
-(** Rough allocated size in machine words (nodes × (alphabet + 2)). *)
+(** Rough allocated size in machine words (nodes x (alphabet + 3)). *)
 
 val pp_stats : Format.formatter -> t -> unit
 (** One-line summary: max length, node count, distinct counts. *)
 
 val random_probe : t -> Prng.t -> len:int -> string
 (** A uniformly random key of the given length over the trie's alphabet
-    (present or not) — handy for benchmarking lookups. *)
+    (present or not) — handy for benchmarking lookups.  Requires an
+    alphabet of at most 256 symbols. *)

@@ -23,6 +23,7 @@ let sub t ~pos ~len =
   { t with data = Array.sub t.data pos len }
 
 let to_array t = Array.copy t.data
+let raw t = t.data
 
 let check_compatible a b =
   if Alphabet.size a.alphabet <> Alphabet.size b.alphabet then

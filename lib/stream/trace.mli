@@ -25,6 +25,13 @@ val sub : t -> pos:int -> len:int -> t
 val to_array : t -> int array
 (** Fresh copy of the underlying symbols. *)
 
+val raw : t -> int array
+(** The underlying symbol array itself — the zero-copy window accessor
+    of the scoring hot paths, where {!key}'s per-window string would
+    dominate the allocation profile.  The array is {e borrowed}: the
+    caller must never mutate it (traces are immutable; writing through
+    this view would corrupt every structure sharing the trace). *)
+
 val concat : t -> t -> t
 (** Concatenation.  Requires physically-equal or equally-sized
     alphabets; the left alphabet is kept. *)
@@ -49,7 +56,10 @@ val window_count : t -> width:int -> int
 val key : t -> pos:int -> len:int -> string
 (** Compact byte-string encoding of a window, suitable as a hash key.
     Two windows have equal keys iff they contain the same symbols in the
-    same order.  Requires the range to be in bounds and [len > 0]. *)
+    same order.  Requires the range to be in bounds, [len > 0], and
+    every symbol in the window below 256 (one byte per symbol) — the
+    trie cursor API has no such ceiling.  @raise Invalid_argument on a
+    symbol 256 or larger. *)
 
 val key_of_symbols : int array -> string
 (** {!key} for a free-standing symbol array (used when testing candidate

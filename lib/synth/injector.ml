@@ -20,13 +20,13 @@ let clean_boundaries index trace ~position ~size ~width =
   let last =
     Stdlib.min (Trace.length trace - width) (position + size - 1)
   in
+  let data = Trace.raw trace in
   let clean = ref true in
   for s = first to last do
     let contains_whole = s <= position && s + width >= position + size in
-    if (not contains_whole) && !clean then begin
-      let key = Trace.key trace ~pos:s ~len:width in
-      if Ngram_index.is_foreign index key then clean := false
-    end
+    if (not contains_whole) && !clean then
+      if Ngram_index.is_foreign_at index data ~pos:s ~len:width then
+        clean := false
   done;
   !clean
 

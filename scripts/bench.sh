@@ -1,0 +1,153 @@
+#!/bin/sh
+# Full-grid macro benchmark for the shared-trie training path (PR 3).
+#
+# Runs `bench/main.exe --grid-only` (150k-element training stream, the
+# full AS x DW grid, stide + tstide + markov) at jobs=1 and jobs=4 and
+# writes BENCH_PR3.json containing both runs next to the committed
+# pre-PR baseline numbers, so the before/after comparison travels with
+# the repository.  The baselines below were produced by the same
+# command on the same machine at the seed commit (string-keyed hash
+# databases, one training scan per window width).
+#
+# The script fails when the jobs=1 train+score speedup falls below the
+# 3x acceptance floor, or when any detector's capable/weak/blind map
+# summary differs from the baseline (the optimisation must not change
+# a single cell).
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR3.json}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# --- committed pre-PR baselines ----------------------------------------
+
+cat > "$TMP/before_j1.json" <<'EOF'
+{
+  "options": {
+    "train_len": 150000,
+    "background_len": 8000,
+    "deploy_len": 30000,
+    "jobs": 1
+  },
+  "stages": [
+    { "label": "suite build", "seconds": 0.344876 },
+    { "label": "grid maps", "seconds": 0.706097 }
+  ],
+  "engine": {
+    "train_executed": 42,
+    "train_cached": 0,
+    "score_tasks": 336,
+    "train_seconds": 0.703838,
+    "score_seconds": 0.001075
+  },
+  "maps": [
+    { "detector": "stide", "capable": 84, "weak": 0, "blind": 28, "capable_fraction": 0.750000 },
+    { "detector": "tstide", "capable": 112, "weak": 0, "blind": 0, "capable_fraction": 1.000000 },
+    { "detector": "markov", "capable": 112, "weak": 0, "blind": 0, "capable_fraction": 1.000000 }
+  ]
+}
+EOF
+
+cat > "$TMP/before_j4.json" <<'EOF'
+{
+  "options": {
+    "train_len": 150000,
+    "background_len": 8000,
+    "deploy_len": 30000,
+    "jobs": 4
+  },
+  "stages": [
+    { "label": "suite build", "seconds": 0.341793 },
+    { "label": "grid maps", "seconds": 0.902314 }
+  ],
+  "engine": {
+    "train_executed": 42,
+    "train_cached": 0,
+    "score_tasks": 336,
+    "train_seconds": 0.897228,
+    "score_seconds": 0.004051
+  },
+  "maps": [
+    { "detector": "stide", "capable": 84, "weak": 0, "blind": 28, "capable_fraction": 0.750000 },
+    { "detector": "tstide", "capable": 112, "weak": 0, "blind": 0, "capable_fraction": 1.000000 },
+    { "detector": "markov", "capable": 112, "weak": 0, "blind": 0, "capable_fraction": 1.000000 }
+  ]
+}
+EOF
+
+# --- current runs -------------------------------------------------------
+
+dune build bench/main.exe
+
+echo "== full grid, jobs=1 =="
+dune exec --no-build bench/main.exe -- \
+  --grid-only --trace --jobs 1 --json "$TMP/after_j1.json"
+
+echo "== full grid, jobs=4 =="
+dune exec --no-build bench/main.exe -- \
+  --grid-only --trace --jobs 4 --json "$TMP/after_j4.json"
+
+# --- comparison ---------------------------------------------------------
+
+# Sum of engine train_seconds + score_seconds in a report.
+train_score() {
+  sed -n 's/.*"train_seconds": \([0-9.]*\).*/\1/p; s/.*"score_seconds": \([0-9.]*\).*/\1/p' "$1" \
+    | awk '{ s += $1 } END { printf "%.6f", s }'
+}
+
+# The per-detector summary lines, for cell-identity checking.
+map_lines() { grep '"detector"' "$1"; }
+
+B1=$(train_score "$TMP/before_j1.json")
+B4=$(train_score "$TMP/before_j4.json")
+A1=$(train_score "$TMP/after_j1.json")
+A4=$(train_score "$TMP/after_j4.json")
+
+S1=$(awk -v b="$B1" -v a="$A1" 'BEGIN { printf "%.2f", b / a }')
+S4=$(awk -v b="$B4" -v a="$A4" 'BEGIN { printf "%.2f", b / a }')
+
+echo "train+score jobs=1: ${B1}s -> ${A1}s (${S1}x)"
+echo "train+score jobs=4: ${B4}s -> ${A4}s (${S4}x)"
+
+for j in 1 4; do
+  map_lines "$TMP/before_j$j.json" > "$TMP/maps_before_j$j"
+  map_lines "$TMP/after_j$j.json" > "$TMP/maps_after_j$j"
+  if ! cmp -s "$TMP/maps_before_j$j" "$TMP/maps_after_j$j"; then
+    echo "FAIL: jobs=$j map summaries differ from baseline" >&2
+    diff "$TMP/maps_before_j$j" "$TMP/maps_after_j$j" >&2 || true
+    exit 1
+  fi
+done
+echo "map summaries identical to baseline at both jobs counts"
+
+if [ "$(awk -v s="$S1" 'BEGIN { print (s >= 3.0) ? 1 : 0 }')" -ne 1 ]; then
+  echo "FAIL: jobs=1 speedup ${S1}x below the 3x acceptance floor" >&2
+  exit 1
+fi
+
+# --- merged report ------------------------------------------------------
+
+{
+  printf '{\n'
+  printf '  "benchmark": "full-grid train+score (bench/main.exe --grid-only)",\n'
+  printf '  "speedup_train_score": { "jobs1": %s, "jobs4": %s },\n' "$S1" "$S4"
+  printf '  "before": {\n'
+  printf '    "jobs1":\n'
+  cat "$TMP/before_j1.json"
+  printf '    ,\n    "jobs4":\n'
+  cat "$TMP/before_j4.json"
+  printf '  },\n'
+  printf '  "after": {\n'
+  printf '    "jobs1":\n'
+  cat "$TMP/after_j1.json"
+  printf '    ,\n    "jobs4":\n'
+  cat "$TMP/after_j4.json"
+  printf '  }\n'
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

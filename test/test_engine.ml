@@ -83,7 +83,9 @@ let all_maps_with ~jobs suite detectors =
 let serial_equals_parallel =
   (* The deterministic-metric detectors over several random suites; the
      PRNG-seeded ones are covered by the unit test below. *)
-  let detectors = List.map Registry.find_exn [ "stide"; "markov"; "lnb" ] in
+  let detectors =
+    List.map Registry.find_exn [ "stide"; "tstide"; "markov"; "lnb" ]
+  in
   qcheck ~count:6 "all_maps: jobs=1 = jobs=4 on random suites"
     (QCheck.oneofl [ 3; 11; 2005 ])
     (fun seed ->
@@ -120,6 +122,7 @@ module Counting = struct
     train_calls := window :: !train_calls;
     window
 
+  let train_of_trie = None
   let window m = m
 
   let score_range m trace ~lo ~hi =
@@ -168,6 +171,37 @@ let test_cache_trains_each_window_once () =
     (2 * Performance_map.cell_count m1)
     s.Engine.score_tasks
 
+let test_shared_trie_cache () =
+  (* One training trace, three trie-capable detectors, every window:
+     the engine builds exactly one trie and serves every other model as
+     a view of it. *)
+  let suite = suite_for 3 in
+  let windows = Suite.windows suite in
+  let detectors = List.map Registry.find_exn [ "stide"; "tstide"; "markov" ] in
+  let e = Engine.create () in
+  let maps = Experiment.all_maps ~engine:e suite detectors in
+  let capable = 3 * List.length windows in
+  let s = Engine.stats e in
+  Alcotest.(check int) "one shared trie for the training trace" 1
+    s.Engine.tries_built;
+  Alcotest.(check int) "every other trie-backed model is a view"
+    (capable - 1) s.Engine.trie_hits;
+  Alcotest.(check bool) "trie node count surfaced" true
+    (s.Engine.trie_nodes > 0);
+  (* A second identical run answers from the model cache: no new tries,
+     no new views, identical maps. *)
+  let maps' = Experiment.all_maps ~engine:e suite detectors in
+  let s' = Engine.stats e in
+  Alcotest.(check int) "still one trie" 1 s'.Engine.tries_built;
+  Alcotest.(check int) "no further trie activity" (capable - 1)
+    s'.Engine.trie_hits;
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "identical map for %s" (Performance_map.detector a))
+        true (maps_equal a b))
+    maps maps'
+
 let test_train_batch_dedups_specs () =
   let suite = suite_for 3 in
   let d = (module Counting : Detector.S) in
@@ -203,6 +237,8 @@ let () =
         [
           Alcotest.test_case "trains each window once" `Quick
             test_cache_trains_each_window_once;
+          Alcotest.test_case "shared trie built once" `Quick
+            test_shared_trie_cache;
           Alcotest.test_case "train_batch dedups" `Quick
             test_train_batch_dedups_specs;
         ] );

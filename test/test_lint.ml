@@ -278,6 +278,90 @@ let test_r6_whitelist () =
   Alcotest.(check (list string)) "suppressed" []
     (rules_of (find_rule "R6" diags))
 
+(* R7: string-key lookups inside a detector score path. *)
+let r7_bad_ml =
+  "let score_range m trace lo hi =\n\
+  \  let key = Trace.key trace ~pos:lo ~len:hi in\n\
+  \  Seq_db.mem m key\n\
+   let score m trace = score_range m trace 0 0\n"
+
+let r7_mli = "val score_range : 'a -> 'b -> int -> int -> bool\nval score : 'a -> 'b -> bool\n"
+
+let test_r7_score_path () =
+  let diags =
+    run_on
+      [ file "lib/detectors/det.ml" r7_bad_ml;
+        file "lib/detectors/det.mli" r7_mli ]
+  in
+  let r7 = find_rule "R7" diags in
+  Alcotest.(check int) "two findings" 2 (List.length r7);
+  Alcotest.(check (list int)) "lines" [ 2; 3 ]
+    (List.map (fun d -> d.Diagnostic.line) r7);
+  Alcotest.(check string) "name" "hot-path" (List.hd r7).Diagnostic.rule_name
+
+(* Train-time key building is legitimate: R7 only guards score paths. *)
+let test_r7_train_exempt () =
+  let src =
+    "let train ~window trace =\n\
+    \  ignore window;\n\
+    \  Trace.key trace ~pos:0 ~len:3\n"
+  in
+  let diags =
+    run_on
+      [ file "lib/detectors/tr.ml" src;
+        file "lib/detectors/tr.mli" "val train : window:int -> 'a -> string\n" ]
+  in
+  Alcotest.(check (list string)) "no R7 outside score" []
+    (rules_of (find_rule "R7" diags))
+
+(* The rule is scoped to detector directories. *)
+let test_r7_only_in_detectors () =
+  let src = "let score_range t = Trace.key t ~pos:0 ~len:3\n" in
+  let diags =
+    run_on
+      [ file "lib/stream/s.ml" src;
+        file "lib/stream/s.mli" "val score_range : 'a -> string\n" ]
+  in
+  Alcotest.(check (list string)) "no R7 outside lib/detectors" []
+    (rules_of (find_rule "R7" diags))
+
+(* R7 honours the standard whitelist comment. *)
+let test_r7_whitelist () =
+  let src =
+    "let score m k =\n\
+    \  (* lint: allow hot-path — diagnostic slow path *)\n\
+    \  Seq_db.count m k\n"
+  in
+  let diags =
+    run_on
+      [ file "lib/detectors/wl.ml" src;
+        file "lib/detectors/wl.mli" "val score : 'a -> string -> int\n" ]
+  in
+  Alcotest.(check (list string)) "suppressed" []
+    (rules_of (find_rule "R7" diags))
+
+(* Hash lookups in a score path are the replaced backend. *)
+let test_r7_hashtbl () =
+  let src = "let score m k = Hashtbl.find_opt m k\n" in
+  let diags =
+    run_on
+      [ file "lib/detectors/ht.ml" src;
+        file "lib/detectors/ht.mli" "val score : ('a, 'b) Hashtbl.t -> 'a -> 'b option\n" ]
+  in
+  Alcotest.(check int) "one finding" 1 (List.length (find_rule "R7" diags))
+
+(* The cursor API is exactly what score paths should use. *)
+let test_r7_cursor_clean () =
+  let src = "let score_range m a pos = Seq_db.mem_at m a ~pos\n" in
+  let diags =
+    run_on
+      [ file "lib/detectors/cur.ml" src;
+        file "lib/detectors/cur.mli"
+          "val score_range : 'a -> int array -> int -> bool\n" ]
+  in
+  Alcotest.(check (list string)) "cursor API clean" []
+    (rules_of (find_rule "R7" diags))
+
 let () =
   Alcotest.run "lint"
     [
@@ -307,6 +391,13 @@ let () =
           Alcotest.test_case "R6 exempts pool" `Quick test_r6_exempts_pool;
           Alcotest.test_case "R6 exempt in bin" `Quick test_r6_not_in_bin;
           Alcotest.test_case "R6 whitelist" `Quick test_r6_whitelist;
+          Alcotest.test_case "R7 score path" `Quick test_r7_score_path;
+          Alcotest.test_case "R7 train exempt" `Quick test_r7_train_exempt;
+          Alcotest.test_case "R7 detectors only" `Quick
+            test_r7_only_in_detectors;
+          Alcotest.test_case "R7 whitelist" `Quick test_r7_whitelist;
+          Alcotest.test_case "R7 hashtbl" `Quick test_r7_hashtbl;
+          Alcotest.test_case "R7 cursor clean" `Quick test_r7_cursor_clean;
           Alcotest.test_case "rendering" `Quick test_diagnostic_rendering;
         ] );
     ]

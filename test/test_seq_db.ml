@@ -4,14 +4,14 @@ open Seqdiv_test_support
 let key l = Trace.key_of_symbols (Array.of_list l)
 
 let test_empty () =
-  let db = Seq_db.create ~width:3 in
+  let db = Seq_db.create ~width:3 () in
   Alcotest.(check int) "total" 0 (Seq_db.total db);
   Alcotest.(check int) "cardinal" 0 (Seq_db.cardinal db);
   Alcotest.(check bool) "mem" false (Seq_db.mem db (key [ 0; 1; 2 ]));
   check_float "freq" ~epsilon:0.0 0.0 (Seq_db.freq db (key [ 0; 1; 2 ]))
 
 let test_add_counts () =
-  let db = Seq_db.create ~width:2 in
+  let db = Seq_db.create ~width:2 () in
   Seq_db.add db (key [ 0; 1 ]);
   Seq_db.add db (key [ 0; 1 ]);
   Seq_db.add db (key [ 1; 2 ]);
@@ -28,7 +28,7 @@ let test_of_trace () =
   Alcotest.(check int) "01 twice" 2 (Seq_db.count db (key [ 0; 1 ]))
 
 let test_classification () =
-  let db = Seq_db.create ~width:1 in
+  let db = Seq_db.create ~width:1 () in
   for _ = 1 to 99 do
     Seq_db.add db (key [ 0 ])
   done;
@@ -43,7 +43,7 @@ let test_classification () =
     (Seq_db.is_common db ~threshold (key [ 1 ]))
 
 let test_rare_common_keys () =
-  let db = Seq_db.create ~width:1 in
+  let db = Seq_db.create ~width:1 () in
   for _ = 1 to 99 do
     Seq_db.add db (key [ 0 ])
   done;
@@ -55,7 +55,7 @@ let test_rare_common_keys () =
 
 let test_boundary_threshold () =
   (* Frequency exactly at the threshold counts as common, not rare. *)
-  let db = Seq_db.create ~width:1 in
+  let db = Seq_db.create ~width:1 () in
   Seq_db.add db (key [ 0 ]);
   Seq_db.add db (key [ 1 ]);
   Alcotest.(check bool) "at threshold is common" true

@@ -15,6 +15,7 @@ module Stub : Detector.S = struct
   let name = "stub"
   let maximal_epsilon = 0.0
   let train ~window _trace = { window }
+  let train_of_trie = None
   let window m = m.window
 
   let score_range m trace ~lo ~hi =
