@@ -31,6 +31,9 @@ type options = {
   jobs : int;
   trace : bool;
   json : string option;
+  chaos : float; (* transient fault-injection rate; 0 = supervision idle *)
+  chaos_fatal : float;
+  chaos_seed : int;
 }
 
 let default_options =
@@ -44,6 +47,9 @@ let default_options =
     jobs = 1;
     trace = false;
     json = None;
+    chaos = 0.0;
+    chaos_fatal = 0.0;
+    chaos_seed = 7;
   }
 
 let parse_options () =
@@ -67,11 +73,25 @@ let parse_options () =
         go { acc with jobs } rest
     | "--trace" :: rest -> go { acc with trace = true } rest
     | "--json" :: v :: rest -> go { acc with json = Some v } rest
+    | "--chaos" :: rest -> go { acc with chaos = 0.05 } rest
+    | "--chaos-rate" :: v :: rest ->
+        go { acc with chaos = float_of_string v } rest
+    | "--chaos-fatal" :: v :: rest ->
+        go { acc with chaos_fatal = float_of_string v } rest
+    | "--chaos-seed" :: v :: rest ->
+        go { acc with chaos_seed = int_of_string v } rest
     | arg :: _ ->
         prerr_endline ("unknown argument: " ^ arg);
         exit 2
   in
   go default_options (List.tl (Array.to_list Sys.argv))
+
+let chaos_plan opts =
+  if opts.chaos > 0.0 || opts.chaos_fatal > 0.0 then
+    Some
+      (Fault_plan.of_seed ~transient_rate:opts.chaos
+         ~fatal_rate:opts.chaos_fatal ~seed:opts.chaos_seed ())
+  else None
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
 
@@ -689,7 +709,11 @@ let write_json path opts engine maps =
   out "    \"score_seconds\": %.6f,\n" stats.Engine.score_seconds;
   out "    \"tries_built\": %d,\n" stats.Engine.tries_built;
   out "    \"trie_hits\": %d,\n" stats.Engine.trie_hits;
-  out "    \"trie_nodes\": %d\n" stats.Engine.trie_nodes;
+  out "    \"trie_nodes\": %d,\n" stats.Engine.trie_nodes;
+  out "    \"faults_injected\": %d,\n" stats.Engine.faults_injected;
+  out "    \"retries\": %d,\n" stats.Engine.retries;
+  out "    \"cells_failed\": %d,\n" stats.Engine.cells_failed;
+  out "    \"cells_resumed\": %d\n" stats.Engine.cells_resumed;
   out "  },\n";
   out "  \"measurements\": [\n";
   let ms = List.rev !measurements in
@@ -706,10 +730,10 @@ let write_json path opts engine maps =
     (fun i (s : Experiment.summary) ->
       out
         "    { \"detector\": \"%s\", \"capable\": %d, \"weak\": %d, \"blind\": \
-         %d, \"capable_fraction\": %.6f }%s\n"
+         %d, \"failed\": %d, \"capable_fraction\": %.6f }%s\n"
         (json_escape s.Experiment.detector)
         s.Experiment.capable s.Experiment.weak s.Experiment.blind
-        s.Experiment.capable_fraction
+        s.Experiment.failed s.Experiment.capable_fraction
         (if i = List.length summaries - 1 then "" else ","))
     summaries;
   out "  ]\n";
@@ -719,7 +743,13 @@ let write_json path opts engine maps =
 
 let () =
   let opts = parse_options () in
-  let engine = Engine.create ~clock:Unix.gettimeofday ~jobs:opts.jobs () in
+  let fault_plan = chaos_plan opts in
+  Option.iter
+    (fun plan -> Printf.printf "%s\n%!" (Fault_plan.describe plan))
+    fault_plan;
+  let engine =
+    Engine.create ~clock:Unix.gettimeofday ~jobs:opts.jobs ?fault_plan ()
+  in
   if opts.grid_only then begin
     let _suite, maps = run_grid opts engine in
     if opts.trace then

@@ -69,6 +69,82 @@ let with_engine (engine, trace) f =
   if trace then Format.eprintf "%a@." Engine.pp_stats (Engine.stats engine);
   result
 
+(* --- supervision options (map / full) ----------------------------------- *)
+
+let journal_t =
+  let doc =
+    "Record every completed cell in a crash-safe journal at $(docv) \
+     (write-tmp-then-rename batches).  Interrupted runs restart with \
+     $(b,--resume) to re-execute only the missing cells."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let resume_t =
+  let doc =
+    "Resume from the journal named by $(b,--journal): cells it already \
+     holds are answered without re-execution, byte-identically to a fresh \
+     run at any $(b,--jobs) count."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let strict_t =
+  let doc =
+    "Exit 1 instead of 2 when any cell fails — for CI gates that must \
+     treat a partial map as a hard error."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+(* The journal context pins every parameter that shapes cell outcomes;
+   resuming under a different configuration is refused, not silently
+   spliced. *)
+let journal_context (p : Suite.params) =
+  Printf.sprintf
+    "seed=%d alphabet=%d train_len=%d background_len=%d as=%d..%d dw=%d..%d \
+     deviation=%g rare=%g"
+    p.Suite.seed p.Suite.alphabet_size p.Suite.train_len p.Suite.background_len
+    p.Suite.as_min p.Suite.as_max p.Suite.dw_min p.Suite.dw_max
+    p.Suite.deviation p.Suite.rare_threshold
+
+let open_journal params journal resume =
+  match (journal, resume) with
+  | None, true ->
+      prerr_endline "seqdiv: --resume requires --journal FILE";
+      exit 2
+  | None, false -> None
+  | Some path, resume -> (
+      match Journal.start ~resume ~context:(journal_context params) path with
+      | j ->
+          if resume then
+            Printf.eprintf "journal: recovered %d cell(s) from %s%s\n%!"
+              (Journal.recovered j) path
+              (match Journal.dropped_lines j with
+              | 0 -> ""
+              | n -> Printf.sprintf " (%d torn line(s) dropped)" n);
+          Some j
+      | exception Journal.Corrupt msg ->
+          prerr_endline ("seqdiv: " ^ msg);
+          exit 2)
+
+(* Honest exit status: a map with failed cells is a partial result and
+   must not exit 0.  One summary line on stderr; 2 by default, 1 under
+   --strict. *)
+let check_failures ~strict maps =
+  let failed =
+    List.fold_left
+      (fun acc m -> acc + List.length (Performance_map.failed_cells m))
+      0 maps
+  in
+  if failed > 0 then begin
+    let total =
+      List.fold_left (fun acc m -> acc + Performance_map.cell_count m) 0 maps
+    in
+    Printf.eprintf
+      "seqdiv: partial failure: %d of %d cell(s) failed after retries (rerun \
+       with --journal FILE --resume to retry only those)\n%!"
+      failed total;
+    exit (if strict then 1 else 2)
+  end
+
 let setup_logging verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
@@ -155,28 +231,33 @@ let mfs_cmd =
 (* --- map --------------------------------------------------------------- *)
 
 let map_cmd =
-  let run params eng detectors csv_dir =
+  let run params eng detectors csv_dir journal resume strict =
     with_engine eng @@ fun engine ->
     let suite = Suite.build params in
     let detectors = if detectors = [] then Registry.all else detectors in
-    List.iter
-      (fun d ->
-        let map = Experiment.performance_map ~engine suite d in
-        Ascii_map.print map;
-        print_newline ();
-        Option.iter
-          (fun dir ->
-            let path =
-              Filename.concat dir
-                (Printf.sprintf "map_%s.csv" (Performance_map.detector map))
-            in
-            Csv.write_file path
-              ~header:
-                [ "detector"; "anomaly_size"; "window"; "outcome"; "max_response" ]
-              (Csv.map_rows map);
-            Printf.printf "wrote %s\n" path)
-          csv_dir)
-      detectors
+    let journal = open_journal params journal resume in
+    let maps =
+      List.map
+        (fun d ->
+          let map = Experiment.performance_map ~engine ?journal suite d in
+          Ascii_map.print map;
+          print_newline ();
+          Option.iter
+            (fun dir ->
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "map_%s.csv" (Performance_map.detector map))
+              in
+              Csv.write_file path
+                ~header:
+                  [ "detector"; "anomaly_size"; "window"; "outcome"; "max_response" ]
+                (Csv.map_rows map);
+              Printf.printf "wrote %s\n" path)
+            csv_dir;
+          map)
+        detectors
+    in
+    check_failures ~strict maps
   in
   let detectors_t =
     Arg.(
@@ -191,22 +272,34 @@ let map_cmd =
       & opt (some string) None
       & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Also write per-map CSV files.")
   in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P
+        "0 on a complete run; 2 (1 under $(b,--strict)) when any cell \
+         failed past the supervisor's retry budget — the maps are then \
+         partial and failed cells render as '!'.";
+    ]
+  in
   Cmd.v
-    (Cmd.info "map"
+    (Cmd.info "map" ~man
        ~doc:"Reproduce the performance maps of Figures 3-6 for chosen detectors.")
-    Term.(const run $ params_t $ engine_t $ detectors_t $ csv_t)
+    Term.(
+      const run $ params_t $ engine_t $ detectors_t $ csv_t $ journal_t
+      $ resume_t $ strict_t)
 
 (* --- full -------------------------------------------------------------- *)
 
 let full_cmd =
-  let run params eng =
+  let run params eng journal resume strict =
     with_engine eng @@ fun engine ->
     let suite = Suite.build params in
+    let journal = open_journal params journal resume in
     print_string (Paper.figure2 suite ~window:5 ~anomaly_size:8);
     print_newline ();
     print_string (Paper.figure7 ());
     print_newline ();
-    let maps = Experiment.all_maps ~engine suite Registry.all in
+    let maps = Experiment.all_maps ~engine ?journal suite Registry.all in
     List.iter
       (fun m ->
         print_string (Paper.figure_map m);
@@ -231,12 +324,21 @@ let full_cmd =
       Deployment.lnb_threshold_experiment ~engine suite ~anomaly_size:5
         ~deploy_trace:deploy ~fa_training
     in
-    print_string (Paper.table3 t3)
+    print_string (Paper.table3 t3);
+    check_failures ~strict maps
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P
+        "0 on a complete run; 2 (1 under $(b,--strict)) when any \
+         performance-map cell failed past the supervisor's retry budget.";
+    ]
   in
   Cmd.v
-    (Cmd.info "full"
+    (Cmd.info "full" ~man
        ~doc:"Run the complete paper reproduction (figures and tables).")
-    Term.(const run $ params_t $ engine_t)
+    Term.(const run $ params_t $ engine_t $ journal_t $ resume_t $ strict_t)
 
 (* --- roc --------------------------------------------------------------- *)
 

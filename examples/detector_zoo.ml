@@ -38,6 +38,7 @@ let () =
         | Outcome.Capable _, _ -> "detects, noisy"
         | Outcome.Weak _, _ -> "senses something, threshold-1 miss"
         | Outcome.Blind, _ -> "sees nothing"
+        | Outcome.Failed _, _ -> "cell failed (supervised run only)"
       in
       Printf.printf "%-8s %-18s %-10d %s\n" D.name
         (Outcome.to_string outcome)

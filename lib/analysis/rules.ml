@@ -85,6 +85,18 @@ let hot_path =
        raw trace through the allocation-free *_at trie cursor API";
   }
 
+let swallow =
+  {
+    id = "R8";
+    name = "swallow";
+    severity = Diagnostic.Error;
+    doc =
+      "library code must not catch every exception with a bare wildcard or \
+       variable handler: arbitrary failures belong to the supervisor via \
+       Fault.classify, so a catch-all silently eats faults it was never \
+       written for";
+  }
+
 let all =
   [
     syntax;
@@ -95,6 +107,7 @@ let all =
     detector_contract;
     concurrency;
     hot_path;
+    swallow;
   ]
 
 let diag rule (src : Source.t) ~line ~col message =
@@ -223,6 +236,47 @@ let hot_path_violation parts =
          hot-path`)"
   | _ -> None
 
+(* R8: a handler that matches every exception takes custody of faults
+   it cannot understand — chaos injections, Out_of_memory, Stack_overflow
+   — and hides them from the supervisor.  The fault layer is the one
+   module whose job is exactly that custody, so it is exempt; every
+   other site must name the exceptions it expects or carry a
+   `lint: allow swallow` marker. *)
+let fault_path = "lib/core/fault.ml"
+
+let swallow_exempt (src : Source.t) =
+  let p = src.Source.path and n = String.length fault_path in
+  p = fault_path
+  || (String.length p > n
+     && String.sub p (String.length p - n - 1) (n + 1) = "/" ^ fault_path)
+
+let rec catch_all_pattern (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_any | Parsetree.Ppat_var _ -> true
+  | Parsetree.Ppat_alias (inner, _) -> catch_all_pattern inner
+  | Parsetree.Ppat_or (a, b) -> catch_all_pattern a || catch_all_pattern b
+  | _ -> false
+
+let swallow_message =
+  "catch-all exception handler; name the exceptions this site expects — \
+   arbitrary failures belong to the supervisor through Fault (or whitelist \
+   with `lint: allow swallow`)"
+
+(* Flag the catch-all handler cases of [try]/[match ... with exception]. *)
+let swallow_violations (cases : Parsetree.case list) ~exception_cases_only =
+  List.filter_map
+    (fun (c : Parsetree.case) ->
+      if c.Parsetree.pc_guard <> None then None
+      else
+        let pat = c.Parsetree.pc_lhs in
+        match pat.Parsetree.ppat_desc with
+        | Parsetree.Ppat_exception inner when catch_all_pattern inner ->
+            Some inner.Parsetree.ppat_loc
+        | _ when (not exception_cases_only) && catch_all_pattern pat ->
+            Some pat.Parsetree.ppat_loc
+        | _ -> None)
+    cases
+
 let detectors_dir (src : Source.t) =
   let dir = Source.dir src in
   let suffix = "detectors" in
@@ -293,6 +347,14 @@ let check_structure src structure =
         add partiality e.Parsetree.pexp_loc
           "assert false is not total; make the invariant explicit in the \
            types or raise a dedicated exception"
+    | Parsetree.Pexp_try (_, cases) when not (swallow_exempt src) ->
+        List.iter
+          (fun loc -> add swallow loc swallow_message)
+          (swallow_violations cases ~exception_cases_only:false)
+    | Parsetree.Pexp_match (_, cases) when not (swallow_exempt src) ->
+        List.iter
+          (fun loc -> add swallow loc swallow_message)
+          (swallow_violations cases ~exception_cases_only:true)
     | _ -> ());
     default.Ast_iterator.expr self e
   in

@@ -22,6 +22,12 @@
       run string-keyed / hash-table lookups per window; scoring descends
       the shared trie over the raw trace via the [*_at] cursor API.
       Escape hatch: [lint: allow hot-path].
+    - [R8 swallow] — no catch-all exception handlers
+      ([try ... with _ ->], [with e -> ...], or
+      [match ... with exception e ->]) in library code outside
+      [lib/core/fault.ml]: arbitrary failures route through the
+      supervisor via [Fault.classify].  Escape hatch:
+      [lint: allow swallow].
 
     A further pseudo-rule, [R0 syntax], reports files that do not
     parse.
@@ -38,7 +44,7 @@ type t = {
 }
 
 val all : t list
-(** Every rule the engine knows, [R0]–[R7], in order. *)
+(** Every rule the engine knows, [R0]–[R8], in order. *)
 
 val syntax : t
 val determinism : t
@@ -48,6 +54,7 @@ val interfaces : t
 val detector_contract : t
 val concurrency : t
 val hot_path : t
+val swallow : t
 
 val check_file : Source.t -> Diagnostic.t list
 (** File-local rules only ([R0]–[R3]), whitelist already applied.

@@ -101,6 +101,7 @@ let parse t =
   | Syntaxerr.Error err ->
       broken (Syntaxerr.location_of_error err) "syntax error"
   | Lexer.Error (_, loc) -> broken loc "lexing error"
+  (* lint: allow swallow — any front-end crash degrades to a Broken finding *)
   | exn ->
       Broken { line = 1; col = 0; message = Printexc.to_string exn }
 

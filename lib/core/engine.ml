@@ -16,6 +16,10 @@ type stats = {
   tries_built : int;
   trie_hits : int;
   trie_nodes : int;
+  faults_injected : int;
+  retries : int;
+  cells_failed : int;
+  cells_resumed : int;
 }
 
 let zero_stats =
@@ -28,6 +32,10 @@ let zero_stats =
     tries_built = 0;
     trie_hits = 0;
     trie_nodes = 0;
+    faults_injected = 0;
+    retries = 0;
+    cells_failed = 0;
+    cells_resumed = 0;
   }
 
 type key = string * int * int64
@@ -35,6 +43,10 @@ type key = string * int * int64
 type t = {
   pool : Pool.t;
   clock : unit -> float;
+  retries : int;
+      (* extra executions granted to a transient-faulted task, beyond
+         its first attempt *)
+  fault_plan : Fault_plan.t option;
   cache : (key, Trained.t) Hashtbl.t;
   tries : (int64, Seq_trie.t) Hashtbl.t;
       (* fingerprint -> deepest trie built for that training trace;
@@ -45,10 +57,13 @@ type t = {
   mutable stats : stats;
 }
 
-let create ?(clock = fun () -> 0.0) ?(jobs = 1) () =
+let create ?(clock = fun () -> 0.0) ?(jobs = 1) ?(retries = 2) ?fault_plan ()
+    =
   {
     pool = Pool.create ~jobs ();
     clock;
+    retries = Stdlib.max 0 retries;
+    fault_plan;
     cache = Hashtbl.create 64;
     tries = Hashtbl.create 8;
     fingerprints = [];
@@ -58,15 +73,20 @@ let create ?(clock = fun () -> 0.0) ?(jobs = 1) () =
 let default = function Some e -> e | None -> create ()
 let jobs t = Pool.jobs t.pool
 let pool t = t.pool
+let retries (t : t) = t.retries
+let fault_plan t = t.fault_plan
 let stats t = t.stats
 let reset_stats t = t.stats <- zero_stats
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "engine: trained %d model(s) (%d cache hit(s)) in %.3fs; scored %d \
-     cell(s) in %.3fs; %d trie(s) built (%d node(s), %d view hit(s))"
+     cell(s) in %.3fs; %d trie(s) built (%d node(s), %d view hit(s)); \
+     supervision: %d fault(s) injected, %d retry(ies), %d cell(s) failed, \
+     %d cell(s) resumed"
     s.train_executed s.train_cached s.train_seconds s.score_tasks
-    s.score_seconds s.tries_built s.trie_nodes s.trie_hits
+    s.score_seconds s.tries_built s.trie_nodes s.trie_hits s.faults_injected
+    s.retries s.cells_failed s.cells_resumed
 
 (* --- cache keys -------------------------------------------------------- *)
 
@@ -98,6 +118,104 @@ let fingerprint t trace =
 
 let key t (module D : Detector.S) ~window trace : key =
   (D.name, window, fingerprint t trace)
+
+(* --- task supervision --------------------------------------------------- *)
+
+(* Chaos-plan task keys are content fingerprints (FNV-1a over what the
+   task computes), never positional indices: the same task hashes the
+   same at every jobs count, in every scheduling order, and across
+   [--resume], so a seeded fault plan trips an identical task set in
+   every execution of the same grid. *)
+
+let fnv_prime = 0x100000001b3L
+let fnv_basis = 0xcbf29ce484222325L
+let fnv_int h x = Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
+let fnv_int64 h x = Int64.mul (Int64.logxor h x) fnv_prime
+
+let fnv_string h s =
+  String.fold_left (fun h c -> fnv_int h (Char.code c)) h s
+
+let train_task_key ((name, window, fp) : key) =
+  fnv_int64 (fnv_int (fnv_string (fnv_int fnv_basis 1) name) window) fp
+
+let score_task_key (trained, inj) =
+  let h = fnv_int fnv_basis 2 in
+  let h = fnv_string h (Trained.name trained) in
+  let h = fnv_int h (Trained.window trained) in
+  let h = fnv_int h inj.Injector.position in
+  Array.fold_left fnv_int
+    (fnv_int h (Array.length inj.Injector.anomaly))
+    inj.Injector.anomaly
+
+(* The task supervisor.  Executes keyed pure thunks on [pool] with
+   per-task isolation, classifies every captured exception
+   ({!Fault.classify}), re-runs transient failures up to the engine's
+   retry budget, and returns per-task results in input order.  The
+   retry loop runs on the calling domain; each round is one
+   order-preserving [Pool.map_result] batch over the still-failing
+   indices, so the outcome is deterministic whatever the domain
+   scheduling.  Retry counts land in the stats (and in each fault's
+   [attempts]) — never in any PRNG state. *)
+let supervised_thunks t pool tasks =
+  let arr = Array.of_list tasks in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let rec rounds attempt pending =
+    if pending <> [] then begin
+      let outs =
+        Pool.map_result pool
+          (fun i ->
+            let key, thunk = arr.(i) in
+            (match t.fault_plan with
+            | Some plan -> Fault_plan.trip plan ~key ~attempt
+            | None -> ());
+            thunk ())
+          pending
+      in
+      let injected = ref 0 in
+      let again =
+        List.concat
+          (List.map2
+             (fun i out ->
+               match out with
+               | Ok v ->
+                   results.(i) <- Some (Ok v);
+                   []
+               | Error { Pool.exn; backtrace; _ } ->
+                   (match exn with
+                   | Fault.Injected _ -> incr injected
+                   | _ -> ());
+                   if Fault.classify exn = Fault.Transient && attempt < t.retries
+                   then [ i ]
+                   else begin
+                     results.(i) <-
+                       Some (Error (Fault.of_exn ~attempts:(attempt + 1) exn backtrace));
+                     []
+                   end)
+             pending outs)
+      in
+      t.stats <-
+        {
+          t.stats with
+          faults_injected = t.stats.faults_injected + !injected;
+          retries = t.stats.retries + List.length again;
+        };
+      if again <> [] then
+        Log.debug (fun m ->
+            m "supervisor: retrying %d transient failure(s) (attempt %d/%d)"
+              (List.length again) (attempt + 2) (t.retries + 1));
+      rounds (attempt + 1) again
+    end
+  in
+  rounds 0 (List.init n Fun.id);
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None ->
+             (* lint: allow partiality — supervisor fill invariant *)
+             invalid_arg "Engine.supervised_thunks: unfilled result slot")
+       results)
 
 (* --- shared-trie plan --------------------------------------------------- *)
 
@@ -152,10 +270,11 @@ let train t d ~window trace =
         };
       trained
 
-let train_batch t specs =
+let train_batch_result t specs =
   (* Plan: resolve keys serially, keep the first spec of every
-     cache-missing key.  Execute: train the misses on the pool, commit
-     on the calling domain, answer every spec from the cache. *)
+     cache-missing key.  Execute: train the misses under supervision on
+     the pool, commit the successes on the calling domain, answer every
+     spec from the cache (or with the fault that kept it out). *)
   let keyed =
     List.map (fun (d, window, trace) -> (key t d ~window trace, d, window, trace)) specs
   in
@@ -198,43 +317,87 @@ let train_batch t specs =
         | None -> true)
       groups
   in
+  (* Trie construction is isolated but not chaos-injected (the plan
+     targets train/score tasks): a genuinely crashed build degrades
+     every dependent model below instead of poisoning the batch. *)
   let built =
-    Pool.map t.pool
+    Pool.map_result t.pool
       (fun (_, (trace, maxw)) -> Seq_trie.of_trace ~max_len:maxw trace)
       needs_build
   in
-  List.iter2 (fun (fp, _) trie -> Hashtbl.replace t.tries fp trie) needs_build
-    built;
+  let trie_faults = Hashtbl.create 4 in
+  let built_ok = ref 0 in
+  List.iter2
+    (fun (fp, _) result ->
+      match result with
+      | Ok trie ->
+          Hashtbl.replace t.tries fp trie;
+          incr built_ok;
+          t.stats <-
+            {
+              t.stats with
+              trie_nodes = t.stats.trie_nodes + Seq_trie.node_count trie;
+            }
+      | Error { Pool.exn; backtrace; _ } ->
+          Hashtbl.replace trie_faults fp (Fault.of_exn ~attempts:1 exn backtrace))
+    needs_build built;
   t.stats <-
     {
       t.stats with
-      tries_built = t.stats.tries_built + List.length needs_build;
-      trie_nodes =
-        List.fold_left
-          (fun acc trie -> acc + Seq_trie.node_count trie)
-          t.stats.trie_nodes built;
+      tries_built = t.stats.tries_built + !built_ok;
       trie_hits =
         t.stats.trie_hits + List.length trie_misses - List.length needs_build;
     };
-  let trie_models =
-    List.map
-      (fun ((_, _, fp), d, window, trace) ->
-        match Trained.train_of_trie d (Hashtbl.find t.tries fp) ~window with
-        | Some trained -> trained
-        | None -> Trained.train d ~window trace)
+  (* Trie-capable models are cheap width-slice views: supervise them
+     serially on the calling domain, in miss order. *)
+  let serial = Pool.create ~jobs:1 () in
+  let healthy, poisoned =
+    List.partition
+      (fun ((_, _, fp), _, _, _) -> not (Hashtbl.mem trie_faults fp))
       trie_misses
   in
-  let plain_models =
-    Pool.map t.pool
-      (fun (_, d, window, trace) -> Trained.train d ~window trace)
-      plain_misses
+  let healthy_results =
+    supervised_thunks t serial
+      (List.map
+         (fun ((_, _, fp) as k, d, window, trace) ->
+           let trie = Hashtbl.find_opt t.tries fp in
+           ( train_task_key k,
+             fun () ->
+               match trie with
+               | Some trie -> (
+                   match Trained.train_of_trie d trie ~window with
+                   | Some trained -> trained
+                   | None -> Trained.train d ~window trace)
+               | None -> Trained.train d ~window trace ))
+         healthy)
   in
-  List.iter2 (fun (k, _, _, _) trained -> Hashtbl.add t.cache k trained)
-    trie_misses trie_models;
-  List.iter2 (fun (k, _, _, _) trained -> Hashtbl.add t.cache k trained)
-    plain_misses plain_models;
+  let plain_results =
+    supervised_thunks t t.pool
+      (List.map
+         (fun (k, d, window, trace) ->
+           (train_task_key k, fun () -> Trained.train d ~window trace))
+         plain_misses)
+  in
+  let miss_faults = Hashtbl.create 4 in
+  let commit miss_list results =
+    List.iter2
+      (fun (k, _, _, _) result ->
+        match result with
+        | Ok trained -> Hashtbl.add t.cache k trained
+        | Error fault -> Hashtbl.replace miss_faults k fault)
+      miss_list results
+  in
+  commit healthy healthy_results;
+  commit plain_misses plain_results;
+  List.iter
+    (fun (((_, _, fp) as k), _, _, _) ->
+      match Hashtbl.find_opt trie_faults fp with
+      | Some fault -> Hashtbl.replace miss_faults k fault
+      | None -> ())
+    poisoned;
   let dt = t.clock () -. t0 in
   let executed = List.length misses in
+  let failed = Hashtbl.length miss_faults in
   t.stats <-
     {
       t.stats with
@@ -243,18 +406,51 @@ let train_batch t specs =
       train_seconds = t.stats.train_seconds +. dt;
     };
   Log.debug (fun m ->
-      m "train phase: %d task(s), %d trained, %d from cache, %.3fs (%d job(s))"
+      m
+        "train phase: %d task(s), %d trained, %d from cache, %d failed, \
+         %.3fs (%d job(s))"
         (List.length specs) executed
         (List.length specs - executed)
-        dt (Pool.jobs t.pool));
-  List.map (fun (k, _, _, _) -> Hashtbl.find t.cache k) keyed
+        failed dt (Pool.jobs t.pool));
+  List.map
+    (fun (k, _, _, _) ->
+      match Hashtbl.find_opt t.cache k with
+      | Some trained -> Ok trained
+      | None -> (
+          match Hashtbl.find_opt miss_faults k with
+          | Some fault -> Error fault
+          | None ->
+              (* lint: allow partiality — every miss commits or faults *)
+              invalid_arg "Engine.train_batch_result: unresolved spec"))
+    keyed
+
+let train_batch t specs =
+  List.map
+    (function
+      | Ok trained -> trained
+      | Error fault -> raise (Fault.Error fault))
+    (train_batch_result t specs)
 
 (* --- score phase ------------------------------------------------------- *)
 
 let score_batch t tasks =
   let t0 = t.clock () in
+  let results =
+    supervised_thunks t t.pool
+      (List.map
+         (fun ((trained, inj) as task) ->
+           (score_task_key task, fun () -> Scoring.outcome trained inj))
+         tasks)
+  in
+  let failed = ref 0 in
   let outcomes =
-    Pool.map t.pool (fun (trained, inj) -> Scoring.outcome trained inj) tasks
+    List.map
+      (function
+        | Ok outcome -> outcome
+        | Error fault ->
+            incr failed;
+            Outcome.Failed fault)
+      results
   in
   let dt = t.clock () -. t0 in
   t.stats <-
@@ -262,10 +458,11 @@ let score_batch t tasks =
       t.stats with
       score_tasks = t.stats.score_tasks + List.length tasks;
       score_seconds = t.stats.score_seconds +. dt;
+      cells_failed = t.stats.cells_failed + !failed;
     };
   Log.debug (fun m ->
-      m "score phase: %d cell(s), %.3fs (%d job(s))" (List.length tasks) dt
-        (Pool.jobs t.pool));
+      m "score phase: %d cell(s), %d failed, %.3fs (%d job(s))"
+        (List.length tasks) !failed dt (Pool.jobs t.pool));
   outcomes
 
 (* --- whole-experiment plans -------------------------------------------- *)
@@ -293,41 +490,142 @@ let assemble_map suite ~detector outcomes =
       outcomes.((index_of anomaly_sizes anomaly_size * Array.length windows)
                 + index_of windows window))
 
-let maps_over t suite ~injection detectors =
+let maps_over ?journal t suite ~injection detectors =
   let windows = Suite.windows suite in
-  let train_specs =
-    List.concat_map
-      (fun d -> List.map (fun w -> (d, w, suite.Suite.training)) windows)
-      detectors
-  in
-  ignore (train_batch t train_specs);
-  (* Resolve injections serially, per detector per cell, before any
-     parallel work: the callback may consume PRNG state. *)
-  let score_specs =
+  let seed = suite.Suite.params.Suite.seed in
+  (* Plan per detector: resolve every cell against the journal first —
+     a hit is a finished cell a resumed run never re-executes. *)
+  let plans =
     List.map
       (fun d ->
-        let trained_at =
-          List.map
-            (fun w ->
-              (w, Hashtbl.find t.cache (key t d ~window:w suite.Suite.training)))
-            windows
-        in
-        ( d,
+        let (module D : Detector.S) = d in
+        let resolved =
           List.map
             (fun (anomaly_size, window) ->
-              (List.assoc window trained_at, injection ~anomaly_size ~window))
-            (cells suite) ))
+              let hit =
+                match journal with
+                | None -> None
+                | Some j ->
+                    Journal.lookup j ~seed ~detector:D.name ~window
+                      ~anomaly_size
+              in
+              ((anomaly_size, window), hit))
+            (cells suite)
+        in
+        let pending_windows =
+          List.filter
+            (fun w ->
+              List.exists
+                (fun ((_, w'), hit) -> w' = w && Option.is_none hit)
+                resolved)
+            windows
+        in
+        (d, resolved, pending_windows))
       detectors
   in
-  let flat = List.concat_map snd score_specs in
-  let outcomes = Array.of_list (score_batch t flat) in
-  let per_map = List.length (cells suite) in
-  List.mapi
-    (fun i (d, _) ->
+  let train_specs =
+    List.concat_map
+      (fun (d, _, pending) ->
+        List.map (fun w -> (d, w, suite.Suite.training)) pending)
+      plans
+  in
+  let train_results = ref (train_batch_result t train_specs) in
+  let take n =
+    let rec go n acc rest =
+      if n = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | x :: rest -> go (n - 1) (x :: acc) rest
+        | [] ->
+            (* lint: allow partiality — one result per train spec *)
+            invalid_arg "Engine.maps_over: train phase arity mismatch"
+    in
+    let taken, rest = go n [] !train_results in
+    train_results := rest;
+    taken
+  in
+  (* Execute detector by detector: injections resolve serially on the
+     calling domain (the callback may consume PRNG state), each
+     detector's missing cells score as one supervised batch, and the
+     journal — when present — flushes after every detector, so a killed
+     run loses at most one detector's worth of scoring. *)
+  List.map
+    (fun (d, resolved, pending_windows) ->
       let (module D : Detector.S) = d in
-      assemble_map suite ~detector:D.name
-        (Array.sub outcomes (i * per_map) per_map))
-    score_specs
+      let trained_at = List.combine pending_windows (take (List.length pending_windows)) in
+      let slots =
+        List.map
+          (fun ((anomaly_size, window), hit) ->
+            match hit with
+            | Some outcome -> `Journalled outcome
+            | None -> (
+                let inj = injection ~anomaly_size ~window in
+                match List.assoc_opt window trained_at with
+                | Some (Ok trained) -> `Run (trained, inj)
+                | Some (Error fault) -> `Train_failed fault
+                | None ->
+                    (* pending windows cover every non-journalled cell *)
+                    (* lint: allow partiality — plan arity invariant *)
+                    invalid_arg "Engine.maps_over: untrained window"))
+          resolved
+      in
+      let scored =
+        ref
+          (score_batch t
+             (List.filter_map
+                (function `Run task -> Some task | _ -> None)
+                slots))
+      in
+      let resumed = ref 0 in
+      let train_failed = ref 0 in
+      let outcomes =
+        List.map
+          (fun slot ->
+            match slot with
+            | `Journalled outcome ->
+                incr resumed;
+                outcome
+            | `Train_failed fault ->
+                incr train_failed;
+                Outcome.Failed fault
+            | `Run _ -> (
+                match !scored with
+                | outcome :: rest ->
+                    scored := rest;
+                    outcome
+                | [] ->
+                    (* lint: allow partiality — one outcome per task *)
+                    invalid_arg "Engine.maps_over: score phase arity mismatch"))
+          slots
+      in
+      t.stats <-
+        {
+          t.stats with
+          cells_resumed = t.stats.cells_resumed + !resumed;
+          cells_failed = t.stats.cells_failed + !train_failed;
+        };
+      (match journal with
+      | None -> ()
+      | Some j ->
+          List.iter2
+            (fun ((anomaly_size, window), _) (slot, outcome) ->
+              match (slot, outcome) with
+              | `Run _, Outcome.Failed _ -> () (* retried on next resume *)
+              | `Run _, outcome ->
+                  Journal.record j
+                    {
+                      Journal.seed;
+                      detector = D.name;
+                      window;
+                      anomaly_size;
+                      outcome;
+                    }
+              | (`Journalled _ | `Train_failed _), _ -> ())
+            resolved
+            (List.combine slots outcomes);
+          Journal.flush j);
+      assemble_map suite ~detector:D.name (Array.of_list outcomes))
+    plans
 
 let performance_map_over t suite ~injection d =
   match maps_over t suite ~injection [ d ] with
@@ -340,8 +638,12 @@ let performance_map_over t suite ~injection d =
 let suite_injection suite ~anomaly_size ~window =
   (Suite.stream suite ~anomaly_size ~window).Suite.injection
 
-let performance_map t suite d =
-  performance_map_over t suite ~injection:(suite_injection suite) d
+let performance_map ?journal t suite d =
+  match maps_over ?journal t suite ~injection:(suite_injection suite) [ d ] with
+  | [ m ] -> m
+  | _ ->
+      (* lint: allow partiality — arity invariant *)
+      invalid_arg "Engine.performance_map: plan arity mismatch"
 
-let all_maps t suite detectors =
-  maps_over t suite ~injection:(suite_injection suite) detectors
+let all_maps ?journal t suite detectors =
+  maps_over ?journal t suite ~injection:(suite_injection suite) detectors

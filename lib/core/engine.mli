@@ -35,7 +35,27 @@
     counters accumulate in {!stats} and are logged through [Logs]
     (source ["seqdiv.engine"]).  The clock is injected — the library
     default reads no wall clock at all (timings stay 0); executables
-    pass [Unix.gettimeofday] to get real [--trace] output. *)
+    pass [Unix.gettimeofday] to get real [--trace] output.
+
+    {b Supervision.}  Every train and score task executes isolated
+    ({!Seqdiv_util.Pool.map_result}): an exception lands in that task's
+    own result slot, is classified by {!Fault.classify}, and — when
+    transient — the task is re-run on the calling domain's schedule up
+    to the engine's retry budget.  Retry bookkeeping lives in {!stats}
+    and in each fault's [attempts] field, never in any PRNG state, so
+    a recovered run is byte-identical to an undisturbed one.  A task
+    that fails past the budget degrades its cell to
+    {!Outcome.Failed} (map plans) or raises {!Fault.Error}
+    ({!train_batch}).  Chaos testing hooks in through
+    {!Fault_plan}: a seeded plan trips tasks by {e content key} — a
+    fingerprint of what the task computes — identically at every jobs
+    count and across resumes.
+
+    {b Journal.}  Map plans optionally record every completed cell in
+    a crash-safe {!Journal}; a resumed run answers journalled cells
+    without training or scoring (counted as [cells_resumed]) and
+    re-executes only the rest, byte-identically to a fresh run.
+    Failed cells are never journalled, so a resume retries them. *)
 
 open Seqdiv_stream
 open Seqdiv_detectors
@@ -43,10 +63,20 @@ open Seqdiv_synth
 
 type t
 
-val create : ?clock:(unit -> float) -> ?jobs:int -> unit -> t
+val create :
+  ?clock:(unit -> float) ->
+  ?jobs:int ->
+  ?retries:int ->
+  ?fault_plan:Fault_plan.t ->
+  unit ->
+  t
 (** A fresh engine with an empty model cache.  [jobs] defaults to 1
     (strictly serial); [clock] defaults to [fun () -> 0.] so that
-    library code performs no wall-clock reads. *)
+    library code performs no wall-clock reads.  [retries] (default 2,
+    clamped to at least 0) is the supervisor's budget of {e additional}
+    executions for a transiently-failed task.  [fault_plan] arms the
+    seeded chaos harness: every train/score task consults the plan
+    before running (tests and [bench --chaos] only). *)
 
 val default : t option -> t
 (** [default (Some e)] is [e]; [default None] is a fresh serial
@@ -61,6 +91,12 @@ val pool : t -> Seqdiv_util.Pool.t
     pool contract applies: closures must not touch the engine, any
     PRNG, or other shared mutable state. *)
 
+val retries : t -> int
+(** The supervisor's retry budget per transiently-failed task. *)
+
+val fault_plan : t -> Fault_plan.t option
+(** The armed chaos plan, if any. *)
+
 (** {1 Stage instrumentation} *)
 
 type stats = {
@@ -74,6 +110,12 @@ type stats = {
       (** trie-capable models served as views of an already-built trie
           (rather than triggering a trie construction) *)
   trie_nodes : int;  (** total nodes across all constructed tries *)
+  faults_injected : int;  (** chaos-plan faults that actually fired *)
+  retries : int;  (** task re-executions granted by the supervisor *)
+  cells_failed : int;
+      (** cells degraded to {!Outcome.Failed} (score faults and cells
+          downstream of a failed training) *)
+  cells_resumed : int;  (** cells answered from the journal *)
 }
 
 val stats : t -> stats
@@ -93,20 +135,36 @@ val train : t -> Detector.t -> window:int -> Trace.t -> Trained.t
 val train_batch : t -> (Detector.t * int * Trace.t) list -> Trained.t list
 (** The train phase of a plan: deduplicate the (detector, window,
     trace) specs against each other and the cache, train the misses in
-    parallel on the pool, commit them to the cache, and return one
-    trained model per input spec, in input order. *)
+    parallel on the pool under supervision, commit them to the cache,
+    and return one trained model per input spec, in input order.
+    @raise Fault.Error if any spec's training failed past the retry
+    budget (use {!train_batch_result} to keep per-spec failures). *)
+
+val train_batch_result :
+  t ->
+  (Detector.t * int * Trace.t) list ->
+  (Trained.t, Fault.t) result list
+(** {!train_batch} with per-spec fault isolation: a failed training
+    yields [Error fault] in its own slot (and stays out of the cache);
+    every other spec still trains.  Specs sharing a failed spec's cache
+    key share its fault. *)
 
 (** {1 Score phase} *)
 
 val score_batch : t -> (Trained.t * Injector.injection) list -> Outcome.t list
-(** Score every (model, injection) cell in parallel on the pool;
-    results in input order. *)
+(** Score every (model, injection) cell in parallel on the pool under
+    supervision; results in input order.  A cell whose task failed past
+    the retry budget comes back as {!Outcome.Failed} — never an
+    exception. *)
 
 (** {1 Whole-experiment plans} *)
 
-val performance_map : t -> Suite.t -> Detector.t -> Performance_map.t
+val performance_map :
+  ?journal:Journal.t -> t -> Suite.t -> Detector.t -> Performance_map.t
 (** Plan and execute one detector's map over the suite's own injected
-    streams. *)
+    streams.  With [journal], completed cells are recorded (and
+    journalled cells of a resumed run are answered without
+    re-execution — see {!all_maps}). *)
 
 val performance_map_over :
   t ->
@@ -119,8 +177,18 @@ val performance_map_over :
     cell in row-major order, before the score phase starts — callbacks
     may therefore consume PRNG state or count calls. *)
 
-val all_maps : t -> Suite.t -> Detector.t list -> Performance_map.t list
+val all_maps :
+  ?journal:Journal.t -> t -> Suite.t -> Detector.t list -> Performance_map.t list
 (** One plan for all detectors: a single train phase over every
-    (detector, window) pair followed by a single score phase over
-    every (detector, cell) pair — the maximally parallel form of the
-    paper's Figures 3–6 sweep. *)
+    (detector, window) pair followed by one supervised score batch per
+    detector — the paper's Figures 3–6 sweep.
+
+    With [journal], cells the journal already holds (keyed on the
+    suite's seed, detector, window and anomaly size) are answered from
+    it directly — their training and scoring are skipped — and every
+    newly completed, non-failed cell is recorded, with a crash-safe
+    flush after each detector.  An interrupted run resumed against its
+    journal therefore re-executes only the missing cells and produces
+    byte-identical maps at any jobs count.  Journals key suite-injected
+    cells only, which is why {!performance_map_over} (caller-supplied
+    injections) takes no journal. *)

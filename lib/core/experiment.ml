@@ -6,11 +6,11 @@
 let performance_map_over ?engine suite ~injection detector =
   Engine.performance_map_over (Engine.default engine) suite ~injection detector
 
-let performance_map ?engine suite detector =
-  Engine.performance_map (Engine.default engine) suite detector
+let performance_map ?engine ?journal suite detector =
+  Engine.performance_map ?journal (Engine.default engine) suite detector
 
-let all_maps ?engine suite detectors =
-  Engine.all_maps (Engine.default engine) suite detectors
+let all_maps ?engine ?journal suite detectors =
+  Engine.all_maps ?journal (Engine.default engine) suite detectors
 
 type relation = {
   left : string;
@@ -41,6 +41,7 @@ type summary = {
   capable : int;
   weak : int;
   blind : int;
+  failed : int;
   capable_fraction : float;
 }
 
@@ -50,6 +51,7 @@ let summary m =
     capable = List.length (Performance_map.capable_cells m);
     weak = List.length (Performance_map.weak_cells m);
     blind = List.length (Performance_map.blind_cells m);
+    failed = List.length (Performance_map.failed_cells m);
     capable_fraction = Performance_map.capable_fraction m;
   }
 

@@ -15,8 +15,14 @@ open Seqdiv_detectors
 open Seqdiv_synth
 
 val performance_map :
-  ?engine:Engine.t -> Suite.t -> Detector.t -> Performance_map.t
-(** Evaluate one detector over every cell of the suite. *)
+  ?engine:Engine.t ->
+  ?journal:Journal.t ->
+  Suite.t ->
+  Detector.t ->
+  Performance_map.t
+(** Evaluate one detector over every cell of the suite.  [journal]
+    arms crash-safe cell recording and resume (see
+    {!Engine.all_maps}). *)
 
 val performance_map_over :
   ?engine:Engine.t ->
@@ -30,9 +36,13 @@ val performance_map_over :
     still trained once per window on the suite's training stream. *)
 
 val all_maps :
-  ?engine:Engine.t -> Suite.t -> Detector.t list -> Performance_map.t list
+  ?engine:Engine.t ->
+  ?journal:Journal.t ->
+  Suite.t ->
+  Detector.t list ->
+  Performance_map.t list
 (** {!performance_map} for each detector, in the given order, as one
-    engine plan (single train phase, single score phase). *)
+    engine plan (single train phase, one score batch per detector). *)
 
 type relation = {
   left : string;
@@ -53,6 +63,7 @@ type summary = {
   capable : int;
   weak : int;
   blind : int;
+  failed : int;  (** cells lost to supervised-execution faults (0 when healthy) *)
   capable_fraction : float;
 }
 

@@ -1,0 +1,55 @@
+(* The fault taxonomy of the supervised execution layer.  A fault is
+   the {e record} of a task failure — enough to classify it, report it
+   in a performance-map cell, and account for the retries it consumed —
+   never the exception itself escaping a batch. *)
+
+type severity = Transient | Fatal
+
+exception Injected of severity * string
+
+type t = {
+  severity : severity;
+  origin : string;
+  attempts : int;
+  backtrace : string;
+}
+
+let classify = function
+  | Injected (severity, _) -> severity
+  | _ -> Fatal
+
+let of_exn ~attempts exn backtrace =
+  {
+    severity = classify exn;
+    origin = Printexc.to_string exn;
+    attempts;
+    backtrace = Printexc.raw_backtrace_to_string backtrace;
+  }
+
+let severity_to_string = function
+  | Transient -> "transient"
+  | Fatal -> "fatal"
+
+let to_string t =
+  Printf.sprintf "%s after %d attempt(s): %s"
+    (severity_to_string t.severity)
+    t.attempts t.origin
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Backtraces are diagnostic only: two runs of the same plan must
+   compare equal even when captured stacks differ. *)
+let equal a b =
+  a.severity = b.severity && a.origin = b.origin && a.attempts = b.attempts
+
+exception Error of t
+
+let () =
+  Printexc.register_printer (function
+    | Injected (severity, what) ->
+        Some
+          (Printf.sprintf "Fault.Injected(%s, %s)"
+             (severity_to_string severity)
+             what)
+    | Error fault -> Some (Printf.sprintf "Fault.Error(%s)" (to_string fault))
+    | _ -> None)

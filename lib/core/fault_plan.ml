@@ -1,0 +1,71 @@
+(* Seeded, stateless fault injection.  Every decision is a pure
+   function of (plan seed, task key, attempt): no PRNG state is
+   consumed, so the plan trips the same tasks at every jobs count, in
+   every execution order, and across interrupted-and-resumed runs —
+   which is what lets the chaos tests compare faulted runs
+   byte-for-byte. *)
+
+type t = {
+  seed : int;
+  transient_rate : float;
+  fatal_rate : float;
+  sticky : int;
+}
+
+let check_rate name r =
+  if not (r >= 0.0 && r <= 1.0) then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg (Printf.sprintf "Fault_plan.of_seed: %s not in [0, 1]" name)
+
+let of_seed ?(transient_rate = 0.05) ?(fatal_rate = 0.0) ?(sticky = 1) ~seed ()
+    =
+  check_rate "transient_rate" transient_rate;
+  check_rate "fatal_rate" fatal_rate;
+  check_rate "transient_rate + fatal_rate" (transient_rate +. fatal_rate);
+  { seed; transient_rate; fatal_rate; sticky = Stdlib.max 1 sticky }
+
+let seed t = t.seed
+let transient_rate t = t.transient_rate
+let fatal_rate t = t.fatal_rate
+let sticky t = t.sticky
+
+(* SplitMix64 finaliser over the (seed, key) pair: a high-quality,
+   order-free hash — the same mixer Seqdiv_util.Prng steps with, used
+   here statelessly. *)
+let mix seed key =
+  let z = Int64.add (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L) key in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let uniform seed key =
+  Int64.to_float (Int64.shift_right_logical (mix seed key) 11)
+  /. 9007199254740992.0 (* 2^53 *)
+
+let decide t ~key ~attempt =
+  let u = uniform t.seed key in
+  if u < t.fatal_rate then Some Fault.Fatal
+  else if u < t.fatal_rate +. t.transient_rate && attempt < t.sticky then
+    Some Fault.Transient
+  else None
+
+let trip t ~key ~attempt =
+  match decide t ~key ~attempt with
+  | None -> ()
+  | Some severity ->
+      raise
+        (Fault.Injected
+           ( severity,
+             Printf.sprintf "chaos seed=%d key=0x%Lx attempt=%d" t.seed key
+               attempt ))
+
+let describe t =
+  Printf.sprintf
+    "chaos plan: seed=%d transient=%.3f fatal=%.3f sticky=%d attempt(s)"
+    t.seed t.transient_rate t.fatal_rate t.sticky

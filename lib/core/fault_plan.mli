@@ -1,0 +1,51 @@
+(** Seeded fault-injection plans — the chaos harness the supervision
+    tests and [bench --chaos] drive.
+
+    A plan deterministically decides, per task, whether that task's
+    execution raises {!Fault.Injected}.  Decisions are a {e stateless}
+    hash of (plan seed, task key, attempt number): no PRNG state is
+    read or advanced, so injection is identical at every jobs count,
+    in every scheduling order, and across kill-and-resume runs.  Task
+    keys are stable fingerprints of task content (detector, window,
+    cell), assigned by the engine — never positional indices, which
+    would shift under [--resume].
+
+    Fate of a task under a plan, by its key's hash [u ∈ [0, 1)]:
+    - [u < fatal_rate] — fails {!Fault.Fatal} on {e every} attempt;
+    - [u < fatal_rate + transient_rate] — fails {!Fault.Transient} on
+      its first [sticky] attempts, then succeeds;
+    - otherwise — never faulted. *)
+
+type t
+
+val of_seed :
+  ?transient_rate:float ->
+  ?fatal_rate:float ->
+  ?sticky:int ->
+  seed:int ->
+  unit ->
+  t
+(** [of_seed ~seed ()] is a plan injecting transient faults into
+    [transient_rate] (default 0.05) of tasks and fatal faults into
+    [fatal_rate] (default 0) of tasks.  A transient-fated task fails
+    its first [sticky] attempts (default 1, clamped to at least 1) —
+    keep [sticky] at most the engine's retry budget to prove full
+    recovery, or raise it beyond to exercise budget exhaustion.
+    @raise Invalid_argument if a rate (or their sum) leaves [0, 1]. *)
+
+val seed : t -> int
+val transient_rate : t -> float
+val fatal_rate : t -> float
+val sticky : t -> int
+
+val decide : t -> key:int64 -> attempt:int -> Fault.severity option
+(** The injection decision for one execution of the task fingerprinted
+    by [key].  Pure; safe from any domain. *)
+
+val trip : t -> key:int64 -> attempt:int -> unit
+(** Raise {!Fault.Injected} iff {!decide} says so.  The exception
+    payload names seed, key and attempt, so rendered faults are
+    deterministic. *)
+
+val describe : t -> string
+(** One-line human rendering, for [--chaos] banners. *)

@@ -1,0 +1,217 @@
+(* Crash-safe run journal: a versioned, line-oriented, append-only
+   record of completed performance-map cells.  Durability comes from
+   whole-file write-tmp-then-rename batches (rename within a directory
+   is atomic on POSIX filesystems), integrity from a per-line FNV-1a
+   digest, and recovery from a tolerant loader that drops the torn
+   tail of an interrupted write instead of refusing the file. *)
+
+let version = 1
+let magic = Printf.sprintf "seqdiv-journal v%d" version
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type entry = {
+  seed : int;
+  detector : string;
+  window : int;
+  anomaly_size : int;
+  outcome : Outcome.t;
+}
+
+type t = {
+  path : string;
+  context : string;
+  index : (int * string * int * int, Outcome.t) Hashtbl.t;
+  mutable entries : entry list; (* newest first; rewritten oldest-first *)
+  mutable recovered : int;
+  mutable dropped : int;
+  mutable dirty : bool;
+}
+
+(* --- line codec --------------------------------------------------------- *)
+
+let fnv_string s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let check_field name s =
+  if s = "" || String.exists (fun c -> c = ' ' || c = '\n' || c = '\t') s then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg (Printf.sprintf "Journal: %s contains whitespace: %S" name s)
+
+let outcome_tag = function
+  | Outcome.Blind -> "blind"
+  | Outcome.Weak _ -> "weak"
+  | Outcome.Capable _ -> "capable"
+  | Outcome.Failed _ ->
+      (* lint: allow partiality — documented precondition *)
+      invalid_arg "Journal: Failed cells are never journalled"
+
+let body_of_entry e =
+  check_field "detector name" e.detector;
+  Printf.sprintf "cell %d %s %d %d %s %016Lx" e.seed e.detector e.window
+    e.anomaly_size (outcome_tag e.outcome)
+    (Int64.bits_of_float (Outcome.max_response e.outcome))
+
+let line_of_entry e =
+  let body = body_of_entry e in
+  Printf.sprintf "%s %016Lx" body (fnv_string body)
+
+let int_field s = int_of_string_opt s
+
+let entry_of_line line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some cut -> (
+      let body = String.sub line 0 cut in
+      let digest = String.sub line (cut + 1) (String.length line - cut - 1) in
+      match Int64.of_string_opt ("0x" ^ digest) with
+      | Some d when Int64.equal d (fnv_string body) -> (
+          match String.split_on_char ' ' body with
+          | [ "cell"; seed; detector; window; anomaly_size; tag; bits ] -> (
+              match
+                ( int_field seed,
+                  int_field window,
+                  int_field anomaly_size,
+                  Int64.of_string_opt ("0x" ^ bits) )
+              with
+              | Some seed, Some window, Some anomaly_size, Some bits -> (
+                  let m = Int64.float_of_bits bits in
+                  let outcome =
+                    match tag with
+                    | "blind" when m = 0.0 -> Some Outcome.Blind
+                    | "weak" -> Some (Outcome.Weak m)
+                    | "capable" -> Some (Outcome.Capable m)
+                    | _ -> None
+                  in
+                  match outcome with
+                  | Some outcome ->
+                      Some { seed; detector; window; anomaly_size; outcome }
+                  | None -> None)
+              | _ -> None)
+          | _ -> None)
+      | Some _ | None -> None)
+
+(* --- load --------------------------------------------------------------- *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | Some line -> go (line :: acc)
+        | None -> List.rev acc
+      in
+      go [])
+
+let key_of e = (e.seed, e.detector, e.window, e.anomaly_size)
+
+let absorb t e =
+  Hashtbl.replace t.index (key_of e) e.outcome;
+  t.entries <- e :: t.entries
+
+let load_into t =
+  match read_lines t.path with
+  | [] -> corrupt "%s: empty journal (missing %S header)" t.path magic
+  | header :: rest ->
+      if not (String.equal header magic) then
+        corrupt "%s: bad journal header %S (want %S)" t.path header magic;
+      (match rest with
+      | context_line :: _
+        when String.length context_line > 8
+             && String.equal (String.sub context_line 0 8) "context " ->
+          let ctx =
+            String.sub context_line 8 (String.length context_line - 8)
+          in
+          if not (String.equal ctx t.context) then
+            corrupt
+              "%s: journal was written for a different run (%s, this run is \
+               %s) — refusing to resume from it"
+              t.path ctx t.context
+      | _ -> corrupt "%s: missing context line" t.path);
+      let cells = match rest with [] -> [] | _ :: cells -> cells in
+      (* Torn-tail recovery: an interrupted write can leave a partial
+         final line (or trailing garbage).  Absorb the longest valid
+         prefix and count what follows as dropped — never refuse the
+         whole file for a damaged tail. *)
+      let rec go = function
+        | [] -> ()
+        | line :: more -> (
+            match entry_of_line line with
+            | Some e ->
+                absorb t e;
+                go more
+            | None -> t.dropped <- 1 + List.length more)
+      in
+      go cells;
+      t.recovered <- Hashtbl.length t.index
+
+(* --- public api --------------------------------------------------------- *)
+
+let start ?(resume = false) ~context path =
+  if String.exists (fun c -> c = '\n') context then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg "Journal.start: context contains a newline";
+  let t =
+    {
+      path;
+      context;
+      index = Hashtbl.create 256;
+      entries = [];
+      recovered = 0;
+      dropped = 0;
+      dirty = false;
+    }
+  in
+  if resume && Sys.file_exists path then load_into t;
+  t
+
+let path t = t.path
+let context t = t.context
+let recovered t = t.recovered
+let dropped_lines t = t.dropped
+
+let lookup t ~seed ~detector ~window ~anomaly_size =
+  Hashtbl.find_opt t.index (seed, detector, window, anomaly_size)
+
+let record t e =
+  ignore (body_of_entry e) (* validate before accepting *);
+  absorb t e;
+  t.dirty <- true
+
+let entries t = List.rev t.entries
+
+let flush t =
+  if t.dirty then begin
+    let tmp = t.path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    (match
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () ->
+           output_string oc magic;
+           output_char oc '\n';
+           output_string oc ("context " ^ t.context);
+           output_char oc '\n';
+           List.iter
+             (fun e ->
+               output_string oc (line_of_entry e);
+               output_char oc '\n')
+             (entries t))
+     with
+    | () -> ()
+    (* lint: allow swallow — tmp cleanup only; the exception is re-raised *)
+    | exception exn ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        raise exn);
+    Sys.rename tmp t.path;
+    t.dirty <- false
+  end

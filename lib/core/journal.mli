@@ -1,0 +1,91 @@
+(** Crash-safe run journal — the persistence behind [--journal] /
+    [--resume].
+
+    A journal is a line-oriented record of {e completed} performance-map
+    cells.  An interrupted grid run resumed against its journal
+    re-executes only the missing cells; because every cell outcome is a
+    pure function of its inputs and the float payload round-trips
+    bit-exactly ([Int64.bits_of_float]), the resumed maps are
+    byte-identical to a fresh run at any jobs count.
+
+    {b On-disk format} (version {!version}; full spec in
+    [docs/ROBUSTNESS.md]):
+    {v
+seqdiv-journal v1
+context <free text identifying the run configuration>
+cell <seed> <detector> <window> <anomaly-size> <tag> <response-bits> <digest>
+...
+    v}
+    One cell per line; [tag] is [blind]/[weak]/[capable],
+    [response-bits] the IEEE-754 bits of the max response in hex, and
+    [digest] a 64-bit FNV-1a over the rest of the line.
+    {!Outcome.Failed} cells are {e never} journalled — a resume retries
+    them.
+
+    {b Durability.}  {!flush} rewrites the whole journal to
+    [path ^ ".tmp"] and renames it over [path]: readers see either the
+    previous batch or the new one, never a mix.  A file torn some other
+    way (partial final line, trailing garbage) is still accepted: the
+    loader absorbs the longest valid prefix and counts the rest as
+    {!dropped_lines} instead of refusing the run.  A journal whose
+    header, version or [context] line disagrees with the resuming run
+    raises {!Corrupt} — resuming against the wrong configuration would
+    silently splice incompatible cells. *)
+
+val version : int
+
+exception Corrupt of string
+(** The file is not a journal this version can trust: bad magic/version
+    header, missing context line, or a context that names a different
+    run configuration.  (Torn tails do {e not} raise — see
+    {!dropped_lines}.) *)
+
+type entry = {
+  seed : int;  (** suite seed the cell was computed under *)
+  detector : string;  (** detector name (no whitespace) *)
+  window : int;
+  anomaly_size : int;
+  outcome : Outcome.t;  (** never {!Outcome.Failed} *)
+}
+
+type t
+
+val start : ?resume:bool -> context:string -> string -> t
+(** [start ~context path] opens a journal at [path].  [context] is a
+    single-line description of the run configuration (seed, stream
+    lengths, …); it is written into the file and checked on resume.
+    With [resume] false (default) the journal starts empty and the
+    first {!flush} replaces whatever was at [path].  With [resume]
+    true, an existing file is loaded — recovered entries answer
+    {!lookup} — and a missing file simply starts empty.
+    @raise Corrupt if resuming from an unrecognisable or mismatched
+    file.
+    @raise Invalid_argument if [context] spans lines. *)
+
+val lookup :
+  t -> seed:int -> detector:string -> window:int -> anomaly_size:int ->
+  Outcome.t option
+(** The journalled outcome of a cell, if any (later records shadow
+    earlier ones). *)
+
+val record : t -> entry -> unit
+(** Buffer one completed cell.  Nothing reaches disk until {!flush}.
+    @raise Invalid_argument on a {!Outcome.Failed} outcome or a
+    whitespace-bearing detector name. *)
+
+val flush : t -> unit
+(** Persist the journal via write-tmp-then-rename.  No-op when nothing
+    was recorded since the last flush. *)
+
+val entries : t -> entry list
+(** Every entry the journal holds (recovered and newly recorded), in
+    absorption order. *)
+
+val path : t -> string
+val context : t -> string
+
+val recovered : t -> int
+(** Distinct cells loaded from disk by [start ~resume:true]. *)
+
+val dropped_lines : t -> int
+(** Torn-tail lines discarded during recovery (0 for a clean file). *)

@@ -1,4 +1,4 @@
-type t = Blind | Weak of float | Capable of float
+type t = Blind | Weak of float | Capable of float | Failed of Fault.t
 
 let classify ~epsilon ~max_response =
   assert (epsilon >= 0.0 && epsilon < 1.0);
@@ -7,18 +7,29 @@ let classify ~epsilon ~max_response =
   else if max_response >= 1.0 -. epsilon then Capable max_response
   else Weak max_response
 
-let is_capable = function Capable _ -> true | Blind | Weak _ -> false
-let is_blind = function Blind -> true | Capable _ | Weak _ -> false
-let is_weak = function Weak _ -> true | Blind | Capable _ -> false
+let is_capable = function
+  | Capable _ -> true
+  | Blind | Weak _ | Failed _ -> false
 
-let max_response = function Blind -> 0.0 | Weak m | Capable m -> m
+let is_blind = function Blind -> true | Capable _ | Weak _ | Failed _ -> false
+let is_weak = function Weak _ -> true | Blind | Capable _ | Failed _ -> false
+let is_failed = function Failed _ -> true | Blind | Weak _ | Capable _ -> false
 
-let to_char = function Blind -> '.' | Weak _ -> 'o' | Capable _ -> '*'
+let max_response = function
+  | Blind | Failed _ -> 0.0
+  | Weak m | Capable m -> m
+
+let to_char = function
+  | Blind -> '.'
+  | Weak _ -> 'o'
+  | Capable _ -> '*'
+  | Failed _ -> '!'
 
 let to_string = function
   | Blind -> "blind"
   | Weak m -> Printf.sprintf "weak(%.4f)" m
   | Capable m -> Printf.sprintf "capable(%.4f)" m
+  | Failed fault -> Printf.sprintf "failed(%s)" (Fault.to_string fault)
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
@@ -26,4 +37,5 @@ let equal a b =
   match (a, b) with
   | Blind, Blind -> true
   | Weak x, Weak y | Capable x, Capable y -> Float.equal x y
-  | (Blind | Weak _ | Capable _), _ -> false
+  | Failed x, Failed y -> Fault.equal x y
+  | (Blind | Weak _ | Capable _ | Failed _), _ -> false

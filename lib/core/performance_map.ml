@@ -65,6 +65,7 @@ let cells_matching t pred =
 let capable_cells t = cells_matching t Outcome.is_capable
 let blind_cells t = cells_matching t Outcome.is_blind
 let weak_cells t = cells_matching t Outcome.is_weak
+let failed_cells t = cells_matching t Outcome.is_failed
 
 let cell_count t = Array.length t.anomaly_sizes * Array.length t.windows
 

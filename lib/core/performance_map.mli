@@ -38,6 +38,10 @@ val blind_cells : t -> (int * int) list
 val weak_cells : t -> (int * int) list
 (** Cells with a weak (sub-maximal, non-zero) response. *)
 
+val failed_cells : t -> (int * int) list
+(** Cells whose train/score task failed past the supervisor's retry
+    budget ({!Outcome.Failed}).  Empty on a healthy run. *)
+
 val cell_count : t -> int
 (** Total number of cells. *)
 

@@ -29,7 +29,23 @@ let render map =
     anomaly_sizes;
   Buffer.add_string buf "  <- anomaly size (AS)\n";
   Buffer.add_string buf
-    "  legend: * capable (maximal response)   o weak   . blind   ? undefined\n";
+    "  legend: * capable (maximal response)   o weak   . blind   ! failed   \
+     ? undefined\n";
+  (match Performance_map.failed_cells map with
+  | [] -> ()
+  | failed ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d cell(s) FAILED — partial map:\n"
+           (List.length failed));
+      List.iter
+        (fun (anomaly_size, window) ->
+          match Performance_map.outcome map ~anomaly_size ~window with
+          | Outcome.Failed fault ->
+              Buffer.add_string buf
+                (Printf.sprintf "    AS %2d DW %2d: %s\n" anomaly_size window
+                   (Fault.to_string fault))
+          | Outcome.Blind | Outcome.Weak _ | Outcome.Capable _ -> ())
+        failed);
   Buffer.contents buf
 
 let render_compact map =

@@ -31,7 +31,10 @@ let map_rows map =
         (match o with
         | Outcome.Blind -> "blind"
         | Outcome.Weak _ -> "weak"
-        | Outcome.Capable _ -> "capable");
+        | Outcome.Capable _ -> "capable"
+        | Outcome.Failed fault ->
+            Printf.sprintf "failed:%s"
+              (Fault.severity_to_string fault.Fault.severity));
         Printf.sprintf "%.6f" (Outcome.max_response o);
       ]
       :: acc)

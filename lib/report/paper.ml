@@ -72,21 +72,28 @@ let figure_map map = Ascii_map.render map
 let table1 maps =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "T1 — coverage summary (cells are AS x DW pairs)\n";
-  let summary_table =
-    Table.make ~columns:[ "detector"; "capable"; "weak"; "blind"; "coverage" ]
+  let summaries = List.map Experiment.summary maps in
+  (* The failed column appears only on a degraded (partial) run, so
+     healthy outputs stay byte-identical with or without supervision. *)
+  let any_failed = List.exists (fun s -> s.Experiment.failed > 0) summaries in
+  let columns =
+    [ "detector"; "capable"; "weak"; "blind" ]
+    @ (if any_failed then [ "failed" ] else [])
+    @ [ "coverage" ]
   in
+  let summary_table = Table.make ~columns in
   List.iter
-    (fun m ->
-      let s = Experiment.summary m in
+    (fun s ->
       Table.add_row summary_table
-        [
-          s.Experiment.detector;
-          string_of_int s.Experiment.capable;
-          string_of_int s.Experiment.weak;
-          string_of_int s.Experiment.blind;
-          Printf.sprintf "%.0f%%" (100.0 *. s.Experiment.capable_fraction);
-        ])
-    maps;
+        ([
+           s.Experiment.detector;
+           string_of_int s.Experiment.capable;
+           string_of_int s.Experiment.weak;
+           string_of_int s.Experiment.blind;
+         ]
+        @ (if any_failed then [ string_of_int s.Experiment.failed ] else [])
+        @ [ Printf.sprintf "%.0f%%" (100.0 *. s.Experiment.capable_fraction) ]))
+    summaries;
   Buffer.add_string buf (Table.to_string summary_table);
   Buffer.add_string buf "\nPairwise coverage relations:\n";
   let rel_table =

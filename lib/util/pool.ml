@@ -1,7 +1,12 @@
 (* The one concurrency-bearing module of the library (lint rule R6).
    Work items are claimed from a shared atomic cursor in chunks and
-   results land in their input slot, which is what makes the map
-   order-preserving and hence byte-identical across jobs counts. *)
+   results land in their input slot, which is what makes the maps
+   order-preserving and hence byte-identical across jobs counts.
+
+   [map_result] is the isolation primitive the engine's supervisor is
+   built on: every task runs in its own try frame and an exception is
+   captured into that task's result slot — one raising closure can
+   never poison the rest of the batch. *)
 
 type t = { jobs : int; chunk : int }
 
@@ -12,29 +17,35 @@ let jobs t = t.jobs
 let chunk t = t.chunk
 let recommended_jobs () = Domain.recommended_domain_count ()
 
-exception Worker_failure of exn * Printexc.raw_backtrace
+type failure = {
+  index : int;
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
 
-let map_array t f input =
+(* Run one task in isolation: the catch-all is not a swallow — the
+   exception travels to the caller inside the task's [Error] slot. *)
+let run_isolated f i x =
+  match f x with
+  | v -> Ok v
+  (* lint: allow swallow — captured into the task's result slot *)
+  | exception exn ->
+      Error { index = i; exn; backtrace = Printexc.get_raw_backtrace () }
+
+let map_result_array t f input =
   let n = Array.length input in
-  if t.jobs = 1 || n <= 1 then Array.map f input
+  if t.jobs = 1 || n <= 1 then Array.mapi (run_isolated f) input
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let failure = Atomic.make None in
     let worker () =
       let rec loop () =
         let start = Atomic.fetch_and_add next t.chunk in
-        if start < n && Atomic.get failure = None then begin
+        if start < n then begin
           let stop = Stdlib.min n (start + t.chunk) in
-          (try
-             for i = start to stop - 1 do
-               results.(i) <- Some (f input.(i))
-             done
-           with e ->
-             let bt = Printexc.get_raw_backtrace () in
-             ignore
-               (Atomic.compare_and_set failure None
-                  (Some (Worker_failure (e, bt)))));
+          for i = start to stop - 1 do
+            results.(i) <- Some (run_isolated f i input.(i))
+          done;
           loop ()
         end
       in
@@ -47,24 +58,48 @@ let map_array t f input =
     in
     worker ();
     Array.iter Domain.join spawned;
-    (match Atomic.get failure with
-    | Some (Worker_failure (e, bt)) -> Printexc.raise_with_backtrace e bt
-    | Some _ | None -> ());
     Array.map
       (function
-        | Some v -> v
+        | Some r -> r
         | None ->
-            (* Unreachable: every slot below [n] is filled unless a
-               worker failed, and failures re-raise above. *)
+            (* Unreachable: the cursor hands out every index below [n]
+               exactly once and [run_isolated] never raises. *)
             (* lint: allow partiality — pool fill invariant *)
-            invalid_arg "Pool.map: unfilled result slot")
+            invalid_arg "Pool.map_result: unfilled result slot")
       results
   end
+
+let map_result t f xs = Array.to_list (map_result_array t f (Array.of_list xs))
+
+let map_array t f input =
+  let results = map_result_array t f input in
+  Array.iter
+    (function
+      | Error { exn; backtrace; _ } ->
+          Printexc.raise_with_backtrace exn backtrace
+      | Ok _ -> ())
+    results;
+  Array.map
+    (function
+      | Ok v -> v
+      | Error _ ->
+          (* Unreachable: the lowest-index failure re-raised above. *)
+          (* lint: allow partiality — pool fill invariant *)
+          invalid_arg "Pool.map: failure survived the re-raise scan")
+    results
 
 let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
 
 let map2 t f xs ys =
-  if List.length xs <> List.length ys then
+  (* The length guard must fire before any task can start (and in
+     particular before any domain is spawned): compare lengths with one
+     explicit scan rather than trusting a downstream combine. *)
+  let rec same_length = function
+    | [], [] -> true
+    | _ :: xs, _ :: ys -> same_length (xs, ys)
+    | [], _ :: _ | _ :: _, [] -> false
+  in
+  if not (same_length (xs, ys)) then
     (* lint: allow partiality — documented precondition *)
     invalid_arg "Pool.map2: lists of unequal length";
   map t (fun (x, y) -> f x y) (List.combine xs ys)

@@ -362,6 +362,80 @@ let test_r7_cursor_clean () =
   Alcotest.(check (list string)) "cursor API clean" []
     (rules_of (find_rule "R7" diags))
 
+(* R8: catch-all exception handlers swallow faults the supervisor
+   should see. *)
+let test_r8_try_wildcard () =
+  let src =
+    "let a f = try f () with _ -> 0\n\
+     let b f = try f () with e -> ignore e; 0\n"
+  in
+  let diags =
+    run_on
+      [ file "lib/sw.ml" src;
+        file "lib/sw.mli" "val a : (unit -> int) -> int\nval b : (unit -> int) -> int\n" ]
+  in
+  let r8 = find_rule "R8" diags in
+  Alcotest.(check (list int)) "both handlers" [ 1; 2 ]
+    (List.map (fun d -> d.Diagnostic.line) r8);
+  Alcotest.(check string) "name" "swallow" (List.hd r8).Diagnostic.rule_name
+
+(* Match-time custody counts too: [match ... with exception e -> ...]. *)
+let test_r8_match_exception () =
+  let src = "let a f = match f () with v -> v | exception _ -> 0\n" in
+  let diags =
+    run_on
+      [ file "lib/swm.ml" src;
+        file "lib/swm.mli" "val a : (unit -> int) -> int\n" ]
+  in
+  Alcotest.(check int) "one finding" 1 (List.length (find_rule "R8" diags))
+
+(* Naming the exceptions you expect is the sanctioned shape. *)
+let test_r8_named_exception_clean () =
+  let src =
+    "let a f = try f () with Not_found -> 0 | Failure _ -> 1\n\
+     let b f = match f () with v -> v | exception Exit -> 0\n"
+  in
+  let diags =
+    run_on
+      [ file "lib/swok.ml" src;
+        file "lib/swok.mli" "val a : (unit -> int) -> int\nval b : (unit -> int) -> int\n" ]
+  in
+  Alcotest.(check (list string)) "named handlers clean" []
+    (rules_of (find_rule "R8" diags))
+
+(* The fault layer is exactly the module allowed this custody. *)
+let test_r8_exempts_fault () =
+  let src = "let a f = try f () with e -> ignore e; 0\n" in
+  let diags =
+    run_on
+      [ file "lib/core/fault.ml" src;
+        file "lib/core/fault.mli" "val a : (unit -> int) -> int\n" ]
+  in
+  Alcotest.(check (list string)) "fault.ml exempt" []
+    (rules_of (find_rule "R8" diags))
+
+(* R8 honours the standard whitelist comment. *)
+let test_r8_whitelist () =
+  let src =
+    "let a f =\n\
+    \  (* lint: allow swallow — best-effort cleanup *)\n\
+    \  try f () with _ -> ()\n"
+  in
+  let diags =
+    run_on
+      [ file "lib/swwl.ml" src;
+        file "lib/swwl.mli" "val a : (unit -> unit) -> unit\n" ]
+  in
+  Alcotest.(check (list string)) "suppressed" []
+    (rules_of (find_rule "R8" diags))
+
+(* R8 is a library rule; executables keep their top-level handlers. *)
+let test_r8_not_in_bin () =
+  let diags =
+    run_on [ file "bin/main.ml" "let () = try () with _ -> ()\n" ] in
+  Alcotest.(check (list string)) "no R8 in bin" []
+    (rules_of (find_rule "R8" diags))
+
 let () =
   Alcotest.run "lint"
     [
@@ -398,6 +472,14 @@ let () =
           Alcotest.test_case "R7 whitelist" `Quick test_r7_whitelist;
           Alcotest.test_case "R7 hashtbl" `Quick test_r7_hashtbl;
           Alcotest.test_case "R7 cursor clean" `Quick test_r7_cursor_clean;
+          Alcotest.test_case "R8 try wildcard" `Quick test_r8_try_wildcard;
+          Alcotest.test_case "R8 match exception" `Quick
+            test_r8_match_exception;
+          Alcotest.test_case "R8 named clean" `Quick
+            test_r8_named_exception_clean;
+          Alcotest.test_case "R8 exempts fault" `Quick test_r8_exempts_fault;
+          Alcotest.test_case "R8 whitelist" `Quick test_r8_whitelist;
+          Alcotest.test_case "R8 exempt in bin" `Quick test_r8_not_in_bin;
           Alcotest.test_case "rendering" `Quick test_diagnostic_rendering;
         ] );
     ]
