@@ -33,7 +33,9 @@ type options = {
   json : string option;
   chaos : float; (* transient fault-injection rate; 0 = supervision idle *)
   chaos_fatal : float;
+  chaos_hang : float;
   chaos_seed : int;
+  deadline_ms : int option;
 }
 
 let default_options =
@@ -49,7 +51,9 @@ let default_options =
     json = None;
     chaos = 0.0;
     chaos_fatal = 0.0;
+    chaos_hang = 0.0;
     chaos_seed = 7;
+    deadline_ms = None;
   }
 
 let parse_options () =
@@ -78,19 +82,36 @@ let parse_options () =
         go { acc with chaos = float_of_string v } rest
     | "--chaos-fatal" :: v :: rest ->
         go { acc with chaos_fatal = float_of_string v } rest
+    | "--chaos-hang" :: v :: rest ->
+        go { acc with chaos_hang = float_of_string v } rest
     | "--chaos-seed" :: v :: rest ->
         go { acc with chaos_seed = int_of_string v } rest
+    | "--deadline-ms" :: v :: rest ->
+        go { acc with deadline_ms = Some (int_of_string v) } rest
     | arg :: _ ->
         prerr_endline ("unknown argument: " ^ arg);
         exit 2
   in
-  go default_options (List.tl (Array.to_list Sys.argv))
+  let opts = go default_options (List.tl (Array.to_list Sys.argv)) in
+  (match opts.deadline_ms with
+  | Some ms when ms <= 0 ->
+      prerr_endline "--deadline-ms must be positive";
+      exit 2
+  | _ -> ());
+  (* A hang-fated task only terminates when a deadline watchdog is
+     armed around it: refuse the combination that would truly hang. *)
+  if opts.chaos_hang > 0.0 && opts.deadline_ms = None then begin
+    prerr_endline "--chaos-hang requires --deadline-ms";
+    exit 2
+  end;
+  opts
 
 let chaos_plan opts =
-  if opts.chaos > 0.0 || opts.chaos_fatal > 0.0 then
+  if opts.chaos > 0.0 || opts.chaos_fatal > 0.0 || opts.chaos_hang > 0.0 then
     Some
       (Fault_plan.of_seed ~transient_rate:opts.chaos
-         ~fatal_rate:opts.chaos_fatal ~seed:opts.chaos_seed ())
+         ~fatal_rate:opts.chaos_fatal ~hang_rate:opts.chaos_hang
+         ~seed:opts.chaos_seed ())
   else None
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
@@ -713,6 +734,7 @@ let write_json path opts engine maps =
   out "    \"faults_injected\": %d,\n" stats.Engine.faults_injected;
   out "    \"retries\": %d,\n" stats.Engine.retries;
   out "    \"cells_failed\": %d,\n" stats.Engine.cells_failed;
+  out "    \"cells_timed_out\": %d,\n" stats.Engine.cells_timed_out;
   out "    \"cells_resumed\": %d\n" stats.Engine.cells_resumed;
   out "  },\n";
   out "  \"measurements\": [\n";
@@ -747,8 +769,15 @@ let () =
   Option.iter
     (fun plan -> Printf.printf "%s\n%!" (Fault_plan.describe plan))
     fault_plan;
+  let deadline =
+    Option.map
+      (fun budget_ms ->
+        Seqdiv_util.Deadline.spec ~clock:Unix.gettimeofday ~budget_ms)
+      opts.deadline_ms
+  in
   let engine =
-    Engine.create ~clock:Unix.gettimeofday ~jobs:opts.jobs ?fault_plan ()
+    Engine.create ~clock:Unix.gettimeofday ~jobs:opts.jobs ?fault_plan
+      ?deadline ()
   in
   if opts.grid_only then begin
     let _suite, maps = run_grid opts engine in

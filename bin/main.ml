@@ -54,20 +54,51 @@ let trace_t =
   let doc = "Print engine stage timings and task counts to stderr." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
+let deadline_t =
+  let doc =
+    "Per-task deadline in milliseconds: a train/score task that runs past \
+     the budget degrades its cell(s) to a $(b,timeout) failure (rendered \
+     $(b,!) in maps, $(b,failed:timeout) in CSV) instead of stalling the \
+     run.  Deadlines are cooperative — checked at detector loop \
+     checkpoints — and never retried."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
 let engine_t =
-  let make jobs trace =
+  let make jobs trace deadline_ms =
     let jobs =
       if jobs <= 0 then Seqdiv_util.Pool.recommended_jobs () else jobs
     in
-    (Engine.create ~clock:Unix.gettimeofday ~jobs (), trace)
+    let deadline =
+      Option.map
+        (fun budget_ms ->
+          if budget_ms <= 0 then begin
+            prerr_endline "seqdiv: --deadline-ms must be positive";
+            exit 2
+          end;
+          Seqdiv_util.Deadline.spec ~clock:Unix.gettimeofday ~budget_ms)
+        deadline_ms
+    in
+    (Engine.create ~clock:Unix.gettimeofday ~jobs ?deadline (), trace)
   in
-  Term.(const make $ jobs_t $ trace_t)
+  Term.(const make $ jobs_t $ trace_t $ deadline_t)
 
 (* Run one command body against the shared engine and honour --trace. *)
+(* A fault that escapes a stage without per-cell isolation (the
+   deployment tables, ablations) is a partial failure of the run, not
+   an internal error: report it and use the partial-failure exit
+   code.  The performance maps printed before the stage are intact. *)
 let with_engine (engine, trace) f =
-  let result = f engine in
-  if trace then Format.eprintf "%a@." Engine.pp_stats (Engine.stats engine);
-  result
+  match f engine with
+  | result ->
+      if trace then
+        Format.eprintf "%a@." Engine.pp_stats (Engine.stats engine);
+      result
+  | exception Fault.Error fault ->
+      if trace then
+        Format.eprintf "%a@." Engine.pp_stats (Engine.stats engine);
+      Printf.eprintf "seqdiv: stage failed: %s\n%!" (Fault.to_string fault);
+      exit 2
 
 (* --- supervision options (map / full) ----------------------------------- *)
 

@@ -19,6 +19,7 @@ type stats = {
   faults_injected : int;
   retries : int;
   cells_failed : int;
+  cells_timed_out : int;
   cells_resumed : int;
 }
 
@@ -35,6 +36,7 @@ let zero_stats =
     faults_injected = 0;
     retries = 0;
     cells_failed = 0;
+    cells_timed_out = 0;
     cells_resumed = 0;
   }
 
@@ -47,6 +49,10 @@ type t = {
       (* extra executions granted to a transient-faulted task, beyond
          its first attempt *)
   fault_plan : Fault_plan.t option;
+  deadline : Deadline.spec option;
+      (* armed afresh around every supervised task execution (and every
+         trie build): a task that checkpoints past the budget degrades
+         to a Timeout fault instead of stalling the run *)
   cache : (key, Trained.t) Hashtbl.t;
   tries : (int64, Seq_trie.t) Hashtbl.t;
       (* fingerprint -> deepest trie built for that training trace;
@@ -57,13 +63,14 @@ type t = {
   mutable stats : stats;
 }
 
-let create ?(clock = fun () -> 0.0) ?(jobs = 1) ?(retries = 2) ?fault_plan ()
-    =
+let create ?(clock = fun () -> 0.0) ?(jobs = 1) ?(retries = 2) ?fault_plan
+    ?deadline () =
   {
     pool = Pool.create ~jobs ();
     clock;
     retries = Stdlib.max 0 retries;
     fault_plan;
+    deadline;
     cache = Hashtbl.create 64;
     tries = Hashtbl.create 8;
     fingerprints = [];
@@ -75,6 +82,7 @@ let jobs t = Pool.jobs t.pool
 let pool t = t.pool
 let retries (t : t) = t.retries
 let fault_plan t = t.fault_plan
+let deadline t = t.deadline
 let stats t = t.stats
 let reset_stats t = t.stats <- zero_stats
 
@@ -82,11 +90,19 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "engine: trained %d model(s) (%d cache hit(s)) in %.3fs; scored %d \
      cell(s) in %.3fs; %d trie(s) built (%d node(s), %d view hit(s)); \
-     supervision: %d fault(s) injected, %d retry(ies), %d cell(s) failed, \
-     %d cell(s) resumed"
+     supervision: %d fault(s) injected, %d retry(ies), %d cell(s) failed \
+     (%d timed out), %d cell(s) resumed"
     s.train_executed s.train_cached s.train_seconds s.score_tasks
     s.score_seconds s.tries_built s.trie_nodes s.trie_hits s.faults_injected
-    s.retries s.cells_failed s.cells_resumed
+    s.retries s.cells_failed s.cells_timed_out s.cells_resumed
+
+(* Arm the engine's deadline (when configured) around one task body.
+   Worker domains execute one task at a time, so the ambient
+   domain-local deadline is exactly this task's watchdog. *)
+let armed t f =
+  match t.deadline with
+  | None -> f ()
+  | Some spec -> Deadline.with_deadline spec f
 
 (* --- cache keys -------------------------------------------------------- *)
 
@@ -166,10 +182,14 @@ let supervised_thunks t pool tasks =
         Pool.map_result pool
           (fun i ->
             let key, thunk = arr.(i) in
-            (match t.fault_plan with
-            | Some plan -> Fault_plan.trip plan ~key ~attempt
-            | None -> ());
-            thunk ())
+            (* The chaos trip runs *inside* the armed deadline: a
+               hang-fated task spins on checkpoints until the watchdog
+               fires, just as a genuinely hung detector loop would. *)
+            armed t (fun () ->
+                (match t.fault_plan with
+                | Some plan -> Fault_plan.trip plan ~key ~attempt
+                | None -> ());
+                thunk ()))
           pending
       in
       let injected = ref 0 in
@@ -322,7 +342,8 @@ let train_batch_result t specs =
      every dependent model below instead of poisoning the batch. *)
   let built =
     Pool.map_result t.pool
-      (fun (_, (trace, maxw)) -> Seq_trie.of_trace ~max_len:maxw trace)
+      (fun (_, (trace, maxw)) ->
+        armed t (fun () -> Seq_trie.of_trace ~max_len:maxw trace))
       needs_build
   in
   let trie_faults = Hashtbl.create 4 in
@@ -443,12 +464,14 @@ let score_batch t tasks =
          tasks)
   in
   let failed = ref 0 in
+  let timed_out = ref 0 in
   let outcomes =
     List.map
       (function
         | Ok outcome -> outcome
         | Error fault ->
             incr failed;
+            if fault.Fault.severity = Fault.Timeout then incr timed_out;
             Outcome.Failed fault)
       results
   in
@@ -459,6 +482,7 @@ let score_batch t tasks =
       score_tasks = t.stats.score_tasks + List.length tasks;
       score_seconds = t.stats.score_seconds +. dt;
       cells_failed = t.stats.cells_failed + !failed;
+      cells_timed_out = t.stats.cells_timed_out + !timed_out;
     };
   Log.debug (fun m ->
       m "score phase: %d cell(s), %d failed, %.3fs (%d job(s))"
@@ -578,6 +602,7 @@ let maps_over ?journal t suite ~injection detectors =
       in
       let resumed = ref 0 in
       let train_failed = ref 0 in
+      let train_timed_out = ref 0 in
       let outcomes =
         List.map
           (fun slot ->
@@ -587,6 +612,8 @@ let maps_over ?journal t suite ~injection detectors =
                 outcome
             | `Train_failed fault ->
                 incr train_failed;
+                if fault.Fault.severity = Fault.Timeout then
+                  incr train_timed_out;
                 Outcome.Failed fault
             | `Run _ -> (
                 match !scored with
@@ -603,6 +630,7 @@ let maps_over ?journal t suite ~injection detectors =
           t.stats with
           cells_resumed = t.stats.cells_resumed + !resumed;
           cells_failed = t.stats.cells_failed + !train_failed;
+          cells_timed_out = t.stats.cells_timed_out + !train_timed_out;
         };
       (match journal with
       | None -> ()

@@ -68,6 +68,7 @@ val create :
   ?jobs:int ->
   ?retries:int ->
   ?fault_plan:Fault_plan.t ->
+  ?deadline:Seqdiv_util.Deadline.spec ->
   unit ->
   t
 (** A fresh engine with an empty model cache.  [jobs] defaults to 1
@@ -76,7 +77,11 @@ val create :
     clamped to at least 0) is the supervisor's budget of {e additional}
     executions for a transiently-failed task.  [fault_plan] arms the
     seeded chaos harness: every train/score task consults the plan
-    before running (tests and [bench --chaos] only). *)
+    before running (tests and [bench --chaos] only).  [deadline] arms a
+    cooperative watchdog afresh around every supervised task execution
+    (and every trie build): a task that checkpoints past the budget
+    degrades its cell to {!Outcome.Failed} with the non-retried
+    [Timeout] severity instead of stalling the run. *)
 
 val default : t option -> t
 (** [default (Some e)] is [e]; [default None] is a fresh serial
@@ -97,6 +102,9 @@ val retries : t -> int
 val fault_plan : t -> Fault_plan.t option
 (** The armed chaos plan, if any. *)
 
+val deadline : t -> Seqdiv_util.Deadline.spec option
+(** The per-task deadline policy, if any. *)
+
 (** {1 Stage instrumentation} *)
 
 type stats = {
@@ -115,6 +123,9 @@ type stats = {
   cells_failed : int;
       (** cells degraded to {!Outcome.Failed} (score faults and cells
           downstream of a failed training) *)
+  cells_timed_out : int;
+      (** the subset of [cells_failed] whose fault severity is
+          [Timeout] (deadline expiry) *)
   cells_resumed : int;  (** cells answered from the journal *)
 }
 

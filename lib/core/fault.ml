@@ -3,7 +3,7 @@
    in a performance-map cell, and account for the retries it consumed —
    never the exception itself escaping a batch. *)
 
-type severity = Transient | Fatal
+type severity = Transient | Fatal | Timeout
 
 exception Injected of severity * string
 
@@ -14,8 +14,14 @@ type t = {
   backtrace : string;
 }
 
+(* A deadline expiry is its own severity: retrying a task that just
+   spent its whole budget would spend another budget to learn nothing,
+   so [Timeout] — like [Fatal] — is never retried, but it renders
+   distinctly ([failed:timeout]) because the remedy differs: raise
+   [--deadline-ms], don't fix the detector. *)
 let classify = function
   | Injected (severity, _) -> severity
+  | Seqdiv_util.Deadline.Exceeded _ -> Timeout
   | _ -> Fatal
 
 let of_exn ~attempts exn backtrace =
@@ -29,6 +35,7 @@ let of_exn ~attempts exn backtrace =
 let severity_to_string = function
   | Transient -> "transient"
   | Fatal -> "fatal"
+  | Timeout -> "timeout"
 
 let to_string t =
   Printf.sprintf "%s after %d attempt(s): %s"

@@ -13,11 +13,16 @@
       on a failed training) degrade to
       {!Seqdiv_core.Outcome.Failed} carrying the fault, and the rest of
       the run proceeds.
+    - {e timeout} faults ({!Seqdiv_util.Deadline.Exceeded} caught at a
+      checkpoint) are not retried either — a task that spent its whole
+      budget would spend another to learn nothing — but they render
+      distinctly ([failed:timeout]) because the remedy is a bigger
+      [--deadline-ms], not a detector fix.
 
     {!classify} is the single policy point: a new transient condition
     (e.g. a flaky external model backend) is added here, nowhere else. *)
 
-type severity = Transient | Fatal
+type severity = Transient | Fatal | Timeout
 
 exception Injected of severity * string
 (** The chaos harness's exception ({!Fault_plan.trip}).  The payload
@@ -34,9 +39,10 @@ type t = {
     {!Seqdiv_core.Outcome.Failed}. *)
 
 val classify : exn -> severity
-(** {!Injected} faults carry their own severity; every other exception
-    is {!Fatal} (pure tasks fail deterministically, so retrying cannot
-    help). *)
+(** {!Injected} faults carry their own severity;
+    {!Seqdiv_util.Deadline.Exceeded} is {!Timeout}; every other
+    exception is {!Fatal} (pure tasks fail deterministically, so
+    retrying cannot help). *)
 
 val of_exn : attempts:int -> exn -> Printexc.raw_backtrace -> t
 (** Record a failure: classify the exception and capture its rendering

@@ -9,6 +9,7 @@ type t = {
   seed : int;
   transient_rate : float;
   fatal_rate : float;
+  hang_rate : float;
   sticky : int;
 }
 
@@ -17,16 +18,19 @@ let check_rate name r =
     (* lint: allow partiality — documented precondition *)
     invalid_arg (Printf.sprintf "Fault_plan.of_seed: %s not in [0, 1]" name)
 
-let of_seed ?(transient_rate = 0.05) ?(fatal_rate = 0.0) ?(sticky = 1) ~seed ()
-    =
+let of_seed ?(transient_rate = 0.05) ?(fatal_rate = 0.0) ?(hang_rate = 0.0)
+    ?(sticky = 1) ~seed () =
   check_rate "transient_rate" transient_rate;
   check_rate "fatal_rate" fatal_rate;
-  check_rate "transient_rate + fatal_rate" (transient_rate +. fatal_rate);
-  { seed; transient_rate; fatal_rate; sticky = Stdlib.max 1 sticky }
+  check_rate "hang_rate" hang_rate;
+  check_rate "transient_rate + fatal_rate + hang_rate"
+    (transient_rate +. fatal_rate +. hang_rate);
+  { seed; transient_rate; fatal_rate; hang_rate; sticky = Stdlib.max 1 sticky }
 
 let seed t = t.seed
 let transient_rate t = t.transient_rate
 let fatal_rate t = t.fatal_rate
+let hang_rate t = t.hang_rate
 let sticky t = t.sticky
 
 (* SplitMix64 finaliser over the (seed, key) pair: a high-quality,
@@ -51,13 +55,21 @@ let uniform seed key =
 let decide t ~key ~attempt =
   let u = uniform t.seed key in
   if u < t.fatal_rate then Some Fault.Fatal
-  else if u < t.fatal_rate +. t.transient_rate && attempt < t.sticky then
-    Some Fault.Transient
+  else if u < t.fatal_rate +. t.hang_rate then Some Fault.Timeout
+  else if
+    u < t.fatal_rate +. t.hang_rate +. t.transient_rate && attempt < t.sticky
+  then Some Fault.Transient
   else None
 
 let trip t ~key ~attempt =
   match decide t ~key ~attempt with
   | None -> ()
+  | Some Fault.Timeout ->
+      (* A hang-fated task never returns: spin cooperatively until the
+         supervisor's armed deadline fires.  Without an armed deadline
+         this raises [Deadline.Hang_refused] (classified Fatal) instead
+         of actually hanging the run. *)
+      Seqdiv_util.Deadline.hang ()
   | Some severity ->
       raise
         (Fault.Injected
@@ -67,5 +79,6 @@ let trip t ~key ~attempt =
 
 let describe t =
   Printf.sprintf
-    "chaos plan: seed=%d transient=%.3f fatal=%.3f sticky=%d attempt(s)"
-    t.seed t.transient_rate t.fatal_rate t.sticky
+    "chaos plan: seed=%d transient=%.3f fatal=%.3f hang=%.3f sticky=%d \
+     attempt(s)"
+    t.seed t.transient_rate t.fatal_rate t.hang_rate t.sticky

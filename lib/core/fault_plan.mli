@@ -12,8 +12,12 @@
 
     Fate of a task under a plan, by its key's hash [u ∈ [0, 1)]:
     - [u < fatal_rate] — fails {!Fault.Fatal} on {e every} attempt;
-    - [u < fatal_rate + transient_rate] — fails {!Fault.Transient} on
-      its first [sticky] attempts, then succeeds;
+    - [u < fatal_rate + hang_rate] — {e hangs}: the task spins on
+      {!Seqdiv_util.Deadline.hang} until the supervisor's armed
+      deadline fires ({!Fault.Timeout}), or raises
+      [Deadline.Hang_refused] when no deadline is armed;
+    - [u < fatal_rate + hang_rate + transient_rate] — fails
+      {!Fault.Transient} on its first [sticky] attempts, then succeeds;
     - otherwise — never faulted. *)
 
 type t
@@ -21,31 +25,38 @@ type t
 val of_seed :
   ?transient_rate:float ->
   ?fatal_rate:float ->
+  ?hang_rate:float ->
   ?sticky:int ->
   seed:int ->
   unit ->
   t
 (** [of_seed ~seed ()] is a plan injecting transient faults into
-    [transient_rate] (default 0.05) of tasks and fatal faults into
-    [fatal_rate] (default 0) of tasks.  A transient-fated task fails
+    [transient_rate] (default 0.05) of tasks, fatal faults into
+    [fatal_rate] (default 0) of tasks, and cooperative hangs into
+    [hang_rate] (default 0) of tasks.  A transient-fated task fails
     its first [sticky] attempts (default 1, clamped to at least 1) —
     keep [sticky] at most the engine's retry budget to prove full
-    recovery, or raise it beyond to exercise budget exhaustion.
+    recovery, or raise it beyond to exercise budget exhaustion.  A
+    hang-fated task requires a deadline armed around task execution
+    ([Engine.create ~deadline]) to terminate at all.
     @raise Invalid_argument if a rate (or their sum) leaves [0, 1]. *)
 
 val seed : t -> int
 val transient_rate : t -> float
 val fatal_rate : t -> float
+val hang_rate : t -> float
 val sticky : t -> int
 
 val decide : t -> key:int64 -> attempt:int -> Fault.severity option
 (** The injection decision for one execution of the task fingerprinted
-    by [key].  Pure; safe from any domain. *)
+    by [key]; [Some Timeout] marks a hang-fated task.  Pure; safe from
+    any domain. *)
 
 val trip : t -> key:int64 -> attempt:int -> unit
-(** Raise {!Fault.Injected} iff {!decide} says so.  The exception
-    payload names seed, key and attempt, so rendered faults are
-    deterministic. *)
+(** Act on {!decide}: raise {!Fault.Injected} for transient/fatal
+    fates, spin on {!Seqdiv_util.Deadline.hang} for hang fates, return
+    for the rest.  Injected payloads name seed, key and attempt, so
+    rendered faults are deterministic. *)
 
 val describe : t -> string
 (** One-line human rendering, for [--chaos] banners. *)

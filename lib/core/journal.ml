@@ -1,12 +1,29 @@
 (* Crash-safe run journal: a versioned, line-oriented, append-only
    record of completed performance-map cells.  Durability comes from
-   whole-file write-tmp-then-rename batches (rename within a directory
-   is atomic on POSIX filesystems), integrity from a per-line FNV-1a
-   digest, and recovery from a tolerant loader that drops the torn
-   tail of an interrupted write instead of refusing the file. *)
+   fsynced writes — whole-file write-tmp-then-rename batches (rename
+   within a directory is atomic on POSIX filesystems) plus an
+   append-mode fast path for flushes that only add lines — integrity
+   from a per-line FNV-1a digest, and recovery from a tolerant loader
+   that drops the torn tail of an interrupted write instead of
+   refusing the file.
 
-let version = 1
+   Flush modes.  A flush appends only the lines recorded since the
+   last flush — O(new cells), which is what keeps a long multi-resume
+   session cheap — except when the file must be (re)written whole:
+   the first flush of a fresh journal (writes the header), a resumed
+   file with a torn tail or no trailing newline (appending would
+   splice into a partial line), a previous-version header (upgrades
+   it), or accumulated shadowed lines past [compact_factor] x the live
+   entry count (compaction).  Rewrites emit live entries only — one
+   line per key, newest record wins — so the file size stays bounded
+   by the live cell count. *)
+
+let version = 2
 let magic = Printf.sprintf "seqdiv-journal v%d" version
+
+(* Version 1 files (whole-file-rewrite era) are identical per line;
+   accept them on load and upgrade the header on the first rewrite. *)
+let magic_v1 = "seqdiv-journal v1"
 
 exception Corrupt of string
 
@@ -23,11 +40,19 @@ type entry = {
 type t = {
   path : string;
   context : string;
+  compact_factor : float;
   index : (int * string * int * int, Outcome.t) Hashtbl.t;
   mutable entries : entry list; (* newest first; rewritten oldest-first *)
+  mutable pending : entry list; (* newest first; not yet on disk *)
+  mutable written_lines : int; (* cell lines physically in the file *)
+  mutable appendable : bool;
+      (* the on-disk file is exactly [magic]/context/[written_lines]
+         whole valid lines with a trailing newline — safe to append to *)
   mutable recovered : int;
   mutable dropped : int;
   mutable dirty : bool;
+  mutable appends : int;
+  mutable compactions : int;
 }
 
 (* --- line codec --------------------------------------------------------- *)
@@ -112,6 +137,21 @@ let read_lines path =
       in
       go [])
 
+(* Whether the file ends in a newline: [input_line] swallows a missing
+   final newline, so a file whose last line parses can still be
+   append-unsafe — an appended line would splice onto it. *)
+let ends_with_newline path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      if n = 0 then false
+      else begin
+        seek_in ic (n - 1);
+        input_char ic = '\n'
+      end)
+
 let key_of e = (e.seed, e.detector, e.window, e.anomaly_size)
 
 let absorb t e =
@@ -122,7 +162,8 @@ let load_into t =
   match read_lines t.path with
   | [] -> corrupt "%s: empty journal (missing %S header)" t.path magic
   | header :: rest ->
-      if not (String.equal header magic) then
+      let current = String.equal header magic in
+      if not (current || String.equal header magic_v1) then
         corrupt "%s: bad journal header %S (want %S)" t.path header magic;
       (match rest with
       | context_line :: _
@@ -148,15 +189,24 @@ let load_into t =
             match entry_of_line line with
             | Some e ->
                 absorb t e;
+                t.written_lines <- t.written_lines + 1;
                 go more
             | None -> t.dropped <- 1 + List.length more)
       in
       go cells;
-      t.recovered <- Hashtbl.length t.index
+      t.recovered <- Hashtbl.length t.index;
+      (* Append only onto a file this version wrote completely: a torn
+         tail, a missing final newline or a v1 header all force the
+         next flush through the rewrite path (which also upgrades the
+         header). *)
+      t.appendable <- current && t.dropped = 0 && ends_with_newline t.path
 
 (* --- public api --------------------------------------------------------- *)
 
-let start ?(resume = false) ~context path =
+let default_compact_factor = 4.0
+
+let start ?(resume = false) ?(compact_factor = default_compact_factor)
+    ~context path =
   if String.exists (fun c -> c = '\n') context then
     (* lint: allow partiality — documented precondition *)
     invalid_arg "Journal.start: context contains a newline";
@@ -164,11 +214,17 @@ let start ?(resume = false) ~context path =
     {
       path;
       context;
+      compact_factor;
       index = Hashtbl.create 256;
       entries = [];
+      pending = [];
+      written_lines = 0;
+      appendable = false;
       recovered = 0;
       dropped = 0;
       dirty = false;
+      appends = 0;
+      compactions = 0;
     }
   in
   if resume && Sys.file_exists path then load_into t;
@@ -178,6 +234,8 @@ let path t = t.path
 let context t = t.context
 let recovered t = t.recovered
 let dropped_lines t = t.dropped
+let appends t = t.appends
+let compactions t = t.compactions
 
 let lookup t ~seed ~detector ~window ~anomaly_size =
   Hashtbl.find_opt t.index (seed, detector, window, anomaly_size)
@@ -185,33 +243,96 @@ let lookup t ~seed ~detector ~window ~anomaly_size =
 let record t e =
   ignore (body_of_entry e) (* validate before accepting *);
   absorb t e;
+  t.pending <- e :: t.pending;
   t.dirty <- true
 
 let entries t = List.rev t.entries
 
+(* The live entries, oldest-first, one per key (the newest record of
+   each key — what the index answers).  This is what a rewrite emits,
+   which is what bounds the file by the live cell count. *)
+let live_entries t =
+  let seen = Hashtbl.create (Hashtbl.length t.index) in
+  let keep =
+    List.filter
+      (fun e ->
+        let k = key_of e in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      t.entries (* newest first: the first occurrence of a key wins *)
+  in
+  List.rev keep
+
+let fsync_out oc =
+  Stdlib.flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let output_entry oc e =
+  output_string oc (line_of_entry e);
+  output_char oc '\n'
+
+(* Whole-file rewrite via write-tmp-then-rename: a crash at any
+   instant leaves either the previous complete journal or the new
+   complete journal.  Also the compaction step: only live entries are
+   written. *)
+let rewrite t =
+  let live = live_entries t in
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc magic;
+         output_char oc '\n';
+         output_string oc ("context " ^ t.context);
+         output_char oc '\n';
+         List.iter (output_entry oc) live;
+         fsync_out oc)
+   with
+  | () -> ()
+  (* lint: allow swallow — tmp cleanup only; the exception is re-raised *)
+  | exception exn ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise exn);
+  Sys.rename tmp t.path;
+  t.written_lines <- List.length live;
+  t.pending <- [];
+  t.appendable <- true;
+  t.compactions <- t.compactions + 1
+
+(* Append-mode fast path: write only the lines recorded since the last
+   flush — O(new cells) bytes however large the journal has grown. *)
+let append t =
+  let pending = List.rev t.pending in
+  (* If the append is interrupted the tail state is unknown; the next
+     flush (or resume) must go through the rewrite path. *)
+  t.appendable <- false;
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 t.path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (output_entry oc) pending;
+      fsync_out oc);
+  t.written_lines <- t.written_lines + List.length pending;
+  t.pending <- [];
+  t.appendable <- true;
+  t.appends <- t.appends + 1
+
 let flush t =
   if t.dirty then begin
-    let tmp = t.path ^ ".tmp" in
-    let oc = open_out_bin tmp in
-    (match
-       Fun.protect
-         ~finally:(fun () -> close_out oc)
-         (fun () ->
-           output_string oc magic;
-           output_char oc '\n';
-           output_string oc ("context " ^ t.context);
-           output_char oc '\n';
-           List.iter
-             (fun e ->
-               output_string oc (line_of_entry e);
-               output_char oc '\n')
-             (entries t))
-     with
-    | () -> ()
-    (* lint: allow swallow — tmp cleanup only; the exception is re-raised *)
-    | exception exn ->
-        (try Sys.remove tmp with Sys_error _ -> ());
-        raise exn);
-    Sys.rename tmp t.path;
+    let must_rewrite =
+      (not t.appendable)
+      || not (Sys.file_exists t.path)
+      || t.compact_factor <= 0.0
+      || float_of_int (t.written_lines + List.length t.pending)
+         > t.compact_factor *. float_of_int (Hashtbl.length t.index)
+    in
+    if must_rewrite then rewrite t else append t;
     t.dirty <- false
   end

@@ -11,26 +11,39 @@
     {b On-disk format} (version {!version}; full spec in
     [docs/ROBUSTNESS.md]):
     {v
-seqdiv-journal v1
+seqdiv-journal v2
 context <free text identifying the run configuration>
 cell <seed> <detector> <window> <anomaly-size> <tag> <response-bits> <digest>
 ...
     v}
     One cell per line; [tag] is [blind]/[weak]/[capable],
     [response-bits] the IEEE-754 bits of the max response in hex, and
-    [digest] a 64-bit FNV-1a over the rest of the line.
-    {!Outcome.Failed} cells are {e never} journalled — a resume retries
-    them.
+    [digest] a 64-bit FNV-1a over the rest of the line.  Version 1
+    files are line-identical and are accepted on load (the header
+    upgrades on the first rewrite).  {!Outcome.Failed} cells are
+    {e never} journalled — a resume retries them.
 
-    {b Durability.}  {!flush} rewrites the whole journal to
-    [path ^ ".tmp"] and renames it over [path]: readers see either the
-    previous batch or the new one, never a mix.  A file torn some other
-    way (partial final line, trailing garbage) is still accepted: the
-    loader absorbs the longest valid prefix and counts the rest as
-    {!dropped_lines} instead of refusing the run.  A journal whose
-    header, version or [context] line disagrees with the resuming run
-    raises {!Corrupt} — resuming against the wrong configuration would
-    silently splice incompatible cells. *)
+    {b Durability and flush modes.}  Every flush reaches disk through
+    [fsync].  A flush normally takes the {e append} fast path: only the
+    lines recorded since the last flush are appended — O(new cells)
+    bytes per flush, however many cells the journal already holds,
+    which is what keeps a long multi-resume session cheap.  A flush
+    falls back to a whole-file {e rewrite} (to [path ^ ".tmp"], then an
+    atomic rename) when appending would be wrong or wasteful: the first
+    flush of a fresh journal (writes the header), a resumed file with a
+    torn tail or missing final newline (appending would splice into a
+    partial line), a previous-version header, or — {e compaction} —
+    when the file's cell lines exceed [compact_factor] times the live
+    entry count.  Rewrites emit live entries only (newest record per
+    key), so the file stays bounded by the live cell count whatever the
+    shadowing history.
+
+    A file torn some other way (partial final line, trailing garbage)
+    is still accepted on load: the loader absorbs the longest valid
+    prefix and counts the rest as {!dropped_lines} instead of refusing
+    the run.  A journal whose header or [context] line disagrees with
+    the resuming run raises {!Corrupt} — resuming against the wrong
+    configuration would silently splice incompatible cells. *)
 
 val version : int
 
@@ -50,7 +63,8 @@ type entry = {
 
 type t
 
-val start : ?resume:bool -> context:string -> string -> t
+val start :
+  ?resume:bool -> ?compact_factor:float -> context:string -> string -> t
 (** [start ~context path] opens a journal at [path].  [context] is a
     single-line description of the run configuration (seed, stream
     lengths, …); it is written into the file and checked on resume.
@@ -58,6 +72,12 @@ val start : ?resume:bool -> context:string -> string -> t
     first {!flush} replaces whatever was at [path].  With [resume]
     true, an existing file is loaded — recovered entries answer
     {!lookup} — and a missing file simply starts empty.
+
+    [compact_factor] (default 4.0) tunes when {!flush} compacts: the
+    file is rewritten whenever its cell lines would exceed
+    [compact_factor] times the live entry count.  A factor [<= 0]
+    disables the append path entirely — every flush rewrites the whole
+    file (the pre-compaction behaviour, kept for comparison tests).
     @raise Corrupt if resuming from an unrecognisable or mismatched
     file.
     @raise Invalid_argument if [context] spans lines. *)
@@ -74,12 +94,14 @@ val record : t -> entry -> unit
     whitespace-bearing detector name. *)
 
 val flush : t -> unit
-(** Persist the journal via write-tmp-then-rename.  No-op when nothing
-    was recorded since the last flush. *)
+(** Persist everything recorded since the last flush — appending when
+    the file permits it, rewriting whole otherwise (see the flush-mode
+    discussion above).  No-op when nothing was recorded. *)
 
 val entries : t -> entry list
 (** Every entry the journal holds (recovered and newly recorded), in
-    absorption order. *)
+    absorption order — including records later shadowed by a re-record
+    of the same key. *)
 
 val path : t -> string
 val context : t -> string
@@ -89,3 +111,11 @@ val recovered : t -> int
 
 val dropped_lines : t -> int
 (** Torn-tail lines discarded during recovery (0 for a clean file). *)
+
+val appends : t -> int
+(** Flushes that took the append fast path since {!start}. *)
+
+val compactions : t -> int
+(** Flushes that rewrote the whole file since {!start} (the initial
+    header-writing flush, torn-tail repairs, version upgrades and
+    threshold compactions all count). *)

@@ -6,6 +6,9 @@ type t =
       -> t
 
 let train (module D : Detector.S) ~window trace =
+  (* A train task whose budget is already spent fails here, before the
+     detector commits to a possibly checkpoint-free training loop. *)
+  Seqdiv_util.Deadline.checkpoint ();
   Trained ((module D), D.train ~window trace)
 
 let trie_capable (module D : Detector.S) = Option.is_some D.train_of_trie

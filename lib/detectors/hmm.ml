@@ -152,7 +152,10 @@ let train_with p ~window trace =
       b = random_stochastic rng ~rows:states ~cols:k;
     }
   in
-  let rec iterate m n = if n = 0 then m else iterate (baum_welch_step m obs) (n - 1) in
+  let rec iterate m n =
+    Deadline.checkpoint ();
+    if n = 0 then m else iterate (baum_welch_step m obs) (n - 1)
+  in
   iterate initial p.iterations
 
 let train ~window trace = train_with default_params ~window trace
@@ -202,6 +205,7 @@ let score_range m trace ~lo ~hi =
   let ctx = Array.make ctx_len 0 in
   let items =
     Array.init n (fun i ->
+        if i land 255 = 0 then Deadline.checkpoint ();
         let start = lo + i in
         for j = 0 to ctx_len - 1 do
           ctx.(j) <- Trace.get trace (start + j)

@@ -65,6 +65,9 @@ let score_range m trace ~lo ~hi =
   let w = Array.make m.window 0 in
   let items =
     Array.init n (fun i ->
+        (* Every window here scans the whole instance db ([best_match]),
+           so checkpoint more often than the cheap per-window paths. *)
+        if i land 255 = 0 then Seqdiv_util.Deadline.checkpoint ();
         let start = lo + i in
         for j = 0 to m.window - 1 do
           w.(j) <- Trace.get trace (start + j)

@@ -128,6 +128,7 @@ let score_range m trace ~lo ~hi =
   let n = Stdlib.max 0 (hi - lo + 1) in
   let items =
     Array.init n (fun i ->
+        if i land 1023 = 0 then Seqdiv_util.Deadline.checkpoint ();
         let start = lo + i in
         let next = data.(start + ctx_len) in
         let score = 1.0 -. probability_at m data ~pos:start ~next in

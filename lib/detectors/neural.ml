@@ -114,6 +114,7 @@ let train_with p ~window trace =
   let gb2 = Array.make k 0.0 in
   let last_loss = ref 0.0 in
   for _epoch = 1 to p.epochs do
+    Deadline.checkpoint ();
     Matrix.scale_in_place gw1 0.0;
     Matrix.scale_in_place gw2 0.0;
     Array.fill gb1 0 p.hidden 0.0;
@@ -176,6 +177,7 @@ let score_range m trace ~lo ~hi =
   let n = Stdlib.max 0 (hi - lo + 1) in
   let items =
     Array.init n (fun i ->
+        if i land 255 = 0 then Deadline.checkpoint ();
         let start = lo + i in
         for j = 0 to ctx_len - 1 do
           ctx.(j) <- Trace.get trace (start + j)

@@ -30,6 +30,7 @@ let score_range m trace ~lo ~hi =
   let n = Stdlib.max 0 (hi - lo + 1) in
   let items =
     Array.init n (fun i ->
+        if i land 1023 = 0 then Seqdiv_util.Deadline.checkpoint ();
         let start = lo + i in
         let score = if Seq_db.mem_at m.db data ~pos:start then 0.0 else 1.0 in
         { Response.start; cover = m.window; score })

@@ -39,6 +39,7 @@ let score_range m trace ~lo ~hi =
   let n = Stdlib.max 0 (hi - lo + 1) in
   let items =
     Array.init n (fun i ->
+        if i land 1023 = 0 then Seqdiv_util.Deadline.checkpoint ();
         let start = lo + i in
         let anomalous =
           (not (Seq_db.mem_at m.db data ~pos:start))

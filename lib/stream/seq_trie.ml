@@ -71,6 +71,9 @@ let of_trace ~max_len trace =
   let data = Trace.raw trace in
   let len = Array.length data in
   for pos = 0 to len - 1 do
+    (* Cooperative watchdog hook (no-op unless a deadline is armed):
+       a trace scan is the longest single loop in a train phase. *)
+    if pos land 4095 = 0 then Deadline.checkpoint ();
     let depth_limit = Stdlib.min max_len (len - pos) in
     let node = ref t.root in
     for d = 0 to depth_limit - 1 do

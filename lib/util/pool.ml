@@ -30,7 +30,15 @@ let run_isolated f i x =
   | v -> Ok v
   (* lint: allow swallow — captured into the task's result slot *)
   | exception exn ->
-      Error { index = i; exn; backtrace = Printexc.get_raw_backtrace () }
+      (* Capture the backtrace as the handler's very first action: the
+         domain holds only the *current* exception's backtrace, so any
+         allocation or raise-and-catch sequenced before the read (record
+         field evaluation order is unspecified) could clobber it.  With
+         the capture hoisted, every failing slot of a chunk — including
+         the second of two failures in the same chunk — keeps its own
+         backtrace. *)
+      let backtrace = Printexc.get_raw_backtrace () in
+      Error { index = i; exn; backtrace }
 
 let map_result_array t f input =
   let n = Array.length input in
@@ -51,10 +59,19 @@ let map_result_array t f input =
       in
       loop ()
     in
+    (* Backtrace recording is per-domain state in OCaml 5 and a fresh
+       domain starts from the runtime default, not from the caller's
+       setting — without this a failure caught on a spawned worker
+       would carry an empty backtrace while the same failure on the
+       calling domain carries a full one. *)
+    let record_backtraces = Printexc.backtrace_status () in
     let spawned =
       Array.init
         (Stdlib.min (t.jobs - 1) (n - 1))
-        (fun _ -> Domain.spawn worker)
+        (fun _ ->
+          Domain.spawn (fun () ->
+              Printexc.record_backtrace record_backtraces;
+              worker ()))
     in
     worker ();
     Array.iter Domain.join spawned;
@@ -73,6 +90,10 @@ let map_result t f xs = Array.to_list (map_result_array t f (Array.of_list xs))
 
 let map_array t f input =
   let results = map_result_array t f input in
+  (* In-order scan: the first [Error] met is the lowest-index failure,
+     and it re-raises with the backtrace captured in *its own* slot —
+     never a backtrace smeared from another failure in the same
+     chunk. *)
   Array.iter
     (function
       | Error { exn; backtrace; _ } ->

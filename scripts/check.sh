@@ -13,23 +13,46 @@ dune build @all
 dune build @lint
 dune runtest
 
-# The engine's determinism contract, exercised with real parallelism:
-# the equivalence suite compares jobs=1 against jobs=4 cell by cell.
-dune exec test/test_engine.exe -- test determinism
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
 
-# The supervision layer under seeded fault injection: transient chaos
-# must recover byte-identically, fatal chaos must degrade only its own
-# cells, and the journal must survive torn tails and resume exactly.
-dune exec test/test_supervision.exe -- test chaos
-dune exec test/test_journal.exe
+# Every test binary, run whole, under a wall-clock budget: a suite
+# that creeps past 120 s is a regression in its own right (the
+# deadline/chaos suites are all virtual-clock, nothing here should
+# ever sleep).  This subsumes the targeted `dune exec test/...`
+# invocations this script used to carry.
+budget() {
+  name=$1; shift
+  start=$(date +%s)
+  "$@"
+  elapsed=$(( $(date +%s) - start ))
+  if [ "$elapsed" -gt 120 ]; then
+    echo "time budget exceeded: $name took ${elapsed}s (> 120 s)" >&2
+    exit 1
+  fi
+  echo "suite $name: ${elapsed}s"
+}
+
+for t in ./_build/default/test/test_*.exe; do
+  SEQDIV_GOLDEN_DIR=test/golden budget "$(basename "$t" .exe)" "$t" \
+    > "$tmp/suite.out" 2>&1 || { cat "$tmp/suite.out"; exit 1; }
+  tail -1 "$tmp/suite.out"
+done
+
+# Golden fixtures must match what the current tree renders: regenerate
+# into a scratch directory and diff.  An intentional change is promoted
+# with scripts/promote-golden.sh and reviewed as part of the commit.
+mkdir -p "$tmp/golden"
+SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR="$tmp/golden" \
+  ./_build/default/test/test_golden.exe > /dev/null
+diff -ru test/golden "$tmp/golden"
+echo "golden fixtures: OK"
+
+bin=./_build/default/bin/main.exe
 
 # Crash-safety smoke test: kill a journalled run mid-flight, resume it
 # at jobs=1 and jobs=4, and demand byte-identical stdout to an
 # uninterrupted run.
-bin=./_build/default/bin/main.exe
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
-
 "$bin" full -j 4 > "$tmp/fresh.out"
 
 "$bin" full -j 4 --journal "$tmp/run.journal" > /dev/null 2>&1 &
@@ -49,3 +72,20 @@ for jobs in 1 4; do
   diff -u "$tmp/fresh.out" "$tmp/resumed-$jobs.out"
 done
 echo "kill-resume smoke test: OK"
+
+# Hung-cell smoke test: a 1 ms wall-clock budget is below any real
+# training task, so cells must degrade to rendered timeouts and the
+# run must exit 2 (partial failure) instead of hanging.
+status=0
+"$bin" full -j 4 --deadline-ms 1 > "$tmp/deadline.out" 2>&1 || status=$?
+[ "$status" -eq 2 ] || {
+  echo "deadline smoke test: expected exit 2, got $status" >&2; exit 1; }
+grep -q 'Deadline.Exceeded(budget=1ms)' "$tmp/deadline.out"
+grep -q 'cell(s) FAILED' "$tmp/deadline.out"
+
+# And the flag is validated before anything runs.
+status=0
+"$bin" full --deadline-ms 0 > /dev/null 2>&1 || status=$?
+[ "$status" -eq 2 ] || {
+  echo "deadline validation: expected exit 2, got $status" >&2; exit 1; }
+echo "deadline smoke test: OK"

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerate the golden fixtures under test/golden/ after an
+# intentional rendering change.  The new fixtures are part of the
+# change: review the diff this prints like any other code.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build test/test_golden.exe
+SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR=test/golden \
+  ./_build/default/test/test_golden.exe
+
+git --no-pager diff --stat -- test/golden

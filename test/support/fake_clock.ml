@@ -1,0 +1,40 @@
+(* A deterministic virtual clock for deadline tests.  [clock t] is a
+   per-domain counter: every read advances that domain's time by
+   [step_s].  The counter lives in domain-local storage, so a task's
+   observed elapsed time is a function of *its own* clock reads only —
+   pool workers execute one task at a time, each task arms its deadline
+   and checkpoints on the same domain, and concurrent tasks on other
+   domains never advance each other's clocks.  That is what makes a
+   deadline fire after the same number of checkpoints in every run, at
+   every jobs count: virtual time is "work performed by this task", not
+   wall time. *)
+
+type t = { step_s : float; domain_now : float Domain.DLS.key }
+
+let create ~step_ms =
+  if step_ms < 0.0 then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg "Fake_clock.create: step_ms must be non-negative";
+  {
+    step_s = step_ms /. 1000.0;
+    domain_now =
+      (* lint: allow concurrency — per-domain virtual time *)
+      Domain.DLS.new_key (fun () -> 0.0);
+  }
+
+let clock t () =
+  (* lint: allow concurrency — per-domain virtual time *)
+  let now = Domain.DLS.get t.domain_now in
+  (* lint: allow concurrency — per-domain virtual time *)
+  Domain.DLS.set t.domain_now (now +. t.step_s);
+  now
+
+let advance t ~ms =
+  (* lint: allow concurrency — per-domain virtual time *)
+  let now = Domain.DLS.get t.domain_now in
+  (* lint: allow concurrency — per-domain virtual time *)
+  Domain.DLS.set t.domain_now (now +. (ms /. 1000.0))
+
+let now_ms t =
+  (* lint: allow concurrency — per-domain virtual time *)
+  Domain.DLS.get t.domain_now *. 1000.0

@@ -1,0 +1,29 @@
+(** A deterministic virtual clock for exercising
+    {!Seqdiv_util.Deadline} without wall-clock sleeps.
+
+    Each read of {!clock} advances the calling {e domain's} time by
+    [step_ms].  Because the time lives in domain-local storage and pool
+    workers run one task at a time, a task's observed elapsed time
+    counts only its own clock reads (one per deadline arm, one per
+    checkpoint) — so a deadline fires after exactly
+    [budget_ms / step_ms] checkpoints in every run, at every jobs
+    count, which is what makes timeout grids byte-identical and
+    golden-testable. *)
+
+type t
+
+val create : step_ms:float -> t
+(** A clock that auto-advances by [step_ms] per read.  [step_ms = 0.]
+    never advances — a deadline against it never fires.
+    @raise Invalid_argument if [step_ms < 0.]. *)
+
+val clock : t -> unit -> float
+(** The injectable clock function (seconds, like [Unix.gettimeofday]).
+    Reading it advances the calling domain's time by [step_ms]. *)
+
+val advance : t -> ms:float -> unit
+(** Manually advance the calling domain's time (unit tests). *)
+
+val now_ms : t -> float
+(** The calling domain's current time, in milliseconds (does not
+    advance). *)

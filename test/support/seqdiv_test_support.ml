@@ -1,6 +1,10 @@
 open Seqdiv_stream
 open Seqdiv_synth
 
+(* The virtual clock for deadline tests lives in its own compilation
+   unit; re-export it through the library interface. *)
+module Fake_clock = Fake_clock
+
 let alphabet8 = Alphabet.make 8
 
 let trace8 l = Trace.of_list alphabet8 l

@@ -4,6 +4,9 @@
 open Seqdiv_stream
 open Seqdiv_synth
 
+module Fake_clock = Fake_clock
+(** The deterministic virtual clock for deadline tests. *)
+
 val alphabet8 : Alphabet.t
 (** The paper's 8-symbol alphabet. *)
 

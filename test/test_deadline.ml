@@ -1,0 +1,252 @@
+(* The deadline layer's promises: a cooperative deadline fires after a
+   deterministic amount of checkpointed work (virtual clock, no
+   sleeps), a firing deadline degrades exactly the in-flight cells to
+   Failed/timeout while every other cell stays byte-identical, and a
+   deadline that never fires changes nothing at all — at jobs 1 and
+   jobs 4 alike. *)
+
+open Seqdiv_core
+open Seqdiv_detectors
+open Seqdiv_report
+open Seqdiv_util
+open Seqdiv_test_support
+
+(* --- Deadline unit behaviour (manual virtual clock) --------------------- *)
+
+let test_spec_validated () =
+  let c = Fake_clock.create ~step_ms:0.0 in
+  List.iter
+    (fun budget_ms ->
+      match Deadline.spec ~clock:(Fake_clock.clock c) ~budget_ms with
+      | _ -> Alcotest.failf "budget %d should be rejected" budget_ms
+      | exception Invalid_argument _ -> ())
+    [ 0; -5 ]
+
+let test_check_fires_exactly_past_budget () =
+  let c = Fake_clock.create ~step_ms:0.0 in
+  let d = Deadline.arm (Deadline.spec ~clock:(Fake_clock.clock c) ~budget_ms:10) in
+  Alcotest.(check bool) "fresh deadline not expired" false (Deadline.expired d);
+  Fake_clock.advance c ~ms:10.0;
+  Alcotest.(check bool) "at the budget, not past it" false (Deadline.expired d);
+  Fake_clock.advance c ~ms:1.0;
+  Alcotest.(check bool) "past the budget" true (Deadline.expired d);
+  (match Deadline.check d with
+  | _ -> Alcotest.fail "expected Deadline.Exceeded"
+  | exception Deadline.Exceeded budget ->
+      Alcotest.(check int) "payload is the budget, not the elapsed" 10 budget)
+
+let test_checkpoint_noop_when_unarmed () =
+  Alcotest.(check bool) "no ambient deadline" false (Deadline.active ());
+  Deadline.checkpoint () (* must not raise *)
+
+let test_with_deadline_scopes_and_restores () =
+  let c = Fake_clock.create ~step_ms:0.0 in
+  let spec = Deadline.spec ~clock:(Fake_clock.clock c) ~budget_ms:5 in
+  Deadline.with_deadline spec (fun () ->
+      Alcotest.(check bool) "armed inside" true (Deadline.active ()));
+  Alcotest.(check bool) "disarmed after return" false (Deadline.active ());
+  (match
+     Deadline.with_deadline spec (fun () ->
+         Fake_clock.advance c ~ms:6.0;
+         Deadline.checkpoint ())
+   with
+  | _ -> Alcotest.fail "expected Deadline.Exceeded"
+  | exception Deadline.Exceeded _ -> ());
+  Alcotest.(check bool) "disarmed after raise" false (Deadline.active ())
+
+let test_hang_refused_without_deadline () =
+  match Deadline.hang () with
+  | () -> Alcotest.fail "hang must refuse to start unarmed"
+  | exception Deadline.Hang_refused -> ()
+
+let test_hang_spins_until_the_watchdog_fires () =
+  (* step 1ms, budget 5ms: the hang must spin a bounded, deterministic
+     number of checkpoints and then raise. *)
+  let c = Fake_clock.create ~step_ms:1.0 in
+  let spec = Deadline.spec ~clock:(Fake_clock.clock c) ~budget_ms:5 in
+  match Deadline.with_deadline spec (fun () -> Deadline.hang ()) with
+  | () -> Alcotest.fail "hang must end in Exceeded"
+  | exception Deadline.Exceeded budget ->
+      Alcotest.(check int) "budget reported" 5 budget
+
+let test_exceeded_renders_deterministically () =
+  (* The printed fault must not mention elapsed time — it must be the
+     same string in every run at every jobs count. *)
+  Alcotest.(check string) "rendered exception"
+    "Deadline.Exceeded(budget=7ms)"
+    (Printexc.to_string (Deadline.Exceeded 7))
+
+let test_classified_as_timeout () =
+  Alcotest.(check bool) "Exceeded classifies Timeout" true
+    (Fault.classify (Deadline.Exceeded 3) = Fault.Timeout);
+  Alcotest.(check string) "severity renders timeout" "timeout"
+    (Fault.severity_to_string Fault.Timeout);
+  Alcotest.(check bool) "Hang_refused classifies Fatal" true
+    (Fault.classify Deadline.Hang_refused = Fault.Fatal)
+
+let test_fake_clock_is_domain_local () =
+  (* Another domain's reads must not advance this domain's time: a
+     task's observed elapsed time is its own work only. *)
+  let c = Fake_clock.create ~step_ms:1.0 in
+  Fake_clock.advance c ~ms:50.0;
+  let other =
+    Domain.spawn (fun () ->
+        ignore (Fake_clock.clock c ());
+        Fake_clock.now_ms c)
+  in
+  let other_ms = Domain.join other in
+  Alcotest.(check (float 0.001)) "spawned domain starts at zero" 1.0 other_ms;
+  Alcotest.(check (float 0.001)) "main domain unaffected" 50.0
+    (Fake_clock.now_ms c)
+
+(* --- grids under a virtual-clock deadline ------------------------------- *)
+
+let detectors () =
+  List.map Registry.find_exn [ "stide"; "tstide"; "markov"; "lnb" ]
+
+let renderings maps = String.concat "\n" (List.map Ascii_map.render maps)
+
+let baseline_cache = ref None
+
+let baseline_maps () =
+  match !baseline_cache with
+  | Some maps -> maps
+  | None ->
+      let maps =
+        Experiment.all_maps
+          ~engine:(Engine.create ~jobs:1 ())
+          (tiny_suite ()) (detectors ())
+      in
+      baseline_cache := Some maps;
+      maps
+
+(* A budget that legitimate tasks of the tiny suite never approach:
+   the longest checkpointed loop (the 30k-symbol trie scan) reads the
+   clock ~10 times, far under 200 virtual ms at 1 ms per read.  A
+   hang-fated task reads it once per spin and dies at ~200. *)
+let grid_deadline () =
+  let c = Fake_clock.create ~step_ms:1.0 in
+  Deadline.spec ~clock:(Fake_clock.clock c) ~budget_ms:200
+
+let test_never_firing_deadline_is_invisible () =
+  let fresh = renderings (baseline_maps ()) in
+  List.iter
+    (fun jobs ->
+      (* A frozen clock: elapsed time is always zero. *)
+      let frozen = Fake_clock.create ~step_ms:0.0 in
+      let spec = Deadline.spec ~clock:(Fake_clock.clock frozen) ~budget_ms:1 in
+      let e = Engine.create ~jobs ~deadline:spec () in
+      let maps = Experiment.all_maps ~engine:e (tiny_suite ()) (detectors ()) in
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d: no cell failed" jobs)
+        0 (Engine.stats e).Engine.cells_failed;
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d: byte-identical to no deadline at all" jobs)
+        fresh (renderings maps);
+      (* And a ticking clock under a generous budget. *)
+      let e' = Engine.create ~jobs ~deadline:(grid_deadline ()) () in
+      let maps' = Experiment.all_maps ~engine:e' (tiny_suite ()) (detectors ()) in
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d: generous budget also invisible" jobs)
+        fresh (renderings maps'))
+    [ 1; 4 ]
+
+let hang_run ~seed ~jobs =
+  let plan =
+    Fault_plan.of_seed ~transient_rate:0.0 ~hang_rate:0.1 ~seed ()
+  in
+  let e = Engine.create ~jobs ~fault_plan:plan ~deadline:(grid_deadline ()) () in
+  let maps = Experiment.all_maps ~engine:e (tiny_suite ()) (detectors ()) in
+  (e, maps)
+
+let deadline_degrades_exactly_inflight_cells =
+  qcheck ~count:3 "hung cells degrade to Failed/timeout, the rest untouched"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let fresh = baseline_maps () in
+      List.for_all
+        (fun jobs ->
+          let e, maps = hang_run ~seed ~jobs in
+          let s = Engine.stats e in
+          (* Hangs are never retried, and every failure is a timeout. *)
+          s.Engine.cells_failed > 0
+          && s.Engine.cells_timed_out = s.Engine.cells_failed
+          && s.Engine.retries = 0
+          && List.for_all2
+               (fun chaos_map fresh_map ->
+                 Performance_map.fold chaos_map ~init:true
+                   ~f:(fun ok ~anomaly_size ~window o ->
+                     ok
+                     &&
+                     match o with
+                     | Outcome.Failed fault ->
+                         fault.Fault.severity = Fault.Timeout
+                         && fault.Fault.attempts = 1
+                     | o ->
+                         Outcome.equal o
+                           (Performance_map.outcome fresh_map ~anomaly_size
+                              ~window)))
+               maps fresh)
+        [ 1; 4 ])
+
+let test_hung_grid_identical_across_jobs () =
+  (* The virtual clock is domain-local, so the same cells time out
+     after the same number of checkpoints whatever the scheduling. *)
+  let run jobs = renderings (snd (hang_run ~seed:23 ~jobs)) in
+  Alcotest.(check string) "jobs=1 = jobs=4 under hang chaos" (run 1) (run 4)
+
+let test_timeouts_render_distinctly () =
+  let _, maps = hang_run ~seed:23 ~jobs:1 in
+  let degraded =
+    List.find (fun m -> Performance_map.failed_cells m <> []) maps
+  in
+  let txt = Ascii_map.render degraded in
+  let contains hay needle =
+    let n = String.length hay and k = String.length needle in
+    let rec at i = i + k <= n && (String.sub hay i k = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "'!' glyph present" true (String.contains txt '!');
+  Alcotest.(check bool) "footer names the deadline" true
+    (contains txt "Deadline.Exceeded(budget=200ms)");
+  Alcotest.(check bool) "CSV tags failed:timeout" true
+    (List.exists (List.mem "failed:timeout") (Csv.map_rows degraded));
+  (* The exit-code contract: a timed-out grid is a partial map, which
+     is what makes the CLI exit 2 (checked end-to-end in check.sh). *)
+  Alcotest.(check bool) "partial map reported" true
+    (Performance_map.failed_cells degraded <> [])
+
+let () =
+  Alcotest.run "deadline"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "spec validated" `Quick test_spec_validated;
+          Alcotest.test_case "check fires exactly past budget" `Quick
+            test_check_fires_exactly_past_budget;
+          Alcotest.test_case "checkpoint no-op unarmed" `Quick
+            test_checkpoint_noop_when_unarmed;
+          Alcotest.test_case "with_deadline scopes and restores" `Quick
+            test_with_deadline_scopes_and_restores;
+          Alcotest.test_case "hang refused without deadline" `Quick
+            test_hang_refused_without_deadline;
+          Alcotest.test_case "hang spins until the watchdog fires" `Quick
+            test_hang_spins_until_the_watchdog_fires;
+          Alcotest.test_case "Exceeded renders deterministically" `Quick
+            test_exceeded_renders_deterministically;
+          Alcotest.test_case "classified as timeout" `Quick
+            test_classified_as_timeout;
+          Alcotest.test_case "fake clock is domain-local" `Quick
+            test_fake_clock_is_domain_local;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "never-firing deadline is invisible" `Slow
+            test_never_firing_deadline_is_invisible;
+          deadline_degrades_exactly_inflight_cells;
+          Alcotest.test_case "hung grid identical across jobs" `Slow
+            test_hung_grid_identical_across_jobs;
+          Alcotest.test_case "timeouts render distinctly" `Slow
+            test_timeouts_render_distinctly;
+        ] );
+    ]

@@ -1,0 +1,277 @@
+(* The append-mode journal's promises: a flush normally appends only
+   the newly recorded lines (O(new cells) bytes, whatever the file
+   already holds), compaction keeps the file bounded by the live entry
+   count, the torn-tail and version-upgrade paths fall back to a safe
+   whole-file rewrite, and none of it changes a single byte of a
+   resumed run compared to the always-rewrite path. *)
+
+open Seqdiv_synth
+open Seqdiv_core
+open Seqdiv_detectors
+open Seqdiv_report
+
+let with_path f =
+  let path = Filename.temp_file "seqdiv-test-compaction" ".log" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let entry ~detector ~window ~anomaly_size outcome =
+  { Journal.seed = 42; detector; window; anomaly_size; outcome }
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let cell_lines path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter (fun l -> String.length l > 5 && String.sub l 0 5 = "cell ")
+  |> List.length
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let test_append_roundtrip () =
+  with_path (fun path ->
+      let j = Journal.start ~context:"ctx" path in
+      Journal.record j
+        (entry ~detector:"stide" ~window:4 ~anomaly_size:2 (Outcome.Capable 0.5));
+      Journal.flush j;
+      Alcotest.(check int) "first flush writes the header" 1
+        (Journal.compactions j);
+      Journal.record j
+        (entry ~detector:"stide" ~window:5 ~anomaly_size:2 (Outcome.Weak 0.25));
+      Journal.flush j;
+      Alcotest.(check int) "second flush appends" 1 (Journal.appends j);
+      Alcotest.(check int) "…and does not rewrite" 1 (Journal.compactions j);
+      let j' = Journal.start ~resume:true ~context:"ctx" path in
+      Alcotest.(check int) "both entries recovered" 2 (Journal.recovered j');
+      Alcotest.(check int) "clean file" 0 (Journal.dropped_lines j'))
+
+let test_flush_is_o_new_cells () =
+  (* The acceptance criterion: across a 10-resume session each flush
+     must cost O(new cells) bytes — the old contents are a byte-exact
+     prefix of the new, and the appended suffix is proportional to the
+     cells recorded since the last flush, never to the file size. *)
+  with_path (fun path ->
+      (let j0 = Journal.start ~context:"ctx" path in
+       Journal.record j0
+         (entry ~detector:"seed" ~window:1 ~anomaly_size:1 Outcome.Blind);
+       Journal.flush j0);
+      for cycle = 1 to 10 do
+        let j = Journal.start ~resume:true ~context:"ctx" path in
+        let before = read_file path in
+        let fresh = 3 in
+        for k = 1 to fresh do
+          Journal.record j
+            (entry ~detector:"stide" ~window:(10 + k) ~anomaly_size:cycle
+               (Outcome.Capable 0.125))
+        done;
+        Journal.flush j;
+        let after = read_file path in
+        Alcotest.(check bool)
+          (Printf.sprintf "cycle %d: old bytes untouched" cycle)
+          true
+          (starts_with ~prefix:before after);
+        let delta = String.length after - String.length before in
+        Alcotest.(check bool)
+          (Printf.sprintf "cycle %d: flush cost bounded by new cells (%dB)"
+             cycle delta)
+          true
+          (delta > 0 && delta <= 120 * fresh);
+        Alcotest.(check int)
+          (Printf.sprintf "cycle %d: append path taken" cycle)
+          1 (Journal.appends j);
+        Alcotest.(check int)
+          (Printf.sprintf "cycle %d: no rewrite" cycle)
+          0 (Journal.compactions j)
+      done;
+      let j = Journal.start ~resume:true ~context:"ctx" path in
+      Alcotest.(check int) "all cycles' entries survive" 31
+        (Journal.recovered j))
+
+let test_compaction_bounds_file () =
+  (* Re-recording the same keys shadows old lines; the threshold must
+     keep dead lines from accumulating past factor × live. *)
+  with_path (fun path ->
+      let factor = 2.0 in
+      let j = Journal.start ~compact_factor:factor ~context:"ctx" path in
+      for round = 1 to 20 do
+        (* Same two keys every round — live count stays 2. *)
+        Journal.record j
+          (entry ~detector:"stide" ~window:4 ~anomaly_size:2
+             (Outcome.Capable (float_of_int round /. 100.0)));
+        Journal.record j
+          (entry ~detector:"markov" ~window:4 ~anomaly_size:2
+             (Outcome.Weak (float_of_int round /. 100.0)));
+        Journal.flush j;
+        let lines = cell_lines path in
+        Alcotest.(check bool)
+          (Printf.sprintf "round %d: %d cell line(s) within 2 live × %.1f"
+             round lines factor)
+          true
+          (float_of_int lines <= factor *. 2.0)
+      done;
+      Alcotest.(check bool) "threshold actually triggered rewrites" true
+        (Journal.compactions j > 1);
+      Alcotest.(check bool) "…but plenty of flushes still appended" true
+        (Journal.appends j > 0);
+      (* Shadowing resolved newest-wins after compaction. *)
+      let j' = Journal.start ~resume:true ~context:"ctx" path in
+      match Journal.lookup j' ~seed:42 ~detector:"stide" ~window:4 ~anomaly_size:2 with
+      | Some o ->
+          Alcotest.(check bool) "newest record survives compaction" true
+            (Outcome.equal o (Outcome.Capable 0.20))
+      | None -> Alcotest.fail "live key lost by compaction")
+
+let test_always_rewrite_factor_zero () =
+  with_path (fun path ->
+      let j = Journal.start ~compact_factor:0.0 ~context:"ctx" path in
+      for w = 1 to 5 do
+        Journal.record j
+          (entry ~detector:"stide" ~window:w ~anomaly_size:2 Outcome.Blind);
+        Journal.flush j
+      done;
+      Alcotest.(check int) "factor <= 0 never appends" 0 (Journal.appends j);
+      Alcotest.(check int) "every flush rewrote" 5 (Journal.compactions j))
+
+let test_torn_tail_forces_rewrite () =
+  with_path (fun path ->
+      (let j = Journal.start ~context:"ctx" path in
+       for w = 1 to 3 do
+         Journal.record j
+           (entry ~detector:"stide" ~window:w ~anomaly_size:2
+              (Outcome.Capable 0.5))
+       done;
+       Journal.flush j);
+      let contents = read_file path in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub contents 0 (String.length contents - 10)));
+      let j = Journal.start ~resume:true ~context:"ctx" path in
+      Alcotest.(check int) "torn line dropped" 1 (Journal.dropped_lines j);
+      (* Appending after the partial line would splice two records into
+         one garbage line — the next flush must rewrite instead. *)
+      Journal.record j
+        (entry ~detector:"stide" ~window:9 ~anomaly_size:2 (Outcome.Weak 0.1));
+      Journal.flush j;
+      Alcotest.(check int) "repair took the rewrite path" 1
+        (Journal.compactions j);
+      Alcotest.(check int) "…not the append path" 0 (Journal.appends j);
+      let j' = Journal.start ~resume:true ~context:"ctx" path in
+      Alcotest.(check int) "file clean again" 0 (Journal.dropped_lines j');
+      Alcotest.(check int) "live entries intact" 3 (Journal.recovered j'))
+
+let test_v1_file_upgraded () =
+  with_path (fun path ->
+      (let j = Journal.start ~context:"ctx" path in
+       Journal.record j
+         (entry ~detector:"stide" ~window:4 ~anomaly_size:2 (Outcome.Capable 0.5));
+       Journal.flush j);
+      (* Rewrite the header to the previous version, keeping the
+         line-identical cell records. *)
+      let contents = read_file path in
+      let v1 =
+        match String.index_opt contents '\n' with
+        | Some i ->
+            "seqdiv-journal v1"
+            ^ String.sub contents i (String.length contents - i)
+        | None -> Alcotest.fail "journal file has no header line"
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc v1);
+      let j = Journal.start ~resume:true ~context:"ctx" path in
+      Alcotest.(check int) "v1 cells load" 1 (Journal.recovered j);
+      Journal.record j
+        (entry ~detector:"stide" ~window:5 ~anomaly_size:2 (Outcome.Weak 0.2));
+      Journal.flush j;
+      Alcotest.(check int) "upgrade is a rewrite, not an append" 1
+        (Journal.compactions j);
+      Alcotest.(check bool) "header is current again" true
+        (starts_with ~prefix:"seqdiv-journal v2\n" (read_file path)))
+
+(* --- byte-identity against the always-rewrite path over the engine ------ *)
+
+let suite_cache = ref None
+
+let suite () =
+  match !suite_cache with
+  | Some s -> s
+  | None ->
+      let s =
+        Suite.build
+          {
+            (Suite.scaled_params ~train_len:30_000 ~background_len:1_500) with
+            Suite.dw_max = 6;
+          }
+      in
+      suite_cache := Some s;
+      s
+
+let detectors () =
+  List.map Registry.find_exn [ "stide"; "tstide"; "markov"; "lnb" ]
+
+let renderings maps = String.concat "\n" (List.map Ascii_map.render maps)
+
+let interrupted_resume ~jobs ~compact_factor path =
+  let context = "compaction-test" in
+  let j = Journal.start ~compact_factor ~context path in
+  let partial = match detectors () with d :: d' :: _ -> [ d; d' ] | _ -> [] in
+  ignore
+    (Experiment.all_maps ~engine:(Engine.create ~jobs ()) ~journal:j (suite ())
+       partial);
+  let j' = Journal.start ~resume:true ~compact_factor ~context path in
+  let e = Engine.create ~jobs () in
+  let maps =
+    Experiment.all_maps ~engine:e ~journal:j' (suite ()) (detectors ())
+  in
+  ((Engine.stats e).Engine.cells_resumed, renderings maps)
+
+let test_append_path_resumes_byte_identically () =
+  let fresh =
+    renderings
+      (Experiment.all_maps ~engine:(Engine.create ()) (suite ()) (detectors ()))
+  in
+  List.iter
+    (fun jobs ->
+      let resumed_append, via_append =
+        with_path (interrupted_resume ~jobs ~compact_factor:4.0)
+      in
+      let resumed_rewrite, via_rewrite =
+        with_path (interrupted_resume ~jobs ~compact_factor:0.0)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d: something was resumed" jobs)
+        true (resumed_append > 0);
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d: both paths resume the same cells" jobs)
+        resumed_rewrite resumed_append;
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d: append path matches fresh run" jobs)
+        fresh via_append;
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d: …and the always-rewrite path" jobs)
+        via_rewrite via_append)
+    [ 1; 4 ]
+
+let () =
+  Alcotest.run "journal-compaction"
+    [
+      ( "append",
+        [
+          Alcotest.test_case "append roundtrip" `Quick test_append_roundtrip;
+          Alcotest.test_case "flush is O(new cells)" `Quick
+            test_flush_is_o_new_cells;
+          Alcotest.test_case "compaction bounds the file" `Quick
+            test_compaction_bounds_file;
+          Alcotest.test_case "factor zero always rewrites" `Quick
+            test_always_rewrite_factor_zero;
+          Alcotest.test_case "torn tail forces rewrite" `Quick
+            test_torn_tail_forces_rewrite;
+          Alcotest.test_case "v1 file upgraded" `Quick test_v1_file_upgraded;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "append path resumes byte-identically" `Slow
+            test_append_path_resumes_byte_identically;
+        ] );
+    ]

@@ -46,6 +46,75 @@ let test_map2_mismatch_runs_nothing () =
       Alcotest.(check int) "no task executed" 0 !ran)
     [ 1; 4 ]
 
+(* Two raise sites on different source lines, so their backtraces are
+   distinguishable. *)
+let first_failure () = raise (Boom 1)
+let second_failure () = raise (Boom 2)
+
+let backtrace_task x =
+  if x = 1 then first_failure () else if x = 2 then second_failure () else x
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let test_same_chunk_failures_keep_own_backtraces () =
+  (* Both failures land in the same worker chunk (chunk = input
+     length): catching the second must not clobber the backtrace
+     recorded for the first. *)
+  Printexc.record_backtrace true;
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~chunk:4 ~jobs () in
+      match Pool.map_result pool backtrace_task [ 0; 1; 2; 3 ] with
+      | [ Ok 0; Error e1; Error e2; Ok 3 ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d: own exceptions" jobs)
+            true
+            (e1.Pool.exn = Boom 1 && e2.Pool.exn = Boom 2);
+          let b1 = Printexc.raw_backtrace_to_string e1.Pool.backtrace in
+          let b2 = Printexc.raw_backtrace_to_string e2.Pool.backtrace in
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d: backtraces recorded" jobs)
+            true
+            (String.length b1 > 0 && String.length b2 > 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d: each failure keeps its own raise site"
+               jobs)
+            true
+            (first_line b1 <> first_line b2)
+      | _ -> Alcotest.fail "unexpected result shape")
+    [ 1; 2 ]
+
+let test_map_reraises_lowest_index_backtrace () =
+  (* Pool.map re-raises the lowest-index failure; the backtrace the
+     caller observes must be that slot's own, not the last one the
+     worker happened to catch. *)
+  Printexc.record_backtrace true;
+  let input = [ 0; 1; 2; 3 ] in
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~chunk:4 ~jobs () in
+      let recorded =
+        match Pool.map_result pool backtrace_task input with
+        | [ _; Error e; _; _ ] -> Printexc.raw_backtrace_to_string e.Pool.backtrace
+        | _ -> Alcotest.fail "unexpected result shape"
+      in
+      match Pool.map pool backtrace_task input with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom n ->
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d: lowest-index failure re-raised" jobs)
+            1 n;
+          (* Unwinding appends "Called from" frames but preserves the
+             raise site at the head. *)
+          Alcotest.(check string)
+            (Printf.sprintf "jobs=%d: original raise site survives" jobs)
+            (first_line recorded)
+            (first_line (Printexc.get_backtrace ())))
+    [ 1; 2 ]
+
 (* --- Fault_plan determinism -------------------------------------------- *)
 
 let plan_is_stateless =
@@ -228,6 +297,10 @@ let () =
           map_result_isolates;
           Alcotest.test_case "map2 mismatch runs nothing" `Quick
             test_map2_mismatch_runs_nothing;
+          Alcotest.test_case "same-chunk failures keep own backtraces" `Quick
+            test_same_chunk_failures_keep_own_backtraces;
+          Alcotest.test_case "map re-raises lowest-index backtrace" `Quick
+            test_map_reraises_lowest_index_backtrace;
         ] );
       ( "fault-plan",
         [
