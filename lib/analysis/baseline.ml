@@ -1,0 +1,12 @@
+type t = string list
+
+let empty = []
+
+let of_string content =
+  String.split_on_char '\n' content
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else Some line)
+
+let filter t diags =
+  List.filter (fun d -> not (List.mem (Diagnostic.to_string d) t)) diags

@@ -1,0 +1,18 @@
+(** The checked-in diagnostic baseline: known findings that should not
+    fail CI while they are being worked off.
+
+    The format is one {!Diagnostic.to_string} line per entry; [#]
+    comments and blank lines are ignored.  A diagnostic is suppressed
+    when its rendered line appears verbatim in the baseline, so any
+    change to a finding's position or message surfaces it again —
+    deliberate, since a moved finding needs re-triage. *)
+
+type t
+
+val empty : t
+
+val of_string : string -> t
+(** Parse baseline file contents. *)
+
+val filter : t -> Diagnostic.t list -> Diagnostic.t list
+(** Drop the diagnostics whose rendered line is in the baseline. *)

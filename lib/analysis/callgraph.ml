@@ -1,0 +1,439 @@
+type fn_id = { unit_name : string; fn_name : string }
+
+type target = Internal of fn_id | External of string list
+
+type site = {
+  target : target;
+  args : int;
+  in_loop : bool;
+  site_loc : Location.t;
+}
+
+type alloc_kind = Closure | Ref | Tuple | Array_literal | Append
+
+type alloc = {
+  kind : alloc_kind;
+  alloc_in_loop : bool;
+  alloc_loc : Location.t;
+}
+
+type raised = { exn_name : string; raise_loc : Location.t }
+
+type fn = {
+  id : fn_id;
+  path : string;
+  line : int;
+  col : int;
+  arity : int;
+  has_optional : bool;
+  has_loop : bool;
+  checkpoints : bool;
+  sites : site list;
+  allocs : alloc list;
+  raises : raised list;
+}
+
+type t = { fns : fn list; index : (string * string, fn) Hashtbl.t }
+
+let fns t = t.fns
+
+let find t id =
+  Hashtbl.find_opt t.index (id.unit_name, id.fn_name)
+
+let flatten lid = try Longident.flatten lid with Misc.Fatal_error -> []
+let strip_stdlib = function "Stdlib" :: rest -> rest | parts -> parts
+
+(* External modules whose higher-order functions invoke their function
+   argument per element: a lambda passed to one of these runs inside an
+   implicit loop even though no [for]/[while] appears. *)
+let combinator_modules =
+  [ "Array"; "List"; "String"; "Bytes"; "Hashtbl"; "Seq"; "Option"; "Fun" ]
+
+(* External calls that raise a well-known constructor — the ones the
+   per-file partiality rule already singles out, plus the classic
+   [Not_found] raisers.  Implicit [Array]/[String] bounds checks are
+   deliberately not modelled (see docs/LINTING.md). *)
+let external_raiser parts =
+  match parts with
+  | [ "failwith" ] -> Some "Failure"
+  | [ "invalid_arg" ] -> Some "Invalid_argument"
+  | [ "Option"; "get" ] -> Some "Invalid_argument"
+  | [ "List"; ("hd" | "tl") ] -> Some "Failure"
+  | [ "Hashtbl"; "find" ]
+  | [ "List"; "find" ]
+  | [ "List"; "assoc" ]
+  | [ "Sys"; "getenv" ] ->
+      Some "Not_found"
+  | _ -> None
+
+let rec ends_with_checkpoint = function
+  | [ "Deadline"; "checkpoint" ] -> true
+  | _ :: rest -> ends_with_checkpoint rest
+  | [] -> false
+
+(* Names bound by patterns anywhere inside one top-level binding:
+   parameters, [let] locals, match cases, lambda arguments.  A bare
+   identifier matching one of these is a local, never a reference to a
+   same-named top-level binding.  The scan over-approximates scope — a
+   name bound anywhere in the function shadows it everywhere in it —
+   which can only drop call-graph edges, never invent them. *)
+let bound_names (e : Parsetree.expression) =
+  let acc = ref [] in
+  let default = Ast_iterator.default_iterator in
+  let pat self (p : Parsetree.pattern) =
+    (match p.Parsetree.ppat_desc with
+    | Parsetree.Ppat_var { txt; _ } | Parsetree.Ppat_alias (_, { txt; _ }) ->
+        acc := txt :: !acc
+    | _ -> ());
+    default.Ast_iterator.pat self p
+  in
+  let it = { default with Ast_iterator.pat } in
+  it.Ast_iterator.expr it e;
+  !acc
+
+(* Name resolution, outside-in: a qualified path binds to the
+   right-most module-path element that names a linted unit; a bare
+   identifier binds to the current unit when it names one of its
+   top-level bindings and no local binding shadows it.  Bare
+   identifiers that resolve to nothing are locals and are dropped. *)
+let resolve ~units ~unit_name ~locals ~shadowed parts =
+  match parts with
+  | [] -> None
+  | [ name ] ->
+      if (not (List.mem name shadowed)) && List.mem name locals then
+        Some (Internal { unit_name; fn_name = name })
+      else None
+  | _ -> (
+      let rec split_last acc = function
+        | [ last ] -> (List.rev acc, last)
+        | x :: rest -> split_last (x :: acc) rest
+        | [] -> (List.rev acc, "")
+      in
+      let mod_path, fn_name = split_last [] parts in
+      let rec last_unit found = function
+        | [] -> found
+        | m :: rest ->
+            last_unit (if List.mem m units then Some m else found) rest
+      in
+      match last_unit None mod_path with
+      | Some u -> Some (Internal { unit_name = u; fn_name })
+      | None -> Some (External parts))
+
+(* Mutable per-binding accumulator for one top-level value. *)
+type acc = {
+  mutable a_sites : site list;
+  mutable a_allocs : alloc list;
+  mutable a_raises : raised list;
+  mutable a_loop : bool;
+  mutable a_ckpt : bool;
+  mutable a_in_loop : bool;
+}
+
+let is_lambda (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ -> true
+  | _ -> false
+
+let walker ~units ~unit_name ~locals ~shadowed acc =
+  let default = Ast_iterator.default_iterator in
+  let add_site target args loc =
+    acc.a_sites <-
+      { target; args; in_loop = acc.a_in_loop; site_loc = loc } :: acc.a_sites
+  in
+  let add_alloc kind in_loop loc =
+    acc.a_allocs <-
+      { kind; alloc_in_loop = in_loop; alloc_loc = loc } :: acc.a_allocs
+  in
+  let add_raise exn_name loc =
+    acc.a_raises <- { exn_name; raise_loc = loc } :: acc.a_raises
+  in
+  let with_loop_flag flag f =
+    let saved = acc.a_in_loop in
+    acc.a_in_loop <- flag;
+    f ();
+    acc.a_in_loop <- saved
+  in
+  (* Walk a lambda literal: one [Closure] allocation for the whole
+     parameter chain (flagged with the *outer* loop state — the
+     closure is built where it appears), then the body under
+     [body_in_loop] (true when the lambda is an iteration
+     combinator's or an internal callee's argument). *)
+  let rec walk_lambda self ~body_in_loop (e : Parsetree.expression) =
+    add_alloc Closure acc.a_in_loop e.Parsetree.pexp_loc;
+    let rec strip (e : Parsetree.expression) =
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_fun (_, dflt, _, body) ->
+          (match dflt with
+          | Some d -> self.Ast_iterator.expr self d
+          | None -> ());
+          strip body
+      | Parsetree.Pexp_newtype (_, body) -> strip body
+      | _ -> e
+    in
+    let body = strip e in
+    with_loop_flag body_in_loop (fun () ->
+        match body.Parsetree.pexp_desc with
+        | Parsetree.Pexp_function cases -> walk_cases self cases
+        | _ -> self.Ast_iterator.expr self body)
+  and walk_cases self cases =
+    List.iter
+      (fun (c : Parsetree.case) ->
+        (match c.Parsetree.pc_guard with
+        | Some g -> self.Ast_iterator.expr self g
+        | None -> ());
+        self.Ast_iterator.expr self c.Parsetree.pc_rhs)
+      cases
+  in
+  let walk_arg self ~callee_loops (_, (a : Parsetree.expression)) =
+    if is_lambda a then
+      walk_lambda self ~body_in_loop:(callee_loops || acc.a_in_loop) a
+    else self.Ast_iterator.expr self a
+  in
+  let named_apply self parts args loc =
+    let nargs = List.length args in
+    (match external_raiser parts with
+    | Some exn when nargs >= 1 -> add_raise exn loc
+    | Some _ | None -> ());
+    if ends_with_checkpoint parts then acc.a_ckpt <- true;
+    let target = resolve ~units ~unit_name ~locals ~shadowed parts in
+    (match target with
+    | Some tgt -> add_site tgt nargs loc
+    | None -> ());
+    let callee_loops =
+      match (target, parts) with
+      | Some (Internal _), _ -> true
+      | _, m :: _ :: _ when List.mem m combinator_modules -> true
+      | _ -> false
+    in
+    List.iter (walk_arg self ~callee_loops) args
+  in
+  let rec handle_apply self (f : Parsetree.expression) args loc =
+    match f.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt = Longident.Lident "|>"; _ } -> (
+        match args with
+        | [ (_, x); (_, g) ] -> virtual_apply self g [ (Asttypes.Nolabel, x) ] loc
+        | _ -> List.iter (walk_arg self ~callee_loops:false) args)
+    | Parsetree.Pexp_ident { txt = Longident.Lident "@@"; _ } -> (
+        match args with
+        | [ (_, g); (_, x) ] -> virtual_apply self g [ (Asttypes.Nolabel, x) ] loc
+        | _ -> List.iter (walk_arg self ~callee_loops:false) args)
+    | Parsetree.Pexp_ident { txt = Longident.Lident ("^" | "@"); _ } ->
+        add_alloc Append acc.a_in_loop loc;
+        List.iter (walk_arg self ~callee_loops:false) args
+    | Parsetree.Pexp_ident { txt = Longident.Lident "ref"; _ }
+      when List.length args = 1 ->
+        add_alloc Ref acc.a_in_loop loc;
+        List.iter (walk_arg self ~callee_loops:false) args
+    | Parsetree.Pexp_ident
+        { txt = Longident.Lident ("raise" | "raise_notrace"); _ } ->
+        (match args with
+        | (_, { Parsetree.pexp_desc = Parsetree.Pexp_construct ({ txt; _ }, _); _ })
+          :: _ -> (
+            match List.rev (flatten txt) with
+            | exn :: _ -> add_raise exn loc
+            | [] -> ())
+        | _ -> ());
+        List.iter (walk_arg self ~callee_loops:false) args
+    | Parsetree.Pexp_ident { txt; _ } ->
+        named_apply self (strip_stdlib (flatten txt)) args loc
+    | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ ->
+        (* Immediately-applied lambda: its body runs right here. *)
+        walk_lambda self ~body_in_loop:acc.a_in_loop f;
+        List.iter (walk_arg self ~callee_loops:false) args
+    | _ ->
+        self.Ast_iterator.expr self f;
+        List.iter (walk_arg self ~callee_loops:false) args
+  and virtual_apply self (g : Parsetree.expression) extra loc =
+    (* [x |> f] and [f @@ x]: fold the piped value into [f]'s argument
+       list so arity accounting matches a direct application. *)
+    match g.Parsetree.pexp_desc with
+    | Parsetree.Pexp_apply (inner, gargs) ->
+        handle_apply self inner (gargs @ extra) loc
+    | _ -> handle_apply self g extra loc
+  in
+  let expr self (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_for (_, start, stop, _, body) ->
+        acc.a_loop <- true;
+        self.Ast_iterator.expr self start;
+        self.Ast_iterator.expr self stop;
+        with_loop_flag true (fun () -> self.Ast_iterator.expr self body)
+    | Parsetree.Pexp_while (cond, body) ->
+        acc.a_loop <- true;
+        with_loop_flag true (fun () ->
+            self.Ast_iterator.expr self cond;
+            self.Ast_iterator.expr self body)
+    | Parsetree.Pexp_let (Asttypes.Recursive, vbs, body) ->
+        (* A nested [let rec] can run unboundedly, like a loop; its
+           closure is allocated once, where the binding occurs. *)
+        acc.a_loop <- true;
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            if is_lambda vb.Parsetree.pvb_expr then
+              walk_lambda self ~body_in_loop:true vb.Parsetree.pvb_expr
+            else
+              with_loop_flag true (fun () ->
+                  self.Ast_iterator.expr self vb.Parsetree.pvb_expr))
+          vbs;
+        self.Ast_iterator.expr self body
+    | Parsetree.Pexp_apply (f, args) ->
+        handle_apply self f args e.Parsetree.pexp_loc
+    | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ ->
+        walk_lambda self ~body_in_loop:acc.a_in_loop e
+    | Parsetree.Pexp_ident { txt; loc } -> (
+        (* A bare reference: counts for reachability (the function may
+           be called through the variable) but is not itself a call. *)
+        match strip_stdlib (flatten txt) with
+        | [ _ ] as parts | (_ :: _ :: _ as parts) -> (
+            match resolve ~units ~unit_name ~locals ~shadowed parts with
+            | Some (Internal _ as tgt) -> add_site tgt 0 loc
+            | Some (External _) | None -> ())
+        | [] -> ())
+    | Parsetree.Pexp_assert inner ->
+        add_raise "Assert_failure" e.Parsetree.pexp_loc;
+        self.Ast_iterator.expr self inner
+    | Parsetree.Pexp_tuple _ ->
+        add_alloc Tuple acc.a_in_loop e.Parsetree.pexp_loc;
+        default.Ast_iterator.expr self e
+    | Parsetree.Pexp_array _ ->
+        add_alloc Array_literal acc.a_in_loop e.Parsetree.pexp_loc;
+        default.Ast_iterator.expr self e
+    | _ -> default.Ast_iterator.expr self e
+  in
+  { default with Ast_iterator.expr }
+
+(* Count the parameter chain of a top-level binding without recording
+   a closure allocation for it: the chain *is* the function. *)
+let strip_binding_head (e : Parsetree.expression) =
+  let rec go (e : Parsetree.expression) arity has_opt =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_fun (lbl, _, _, body) ->
+        go body (arity + 1) (has_opt || lbl <> Asttypes.Nolabel)
+    | Parsetree.Pexp_newtype (_, body) -> go body arity has_opt
+    | Parsetree.Pexp_function cases -> (arity + 1, has_opt, `Cases cases)
+    | _ -> (arity, has_opt, `Body e)
+  in
+  go e 0 false
+
+let binding_of ~units ~unit_name ~locals ~path ~recursive
+    (vb : Parsetree.value_binding) fn_name =
+  let acc =
+    {
+      a_sites = [];
+      a_allocs = [];
+      a_raises = [];
+      a_loop = recursive;
+      a_ckpt = false;
+      a_in_loop = recursive;
+    }
+  in
+  let shadowed = bound_names vb.Parsetree.pvb_expr in
+  let it = walker ~units ~unit_name ~locals ~shadowed acc in
+  let arity, has_optional, rest = strip_binding_head vb.Parsetree.pvb_expr in
+  (match rest with
+  | `Cases cases ->
+      List.iter
+        (fun (c : Parsetree.case) ->
+          (match c.Parsetree.pc_guard with
+          | Some g -> it.Ast_iterator.expr it g
+          | None -> ());
+          it.Ast_iterator.expr it c.Parsetree.pc_rhs)
+        cases
+  | `Body body -> it.Ast_iterator.expr it body);
+  let p = vb.Parsetree.pvb_loc.Location.loc_start in
+  {
+    id = { unit_name; fn_name };
+    path;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    arity;
+    has_optional;
+    has_loop = acc.a_loop;
+    checkpoints = acc.a_ckpt;
+    sites = List.rev acc.a_sites;
+    allocs = List.rev acc.a_allocs;
+    raises = List.rev acc.a_raises;
+  }
+
+let rec binding_names (items : Parsetree.structure) =
+  List.concat_map
+    (fun (item : Parsetree.structure_item) ->
+      match item.Parsetree.pstr_desc with
+      | Parsetree.Pstr_value (_, vbs) ->
+          List.filter_map
+            (fun (vb : Parsetree.value_binding) ->
+              match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+              | Parsetree.Ppat_var { txt; _ } -> Some txt
+              | _ -> None)
+            vbs
+      | Parsetree.Pstr_module
+          {
+            Parsetree.pmb_expr =
+              { Parsetree.pmod_desc = Parsetree.Pmod_structure inner; _ };
+            _;
+          } ->
+          binding_names inner
+      | _ -> [])
+    items
+
+let collect_file ~units ((src : Source.t), structure) =
+  let unit_name = Source.module_name src in
+  let locals = binding_names structure in
+  let path = src.Source.path in
+  let rec items_fns (items : Parsetree.structure) =
+    List.concat_map
+      (fun (item : Parsetree.structure_item) ->
+        match item.Parsetree.pstr_desc with
+        | Parsetree.Pstr_value (rf, vbs) ->
+            List.filter_map
+              (fun (vb : Parsetree.value_binding) ->
+                match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+                | Parsetree.Ppat_var { txt; _ } ->
+                    Some
+                      (binding_of ~units ~unit_name ~locals ~path
+                         ~recursive:(rf = Asttypes.Recursive)
+                         vb txt)
+                | _ -> None)
+              vbs
+        | Parsetree.Pstr_module
+            {
+              Parsetree.pmb_expr =
+                { Parsetree.pmod_desc = Parsetree.Pmod_structure inner; _ };
+              _;
+            } ->
+            items_fns inner
+        | _ -> [])
+      items
+  in
+  items_fns structure
+
+let build parsed_mls =
+  let units =
+    List.map (fun ((src : Source.t), _) -> Source.module_name src) parsed_mls
+  in
+  let raw = List.concat_map (collect_file ~units) parsed_mls in
+  (* Later bindings shadow earlier ones within a unit: walk the list
+     backwards keeping the first (i.e. last-in-file) occurrence. *)
+  let deduped =
+    let rec keep seen acc = function
+      | [] -> acc
+      | f :: rest ->
+          let key = (f.id.unit_name, f.id.fn_name) in
+          if List.mem key seen then keep seen acc rest
+          else keep (key :: seen) (f :: acc) rest
+    in
+    keep [] [] (List.rev raw)
+  in
+  let fns =
+    List.sort
+      (fun a b ->
+        match String.compare a.id.unit_name b.id.unit_name with
+        | 0 -> String.compare a.id.fn_name b.id.fn_name
+        | d -> d)
+      deduped
+  in
+  let index = Hashtbl.create 64 in
+  List.iter
+    (fun f -> Hashtbl.replace index (f.id.unit_name, f.id.fn_name) f)
+    fns;
+  { fns; index }

@@ -1,0 +1,69 @@
+(** A whole-program call graph over the linted [.ml] files.
+
+    Each top-level value binding becomes one node carrying the local
+    facts the whole-program rules need: its call sites (resolved to
+    internal nodes or external paths), syntactic allocations, raisable
+    exception constructors, whether its body loops, and whether it
+    calls [Deadline.checkpoint] directly.
+
+    Resolution is purely syntactic — names, not types.  A single
+    identifier resolves to the current unit when it names a top-level
+    binding there; a qualified path resolves to the last path element
+    that names a known compilation unit.  First-class-module dispatch
+    (the registry's packed detectors) is invisible, which is why the
+    reachability roots in [Reach] name detector entry points
+    explicitly. *)
+
+type fn_id = { unit_name : string; fn_name : string }
+
+type target =
+  | Internal of fn_id  (** A top-level binding of a linted unit. *)
+  | External of string list  (** Stdlib-stripped path of anything else. *)
+
+type site = {
+  target : target;
+  args : int;  (** Applied argument count; 0 for a bare reference. *)
+  in_loop : bool;
+      (** Inside a for/while body, a recursive binding's body, or a
+          lambda passed to an iteration combinator. *)
+  site_loc : Location.t;
+}
+
+type alloc_kind = Closure | Ref | Tuple | Array_literal | Append
+
+type alloc = {
+  kind : alloc_kind;
+  alloc_in_loop : bool;
+  alloc_loc : Location.t;
+}
+
+type raised = { exn_name : string; raise_loc : Location.t }
+
+type fn = {
+  id : fn_id;
+  path : string;  (** Source path of the defining file. *)
+  line : int;
+  col : int;
+  arity : int;  (** Number of syntactic parameters. *)
+  has_optional : bool;  (** Any labelled/optional parameter. *)
+  has_loop : bool;
+      (** for/while, or a [let rec] (top-level or nested) — the
+          shapes that can run unboundedly without a checkpoint. *)
+  checkpoints : bool;  (** Calls [Deadline.checkpoint] directly. *)
+  sites : site list;
+  allocs : alloc list;
+  raises : raised list;
+}
+
+type t
+
+val build : (Source.t * Parsetree.structure) list -> t
+(** Build the graph from all parsed library implementations.  When a
+    unit binds the same name twice, the later (shadowing) binding
+    wins.  Nodes come out sorted by (unit, name). *)
+
+val fns : t -> fn list
+(** All nodes, sorted by (unit, name) — the deterministic iteration
+    order for every fixpoint. *)
+
+val find : t -> fn_id -> fn option

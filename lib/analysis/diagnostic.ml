@@ -17,7 +17,14 @@ let compare a b =
   match String.compare a.file b.file with
   | 0 -> (
       match Stdlib.compare (a.line, a.col) (b.line, b.col) with
-      | 0 -> String.compare a.rule b.rule
+      | 0 -> (
+          (* Rule then message: several whole-program findings can share
+             a position (e.g. R10 reports every unmapped constructor at
+             the [Fault.classify] binding), and the report order must
+             not depend on the order the analysis discovered them. *)
+          match String.compare a.rule b.rule with
+          | 0 -> String.compare a.message b.message
+          | d -> d)
       | d -> d)
   | d -> d
 

@@ -29,11 +29,40 @@ let load_tree roots =
 
 let run roots = Rules.run (load_tree roots)
 
-let report ppf ~files diags =
-  List.iter (fun d -> Format.fprintf ppf "%a@." Diagnostic.pp d) diags;
+type format = Text | Json | Sarif
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | "sarif" -> Some Sarif
+  | _ -> None
+
+let render_text ~files diags =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (Diagnostic.to_string d);
+      Buffer.add_char buf '\n')
+    diags;
   let errors = List.length (List.filter Diagnostic.is_error diags) in
   let warnings = List.length diags - errors in
-  Format.fprintf ppf "seqdiv-lint: %d files checked, %d errors, %d warnings@."
-    files errors warnings
+  Buffer.add_string buf
+    (Printf.sprintf "seqdiv-lint: %d files checked, %d errors, %d warnings\n"
+       files errors warnings);
+  Buffer.contents buf
+
+let render format ~files diags =
+  match format with
+  | Text -> render_text ~files diags
+  | Json -> Sarif.render_json diags
+  | Sarif -> Sarif.render diags
+
+let report ppf ~files diags =
+  Format.fprintf ppf "%s@?" (render_text ~files diags)
+
+let load_baseline path =
+  if Sys.file_exists path then
+    Some (Baseline.of_string (read_file path))
+  else None
 
 let has_errors diags = List.exists Diagnostic.is_error diags

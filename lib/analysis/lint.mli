@@ -17,8 +17,23 @@ val load_tree : string list -> Source.t list
 val run : string list -> Diagnostic.t list
 (** [run roots] = [Rules.run (load_tree roots)]. *)
 
+type format = Text | Json | Sarif
+
+val format_of_string : string -> format option
+(** ["text"] / ["json"] / ["sarif"]. *)
+
+val render : format -> files:int -> Diagnostic.t list -> string
+(** Render the findings in the requested format.  [Text] is the
+    classic per-line report with a trailing summary ([files] is only
+    used there); [Json] and [Sarif] delegate to {!Sarif}.  All three
+    are byte-deterministic for equal inputs. *)
+
 val report : Format.formatter -> files:int -> Diagnostic.t list -> unit
-(** Render one line per diagnostic followed by a summary line. *)
+(** Render one line per diagnostic followed by a summary line
+    ([render Text], printed). *)
+
+val load_baseline : string -> Baseline.t option
+(** Read a baseline file; [None] when the path does not exist. *)
 
 val has_errors : Diagnostic.t list -> bool
 (** True when any finding has [Error] severity — the CI gate. *)

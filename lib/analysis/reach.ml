@@ -1,0 +1,61 @@
+let hot_fn_names = [ "train"; "train_with"; "score"; "score_range"; "of_trie" ]
+
+let task_entries =
+  [
+    ("Trained", "train");
+    ("Scoring", "outcome");
+    ("Scoring", "incident_response");
+    ("Seq_trie", "of_trace");
+    ("Fault_plan", "trip");
+  ]
+
+let score_fn_names = [ "score"; "score_range" ]
+
+let score_entries =
+  [
+    ("Scoring", "outcome");
+    ("Scoring", "incident_response");
+    ("Scoring", "outcome_of_response");
+  ]
+
+let in_detectors_dir (fn : Callgraph.fn) =
+  let dir = Filename.dirname fn.Callgraph.path in
+  dir = "detectors" || Filename.basename dir = "detectors"
+
+let roots_of g ~names ~entries =
+  List.filter_map
+    (fun (fn : Callgraph.fn) ->
+      let id = fn.Callgraph.id in
+      if
+        (in_detectors_dir fn && List.mem id.Callgraph.fn_name names)
+        || List.mem (id.Callgraph.unit_name, id.Callgraph.fn_name) entries
+      then Some id
+      else None)
+    (Callgraph.fns g)
+
+let hot_roots g = roots_of g ~names:hot_fn_names ~entries:task_entries
+let score_roots g = roots_of g ~names:score_fn_names ~entries:score_entries
+
+let reachable g ~roots =
+  let visited = Hashtbl.create 64 in
+  let key (id : Callgraph.fn_id) =
+    (id.Callgraph.unit_name, id.Callgraph.fn_name)
+  in
+  let rec visit id =
+    if not (Hashtbl.mem visited (key id)) then begin
+      Hashtbl.add visited (key id) ();
+      match Callgraph.find g id with
+      | None -> ()
+      | Some fn ->
+          List.iter
+            (fun (s : Callgraph.site) ->
+              match s.Callgraph.target with
+              | Callgraph.Internal id' -> visit id'
+              | Callgraph.External _ -> ())
+            fn.Callgraph.sites
+    end
+  in
+  List.iter visit roots;
+  List.filter
+    (fun (fn : Callgraph.fn) -> Hashtbl.mem visited (key fn.Callgraph.id))
+    (Callgraph.fns g)

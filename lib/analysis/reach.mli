@@ -1,0 +1,21 @@
+(** Reachability over the call graph, rooted at the entry points the
+    whole-program rules care about.
+
+    The roots are declarative because the engine dispatches detectors
+    through first-class modules, which a syntactic call graph cannot
+    see: detector-directory bindings named [train]/[train_with]/
+    [score]/[score_range]/[of_trie] are hot roots by decree, alongside
+    the named supervised-task entries in [lib/core] and the shared-trie
+    builder.  See docs/LINTING.md for the full list and rationale. *)
+
+val hot_roots : Callgraph.t -> Callgraph.fn_id list
+(** Entry points of train/score hot paths and supervised tasks. *)
+
+val score_roots : Callgraph.t -> Callgraph.fn_id list
+(** Entry points of the per-window scoring paths only (R11). *)
+
+val reachable :
+  Callgraph.t -> roots:Callgraph.fn_id list -> Callgraph.fn list
+(** All graph nodes reachable from [roots] through internal call
+    sites (including the roots themselves), in the graph's sorted
+    order.  Roots that name no node are ignored. *)

@@ -97,6 +97,49 @@ let swallow =
        written for";
   }
 
+let checkpoint =
+  {
+    id = "R9";
+    name = "checkpoint";
+    severity = Diagnostic.Error;
+    doc =
+      "every loop or recursive binding reachable from a train/score hot \
+       path must reach Deadline.checkpoint, so the cooperative-deadline \
+       contract survives new code";
+  }
+
+let fault_custody =
+  {
+    id = "R10";
+    name = "fault-custody";
+    severity = Diagnostic.Error;
+    doc =
+      "every exception constructor raisable on a supervised-task path must \
+       be mapped by an explicit Fault.classify case: the \
+       Transient/Fatal/Timeout taxonomy must never silently go incomplete";
+  }
+
+let allocation =
+  {
+    id = "R11";
+    name = "allocation";
+    severity = Diagnostic.Error;
+    doc =
+      "no closure construction, partial application, or boxed allocation \
+       on the per-window scoring path: scoring cost must stay flat per \
+       window";
+  }
+
+let suppression =
+  {
+    id = "R12";
+    name = "suppression";
+    severity = Diagnostic.Error;
+    doc =
+      "lint: allow markers must name known rules exactly and carry a \
+       justification clause; a typo'd allow suppresses nothing, silently";
+  }
+
 let all =
   [
     syntax;
@@ -108,6 +151,10 @@ let all =
     concurrency;
     hot_path;
     swallow;
+    checkpoint;
+    fault_custody;
+    allocation;
+    suppression;
   ]
 
 let diag rule (src : Source.t) ~line ~col message =
@@ -120,8 +167,67 @@ let diag_at rule src (loc : Location.t) message =
     ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
     message
 
+(* Variants for findings that do not sit in a [Source.t] (whole-program
+   rules locate by call-graph node) or that need a non-default
+   severity (R12's bare-allow warning). *)
+let diag_path rule ~path ~line ~col message =
+  Diagnostic.make ~rule:rule.id ~rule_name:rule.name ~severity:rule.severity
+    ~file:path ~line ~col message
+
+let diag_sev rule ~severity (src : Source.t) ~line ~col message =
+  Diagnostic.make ~rule:rule.id ~rule_name:rule.name ~severity
+    ~file:src.Source.path ~line ~col message
+
 let flatten lid = try Longident.flatten lid with Misc.Fatal_error -> []
 let strip_stdlib = function "Stdlib" :: rest -> rest | parts -> parts
+
+(* R12: the whitelist is part of the correctness argument, so its
+   markers are linted too — in every file role, since a typo'd allow
+   is dead weight wherever it sits.  Unknown or missing rule tokens
+   are errors (the marker suppresses nothing); a marker without a
+   justification clause is a warning. *)
+let known_tokens =
+  "all"
+  :: List.concat_map
+       (fun r -> [ String.lowercase_ascii r.id; String.lowercase_ascii r.name ])
+       all
+
+let check_suppressions (src : Source.t) =
+  List.concat_map
+    (fun (line, (a : Source.allow)) ->
+      if a.Source.tokens = [] then
+        [
+          diag suppression src ~line ~col:a.Source.marker_col
+            "allow marker names no rules; write `lint: allow <rule> — \
+             justification`";
+        ]
+      else
+        let unknown =
+          List.filter_map
+            (fun (tok, col) ->
+              if List.mem tok known_tokens then None
+              else
+                Some
+                  (diag suppression src ~line ~col
+                     (Printf.sprintf
+                        "unknown rule token %S in allow marker; it suppresses \
+                         nothing — use a rule id (r3), a rule name \
+                         (partiality), or `all`"
+                        tok)))
+            a.Source.tokens
+        in
+        let bare =
+          if a.Source.justified then []
+          else
+            [
+              diag_sev suppression ~severity:Diagnostic.Warning src ~line
+                ~col:a.Source.marker_col
+                "bare allow marker; state why the rule is safe to suppress \
+                 here: `lint: allow <rule> — justification`";
+            ]
+        in
+        unknown @ bare)
+    (Source.markers src)
 
 let print_fns =
   [
@@ -376,7 +482,7 @@ let not_allowed (src : Source.t) (d : Diagnostic.t) =
        ~line:d.Diagnostic.line)
 
 let check_file src =
-  check_parsed src (Source.parse src)
+  check_suppressions src @ check_parsed src (Source.parse src)
   |> List.filter (not_allowed src)
   |> List.sort Diagnostic.compare
 
@@ -519,16 +625,239 @@ let check_detector_contract files parsed_of =
                          []))
       | Source.Signature _ | Source.Broken _ -> [])
 
+(* ---- Whole-program rules R9–R11 ----
+
+   These run over the call graph of all library implementations at
+   once; see Callgraph/Reach/Effects for the model and docs/LINTING.md
+   for its documented imprecision. *)
+
+(* R9: flag hot-path functions that loop without reaching a
+   checkpoint, unless every hot caller is itself guarded. *)
+let check_checkpoints g ~hot =
+  let guarded = Effects.guarded g ~hot in
+  List.filter_map
+    (fun (fn : Callgraph.fn) ->
+      if fn.Callgraph.has_loop && not (guarded fn.Callgraph.id) then
+        Some
+          (diag_path checkpoint ~path:fn.Callgraph.path ~line:fn.Callgraph.line
+             ~col:fn.Callgraph.col
+             (Printf.sprintf
+                "%s.%s loops on a train/score hot path but never reaches \
+                 Deadline.checkpoint; add a periodic checkpoint so the \
+                 deadline can fire (or whitelist with `lint: allow \
+                 checkpoint`)"
+                fn.Callgraph.id.Callgraph.unit_name
+                fn.Callgraph.id.Callgraph.fn_name))
+      else None)
+    hot
+
+(* R10 helpers: the constructor heads matched by [Fault.classify]. *)
+let rec pattern_constructors (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_construct ({ txt; _ }, _) -> (
+      match List.rev (flatten txt) with c :: _ -> [ c ] | [] -> [])
+  | Parsetree.Ppat_or (a, b) ->
+      pattern_constructors a @ pattern_constructors b
+  | Parsetree.Ppat_alias (inner, _) -> pattern_constructors inner
+  | _ -> []
+
+let classify_cases structure =
+  let strip_head e =
+    let rec go (e : Parsetree.expression) =
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_fun (_, _, _, body) -> go body
+      | Parsetree.Pexp_newtype (_, body) -> go body
+      | _ -> e
+    in
+    let body = go e in
+    match body.Parsetree.pexp_desc with
+    | Parsetree.Pexp_function cases -> Some cases
+    | Parsetree.Pexp_match (_, cases) -> Some cases
+    | _ -> None
+  in
+  List.find_map
+    (fun (item : Parsetree.structure_item) ->
+      match item.Parsetree.pstr_desc with
+      | Parsetree.Pstr_value (_, vbs) ->
+          List.find_map
+            (fun (vb : Parsetree.value_binding) ->
+              match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+              | Parsetree.Ppat_var { txt = "classify"; _ } -> (
+                  match strip_head vb.Parsetree.pvb_expr with
+                  | Some cases ->
+                      Some
+                        ( vb.Parsetree.pvb_loc,
+                          List.concat_map
+                            (fun (c : Parsetree.case) ->
+                              pattern_constructors c.Parsetree.pc_lhs)
+                            cases )
+                  | None -> None)
+              | _ -> None)
+            vbs
+      | _ -> None)
+    structure
+
+let check_fault_custody lib_mls ~hot =
+  let classify =
+    List.find_map
+      (fun ((f : Source.t), structure) ->
+        if Source.module_name f = "Fault" then
+          match classify_cases structure with
+          | Some (loc, ctors) -> Some (f, loc, ctors)
+          | None -> None
+        else None)
+      lib_mls
+  in
+  match classify with
+  | None -> []
+  | Some (src, loc, mapped) ->
+      Effects.raisable ~hot
+      |> List.filter_map (fun (exn, (epath, eline, _)) ->
+             if List.mem exn mapped then None
+             else
+               Some
+                 (diag_at fault_custody src loc
+                    (Printf.sprintf
+                       "%s can be raised on a supervised-task path (e.g. at \
+                        %s:%d) but Fault.classify has no case for it; map it \
+                        explicitly (or whitelist with `lint: allow \
+                        fault-custody`)"
+                       exn epath eline)))
+
+(* R11: curated external calls that allocate their result. *)
+let external_allocator parts =
+  match parts with
+  | [
+      "Array";
+      ( "make" | "init" | "copy" | "append" | "sub" | "concat" | "of_list"
+      | "to_list" | "map" | "mapi" | "make_matrix" | "of_seq" | "to_seq" );
+    ] ->
+      true
+  | [
+      "List";
+      ( "map" | "mapi" | "init" | "append" | "rev" | "rev_append" | "filter"
+      | "filter_map" | "concat" | "concat_map" | "sort" | "stable_sort"
+      | "of_seq" | "to_seq" | "cons" );
+    ] ->
+      true
+  | [
+      "String";
+      ( "make" | "init" | "sub" | "concat" | "map" | "mapi" | "of_seq"
+      | "to_seq" | "split_on_char" | "cat" );
+    ] ->
+      true
+  | "Bytes" :: _ | "Seq" :: _ :: _ -> true
+  | [ "Buffer"; ("create" | "contents" | "to_bytes") ] -> true
+  | [ "Hashtbl"; ("create" | "copy" | "add" | "replace") ] -> true
+  | [ "Printf"; "sprintf" ] | [ "Format"; ("sprintf" | "asprintf") ] -> true
+  | [ "Option"; ("map" | "some" | "bind" | "join" | "to_list") ] -> true
+  | _ -> false
+
+let alloc_kind_message = function
+  | Callgraph.Closure -> "closure constructed"
+  | Callgraph.Ref -> "ref cell allocated"
+  | Callgraph.Tuple -> "tuple allocated"
+  | Callgraph.Array_literal -> "array literal allocated"
+  | Callgraph.Append -> "append (^/@) allocates"
+
+let check_allocations g ~score =
+  let pw = Effects.per_window g ~score in
+  let diag_loc (loc : Location.t) message =
+    let p = loc.Location.loc_start in
+    fun path ->
+      diag_path allocation ~path ~line:p.Lexing.pos_lnum
+        ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+        message
+  in
+  List.concat_map
+    (fun (fn : Callgraph.fn) ->
+      let name =
+        fn.Callgraph.id.Callgraph.unit_name ^ "."
+        ^ fn.Callgraph.id.Callgraph.fn_name
+      in
+      let per_window_fn = pw fn.Callgraph.id in
+      let of_alloc (a : Callgraph.alloc) =
+        if per_window_fn || a.Callgraph.alloc_in_loop then
+          Some
+            (diag_loc a.Callgraph.alloc_loc
+               (Printf.sprintf
+                  "%s per scored window in %s; hoist it off the scoring path \
+                   (or whitelist with `lint: allow allocation`)"
+                  (alloc_kind_message a.Callgraph.kind)
+                  name)
+               fn.Callgraph.path)
+        else None
+      in
+      let of_site (s : Callgraph.site) =
+        if not (per_window_fn || s.Callgraph.in_loop) then None
+        else
+          match s.Callgraph.target with
+          | Callgraph.External parts
+            when s.Callgraph.args >= 1 && external_allocator parts ->
+              Some
+                (diag_loc s.Callgraph.site_loc
+                   (Printf.sprintf
+                      "%s allocates per scored window in %s; reuse a \
+                       preallocated buffer (or whitelist with `lint: allow \
+                       allocation`)"
+                      (String.concat "." parts) name)
+                   fn.Callgraph.path)
+          | Callgraph.Internal id when s.Callgraph.args >= 1 -> (
+              match Callgraph.find g id with
+              | Some callee
+                when callee.Callgraph.arity > 0
+                     && (not callee.Callgraph.has_optional)
+                     && s.Callgraph.args < callee.Callgraph.arity ->
+                  Some
+                    (diag_loc s.Callgraph.site_loc
+                       (Printf.sprintf
+                          "partial application of %s.%s allocates a closure \
+                           per scored window in %s; apply all %d arguments \
+                           (or whitelist with `lint: allow allocation`)"
+                          id.Callgraph.unit_name id.Callgraph.fn_name name
+                          callee.Callgraph.arity)
+                       fn.Callgraph.path)
+              | Some _ | None -> None)
+          | Callgraph.Internal _ | Callgraph.External _ -> None
+      in
+      List.filter_map of_alloc fn.Callgraph.allocs
+      @ List.filter_map of_site fn.Callgraph.sites)
+    score
+
+let check_program files parsed_of =
+  let lib_mls =
+    List.filter_map
+      (fun (f : Source.t) ->
+        if f.Source.role = Source.Lib && f.Source.kind = Source.Ml then
+          match parsed_of f with
+          | Source.Structure s -> Some (f, s)
+          | Source.Signature _ | Source.Broken _ -> None
+        else None)
+      files
+  in
+  if lib_mls = [] then []
+  else
+    let g = Callgraph.build lib_mls in
+    let hot = Reach.reachable g ~roots:(Reach.hot_roots g) in
+    let score = Reach.reachable g ~roots:(Reach.score_roots g) in
+    check_checkpoints g ~hot
+    @ check_fault_custody lib_mls ~hot
+    @ check_allocations g ~score
+
 let run files =
   let parsed =
     List.map (fun (f : Source.t) -> (f.Source.path, Source.parse f)) files
   in
   let parsed_of (f : Source.t) = List.assoc f.Source.path parsed in
   let per_file =
-    List.concat_map (fun f -> check_parsed f (parsed_of f)) files
+    List.concat_map
+      (fun f -> check_suppressions f @ check_parsed f (parsed_of f))
+      files
   in
   let project =
-    check_interfaces files @ check_detector_contract files parsed_of
+    check_interfaces files
+    @ check_detector_contract files parsed_of
+    @ check_program files parsed_of
   in
   let source_of path =
     List.find_opt (fun (f : Source.t) -> f.Source.path = path) files

@@ -29,6 +29,26 @@
       supervisor via [Fault.classify].  Escape hatch:
       [lint: allow swallow].
 
+    Three whole-program rules run over the cross-module call graph
+    ({!Callgraph} / {!Reach} / {!Effects}):
+
+    - [R9 checkpoint] — every loop or recursive binding reachable from
+      a train/score hot path must reach [Deadline.checkpoint], either
+      directly, through a callee, or through a checkpointing caller.
+      Escape hatch: [lint: allow checkpoint].
+    - [R10 fault-custody] — every exception constructor raisable on a
+      supervised-task path must have an explicit [Fault.classify]
+      case.  Escape hatch: [lint: allow fault-custody].
+    - [R11 allocation] — no closure construction, partial application,
+      or boxed allocation on the per-window scoring path.  Escape
+      hatch: [lint: allow allocation].
+
+    One meta-rule keeps the whitelist honest:
+
+    - [R12 suppression] — allow markers must name known rules exactly
+      (unknown tokens and empty markers are errors) and carry a
+      [— justification] clause (bare markers warn).
+
     A further pseudo-rule, [R0 syntax], reports files that do not
     parse.
 
@@ -44,7 +64,7 @@ type t = {
 }
 
 val all : t list
-(** Every rule the engine knows, [R0]–[R8], in order. *)
+(** Every rule the engine knows, [R0]–[R12], in order. *)
 
 val syntax : t
 val determinism : t
@@ -55,10 +75,15 @@ val detector_contract : t
 val concurrency : t
 val hot_path : t
 val swallow : t
+val checkpoint : t
+val fault_custody : t
+val allocation : t
+val suppression : t
 
 val check_file : Source.t -> Diagnostic.t list
-(** File-local rules only ([R0]–[R3]), whitelist already applied.
-    Project-wide rules need the whole file set; use {!run}. *)
+(** File-local rules only ([R0]–[R3] and [R12]), whitelist already
+    applied.  Project-wide rules need the whole file set; use
+    {!run}. *)
 
 val run : Source.t list -> Diagnostic.t list
 (** All rules over a file set, whitelist applied, sorted by

@@ -1,0 +1,54 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+
+let level (d : Diagnostic.t) =
+  match d.Diagnostic.severity with
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+
+let rule_object (r : Rules.t) =
+  Printf.sprintf
+    "{\"id\":%s,\"name\":%s,\"shortDescription\":{\"text\":%s}}"
+    (str r.Rules.id) (str r.Rules.name) (str r.Rules.doc)
+
+let result_object (d : Diagnostic.t) =
+  Printf.sprintf
+    "{\"ruleId\":%s,\"level\":%s,\"message\":{\"text\":%s},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":%s},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+    (str d.Diagnostic.rule) (str (level d))
+    (str d.Diagnostic.message)
+    (str d.Diagnostic.file) d.Diagnostic.line
+    (d.Diagnostic.col + 1)
+
+let render diags =
+  let rules = String.concat "," (List.map rule_object Rules.all) in
+  let results = String.concat "," (List.map result_object diags) in
+  Printf.sprintf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"seqdiv-lint\",\"rules\":[%s]}},\"results\":[%s]}]}\n"
+    rules results
+
+let diag_object (d : Diagnostic.t) =
+  Printf.sprintf
+    "{\"rule\":%s,\"name\":%s,\"severity\":%s,\"file\":%s,\"line\":%d,\"col\":%d,\"message\":%s}"
+    (str d.Diagnostic.rule)
+    (str d.Diagnostic.rule_name)
+    (str (level d))
+    (str d.Diagnostic.file) d.Diagnostic.line d.Diagnostic.col
+    (str d.Diagnostic.message)
+
+let render_json diags =
+  "[" ^ String.concat "," (List.map diag_object diags) ^ "]\n"

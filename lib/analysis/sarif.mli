@@ -1,0 +1,14 @@
+(** Machine-readable renderings of a diagnostic list.
+
+    [render] produces a SARIF 2.1.0 log (one run, driver
+    [seqdiv-lint], rule metadata from {!Rules.all}); [render_json] a
+    plain JSON array of diagnostic objects.  Both are rendered by
+    hand — no JSON library in the toolchain — with deterministic field
+    order, so equal inputs give byte-equal output. *)
+
+val render : Diagnostic.t list -> string
+(** SARIF 2.1.0 document, trailing newline included. *)
+
+val render_json : Diagnostic.t list -> string
+(** Plain JSON array of [{rule, name, severity, file, line, col,
+    message}], trailing newline included. *)

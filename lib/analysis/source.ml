@@ -6,12 +6,18 @@ type parsed =
   | Signature of Parsetree.signature
   | Broken of { line : int; col : int; message : string }
 
+type allow = {
+  marker_col : int;
+  tokens : (string * int) list;
+  justified : bool;
+}
+
 type t = {
   path : string;
   role : role;
   kind : kind;
   content : string;
-  allows : string list array;
+  allows : allow option array;
 }
 
 let role_of_path path =
@@ -37,24 +43,44 @@ let is_token_char c =
   || (c >= '0' && c <= '9')
   || c = '_' || c = '-'
 
-(* Extract the rule tokens of a [lint: allow r1 r2 ...] marker on one
-   line.  The scan is purely lexical — a marker inside a string literal
-   would also count — but the marker is unusual enough that this cannot
+let is_all_dashes s = s <> "" && String.for_all (fun c -> c = '-') s
+
+(* Extract a [lint: allow r1 r2 — justification] marker on one line.
+   The scan is purely lexical — a marker inside a string literal would
+   also count — but the marker is unusual enough that this cannot
    misfire in practice, and a lexical scan keeps comments (which the
-   Parsetree drops) visible to the linter. *)
-let allows_of_line line =
+   Parsetree drops) visible to the linter.
+
+   Tokens run until the first non-token character or an all-dash token
+   ([--], [---]); everything after that separator, minus the trailing
+   comment closer, is the justification clause.  The em-dash used in
+   most markers is multi-byte and therefore stops the token scan
+   naturally. *)
+let allow_of_line line =
   match
-    (* Find "lint:" then require the next word to be "allow". *)
+    (* Find a comment-opener-prefixed "lint:" — requiring the opener
+       keeps mentions of the marker inside string literals (the rule
+       messages themselves name their escape hatch) from parsing as
+       markers — then require the next word to be "allow". *)
     let n = String.length line in
+    let opened i =
+      let rec back j =
+        if j >= 1 && (line.[j - 1] = ' ' || line.[j - 1] = '\t') then
+          back (j - 1)
+        else j
+      in
+      let j = back i in
+      j >= 2 && line.[j - 2] = '(' && line.[j - 1] = '*'
+    in
     let rec find i =
       if i + 5 > n then None
-      else if String.sub line i 5 = "lint:" then Some (i + 5)
+      else if String.sub line i 5 = "lint:" && opened i then Some i
       else find (i + 1)
     in
     find 0
   with
-  | None -> []
-  | Some start ->
+  | None -> None
+  | Some marker_col ->
       let n = String.length line in
       let rec skip_blank i =
         if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_blank (i + 1)
@@ -67,22 +93,33 @@ let allows_of_line line =
         let j = stop i in
         (String.lowercase_ascii (String.sub line i (j - i)), j)
       in
-      let i = skip_blank start in
+      let i = skip_blank (marker_col + 5) in
       let verb, i = token i in
-      if verb <> "allow" then []
+      if verb <> "allow" then None
       else
         let rec tokens i acc =
           let i = skip_blank i in
-          if i >= n || not (is_token_char line.[i]) then List.rev acc
+          if i >= n || not (is_token_char line.[i]) then (List.rev acc, i)
           else
             let tok, j = token i in
-            tokens j (tok :: acc)
+            if is_all_dashes tok then (List.rev acc, j)
+            else tokens j ((tok, i) :: acc)
         in
-        tokens i []
+        let tokens, rest_at = tokens i [] in
+        let rest = String.sub line rest_at (n - rest_at) in
+        let rest =
+          let r = String.trim rest in
+          if
+            String.length r >= 2
+            && String.sub r (String.length r - 2) 2 = "*)"
+          then String.trim (String.sub r 0 (String.length r - 2))
+          else r
+        in
+        Some { marker_col; tokens; justified = rest <> "" }
 
 let make ~path ~content =
   let allows =
-    split_lines content |> List.map allows_of_line |> Array.of_list
+    split_lines content |> List.map allow_of_line |> Array.of_list
   in
   { path; role = role_of_path path; kind = kind_of_path path; content; allows }
 
@@ -111,13 +148,26 @@ let module_name t =
 let base t = Filename.remove_extension t.path
 let dir t = Filename.dirname t.path
 
-let line_allows t line =
-  if line < 1 || line > Array.length t.allows then []
+let markers t =
+  let acc = ref [] in
+  for i = Array.length t.allows - 1 downto 0 do
+    match t.allows.(i) with
+    | None -> ()
+    | Some a -> acc := (i + 1, a) :: !acc
+  done;
+  !acc
+
+let line_allow t line =
+  if line < 1 || line > Array.length t.allows then None
   else t.allows.(line - 1)
 
 let allowed t ~rule ~rule_name ~line =
   let rule = String.lowercase_ascii rule
   and rule_name = String.lowercase_ascii rule_name in
-  let covers tok = tok = rule || tok = rule_name || tok = "all" in
-  List.exists covers (line_allows t line)
-  || List.exists covers (line_allows t (line - 1))
+  let covers (tok, _) = tok = rule || tok = rule_name || tok = "all" in
+  let line_covers l =
+    match line_allow t l with
+    | None -> false
+    | Some a -> List.exists covers a.tokens
+  in
+  line_covers line || line_covers (line - 1)

@@ -1,5 +1,6 @@
 (** A source file as seen by the linter: path, role, raw text, its
-    Parsetree, and the [(* lint: allow <rule> *)] whitelist.
+    Parsetree, and the allow whitelist — comments of the form
+    [lint: allow <rule> — justification].
 
     Files are plain values so that the rule engine is a pure function
     from a file set to diagnostics — the test suite feeds it inline
@@ -18,12 +19,22 @@ type parsed =
   | Broken of { line : int; col : int; message : string }
       (** The file does not parse; [line]/[col] point at the error. *)
 
+type allow = {
+  marker_col : int;  (** 0-based column where [lint:] starts. *)
+  tokens : (string * int) list;
+      (** Lowercased rule tokens with their 0-based columns. *)
+  justified : bool;
+      (** True when a non-empty justification clause follows the
+          tokens (after an em-dash or [--] separator). *)
+}
+(** One parsed [lint: allow] marker. *)
+
 type t = private {
   path : string;
   role : role;
   kind : kind;
   content : string;
-  allows : string list array;  (** Per line (0-based), lowercased rule tokens. *)
+  allows : allow option array;  (** Per line (0-based). *)
 }
 
 val make : path:string -> content:string -> t
@@ -46,9 +57,14 @@ val base : t -> string
 
 val dir : t -> string
 
+val markers : t -> (int * allow) list
+(** All [lint: allow] markers in the file, as (1-based line, marker)
+    pairs in line order — the input to the R12 suppression-hygiene
+    checks. *)
+
 val allowed : t -> rule:string -> rule_name:string -> line:int -> bool
 (** True when line [line] (1-based) is covered by a whitelist comment
     for this rule: an allow comment suppresses findings on its own line
     and on the line directly below, so both trailing and preceding
     placement work.  Tokens match the rule id ([R3]), the rule name
-    ([partiality]), or [all], case-insensitively. *)
+    ([partiality]), or [all], exactly and case-insensitively. *)

@@ -19,9 +19,16 @@ type t = {
    so [Timeout] — like [Fatal] — is never retried, but it renders
    distinctly ([failed:timeout]) because the remedy differs: raise
    [--deadline-ms], don't fix the detector. *)
+(* The named [Fatal] cases are the constructors the whole-program
+   analysis (lint R10) proves raisable on supervised paths today; the
+   final catch-all keeps custody of anything unforeseen, at the same
+   severity. *)
 let classify = function
   | Injected (severity, _) -> severity
   | Seqdiv_util.Deadline.Exceeded _ -> Timeout
+  | Seqdiv_util.Deadline.Hang_refused -> Fatal
+  | Invalid_argument _ -> Fatal
+  | Assert_failure _ -> Fatal
   | _ -> Fatal
 
 let of_exn ~attempts exn backtrace =

@@ -195,14 +195,55 @@ let predict m context =
   done;
   probs
 
+(* Allocation-free per-window scoring core (lint R11): [score_range]
+   preallocates the state rows once and replays the float operations
+   of [forward]/[state_distribution]/[predict] in the exact same
+   order, so scores are bit-identical to the allocating functions
+   above — which remain the reference implementation for training,
+   [log_likelihood] and the tests.  All loop state lives in
+   parameters: a ref accumulator would itself allocate per window. *)
+
+(* Sum of [row.(0..n-1)], ascending — matches [Array.fold_left (+.)]. *)
+let rec row_sum row n i acc =
+  if i >= n then acc else row_sum row n (i + 1) (acc +. row.(i))
+
+(* Inbound mass for state [s]: the previous alpha row through column
+   [s] of the transition matrix, ascending [s'] — matches the ref
+   loop in [forward]. *)
+let rec inbound_from prev a s s_len s' acc =
+  if s' >= s_len then acc
+  else inbound_from prev a s s_len (s' + 1) (acc +. (prev.(s') *. a.(s').(s)))
+
+(* One scaled forward step into [cur] ([t = 0] starts from [pi]). *)
+let forward_step m obs t prev cur =
+  let s_len = Array.length m.pi in
+  for s = 0 to s_len - 1 do
+    let inbound =
+      if t = 0 then m.pi.(s) else inbound_from prev m.a s s_len 0 0.0
+    in
+    cur.(s) <- inbound *. m.b.(s).(obs.(t))
+  done;
+  let scale = row_sum cur s_len 0 0.0 in
+  let scale = if scale <= 0.0 then epsilon_float else scale in
+  for s = 0 to s_len - 1 do
+    cur.(s) <- cur.(s) /. scale
+  done
+
 let score_range m trace ~lo ~hi =
   let lo, hi =
     Detector.clamp_range ~trace_len:(Trace.length trace) ~window:m.window ~lo
       ~hi
   in
+  (* [train]/[train_with] assert [window >= 2], so every scored window
+     carries a non-empty context. *)
   let ctx_len = m.window - 1 in
+  let s_len = Array.length m.pi in
   let n = Stdlib.max 0 (hi - lo + 1) in
   let ctx = Array.make ctx_len 0 in
+  let alpha = Array.make s_len 0.0 in
+  let alpha' = Array.make s_len 0.0 in
+  let filtered = Array.make s_len 0.0 in
+  let probs = Array.make m.k 0.0 in
   let items =
     Array.init n (fun i ->
         if i land 255 = 0 then Deadline.checkpoint ();
@@ -210,7 +251,22 @@ let score_range m trace ~lo ~hi =
         for j = 0 to ctx_len - 1 do
           ctx.(j) <- Trace.get trace (start + j)
         done;
-        let probs = predict m ctx in
+        for t = 0 to ctx_len - 1 do
+          forward_step m ctx t alpha alpha';
+          Array.blit alpha' 0 alpha 0 s_len
+        done;
+        Array.fill filtered 0 s_len 0.0;
+        for s = 0 to s_len - 1 do
+          for s' = 0 to s_len - 1 do
+            filtered.(s') <- filtered.(s') +. (alpha.(s) *. m.a.(s).(s'))
+          done
+        done;
+        Array.fill probs 0 m.k 0.0;
+        for s = 0 to s_len - 1 do
+          for o = 0 to m.k - 1 do
+            probs.(o) <- probs.(o) +. (filtered.(s) *. m.b.(s).(o))
+          done
+        done;
         let next = Trace.get trace (start + ctx_len) in
         let score = Float.max 0.0 (Float.min 1.0 (1.0 -. probs.(next))) in
         { Response.start; cover = m.window; score })

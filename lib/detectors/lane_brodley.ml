@@ -8,20 +8,21 @@ type model = {
 let name = "lnb"
 let maximal_epsilon = 0.0
 
+(* Allocation-free core of [similarity]: all state lives in the
+   parameters — a ref accumulator or a local [let rec] closure would
+   allocate on every scored window (lint R11). *)
+let rec similarity_from a b n i run total =
+  if i >= n then total
+  else if a.(i) = b.(i) then
+    let run = run + 1 in
+    similarity_from a b n (i + 1) run (total + run)
+  else similarity_from a b n (i + 1) 0 total
+
 let similarity a b =
   let n = Array.length a in
   (* lint: allow partiality — documented precondition *)
   if Array.length b <> n then invalid_arg "Lane_brodley.similarity: lengths";
-  let total = ref 0 in
-  let run = ref 0 in
-  for i = 0 to n - 1 do
-    if a.(i) = b.(i) then begin
-      incr run;
-      total := !total + !run
-    end
-    else run := 0
-  done;
-  !total
+  similarity_from a b n 0 0 0
 
 let max_similarity dw = dw * (dw + 1) / 2
 
@@ -39,6 +40,17 @@ let train ~window trace =
 let train_of_trie = None
 let window m = m.window
 let instances m = Array.length m.instances
+
+(* Best similarity over the instance db without the (instance, score)
+   pair [best_match] returns: the scoring path only needs the scalar,
+   and the tuple would be a per-window allocation (lint R11).
+   Similarities are non-negative, so seeding the fold with 0 computes
+   the same maximum as seeding with the first instance. *)
+let rec best_sim_from instances w i best =
+  if i >= Array.length instances then best
+  else
+    let s = similarity w instances.(i) in
+    best_sim_from instances w (i + 1) (if s > best then s else best)
 
 let best_match m w =
   assert (Array.length w = m.window);
@@ -72,7 +84,7 @@ let score_range m trace ~lo ~hi =
         for j = 0 to m.window - 1 do
           w.(j) <- Trace.get trace (start + j)
         done;
-        let _, best_sim = best_match m w in
+        let best_sim = best_sim_from m.instances w 0 0 in
         let score = 1.0 -. (float_of_int best_sim /. sim_max) in
         { Response.start; cover = m.window; score })
   in

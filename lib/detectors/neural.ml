@@ -167,24 +167,65 @@ let predict m context =
   let x = one_hot ~k:m.k ~ctx_len:(m.window - 1) context in
   snd (forward m x)
 
+(* Allocation-free scoring core (lint R11): [score_range] preallocates
+   the input, hidden and output vectors once and replays the float
+   operations of [one_hot]/[forward]/[softmax] in the exact same
+   order, so scores are bit-identical to the allocating functions
+   above — which remain the reference implementation for training and
+   [predict].  Loop state lives in parameters or destination cells: a
+   ref accumulator would itself allocate per window. *)
+
+(* Maximum of [v.(0..n-1)], ascending — matches
+   [Array.fold_left Float.max neg_infinity]. *)
+let rec vec_max_from v n i acc =
+  if i >= n then acc else vec_max_from v n (i + 1) (Float.max acc v.(i))
+
+(* Sum of [v.(0..n-1)], ascending — matches [Array.fold_left (+.)]. *)
+let rec vec_sum_from v n i acc =
+  if i >= n then acc else vec_sum_from v n (i + 1) (acc +. v.(i))
+
+(* [forward] followed by [softmax], writing the hidden activations
+   into [h] and the continuation distribution into [o]. *)
+let forward_into m x h o =
+  Matrix.mul_vec_into m.w1 x h;
+  for i = 0 to Array.length h - 1 do
+    h.(i) <- tanh (h.(i) +. m.b1.(i))
+  done;
+  Matrix.mul_vec_into m.w2 h o;
+  let n = Array.length o in
+  for i = 0 to n - 1 do
+    o.(i) <- o.(i) +. m.b2.(i)
+  done;
+  let mx = vec_max_from o n 0 neg_infinity in
+  for i = 0 to n - 1 do
+    o.(i) <- exp (o.(i) -. mx)
+  done;
+  let z = vec_sum_from o n 0 0.0 in
+  for i = 0 to n - 1 do
+    o.(i) <- o.(i) /. z
+  done
+
 let score_range m trace ~lo ~hi =
   let lo, hi =
     Detector.clamp_range ~trace_len:(Trace.length trace) ~window:m.window ~lo
       ~hi
   in
   let ctx_len = m.window - 1 in
-  let ctx = Array.make ctx_len 0 in
+  let x = Array.make (ctx_len * m.k) 0.0 in
+  let h = Array.make (Matrix.rows m.w1) 0.0 in
+  let o = Array.make m.k 0.0 in
   let n = Stdlib.max 0 (hi - lo + 1) in
   let items =
     Array.init n (fun i ->
         if i land 255 = 0 then Deadline.checkpoint ();
         let start = lo + i in
+        Array.fill x 0 (ctx_len * m.k) 0.0;
         for j = 0 to ctx_len - 1 do
-          ctx.(j) <- Trace.get trace (start + j)
+          x.((j * m.k) + Trace.get trace (start + j)) <- 1.0
         done;
-        let probs = predict m ctx in
+        forward_into m x h o;
         let next = Trace.get trace (start + ctx_len) in
-        let score = Float.max 0.0 (1.0 -. probs.(next)) in
+        let score = Float.max 0.0 (1.0 -. o.(next)) in
         { Response.start; cover = m.window; score })
   in
   Response.make ~detector:name ~window:m.window items

@@ -43,6 +43,10 @@ let add t k = add_many t k ~count:1
 let add_trace t trace =
   let data = Trace.raw trace in
   Trace.iter_windows trace ~width:t.width (fun pos ->
+      (* Cooperative watchdog hook (no-op unless a deadline is armed):
+         recording a whole trace is the longest loop of a standalone-db
+         train phase. *)
+      if pos land 4095 = 0 then Seqdiv_util.Deadline.checkpoint ();
       Seq_trie.add_at t.trie data ~pos ~len:t.width);
   t.bindings <- None
 

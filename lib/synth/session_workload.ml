@@ -31,7 +31,7 @@ let anomalous suite ~sessions ~length ~anomaly_size ~window =
         | None ->
             (* Unreachable: every pool member passed the injectability
                filter above on the same background and width. *)
-            (* lint: allow partiality *)
+            (* lint: allow partiality — unreachable, see above *)
             assert false)
   in
   Sessions.of_traces traces

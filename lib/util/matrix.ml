@@ -38,6 +38,21 @@ let mul_vec m v =
   done;
   out
 
+(* Same product and float-operation order as [mul_vec], but into a
+   caller-owned destination and with the accumulator living in the
+   destination cell: the scoring paths call this per window, where a
+   fresh result array or a ref accumulator would allocate (lint R11). *)
+let mul_vec_into m v dst =
+  assert (Array.length v = m.cols);
+  assert (Array.length dst = m.rows);
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    dst.(i) <- 0.0;
+    for j = 0 to m.cols - 1 do
+      dst.(i) <- dst.(i) +. (m.data.(base + j) *. v.(j))
+    done
+  done
+
 let tmul_vec m v =
   assert (Array.length v = m.rows);
   let out = Array.make m.cols 0.0 in

@@ -30,6 +30,11 @@ val mul_vec : t -> float array -> float array
 (** [mul_vec m v] is the matrix–vector product [m · v].
     Requires [Array.length v = cols m]. *)
 
+val mul_vec_into : t -> float array -> float array -> unit
+(** [mul_vec_into m v dst] computes [m · v] into [dst] without
+    allocating — same result, bit for bit, as {!mul_vec}.  Requires
+    [Array.length v = cols m] and [Array.length dst = rows m]. *)
+
 val tmul_vec : t -> float array -> float array
 (** [tmul_vec m v] is [mᵀ · v].  Requires [Array.length v = rows m]. *)
 

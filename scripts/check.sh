@@ -13,6 +13,21 @@ dune build @all
 dune build @lint
 dune runtest
 
+# Whole-tree lint, gated by the checked-in baseline: the SARIF artifact
+# lands in _build/lint.sarif for CI upload, the exit status fails this
+# script on any error-severity finding not already in
+# lint-baseline.txt, and the wall time is recorded against the 10 s
+# budget the whole-program analysis is designed for.
+lint_start=$(date +%s)
+./_build/default/bin/lint/seqdiv_lint.exe --format sarif \
+  --baseline lint-baseline.txt lib bin bench > _build/lint.sarif
+lint_elapsed=$(( $(date +%s) - lint_start ))
+if [ "$lint_elapsed" -gt 10 ]; then
+  echo "lint time budget exceeded: ${lint_elapsed}s (> 10 s)" >&2
+  exit 1
+fi
+echo "whole-tree lint: ${lint_elapsed}s, sarif in _build/lint.sarif"
+
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -45,6 +60,8 @@ done
 mkdir -p "$tmp/golden"
 SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR="$tmp/golden" \
   ./_build/default/test/test_golden.exe > /dev/null
+SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR="$tmp/golden" \
+  ./_build/default/test/test_lint_golden.exe > /dev/null
 diff -ru test/golden "$tmp/golden"
 echo "golden fixtures: OK"
 

@@ -6,8 +6,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-dune build test/test_golden.exe
+dune build test/test_golden.exe test/test_lint_golden.exe
 SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR=test/golden \
   ./_build/default/test/test_golden.exe
+SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR=test/golden \
+  ./_build/default/test/test_lint_golden.exe
 
 git --no-pager diff --stat -- test/golden

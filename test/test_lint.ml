@@ -141,7 +141,9 @@ let test_whitelist_suppresses () =
   Alcotest.(check (list string)) "suppressed" [] (rules_of diags)
 
 let test_whitelist_same_line () =
-  let src = "let a () = failwith \"boom\" (* lint: allow R3 *)\n" in
+  let src =
+    "let a () = failwith \"boom\" (* lint: allow R3 — fixture *)\n"
+  in
   let diags =
     run_on [ file "lib/ok2.ml" src; file "lib/ok2.mli" "val a : unit -> 'a\n" ]
   in
@@ -149,7 +151,8 @@ let test_whitelist_same_line () =
 
 let test_whitelist_wrong_rule () =
   let src =
-    "(* lint: allow determinism *)\nlet a () = failwith \"boom\"\n"
+    "(* lint: allow determinism — deliberately the wrong rule *)\n\
+     let a () = failwith \"boom\"\n"
   in
   let diags =
     run_on [ file "lib/no.ml" src; file "lib/no.mli" "val a : unit -> 'a\n" ]
@@ -436,6 +439,240 @@ let test_r8_not_in_bin () =
   Alcotest.(check (list string)) "no R8 in bin" []
     (rules_of (find_rule "R8" diags))
 
+(* --- R9: checkpoint coverage over the whole-program call graph --------- *)
+
+(* A detector score entry point that loops without ever reaching
+   Deadline.checkpoint — the seeded violation. *)
+let r9_bad_ml =
+  "let score_range m trace lo hi =\n\
+  \  let acc = Array.make 1 0 in\n\
+  \  for i = lo to hi do acc.(0) <- acc.(0) + m + i done;\n\
+  \  ignore trace;\n\
+  \  acc.(0)\n"
+
+let test_r9_missing_checkpoint () =
+  let diags = run_on [ file "lib/detectors/ck.ml" r9_bad_ml ] in
+  match find_rule "R9" diags with
+  | [ d ] ->
+      Alcotest.(check string) "file" "lib/detectors/ck.ml" d.Diagnostic.file;
+      Alcotest.(check int) "at the binding" 1 d.Diagnostic.line;
+      Alcotest.(check string) "name" "checkpoint" d.Diagnostic.rule_name;
+      Alcotest.(check bool) "names the function" true
+        (contains_sub d.Diagnostic.message "score_range")
+  | ds -> Alcotest.failf "expected one R9 diagnostic, got %d" (List.length ds)
+
+(* The same loop with a checkpoint inside is the sanctioned shape. *)
+let test_r9_checkpointed_clean () =
+  let src =
+    "let score_range m trace lo hi =\n\
+    \  let acc = Array.make 1 0 in\n\
+    \  for i = lo to hi do\n\
+    \    Deadline.checkpoint ();\n\
+    \    acc.(0) <- acc.(0) + m + i\n\
+    \  done;\n\
+    \  ignore trace;\n\
+    \  acc.(0)\n"
+  in
+  let diags = run_on [ file "lib/detectors/ck2.ml" src ] in
+  Alcotest.(check (list string)) "checkpointed loop clean" []
+    (rules_of (find_rule "R9" diags))
+
+(* A guarded caller is enough: the loop itself need not checkpoint when
+   every hot path into it already does. *)
+let test_r9_guarded_by_caller () =
+  let src =
+    "let helper n =\n\
+    \  let acc = Array.make 1 0 in\n\
+    \  for i = 0 to n do acc.(0) <- acc.(0) + i done;\n\
+    \  acc.(0)\n\
+     let score_range m trace lo hi =\n\
+    \  Deadline.checkpoint ();\n\
+    \  ignore trace;\n\
+    \  helper (m + lo + hi)\n"
+  in
+  let diags = run_on [ file "lib/detectors/ck3.ml" src ] in
+  Alcotest.(check (list string)) "guarded via the caller" []
+    (rules_of (find_rule "R9" diags))
+
+(* R9 honours the standard whitelist comment. *)
+let test_r9_whitelist () =
+  let src =
+    "(* lint: allow checkpoint — fixture loop is bounded *)\n" ^ r9_bad_ml
+  in
+  let diags = run_on [ file "lib/detectors/ck4.ml" src ] in
+  Alcotest.(check (list string)) "suppressed" []
+    (rules_of (find_rule "R9" diags))
+
+(* Loops unreachable from any train/score root are not R9's business. *)
+let test_r9_cold_loop_exempt () =
+  let src =
+    "let tabulate n =\n\
+    \  let acc = Array.make 1 0 in\n\
+    \  for i = 0 to n do acc.(0) <- acc.(0) + i done;\n\
+    \  acc.(0)\n"
+  in
+  let diags = run_on [ file "lib/report/tab.ml" src ] in
+  Alcotest.(check (list string)) "cold code exempt" []
+    (rules_of (find_rule "R9" diags))
+
+(* --- R10: fault custody of raisable constructors ----------------------- *)
+
+let r10_det_ml =
+  "let train ~window trace =\n\
+  \  ignore window; ignore trace;\n\
+  \  (* lint: allow partiality — fixture raise *)\n\
+  \  failwith \"seeded\"\n"
+
+let test_r10_unmapped_constructor () =
+  let diags =
+    run_on
+      [
+        file "lib/core/fault.ml" "let classify = function _ -> 1\n";
+        file "lib/detectors/d.ml" r10_det_ml;
+      ]
+  in
+  match find_rule "R10" diags with
+  | [ d ] ->
+      Alcotest.(check string) "reported at classify" "lib/core/fault.ml"
+        d.Diagnostic.file;
+      Alcotest.(check string) "name" "fault-custody" d.Diagnostic.rule_name;
+      Alcotest.(check bool) "names the constructor" true
+        (contains_sub d.Diagnostic.message "Failure");
+      Alcotest.(check bool) "cites the raise site" true
+        (contains_sub d.Diagnostic.message "lib/detectors/d.ml")
+  | ds -> Alcotest.failf "expected one R10 diagnostic, got %d" (List.length ds)
+
+(* An explicit case for the constructor restores custody. *)
+let test_r10_mapped_clean () =
+  let diags =
+    run_on
+      [
+        file "lib/core/fault.ml"
+          "let classify = function Failure _ -> 0 | _ -> 1\n";
+        file "lib/detectors/d.ml" r10_det_ml;
+      ]
+  in
+  Alcotest.(check (list string)) "mapped constructor clean" []
+    (rules_of (find_rule "R10" diags))
+
+(* R10 honours the standard whitelist comment. *)
+let test_r10_whitelist () =
+  let diags =
+    run_on
+      [
+        file "lib/core/fault.ml"
+          "(* lint: allow fault-custody — fixture *)\n\
+           let classify = function _ -> 1\n";
+        file "lib/detectors/d.ml" r10_det_ml;
+      ]
+  in
+  Alcotest.(check (list string)) "suppressed" []
+    (rules_of (find_rule "R10" diags))
+
+(* --- R11: allocation on the per-window scoring path -------------------- *)
+
+let r11_bad_ml =
+  "let score_range m trace lo hi =\n\
+  \  Array.init (hi - lo) (fun i -> (m, Trace.get trace (lo + i)))\n"
+
+let test_r11_alloc_per_window () =
+  let diags = run_on [ file "lib/detectors/al.ml" r11_bad_ml ] in
+  match find_rule "R11" diags with
+  | d :: _ ->
+      Alcotest.(check string) "file" "lib/detectors/al.ml" d.Diagnostic.file;
+      Alcotest.(check int) "at the tuple" 2 d.Diagnostic.line;
+      Alcotest.(check string) "name" "allocation" d.Diagnostic.rule_name
+  | [] -> Alcotest.fail "expected an R11 diagnostic"
+
+(* Scalar, loop-free scoring allocates nothing. *)
+let test_r11_scalar_clean () =
+  let src = "let score_range m trace lo hi = m + lo + hi + Trace.get trace lo\n" in
+  let diags = run_on [ file "lib/detectors/al2.ml" src ] in
+  Alcotest.(check (list string)) "scalar path clean" []
+    (rules_of (find_rule "R11" diags))
+
+(* Allocation at the top of the call, outside any loop, is the
+   preallocation idiom R11 exists to encourage. *)
+let test_r11_preallocation_clean () =
+  let src =
+    "let score_range m trace lo hi =\n\
+    \  let out = Array.make (hi - lo) 0 in\n\
+    \  for i = lo to hi - 1 do\n\
+    \    Deadline.checkpoint ();\n\
+    \    out.(i - lo) <- m + Trace.get trace i\n\
+    \  done;\n\
+    \  out\n"
+  in
+  let diags = run_on [ file "lib/detectors/al3.ml" src ] in
+  Alcotest.(check (list string)) "preallocation clean" []
+    (rules_of (find_rule "R11" diags))
+
+(* R11 honours the standard whitelist comment. *)
+let test_r11_whitelist () =
+  let src =
+    "let score_range m trace lo hi =\n\
+    \  (* lint: allow allocation — fixture *)\n\
+    \  Array.init (hi - lo) (fun i -> (m, Trace.get trace (lo + i)))\n"
+  in
+  let diags = run_on [ file "lib/detectors/al4.ml" src ] in
+  Alcotest.(check (list string)) "suppressed" []
+    (rules_of (find_rule "R11" diags))
+
+(* Train-time allocation is legitimate: R11 only guards score paths. *)
+let test_r11_train_exempt () =
+  let src =
+    "let train ~window trace =\n\
+    \  ignore window;\n\
+    \  List.init 4 (fun i -> (i, Trace.get trace i))\n"
+  in
+  let diags = run_on [ file "lib/detectors/al5.ml" src ] in
+  Alcotest.(check (list string)) "no R11 outside score" []
+    (rules_of (find_rule "R11" diags))
+
+(* --- R12: hygiene of the allow markers themselves ----------------------- *)
+
+let test_r12_unknown_token () =
+  let src = "(* lint: allow nonsense — typo'd rule *)\nlet a = 1\n" in
+  let diags = run_on [ file "lib/m.ml" src; file "lib/m.mli" "val a : int\n" ] in
+  match find_rule "R12" diags with
+  | [ d ] ->
+      Alcotest.(check bool) "is error" true (Diagnostic.is_error d);
+      Alcotest.(check bool) "names the token" true
+        (contains_sub d.Diagnostic.message "nonsense")
+  | ds -> Alcotest.failf "expected one R12 diagnostic, got %d" (List.length ds)
+
+let test_r12_empty_marker () =
+  let src = "(* lint: allow *)\nlet a = 1\n" in
+  let diags = run_on [ file "lib/m2.ml" src; file "lib/m2.mli" "val a : int\n" ] in
+  match find_rule "R12" diags with
+  | [ d ] ->
+      Alcotest.(check bool) "is error" true (Diagnostic.is_error d);
+      Alcotest.(check bool) "says no rules" true
+        (contains_sub d.Diagnostic.message "names no rules")
+  | ds -> Alcotest.failf "expected one R12 diagnostic, got %d" (List.length ds)
+
+(* A bare allow still suppresses, but draws a warning asking for the
+   justification clause. *)
+let test_r12_bare_allow_warns () =
+  let src = "(* lint: allow partiality *)\nlet a () = failwith \"x\"\n" in
+  let diags =
+    run_on [ file "lib/m3.ml" src; file "lib/m3.mli" "val a : unit -> 'a\n" ]
+  in
+  Alcotest.(check (list string)) "only the R12 warning" [ "R12" ]
+    (rules_of diags);
+  Alcotest.(check bool) "is warning" false
+    (Diagnostic.is_error (List.hd diags))
+
+let test_r12_justified_clean () =
+  let src =
+    "(* lint: allow partiality — documented precondition *)\n\
+     let a () = failwith \"x\"\n"
+  in
+  let diags =
+    run_on [ file "lib/m4.ml" src; file "lib/m4.mli" "val a : unit -> 'a\n" ]
+  in
+  Alcotest.(check (list string)) "no diagnostics" [] (rules_of diags)
+
 let () =
   Alcotest.run "lint"
     [
@@ -480,6 +717,32 @@ let () =
           Alcotest.test_case "R8 exempts fault" `Quick test_r8_exempts_fault;
           Alcotest.test_case "R8 whitelist" `Quick test_r8_whitelist;
           Alcotest.test_case "R8 exempt in bin" `Quick test_r8_not_in_bin;
+          Alcotest.test_case "R9 missing checkpoint" `Quick
+            test_r9_missing_checkpoint;
+          Alcotest.test_case "R9 checkpointed clean" `Quick
+            test_r9_checkpointed_clean;
+          Alcotest.test_case "R9 guarded by caller" `Quick
+            test_r9_guarded_by_caller;
+          Alcotest.test_case "R9 whitelist" `Quick test_r9_whitelist;
+          Alcotest.test_case "R9 cold loop exempt" `Quick
+            test_r9_cold_loop_exempt;
+          Alcotest.test_case "R10 unmapped constructor" `Quick
+            test_r10_unmapped_constructor;
+          Alcotest.test_case "R10 mapped clean" `Quick test_r10_mapped_clean;
+          Alcotest.test_case "R10 whitelist" `Quick test_r10_whitelist;
+          Alcotest.test_case "R11 alloc per window" `Quick
+            test_r11_alloc_per_window;
+          Alcotest.test_case "R11 scalar clean" `Quick test_r11_scalar_clean;
+          Alcotest.test_case "R11 preallocation clean" `Quick
+            test_r11_preallocation_clean;
+          Alcotest.test_case "R11 whitelist" `Quick test_r11_whitelist;
+          Alcotest.test_case "R11 train exempt" `Quick test_r11_train_exempt;
+          Alcotest.test_case "R12 unknown token" `Quick test_r12_unknown_token;
+          Alcotest.test_case "R12 empty marker" `Quick test_r12_empty_marker;
+          Alcotest.test_case "R12 bare allow warns" `Quick
+            test_r12_bare_allow_warns;
+          Alcotest.test_case "R12 justified clean" `Quick
+            test_r12_justified_clean;
           Alcotest.test_case "rendering" `Quick test_diagnostic_rendering;
         ] );
     ]

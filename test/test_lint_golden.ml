@@ -1,0 +1,86 @@
+(* Golden-file test for the linter's rendered output: a fixed virtual
+   tree with one violation per representative rule, rendered as text
+   and as SARIF, compared byte-for-byte against fixtures under
+   [test/golden/].  The diagnostic order, message wording, column
+   convention and SARIF shape are all load-bearing (CI diffs lint
+   output against a baseline), so any byte of drift is a real
+   interface change.
+
+   To update the fixtures after an intentional change, run
+   [scripts/promote-golden.sh] and review the diff like any other
+   code. *)
+
+open Seqdiv_analysis
+
+let golden_dir =
+  match Sys.getenv_opt "SEQDIV_GOLDEN_DIR" with
+  | Some d -> d
+  | None -> "golden"
+
+(* One violation per layer of the rule set: per-file (R1, R3),
+   whole-program (R9, R11), and marker hygiene (R12 warning). *)
+let fixture_tree =
+  [
+    Source.make ~path:"lib/core/clocky.ml"
+      ~content:"let now () = Sys.time ()\n";
+    Source.make ~path:"lib/core/clocky.mli"
+      ~content:"val now : unit -> float\n";
+    Source.make ~path:"lib/core/partial.ml"
+      ~content:
+        "let head l = List.hd l\n\
+         (* lint: allow partiality *)\n\
+         let tail l = List.tl l\n";
+    Source.make ~path:"lib/core/partial.mli"
+      ~content:"val head : 'a list -> 'a\nval tail : 'a list -> 'a list\n";
+    Source.make ~path:"lib/detectors/toy.ml"
+      ~content:
+        "let score_range m trace lo hi =\n\
+        \  let acc = Array.make 1 0 in\n\
+        \  for i = lo to hi do acc.(0) <- acc.(0) + m + i done;\n\
+        \  Array.init (hi - lo) (fun i -> (m, Trace.get trace (lo + i)))\n";
+    Source.make ~path:"lib/detectors/toy.mli"
+      ~content:"val score_range : int -> 'a -> int -> int -> 'b array\n";
+  ]
+
+let diags () = Rules.run fixture_tree
+let files = List.length fixture_tree
+
+let gen_text () = Lint.render Lint.Text ~files (diags ())
+let gen_sarif () = Lint.render Lint.Sarif ~files (diags ())
+
+let scenarios =
+  [ ("lint", ".txt", gen_text); ("lint", ".sarif", gen_sarif) ]
+
+let fixture name ext = Filename.concat golden_dir (name ^ ext)
+
+let promote () =
+  List.iter
+    (fun (name, ext, gen) ->
+      let path = fixture name ext in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (gen ()));
+      Printf.printf "promoted %s\n" path)
+    scenarios
+
+let check_golden name ext gen () =
+  let path = fixture name ext in
+  if not (Sys.file_exists path) then
+    Alcotest.failf "missing fixture %s — run scripts/promote-golden.sh" path;
+  let expected = In_channel.with_open_bin path In_channel.input_all in
+  Alcotest.(check string)
+    (Printf.sprintf "%s matches %s byte-for-byte" (name ^ ext) path)
+    expected (gen ())
+
+let () =
+  match Sys.getenv_opt "SEQDIV_GOLDEN_PROMOTE" with
+  | Some _ -> promote ()
+  | None ->
+      Alcotest.run "lint-golden"
+        [
+          ( "renders",
+            List.map
+              (fun (name, ext, gen) ->
+                Alcotest.test_case (name ^ ext) `Quick
+                  (check_golden name ext gen))
+              scenarios );
+        ]
