@@ -27,6 +27,7 @@ type options = {
   deploy_len : int;
   micro : bool;
   grid_only : bool;
+  streaming : bool;
   csv_dir : string option;
   jobs : int;
   trace : bool;
@@ -45,6 +46,7 @@ let default_options =
     deploy_len = 30_000;
     micro = true;
     grid_only = false;
+    streaming = false;
     csv_dir = None;
     jobs = 1;
     trace = false;
@@ -68,6 +70,7 @@ let parse_options () =
         go { acc with deploy_len = int_of_string v } rest
     | "--no-micro" :: rest -> go { acc with micro = false } rest
     | "--grid-only" :: rest -> go { acc with grid_only = true; micro = false } rest
+    | "--streaming" :: rest -> go { acc with streaming = true; micro = false } rest
     | "--csv-dir" :: v :: rest -> go { acc with csv_dir = Some v } rest
     | ("-j" | "--jobs") :: v :: rest ->
         let jobs = int_of_string v in
@@ -223,6 +226,99 @@ let run_grid opts engine =
   measure_lookup_allocation suite.Suite.training
     (Ngram_index.trie suite.Suite.index);
   (suite, maps)
+
+(* --- streaming throughput (--streaming) -------------------------------- *)
+
+(* The PR-7 figure of merit: per-symbol scoring throughput of the
+   compiled flat automaton (one table read + one score read per symbol)
+   against the reference trie descent (a fresh O(window) walk per
+   completed window).  Both kernels fold their scores into a float
+   accumulator, so the work cannot be optimised away; whole-stream
+   passes repeat until each kernel has run for a fixed wall-clock
+   budget. *)
+let run_streaming opts =
+  section "Streaming throughput (trie descent vs compiled automaton)";
+  let params =
+    Suite.scaled_params ~train_len:opts.train_len
+      ~background_len:opts.background_len
+  in
+  let suite = timed "suite build" (fun () -> Suite.build params) in
+  let stream =
+    Deployment.deployment_stream suite
+      ~len:(Stdlib.max 100_000 opts.deploy_len)
+      ~seed:(params.Suite.seed + 3)
+  in
+  let data = Trace.raw stream in
+  let n = Array.length data in
+  Printf.printf "stream: %d symbols, alphabet %d\n%!" n
+    params.Suite.alphabet_size;
+  let rate_of ~min_seconds pass =
+    ignore (pass ());
+    (* warm caches and code *)
+    let t0 = Unix.gettimeofday () in
+    let passes = ref 0 in
+    let sink = ref 0.0 in
+    while Unix.gettimeofday () -. t0 < min_seconds do
+      sink := !sink +. pass ();
+      incr passes
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if Float.is_nan !sink then Printf.printf "(unreachable)\n";
+    if Sys.getenv_opt "SEQDIV_BENCH_DEBUG" <> None then
+      Printf.printf "  [debug: %d passes in %.3fs]\n%!" !passes dt;
+    float_of_int !passes *. float_of_int n /. dt
+  in
+  List.iter
+    (fun window ->
+      let trained =
+        Trained.train (Registry.find_exn "stide") ~window suite.Suite.training
+      in
+      let scorer =
+        match Trained.compile trained with
+        | Some s -> s
+        | None -> failwith "stide must compile"
+      in
+      let auto = Flat_automaton.automaton scorer in
+      let compiled = Trained.with_scorer trained scorer in
+      (* Reference: the detector's own per-window trie descent (batch). *)
+      let trie_pass () =
+        let r = Trained.score trained stream in
+        Array.fold_left
+          (fun acc (it : Response.item) -> acc +. it.Response.score)
+          0.0 r.Response.items
+      in
+      (* Compiled batch: same Response materialisation, automaton core. *)
+      let batch_pass () =
+        let r = Trained.score compiled stream in
+        Array.fold_left
+          (fun acc (it : Response.item) -> acc +. it.Response.score)
+          0.0 r.Response.items
+      in
+      (* Pure stream: the Online-monitor inner loop — step + score per
+         symbol, no response array at all. *)
+      let stream_pass () =
+        let acc = ref 0.0 in
+        let state = ref Flat_automaton.start in
+        for i = 0 to n - 1 do
+          state := Flat_automaton.step auto !state (Array.unsafe_get data i);
+          acc := !acc +. Flat_automaton.state_score scorer !state
+        done;
+        !acc
+      in
+      let trie = rate_of ~min_seconds:0.5 trie_pass in
+      let batch = rate_of ~min_seconds:0.5 batch_pass in
+      let streamed = rate_of ~min_seconds:0.5 stream_pass in
+      measure (Printf.sprintf "streaming_trie_sym_per_sec_w%d" window) trie;
+      measure
+        (Printf.sprintf "streaming_compiled_batch_sym_per_sec_w%d" window)
+        batch;
+      measure
+        (Printf.sprintf "streaming_automaton_sym_per_sec_w%d" window)
+        streamed;
+      measure
+        (Printf.sprintf "streaming_speedup_w%d" window)
+        (streamed /. trie))
+    [ 4; 8; 12 ]
 
 (* --- the paper reproduction ------------------------------------------- *)
 
@@ -713,6 +809,13 @@ let write_json path opts engine maps =
   out "    \"deploy_len\": %d,\n" opts.deploy_len;
   out "    \"jobs\": %d\n" opts.jobs;
   out "  },\n";
+  out "  \"machine\": {\n";
+  out "    \"hostname\": \"%s\",\n" (json_escape (Unix.gethostname ()));
+  out "    \"os_type\": \"%s\",\n" (json_escape Sys.os_type);
+  out "    \"word_size\": %d,\n" Sys.word_size;
+  out "    \"ocaml_version\": \"%s\",\n" (json_escape Sys.ocaml_version);
+  out "    \"recommended_jobs\": %d\n" (Seqdiv_util.Pool.recommended_jobs ());
+  out "  },\n";
   out "  \"stages\": [\n";
   let stages = List.rev !stages in
   List.iteri
@@ -735,7 +838,9 @@ let write_json path opts engine maps =
   out "    \"retries\": %d,\n" stats.Engine.retries;
   out "    \"cells_failed\": %d,\n" stats.Engine.cells_failed;
   out "    \"cells_timed_out\": %d,\n" stats.Engine.cells_timed_out;
-  out "    \"cells_resumed\": %d\n" stats.Engine.cells_resumed;
+  out "    \"cells_resumed\": %d,\n" stats.Engine.cells_resumed;
+  out "    \"automata_built\": %d,\n" stats.Engine.automata_built;
+  out "    \"automata_hits\": %d\n" stats.Engine.automata_hits;
   out "  },\n";
   out "  \"measurements\": [\n";
   let ms = List.rev !measurements in
@@ -779,7 +884,11 @@ let () =
     Engine.create ~clock:Unix.gettimeofday ~jobs:opts.jobs ?fault_plan
       ?deadline ()
   in
-  if opts.grid_only then begin
+  if opts.streaming then begin
+    run_streaming opts;
+    Option.iter (fun path -> write_json path opts engine []) opts.json
+  end
+  else if opts.grid_only then begin
     let _suite, maps = run_grid opts engine in
     if opts.trace then
       Format.eprintf "%a@." Engine.pp_stats (Engine.stats engine);

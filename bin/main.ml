@@ -564,6 +564,131 @@ let ablation_cmd =
     (Cmd.info "ablation" ~doc:"Run the A1-A4 ablation studies.")
     Term.(const run $ params_t $ engine_t $ which_t)
 
+(* --- model (compile / score saved models) ------------------------------- *)
+
+let model_cmd =
+  (* A saved model's kind is self-describing: text models open with the
+     versioned "#seqdiv-<kind>" header line, flat binaries with the
+     "sqdvflat" magic. *)
+  let sniff path =
+    In_channel.with_open_bin path (fun ic ->
+        let buf = Bytes.create 16 in
+        let n = In_channel.input ic buf 0 16 in
+        let head = Bytes.sub_string buf 0 n in
+        let starts p =
+          String.length head >= String.length p
+          && String.sub head 0 (String.length p) = p
+        in
+        if starts "sqdvflat" then `Flat
+        else if starts "#seqdiv-stide" then `Stide
+        else if starts "#seqdiv-markov" then `Markov
+        else `Unknown)
+  in
+  let compile_text path =
+    (* Returns (detector name, alarm threshold, compiled scorer). *)
+    let compile_with (type m) (module D : Detector.S with type model = m)
+        (m : m) =
+      match D.compile with
+      | Some f -> (
+          match f m with
+          | Some scorer -> (D.name, 1.0 -. D.maximal_epsilon, scorer)
+          | None ->
+              Printf.eprintf "%s: this model has no compiled form\n" D.name;
+              exit 1)
+      | None ->
+          Printf.eprintf "%s does not support compilation\n" D.name;
+          exit 1
+    in
+    match sniff path with
+    | `Stide -> compile_with (module Stide) (Model_io.load_stide_file path)
+    | `Markov -> compile_with (module Markov) (Model_io.load_markov_file path)
+    | `Flat ->
+        Printf.eprintf "%s is already a compiled flat model\n" path;
+        exit 1
+    | `Unknown ->
+        Printf.eprintf "%s: not a recognised seqdiv model file\n" path;
+        exit 1
+  in
+  let run_compile verbose model_file out =
+    setup_logging verbose;
+    let name, alarm_threshold, scorer = compile_text model_file in
+    Model_io.save_flat_file out ~detector:name ~alarm_threshold scorer;
+    let auto = Flat_automaton.automaton scorer in
+    Printf.printf "compiled %s model (window %d, %d states) to %s\n" name
+      (Flat_automaton.depth auto)
+      (Flat_automaton.states auto)
+      out
+  in
+  let print_items (r : Response.t) =
+    (* One "start score" line per window, scores in lossless hex float,
+       so two scoring paths can be compared with a plain byte diff. *)
+    Array.iter
+      (fun (item : Response.item) ->
+        Printf.printf "%d %h\n" item.Response.start item.Response.score)
+      r.Response.items
+  in
+  let run_score verbose model_file trace_file =
+    setup_logging verbose;
+    let trace = Trace_io.of_file trace_file in
+    let score_text (type m) (module D : Detector.S with type model = m)
+        (m : m) =
+      (* Text model: the detector's own descent over its model — the
+         reference path the flat binary must match byte for byte. *)
+      print_items (D.score m trace)
+    in
+    match sniff model_file with
+    | `Flat ->
+        let flat = Model_io.load_flat_file model_file in
+        let window = flat.Model_io.flat_window in
+        print_items
+          (Detector.compiled_score_range flat.Model_io.flat_scorer
+             ~detector:flat.Model_io.flat_detector trace ~lo:0
+             ~hi:(Trace.length trace - window))
+    | `Stide -> score_text (module Stide) (Model_io.load_stide_file model_file)
+    | `Markov ->
+        score_text (module Markov) (Model_io.load_markov_file model_file)
+    | `Unknown ->
+        Printf.eprintf "%s: not a recognised seqdiv model file\n" model_file;
+        exit 1
+  in
+  let model_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Saved model (text #seqdiv-* or flat binary).")
+  in
+  let out_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output flat binary.")
+  in
+  let trace_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"Trace to score (Trace_io format).")
+  in
+  let compile_cmd =
+    Cmd.v
+      (Cmd.info "compile"
+         ~doc:"Compile a saved text model to the mmap-ready flat binary.")
+      Term.(const run_compile $ verbose_t $ model_t $ out_t)
+  in
+  let score_cmd =
+    Cmd.v
+      (Cmd.info "score"
+         ~doc:
+           "Score a trace with a saved model (text or flat), printing one \
+            lossless 'start score' line per window.")
+      Term.(const run_score $ verbose_t $ model_t $ trace_t)
+  in
+  Cmd.group
+    (Cmd.info "model"
+       ~doc:"Compile and run saved detector models (deployment workflow).")
+    [ compile_cmd; score_cmd ]
+
 (* --- detect ------------------------------------------------------------- *)
 
 let detect_cmd =
@@ -835,7 +960,8 @@ let () =
     Cmd.group info
       [
         synth_cmd; mfs_cmd; map_cmd; full_cmd; roc_cmd; ensemble_cmd; lnb_cmd;
-        ablation_cmd; detect_cmd; dataset_cmd; compare_cmd; classify_cmd;
+        ablation_cmd; model_cmd; detect_cmd; dataset_cmd; compare_cmd;
+        classify_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -1,4 +1,5 @@
-let hot_fn_names = [ "train"; "train_with"; "score"; "score_range"; "of_trie" ]
+let hot_fn_names =
+  [ "train"; "train_with"; "score"; "score_range"; "of_trie"; "compile" ]
 
 let task_entries =
   [
@@ -7,15 +8,20 @@ let task_entries =
     ("Scoring", "incident_response");
     ("Seq_trie", "of_trace");
     ("Fault_plan", "trip");
+    ("Flat_automaton", "compile");
+    ("Flat_automaton", "make_scorer");
   ]
 
-let score_fn_names = [ "score"; "score_range" ]
+let score_fn_names = [ "score"; "score_range"; "compiled_score_range" ]
 
 let score_entries =
   [
     ("Scoring", "outcome");
     ("Scoring", "incident_response");
     ("Scoring", "outcome_of_response");
+    ("Detector", "compiled_score_range");
+    ("Flat_automaton", "step");
+    ("Flat_automaton", "state_score");
   ]
 
 let in_detectors_dir (fn : Callgraph.fn) =

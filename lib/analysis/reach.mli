@@ -4,9 +4,13 @@
     The roots are declarative because the engine dispatches detectors
     through first-class modules, which a syntactic call graph cannot
     see: detector-directory bindings named [train]/[train_with]/
-    [score]/[score_range]/[of_trie] are hot roots by decree, alongside
-    the named supervised-task entries in [lib/core] and the shared-trie
-    builder.  See docs/LINTING.md for the full list and rationale. *)
+    [score]/[score_range]/[of_trie]/[compile] are hot roots by decree,
+    alongside the named supervised-task entries in [lib/core], the
+    shared-trie builder and the flat-automaton compiler.  The compiled
+    scoring path ([Flat_automaton.step]/[state_score] and the shared
+    [Detector.compiled_score_range] loop) is rooted in the R11 score
+    set, so the fast path is provably allocation-free.  See
+    docs/LINTING.md for the full list and rationale. *)
 
 val hot_roots : Callgraph.t -> Callgraph.fn_id list
 (** Entry points of train/score hot paths and supervised tasks. *)

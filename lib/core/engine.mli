@@ -69,6 +69,7 @@ val create :
   ?retries:int ->
   ?fault_plan:Fault_plan.t ->
   ?deadline:Seqdiv_util.Deadline.spec ->
+  ?compile:bool ->
   unit ->
   t
 (** A fresh engine with an empty model cache.  [jobs] defaults to 1
@@ -81,7 +82,12 @@ val create :
     cooperative watchdog afresh around every supervised task execution
     (and every trie build): a task that checkpoints past the budget
     degrades its cell to {!Outcome.Failed} with the non-retried
-    [Timeout] severity instead of stalling the run. *)
+    [Timeout] severity instead of stalling the run.  [compile] (default
+    [false]) attaches compiled flat-automaton scorers
+    ({!Trained.compile}) to models as they are committed to the cache;
+    detectors sharing a training trace and window share one automaton,
+    cached per (fingerprint, window).  Responses are bit-identical with
+    the flag on or off (asserted against the golden fixtures). *)
 
 val default : t option -> t
 (** [default (Some e)] is [e]; [default None] is a fresh serial
@@ -89,6 +95,9 @@ val default : t option -> t
 
 val jobs : t -> int
 (** Worker count of the underlying pool. *)
+
+val compiles : t -> bool
+(** Whether the engine attaches compiled scorers to trained models. *)
 
 val pool : t -> Seqdiv_util.Pool.t
 (** The engine's pool, for drivers that parallelise pure per-item
@@ -127,6 +136,11 @@ type stats = {
       (** the subset of [cells_failed] whose fault severity is
           [Timeout] (deadline expiry) *)
   cells_resumed : int;  (** cells answered from the journal *)
+  automata_built : int;
+      (** flat automata compiled (when the engine was created with
+          [~compile:true]) *)
+  automata_hits : int;
+      (** compiled models that shared an already-built automaton *)
 }
 
 val stats : t -> stats

@@ -6,46 +6,94 @@ type event =
   | Incident_opened of int
   | Incident_closed of Incident.t
 
+(* Two scoring paths behind one monitor:
+
+   - [Automaton]: a compiled flat-automaton scorer steps once per fed
+     symbol — O(1) per symbol, no buffering, no per-window allocation.
+   - [Window_slide]: the reference path.  A ring buffer keeps the last
+     [window] symbols; each completed window is materialised as a
+     one-window trace and scored through the trained model.
+
+   The [Detector.S.compile] contract makes the two emit bit-identical
+   events on every valid stream (asserted by test_flat_automaton). *)
+type path =
+  | Automaton of {
+      scorer : Flat_automaton.scorer;
+      mutable state : int;
+    }
+  | Window_slide of {
+      trained : Trained.t;
+      alphabet : Alphabet.t;
+      buffer : int array;  (* ring of the last [window] symbols *)
+    }
+
 type t = {
-  trained : Trained.t;
+  path : path;
   threshold : float;
   window : int;
-  alphabet : Alphabet.t;
-  buffer : int array;  (* ring of the last [window] symbols *)
   mutable consumed : int;
   mutable open_incident : Incident.t option;
   mutable closed : Incident.t list;  (* newest first *)
 }
 
-let create trained ?threshold () =
+let make ~path ~threshold ~window =
+  {
+    path;
+    threshold;
+    window;
+    consumed = 0;
+    open_incident = None;
+    closed = [];
+  }
+
+let window_slide trained ~window =
+  Window_slide
+    {
+      trained;
+      (* The detector does not expose its training alphabet; symbols are
+         validated when the window trace is built, against the widest
+         alphabet, and again by the model's own lookup tables. *)
+      alphabet = Alphabet.make 255;
+      buffer = Array.make window 0;
+    }
+
+let create trained ?(compile = true) ?threshold () =
   let threshold =
     match threshold with
     | Some thr -> thr
     | None -> Trained.alarm_threshold trained
   in
   let window = Trained.window trained in
-  {
-    trained;
-    threshold;
-    window;
-    (* The detector does not expose its training alphabet; symbols are
-       validated when the window trace is built, against the widest
-       alphabet, and again by the model's own lookup tables. *)
-    alphabet = Alphabet.make 255;
-    buffer = Array.make window 0;
-    consumed = 0;
-    open_incident = None;
-    closed = [];
-  }
+  let path =
+    if not compile then window_slide trained ~window
+    else
+      let scorer =
+        match Trained.scorer trained with
+        | Some _ as s -> s
+        | None -> Trained.compile trained
+      in
+      match scorer with
+      | Some scorer
+        when Flat_automaton.depth (Flat_automaton.automaton scorer) = window
+        ->
+          Automaton { scorer; state = Flat_automaton.start }
+      | Some _ | None -> window_slide trained ~window
+  in
+  make ~path ~threshold ~window
+
+let of_scorer scorer ~threshold =
+  let window = Flat_automaton.depth (Flat_automaton.automaton scorer) in
+  make
+    ~path:(Automaton { scorer; state = Flat_automaton.start })
+    ~threshold ~window
 
 let position t = t.consumed
 
 let incidents t = List.rev t.closed
 
-let current_window t =
+let current_window t buffer =
   (* Oldest-first view of the ring buffer. *)
-  Array.init t.window (fun i ->
-      t.buffer.((t.consumed + i) mod t.window))
+  Array.init t.window (fun i -> buffer.((t.consumed + i) mod t.window))
 
 let item_of_score t score =
   {
@@ -83,39 +131,59 @@ let close_incident t =
       t.closed <- incident :: t.closed;
       [ Incident_closed incident ]
 
+(* Incident bookkeeping for one completed window — shared verbatim by
+   both paths so they can only differ through the score itself. *)
+let emit t score =
+  let item = item_of_score t score in
+  let scored = Window_scored item in
+  if score >= t.threshold then
+    match t.open_incident with
+    | Some incident when item.Response.start <= incident.Incident.cover_to + 1
+      ->
+        t.open_incident <- Some (grow_incident incident item);
+        [ scored ]
+    | Some _ ->
+        let closed = close_incident t in
+        t.open_incident <- Some (incident_of_item item);
+        (scored :: closed) @ [ Incident_opened item.Response.start ]
+    | None ->
+        t.open_incident <- Some (incident_of_item item);
+        [ scored; Incident_opened item.Response.start ]
+  else
+    match t.open_incident with
+    | Some incident when item.Response.start > incident.Incident.cover_to ->
+        scored :: close_incident t
+    | Some _ | None -> [ scored ]
+
 let feed t symbol =
-  t.buffer.(t.consumed mod t.window) <- symbol;
+  (match t.path with
+  | Automaton a ->
+      (* The window path validates against its 255-symbol alphabet when
+         a completed window is materialised; the automaton path never
+         materialises one, so it validates here. *)
+      if symbol < 0 || symbol > 254 then
+        (* lint: allow partiality — documented precondition *)
+        invalid_arg
+          (Printf.sprintf "Online.feed: symbol %d out of range" symbol);
+      a.state <-
+        Flat_automaton.step (Flat_automaton.automaton a.scorer) a.state symbol
+  | Window_slide w -> w.buffer.(t.consumed mod t.window) <- symbol);
   t.consumed <- t.consumed + 1;
   if t.consumed < t.window then []
-  else begin
-    let window_trace = Trace.of_array t.alphabet (current_window t) in
-    let response =
-      Trained.score_range t.trained window_trace ~lo:0 ~hi:0
-    in
+  else
     let score =
-      if Response.length response = 0 then 0.0
-      else response.Response.items.(0).Response.score
+      match t.path with
+      | Automaton a -> Flat_automaton.state_score a.scorer a.state
+      | Window_slide w ->
+          let window_trace =
+            Trace.of_array w.alphabet (current_window t w.buffer)
+          in
+          let response =
+            Trained.score_range w.trained window_trace ~lo:0 ~hi:0
+          in
+          if Response.length response = 0 then 0.0
+          else response.Response.items.(0).Response.score
     in
-    let item = item_of_score t score in
-    let scored = Window_scored item in
-    if score >= t.threshold then
-      match t.open_incident with
-      | Some incident
-        when item.Response.start <= incident.Incident.cover_to + 1 ->
-          t.open_incident <- Some (grow_incident incident item);
-          [ scored ]
-      | Some _ ->
-          let closed = close_incident t in
-          t.open_incident <- Some (incident_of_item item);
-          (scored :: closed) @ [ Incident_opened item.Response.start ]
-      | None ->
-          t.open_incident <- Some (incident_of_item item);
-          [ scored; Incident_opened item.Response.start ]
-    else
-      match t.open_incident with
-      | Some incident when item.Response.start > incident.Incident.cover_to ->
-          scored :: close_incident t
-      | Some _ | None -> [ scored ]
-  end
+    emit t score
 
 let flush t = close_incident t

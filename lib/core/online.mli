@@ -5,8 +5,16 @@
     feeds symbols one at a time to any trained detector, emitting the
     response of each completed window and tracking a running incident
     (a maximal run of threshold-crossing windows) so callers can react
-    to incident openings and closures as they happen. *)
+    to incident openings and closures as they happen.
 
+    When the trained model compiles to a flat automaton
+    ({!Trained.compile}), the monitor steps the automaton once per fed
+    symbol — O(1) per symbol instead of a fresh O(window) descent per
+    completed window — and emits bit-identical events; otherwise it
+    falls back to re-scoring each completed window through the
+    model. *)
+
+open Seqdiv_stream
 open Seqdiv_detectors
 
 type t
@@ -19,9 +27,17 @@ type event =
   | Incident_closed of Incident.t
       (** a completed incident (emitted when alarms stop) *)
 
-val create : Trained.t -> ?threshold:float -> unit -> t
+val create : Trained.t -> ?compile:bool -> ?threshold:float -> unit -> t
 (** A monitor around a trained detector.  [threshold] defaults to the
-    detector's alarm threshold. *)
+    detector's alarm threshold.  [compile] (default [true]) allows the
+    monitor to use the model's compiled flat-automaton scorer (attached
+    or freshly compiled); pass [false] to force the reference
+    window-rescoring path. *)
+
+val of_scorer : Flat_automaton.scorer -> threshold:float -> t
+(** A monitor directly around a compiled scorer (e.g. one mmap-loaded
+    by {!Seqdiv_detectors.Model_io.load_flat_file}) — deployment needs
+    no detector module, no trie, and no training trace in memory. *)
 
 val feed : t -> int -> event list
 (** Push one symbol; returns the events it triggered, in order.  Until

@@ -27,6 +27,7 @@ let name = "hmm"
 let maximal_epsilon = 0.01
 
 let train_of_trie = None
+let compile = None
 let window m = m.window
 let params m = m.params
 

@@ -38,6 +38,7 @@ let train ~window trace =
   { window; instances }
 
 let train_of_trie = None
+let compile = None
 let window m = m.window
 let instances m = Array.length m.instances
 

@@ -141,3 +141,29 @@ let score m trace =
     Detector.full_range ~trace_len:(Trace.length trace) ~window:m.window
   in
   score_range m trace ~lo ~hi
+
+(* Compiled form (maximum likelihood only): a full-depth state's parent
+   is exactly the window's context node, so the conditional probability
+   is count(state) / ctotal(parent) — the [probability_at] expression
+   with [alpha = 0], reproduced term for term ([x +. 0.0] and
+   [0.0 *. k] are exact) so scores stay bit-identical.  Every shallower
+   state means an unobserved continuation: probability 0, score 1.
+   A smoothed model is not a per-state table over the trained trie
+   (unobserved continuations of observed contexts score differently
+   from unobserved contexts), so it declines to compile. *)
+let compile_model ?automaton m =
+  if m.smoothing > 0.0 then None
+  else
+    let auto = Detector.obtain_automaton ?automaton m.trie ~window:m.window in
+    Some
+      (Flat_automaton.make_scorer auto ~score:(fun s ->
+           if Flat_automaton.state_depth auto s < m.window then 1.0
+           else
+             let count = Flat_automaton.state_count auto s in
+             let ctotal =
+               Flat_automaton.state_context_total auto
+                 (Flat_automaton.state_parent auto s)
+             in
+             1.0 -. (float_of_int count /. float_of_int ctotal)))
+
+let compile = Some compile_model

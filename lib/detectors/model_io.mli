@@ -9,7 +9,13 @@
     (The neural network and HMM are cheap to retrain deterministically
     from the training trace and seed, which is itself persisted by
     {!Seqdiv_synth.Dataset_io}; serialising float weight matrices
-    portably buys little, so they are deliberately not covered.) *)
+    portably buys little, so they are deliberately not covered.)
+
+    Alongside the text formats, a {e binary flat format} persists a
+    compiled flat-automaton scorer for zero-copy deployment loads —
+    see {!save_flat_file}. *)
+
+open Seqdiv_stream
 
 val save_stide : Stide.model -> string
 (** Serialise a Stide model (window size plus every distinct sequence
@@ -28,6 +34,47 @@ val load_markov : string -> Markov.model
     @raise Seqdiv_stream.Parse_error.Error on malformed input. *)
 
 val save_stide_file : string -> Stide.model -> unit
+
 val load_stide_file : string -> Stide.model
+(** @raise Seqdiv_stream.Parse_error.Error on malformed input or an
+    unreadable file (the message carries the path). *)
+
 val save_markov_file : string -> Markov.model -> unit
+
 val load_markov_file : string -> Markov.model
+(** @raise Seqdiv_stream.Parse_error.Error on malformed input or an
+    unreadable file (the message carries the path). *)
+
+(** {1 Binary flat-automaton format}
+
+    A compiled scorer ({!Seqdiv_stream.Flat_automaton}) serialised as a
+    versioned header plus straight 8-byte-aligned dumps of its tables.
+    Loading [mmap]s each table directly out of the file — no parsing,
+    no copying, no per-entry allocation — so a fleet of monitor
+    processes cold-starts in microseconds and shares the page cache.
+    The format is native-endian and 64-bit (a sanity tag in the header
+    rejects foreign files); portable interchange stays with the text
+    formats above. *)
+
+type flat = {
+  flat_detector : string;  (** detector name, e.g. ["stide"] *)
+  flat_window : int;  (** window size (= automaton depth) *)
+  flat_alarm_threshold : float;
+      (** the detector's alarm threshold ({!Seqdiv_core.Trained} keeps
+          it out of reach of a loader, so it travels in the file) *)
+  flat_scorer : Flat_automaton.scorer;
+}
+
+val save_flat_file :
+  string ->
+  detector:string ->
+  alarm_threshold:float ->
+  Flat_automaton.scorer ->
+  unit
+(** Write a compiled scorer.  [detector] must be 1..8 bytes. *)
+
+val load_flat_file : string -> flat
+(** Map a saved scorer back, zero-copy, validating the tables once so
+    the stepper's unchecked reads stay safe on untrusted files.
+    @raise Seqdiv_stream.Parse_error.Error on malformed input or an
+    unreadable file (the message carries the path). *)

@@ -32,6 +32,7 @@ let name = "nn"
 let maximal_epsilon = 1e-2
 
 let train_of_trie = None
+let compile = None
 let window m = m.window
 let params m = m.params
 let training_loss m = m.loss

@@ -42,3 +42,15 @@ let score m trace =
     Detector.full_range ~trace_len:(Trace.length trace) ~window:m.window
   in
   score_range m trace ~lo ~hi
+
+(* Compiled form: a full-depth state is a recorded window (score 0),
+   anything shallower is foreign (score 1) — exactly [mem_at]. *)
+let compile_model ?automaton m =
+  let auto =
+    Detector.obtain_automaton ?automaton (Seq_db.trie m.db) ~window:m.window
+  in
+  Some
+    (Flat_automaton.make_scorer auto ~score:(fun s ->
+         if Flat_automaton.state_depth auto s = m.window then 0.0 else 1.0))
+
+let compile = Some compile_model

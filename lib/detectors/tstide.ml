@@ -55,3 +55,23 @@ let score m trace =
     Detector.full_range ~trace_len:(Trace.length trace) ~window:m.window
   in
   score_range m trace ~lo ~hi
+
+(* Compiled form: a shallow state is a foreign window (score 1); a
+   full-depth state carries the window's count, so the rarity test is
+   the same division [Seq_trie.is_rare_at] performs (bit-identical
+   float expression, [count >= 1] by construction). *)
+let compile_model ?automaton m =
+  let trie = Seq_db.trie m.db in
+  let auto = Detector.obtain_automaton ?automaton trie ~window:m.window in
+  let total = Seq_trie.total trie m.window in
+  Some
+    (Flat_automaton.make_scorer auto ~score:(fun s ->
+         if Flat_automaton.state_depth auto s < m.window then 1.0
+         else if
+           float_of_int (Flat_automaton.state_count auto s)
+           /. float_of_int total
+           < m.threshold
+         then 1.0
+         else 0.0))
+
+let compile = Some compile_model

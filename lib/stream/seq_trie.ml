@@ -151,6 +151,16 @@ let context_at t a ~pos ~len =
 
 let context_total node = node.ctotal
 
+(* Compiler support ({!Flat_automaton}): a read-only walk over the node
+   graph.  [child_node] never creates nodes (unlike the internal
+   [child] used by the recording paths). *)
+let root t = t.root
+let occurrences node = node.count
+
+let child_node t node symbol =
+  assert (symbol >= 0 && symbol < t.alphabet_size);
+  node.children.(symbol)
+
 let continuation_count t node symbol =
   assert (symbol >= 0 && symbol < t.alphabet_size);
   match node.children.(symbol) with None -> 0 | Some c -> c.count

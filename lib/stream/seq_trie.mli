@@ -76,6 +76,18 @@ val context_total : node -> int
 (** Occurrences of the context that continued one symbol deeper — the
     denominator of [P(next | context)]. *)
 
+val root : t -> node
+(** The empty-sequence node — the entry point of a read-only node walk
+    (the {!Flat_automaton} compiler). *)
+
+val occurrences : node -> int
+(** Occurrences of the sequence this node spells — [count_at] without
+    the descent. *)
+
+val child_node : t -> node -> int -> node option
+(** The child one symbol deeper, when that extension was recorded.
+    Never creates a node.  Requires a valid alphabet symbol. *)
+
 val continuation_count : t -> node -> int -> int
 (** Occurrences of [context . symbol] — the numerator of
     [P(symbol | context)].  Requires a valid alphabet symbol. *)

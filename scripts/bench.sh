@@ -15,9 +15,41 @@
 # a single cell).
 #
 # Usage: scripts/bench.sh [output.json]
+#        scripts/bench.sh --streaming [output.json]
+#
+# --streaming (PR 7) instead runs the streaming-throughput benchmark —
+# per-symbol scoring rate of the compiled flat automaton vs the
+# reference trie descent, windows 4/8/12 — into BENCH_PR7.json (machine
+# context included by the bench binary), and fails when the speedup at
+# any window >= 8 falls below the 10x acceptance floor.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--streaming" ]; then
+  OUT=${2:-BENCH_PR7.json}
+  dune build bench/main.exe
+  echo "== streaming throughput (trie descent vs compiled automaton) =="
+  dune exec --no-build bench/main.exe -- --streaming --json "$OUT"
+
+  speedup() {
+    sed -n "s/.*\"label\": \"streaming_speedup_w$1\", \"value\": \([0-9.]*\).*/\1/p" "$OUT"
+  }
+  for w in 8 12; do
+    S=$(speedup "$w")
+    if [ -z "$S" ]; then
+      echo "FAIL: no streaming_speedup_w$w measurement in $OUT" >&2
+      exit 1
+    fi
+    echo "window $w: automaton ${S}x trie-descent throughput"
+    if [ "$(awk -v s="$S" 'BEGIN { print (s >= 10.0) ? 1 : 0 }')" -ne 1 ]; then
+      echo "FAIL: window-$w speedup ${S}x below the 10x acceptance floor" >&2
+      exit 1
+    fi
+  done
+  echo "wrote $OUT"
+  exit 0
+fi
 
 OUT=${1:-BENCH_PR3.json}
 TMP=$(mktemp -d)

@@ -106,3 +106,23 @@ status=0
 [ "$status" -eq 2 ] || {
   echo "deadline validation: expected exit 2, got $status" >&2; exit 1; }
 echo "deadline smoke test: OK"
+
+# Flat-model smoke test: train + save a text model, compile it to the
+# mmap-ready flat binary, then score a trace through both — the text
+# model's own trie descent and the mmap-loaded automaton.  `model
+# score` prints lossless hex floats, so a plain byte diff is the
+# bit-identity check of the deployment pipeline.
+"$bin" synth --train-len 20000 --out "$tmp/train.trace" > /dev/null
+"$bin" synth --train-len 3000 --seed 9 --out "$tmp/probe.trace" > /dev/null
+for d in stide markov; do
+  "$bin" detect -d "$d" --window 6 \
+    --train "$tmp/train.trace" --test "$tmp/probe.trace" \
+    --save-model "$tmp/$d.model" > /dev/null
+  "$bin" model compile --model "$tmp/$d.model" --out "$tmp/$d.flat" > /dev/null
+  "$bin" model score --model "$tmp/$d.model" --trace "$tmp/probe.trace" \
+    > "$tmp/$d.text.scores"
+  "$bin" model score --model "$tmp/$d.flat" --trace "$tmp/probe.trace" \
+    > "$tmp/$d.flat.scores"
+  diff "$tmp/$d.text.scores" "$tmp/$d.flat.scores"
+done
+echo "flat-model smoke test: OK"

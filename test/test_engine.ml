@@ -123,6 +123,7 @@ module Counting = struct
     window
 
   let train_of_trie = None
+  let compile = None
   let window m = m
 
   let score_range m trace ~lo ~hi =

@@ -515,6 +515,38 @@ let test_r9_cold_loop_exempt () =
   Alcotest.(check (list string)) "cold code exempt" []
     (rules_of (find_rule "R9" diags))
 
+(* The flat-automaton compiler is a declared hot root: its loops need
+   checkpoint coverage like any train-phase loop. *)
+let r9_flat_bad_ml =
+  "let compile trie depth =\n\
+  \  let states = Array.make 4 0 in\n\
+  \  for i = 0 to depth do states.(0) <- states.(0) + i + trie done;\n\
+  \  states.(0)\n"
+
+let test_r9_flat_compile_uncheckpointed () =
+  let diags = run_on [ file "lib/stream/flat_automaton.ml" r9_flat_bad_ml ] in
+  match find_rule "R9" diags with
+  | [ d ] ->
+      Alcotest.(check string) "file" "lib/stream/flat_automaton.ml"
+        d.Diagnostic.file;
+      Alcotest.(check bool) "names the compiler" true
+        (contains_sub d.Diagnostic.message "compile")
+  | ds -> Alcotest.failf "expected one R9 diagnostic, got %d" (List.length ds)
+
+let test_r9_flat_compile_checkpointed () =
+  let src =
+    "let compile trie depth =\n\
+    \  let states = Array.make 4 0 in\n\
+    \  for i = 0 to depth do\n\
+    \    Deadline.checkpoint ();\n\
+    \    states.(0) <- states.(0) + i + trie\n\
+    \  done;\n\
+    \  states.(0)\n"
+  in
+  let diags = run_on [ file "lib/stream/flat_automaton.ml" src ] in
+  Alcotest.(check (list string)) "checkpointed compiler clean" []
+    (rules_of (find_rule "R9" diags))
+
 (* --- R10: fault custody of raisable constructors ----------------------- *)
 
 let r10_det_ml =
@@ -629,6 +661,46 @@ let test_r11_train_exempt () =
   Alcotest.(check (list string)) "no R11 outside score" []
     (rules_of (find_rule "R11" diags))
 
+(* Flat-automaton stepping is a declared score root: an allocating
+   [step] called from the compiled scoring loop is a per-window
+   allocation like any other. *)
+let r11_flat_loop_ml =
+  "let compiled_score_range scorer trace lo hi =\n\
+  \  let out = Array.make (hi - lo) 0 in\n\
+  \  for i = lo to hi - 1 do\n\
+  \    Deadline.checkpoint ();\n\
+  \    out.(i - lo) <- Flat_automaton.step scorer trace i\n\
+  \  done;\n\
+  \  out\n"
+
+let test_r11_flat_step_allocating () =
+  let step_ml = "let step auto state symbol = fst (auto, (state, symbol))\n" in
+  let diags =
+    run_on
+      [
+        file "lib/stream/flat_automaton.ml" step_ml;
+        file "lib/detectors/fastpath.ml" r11_flat_loop_ml;
+      ]
+  in
+  match find_rule "R11" diags with
+  | d :: _ ->
+      Alcotest.(check string) "file" "lib/stream/flat_automaton.ml"
+        d.Diagnostic.file;
+      Alcotest.(check string) "name" "allocation" d.Diagnostic.rule_name
+  | [] -> Alcotest.fail "expected an R11 diagnostic in step"
+
+let test_r11_flat_step_clean () =
+  let step_ml = "let step auto state symbol = auto + state + symbol\n" in
+  let diags =
+    run_on
+      [
+        file "lib/stream/flat_automaton.ml" step_ml;
+        file "lib/detectors/fastpath.ml" r11_flat_loop_ml;
+      ]
+  in
+  Alcotest.(check (list string)) "allocation-free step clean" []
+    (rules_of (find_rule "R11" diags))
+
 (* --- R12: hygiene of the allow markers themselves ----------------------- *)
 
 let test_r12_unknown_token () =
@@ -726,6 +798,10 @@ let () =
           Alcotest.test_case "R9 whitelist" `Quick test_r9_whitelist;
           Alcotest.test_case "R9 cold loop exempt" `Quick
             test_r9_cold_loop_exempt;
+          Alcotest.test_case "R9 flat compile uncheckpointed" `Quick
+            test_r9_flat_compile_uncheckpointed;
+          Alcotest.test_case "R9 flat compile checkpointed" `Quick
+            test_r9_flat_compile_checkpointed;
           Alcotest.test_case "R10 unmapped constructor" `Quick
             test_r10_unmapped_constructor;
           Alcotest.test_case "R10 mapped clean" `Quick test_r10_mapped_clean;
@@ -737,6 +813,10 @@ let () =
             test_r11_preallocation_clean;
           Alcotest.test_case "R11 whitelist" `Quick test_r11_whitelist;
           Alcotest.test_case "R11 train exempt" `Quick test_r11_train_exempt;
+          Alcotest.test_case "R11 flat step allocating" `Quick
+            test_r11_flat_step_allocating;
+          Alcotest.test_case "R11 flat step clean" `Quick
+            test_r11_flat_step_clean;
           Alcotest.test_case "R12 unknown token" `Quick test_r12_unknown_token;
           Alcotest.test_case "R12 empty marker" `Quick test_r12_empty_marker;
           Alcotest.test_case "R12 bare allow warns" `Quick

@@ -87,6 +87,38 @@ let test_bad_inputs_rejected () =
   fails Model_io.load_markov "#seqdiv-markov 1 window=2 alphabet=4\nmalformed";
   fails Model_io.load_markov "#seqdiv-markov 1 window=2 alphabet=4\n0 | 1,2,3"
 
+let test_missing_file_raises_parse_error () =
+  (* A missing or unreadable model file must surface as a Parse_error
+     carrying the path, not a bare Sys_error from the runtime. *)
+  let missing = "/nonexistent/seqdiv-no-such-model" in
+  let fails what f =
+    match f missing with
+    | _ -> Alcotest.failf "%s: expected Parse_error" what
+    | exception Seqdiv_stream.Parse_error.Error msg ->
+        Alcotest.(check bool)
+          (what ^ " message carries the path")
+          true
+          (let n = String.length msg and m = String.length missing in
+           let rec scan i =
+             i + m <= n && (String.sub msg i m = missing || scan (i + 1))
+           in
+           scan 0)
+  in
+  fails "load_stide_file" Model_io.load_stide_file;
+  fails "load_markov_file" Model_io.load_markov_file;
+  fails "load_flat_file" (fun p -> Model_io.load_flat_file p)
+
+let test_flat_rejects_garbage () =
+  let path = Filename.temp_file "seqdiv" ".flat" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "definitely not a flat model");
+      match Model_io.load_flat_file path with
+      | _ -> Alcotest.fail "expected Parse_error on garbage flat file"
+      | exception Seqdiv_stream.Parse_error.Error _ -> ())
+
 let test_save_is_deterministic () =
   let model = Markov.train ~window:3 (training ()) in
   Alcotest.(check string) "stable output" (Model_io.save_markov model)
@@ -104,6 +136,10 @@ let () =
           Alcotest.test_case "stide file" `Quick test_stide_file_round_trip;
           Alcotest.test_case "markov file" `Quick test_markov_file_round_trip;
           Alcotest.test_case "bad inputs" `Quick test_bad_inputs_rejected;
+          Alcotest.test_case "missing files" `Quick
+            test_missing_file_raises_parse_error;
+          Alcotest.test_case "garbage flat file" `Quick
+            test_flat_rejects_garbage;
           Alcotest.test_case "deterministic save" `Quick test_save_is_deterministic;
         ] );
     ]

@@ -16,6 +16,7 @@ module Stub : Detector.S = struct
   let maximal_epsilon = 0.0
   let train ~window _trace = { window }
   let train_of_trie = None
+  let compile = None
   let window m = m.window
 
   let score_range m trace ~lo ~hi =
