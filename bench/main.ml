@@ -801,7 +801,6 @@ let json_escape s =
 let write_json path opts engine maps =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  let stats = Engine.stats engine in
   out "{\n";
   out "  \"options\": {\n";
   out "    \"train_len\": %d,\n" opts.train_len;
@@ -825,23 +824,29 @@ let write_json path opts engine maps =
         (if i = List.length stages - 1 then "" else ","))
     stages;
   out "  ],\n";
-  out "  \"engine\": {\n";
-  out "    \"train_executed\": %d,\n" stats.Engine.train_executed;
-  out "    \"train_cached\": %d,\n" stats.Engine.train_cached;
-  out "    \"score_tasks\": %d,\n" stats.Engine.score_tasks;
-  out "    \"train_seconds\": %.6f,\n" stats.Engine.train_seconds;
-  out "    \"score_seconds\": %.6f,\n" stats.Engine.score_seconds;
-  out "    \"tries_built\": %d,\n" stats.Engine.tries_built;
-  out "    \"trie_hits\": %d,\n" stats.Engine.trie_hits;
-  out "    \"trie_nodes\": %d,\n" stats.Engine.trie_nodes;
-  out "    \"faults_injected\": %d,\n" stats.Engine.faults_injected;
-  out "    \"retries\": %d,\n" stats.Engine.retries;
-  out "    \"cells_failed\": %d,\n" stats.Engine.cells_failed;
-  out "    \"cells_timed_out\": %d,\n" stats.Engine.cells_timed_out;
-  out "    \"cells_resumed\": %d,\n" stats.Engine.cells_resumed;
-  out "    \"automata_built\": %d,\n" stats.Engine.automata_built;
-  out "    \"automata_hits\": %d\n" stats.Engine.automata_hits;
-  out "  },\n";
+  (* No engine runs in streaming mode: an all-zero stats block would
+     read as a measured result, so the report carries [null] instead. *)
+  (match engine with
+  | None -> out "  \"engine\": null,\n"
+  | Some engine ->
+      let stats = Engine.stats engine in
+      out "  \"engine\": {\n";
+      out "    \"train_executed\": %d,\n" stats.Engine.train_executed;
+      out "    \"train_cached\": %d,\n" stats.Engine.train_cached;
+      out "    \"score_tasks\": %d,\n" stats.Engine.score_tasks;
+      out "    \"train_seconds\": %.6f,\n" stats.Engine.train_seconds;
+      out "    \"score_seconds\": %.6f,\n" stats.Engine.score_seconds;
+      out "    \"tries_built\": %d,\n" stats.Engine.tries_built;
+      out "    \"trie_hits\": %d,\n" stats.Engine.trie_hits;
+      out "    \"trie_nodes\": %d,\n" stats.Engine.trie_nodes;
+      out "    \"faults_injected\": %d,\n" stats.Engine.faults_injected;
+      out "    \"retries\": %d,\n" stats.Engine.retries;
+      out "    \"cells_failed\": %d,\n" stats.Engine.cells_failed;
+      out "    \"cells_timed_out\": %d,\n" stats.Engine.cells_timed_out;
+      out "    \"cells_resumed\": %d,\n" stats.Engine.cells_resumed;
+      out "    \"automata_built\": %d,\n" stats.Engine.automata_built;
+      out "    \"automata_hits\": %d\n" stats.Engine.automata_hits;
+      out "  },\n");
   out "  \"measurements\": [\n";
   let ms = List.rev !measurements in
   List.iteri
@@ -886,19 +891,19 @@ let () =
   in
   if opts.streaming then begin
     run_streaming opts;
-    Option.iter (fun path -> write_json path opts engine []) opts.json
+    Option.iter (fun path -> write_json path opts None []) opts.json
   end
   else if opts.grid_only then begin
     let _suite, maps = run_grid opts engine in
     if opts.trace then
       Format.eprintf "%a@." Engine.pp_stats (Engine.stats engine);
-    Option.iter (fun path -> write_json path opts engine maps) opts.json
+    Option.iter (fun path -> write_json path opts (Some engine) maps) opts.json
   end
   else begin
     let suite, maps, deploy, trie = run_paper opts engine in
     if opts.micro then run_micro suite maps deploy trie;
     if opts.trace then
       Format.eprintf "%a@." Engine.pp_stats (Engine.stats engine);
-    Option.iter (fun path -> write_json path opts engine maps) opts.json
+    Option.iter (fun path -> write_json path opts (Some engine) maps) opts.json
   end;
   print_newline ()

@@ -1,0 +1,572 @@
+(* serve-bench: the load generator and measurement client for `seqdiv
+   serve`.  Builds Session_workload corpora, drives them over the
+   socket as interleaved framed batches (a bounded in-flight window per
+   connection, honouring backpressure rejections), collects the
+   per-session incident log, samples the server's per-shard stats, and
+   writes a machine-readable JSON report.
+
+   Correctness features double as test hooks: --reconnect survives a
+   SIGKILLed server by reconnecting and resending unacknowledged
+   batches (acks are deduplicated per (batch, shard), so journalled
+   re-acks merge cleanly), and --incident-log writes the deterministic
+   per-session event log the serve smoke test diffs across kill/resume
+   runs. *)
+
+open Seqdiv_stream
+open Seqdiv_synth
+open Seqdiv_core
+open Seqdiv_util
+
+type options = {
+  address : Serve.address;
+  encoding : Frame.encoding;
+  sessions : int;  (* per round *)
+  session_length : int;
+  rounds : int;
+  connections : int;
+  chunk : int;  (* symbols per Data event *)
+  batch_events : int;
+  inflight : int;
+  window : int;  (* anomaly injection window *)
+  anomaly_size : int;
+  anomalous_every : int;  (* every k-th session is an attack; 0 = none *)
+  seed : int;
+  train_len : int;  (* suite scale for corpus generation *)
+  target_shard : (int * int) option;  (* (shard, of_shards) id filter *)
+  hold_open : bool;  (* never send End_of_session: residency probe *)
+  reconnect : bool;
+  incident_log : string option;
+  json : string option;
+  quit : bool;
+}
+
+(* --- corpus ------------------------------------------------------------- *)
+
+(* Session ids: consecutive non-negative integers, or — when measuring
+   one shard in isolation — the consecutive integers that route to the
+   target shard, so the whole run lands on it by construction. *)
+let session_ids ~count ~target =
+  let ids = Array.make count 0 in
+  let accept =
+    match target with
+    | None -> fun _ -> true
+    | Some (shard, shards) -> fun c -> Frame.shard_of_session ~shards c = shard
+  in
+  let c = ref 0 in
+  for i = 0 to count - 1 do
+    while not (accept !c) do
+      incr c
+    done;
+    ids.(i) <- !c;
+    incr c
+  done;
+  ids
+
+(* The per-round corpus: [sessions] traces, every [anomalous_every]-th
+   one an attack session. *)
+let build_corpus opts =
+  let params =
+    { (Suite.scaled_params ~train_len:opts.train_len ~background_len:3_000)
+      with Suite.seed = opts.seed }
+  in
+  let suite = Suite.build params in
+  let rng = Prng.create ~seed:(opts.seed + 9) in
+  let n_anomalous =
+    if opts.anomalous_every <= 0 then 0
+    else opts.sessions / opts.anomalous_every
+  in
+  let n_normal = opts.sessions - n_anomalous in
+  let normal =
+    if n_normal = 0 then []
+    else
+      Sessions.traces
+        (Session_workload.normal suite rng ~sessions:n_normal
+           ~length:opts.session_length)
+  in
+  let anomalous =
+    if n_anomalous = 0 then []
+    else
+      Sessions.traces
+        (Session_workload.anomalous suite ~sessions:n_anomalous
+           ~length:opts.session_length ~anomaly_size:opts.anomaly_size
+           ~window:opts.window)
+  in
+  (* Interleave: attack sessions spread through the corpus rather than
+     bunched at the end. *)
+  let arr = Array.make opts.sessions [||] in
+  let nq = Queue.create () and aq = Queue.create () in
+  List.iter (fun t -> Queue.push (Trace.to_array t) nq) normal;
+  List.iter (fun t -> Queue.push (Trace.to_array t) aq) anomalous;
+  for i = 0 to opts.sessions - 1 do
+    let from_attack =
+      opts.anomalous_every > 0
+      && i mod opts.anomalous_every = opts.anomalous_every - 1
+      && not (Queue.is_empty aq)
+    in
+    arr.(i) <-
+      (if from_attack then Queue.pop aq
+       else if not (Queue.is_empty nq) then Queue.pop nq
+       else Queue.pop aq)
+  done;
+  arr
+
+(* --- batch plan --------------------------------------------------------- *)
+
+(* Every batch a connection will send, in order.  Chunks of the
+   connection's sessions are interleaved round-robin (many concurrent
+   sessions per batch — the serving shape), each round's sessions are
+   ended before the next round begins, and batch ids are globally
+   unique across connections (conn + seq * connections). *)
+let plan_batches opts ~corpus ~ids ~conn_index =
+  let batches = ref [] and current = ref [] and current_n = ref 0 in
+  let seq = ref 0 in
+  let flush_batch () =
+    if !current_n > 0 then begin
+      let id = conn_index + (!seq * opts.connections) in
+      incr seq;
+      batches := Frame.Batch { id; events = List.rev !current } :: !batches;
+      current := [];
+      current_n := 0
+    end
+  in
+  let push_event e =
+    current := e :: !current;
+    incr current_n;
+    if !current_n >= opts.batch_events then flush_batch ()
+  in
+  for round = 0 to opts.rounds - 1 do
+    let mine = ref [] in
+    for i = opts.sessions - 1 downto 0 do
+      if i mod opts.connections = conn_index then
+        mine := (ids.((round * opts.sessions) + i), corpus.(i)) :: !mine
+    done;
+    let mine = !mine in
+    let len = opts.session_length in
+    let off = ref 0 in
+    while !off < len do
+      let k = Stdlib.min opts.chunk (len - !off) in
+      List.iter
+        (fun (gid, symbols) ->
+          push_event
+            (Frame.Data { session = gid; symbols = Array.sub symbols !off k }))
+        mine;
+      off := !off + k
+    done;
+    if not opts.hold_open then
+      List.iter
+        (fun (gid, _) -> push_event (Frame.End_of_session { session = gid }))
+        mine
+  done;
+  flush_batch ();
+  Array.of_list (List.rev !batches)
+
+(* --- socket plumbing ---------------------------------------------------- *)
+
+let connect_once address =
+  match address with
+  | Serve.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e -> Unix.close fd; raise e);
+      fd
+  | Serve.Tcp (host, port) ->
+      let inet =
+        match Unix.inet_addr_of_string host with
+        | addr -> addr
+        | exception Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+       with e -> Unix.close fd; raise e);
+      fd
+
+(* Retry until the server is there (startup) or back (kill/restart). *)
+let connect_retry address ~budget_s =
+  let deadline = Unix.gettimeofday () +. budget_s in
+  let rec go () =
+    match connect_once address with
+    | fd -> fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET), _, _)
+      when Unix.gettimeofday () < deadline ->
+        Unix.sleepf 0.05;
+        go ()
+  in
+  go ()
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+type link = {
+  mutable fd : Unix.file_descr;
+  mutable decoder : Frame.reader;
+  rbuf : Bytes.t;
+  ebuf : Buffer.t;
+  encoding : Frame.encoding;
+}
+
+let link_connect address ~budget_s encoding =
+  {
+    fd = connect_retry address ~budget_s;
+    decoder = Frame.reader ();
+    rbuf = Bytes.create 65536;
+    ebuf = Buffer.create 65536;
+    encoding;
+  }
+
+let link_reconnect link address ~budget_s =
+  (try Unix.close link.fd with Unix.Unix_error _ -> ());
+  link.fd <- connect_retry address ~budget_s;
+  link.decoder <- Frame.reader ()
+
+let send_request link request =
+  Buffer.clear link.ebuf;
+  Frame.write_request link.ebuf link.encoding request;
+  write_all link.fd (Buffer.to_bytes link.ebuf)
+
+(* One response, or None when the connection died under us. *)
+let recv_response link =
+  let rec go () =
+    match Frame.next_response link.decoder with
+    | Some response -> Some response
+    | None -> (
+        match Unix.read link.fd link.rbuf 0 (Bytes.length link.rbuf) with
+        | 0 -> None
+        | n ->
+            Frame.feed_bytes link.decoder link.rbuf ~pos:0 ~len:n;
+            go ()
+        | exception
+            Unix.Unix_error
+              ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+            None)
+  in
+  go ()
+
+exception Protocol_failure of string
+
+(* --- the per-connection drive loop -------------------------------------- *)
+
+type conn_result = {
+  cr_events : int;
+  cr_symbols : int;
+  cr_batches : int;
+  cr_rejections : int;
+  cr_failures : int;
+  cr_reconnects : int;
+  cr_started : float;
+  cr_finished : float;
+  cr_incidents : (int, Frame.incident_event list) Hashtbl.t;
+      (* session -> events, newest first *)
+}
+
+type pending = {
+  p_request : Frame.request;
+  p_events : int;
+  mutable p_acked_events : int;
+  p_acked_shards : (int, unit) Hashtbl.t;
+}
+
+let events_of_batch = function
+  | Frame.Batch { events; _ } -> List.length events
+  | Frame.Stats_request | Frame.Quit -> 0
+
+let symbols_of_batch = function
+  | Frame.Batch { events; _ } ->
+      List.fold_left
+        (fun acc e ->
+          match e with
+          | Frame.Data { symbols; _ } -> acc + Array.length symbols
+          | Frame.End_of_session _ -> acc)
+        0 events
+  | Frame.Stats_request | Frame.Quit -> 0
+
+let drive_connection opts batches =
+  let link =
+    link_connect opts.address ~budget_s:15.0 opts.encoding
+  in
+  let incidents : (int, Frame.incident_event list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let pending : (int, pending) Hashtbl.t = Hashtbl.create 64 in
+  let rejections = ref 0 and failures = ref 0 and reconnects = ref 0 in
+  let next = ref 0 in
+  let done_batches = ref 0 in
+  let nbatches = Array.length batches in
+  let started = Unix.gettimeofday () in
+  let record_incidents events =
+    List.iter
+      (fun (ev : Frame.incident_event) ->
+        let session =
+          match ev with
+          | Frame.Opened { session; _ } | Frame.Closed { session; _ } -> session
+        in
+        Hashtbl.replace incidents session
+          (ev :: Option.value ~default:[] (Hashtbl.find_opt incidents session)))
+      events
+  in
+  let send_batch request =
+    (match request with
+    | Frame.Batch { id; events } ->
+        if not (Hashtbl.mem pending id) then
+          Hashtbl.replace pending id
+            {
+              p_request = request;
+              p_events = List.length events;
+              p_acked_events = 0;
+              p_acked_shards = Hashtbl.create 4;
+            }
+    | Frame.Stats_request | Frame.Quit -> ());
+    send_request link request
+  in
+  let resend_pending () =
+    (* After a reconnect: every batch with an outstanding shard ack goes
+       again, ids unchanged, lowest first.  Shards that already applied
+       them re-ack from their journal history without re-applying. *)
+    Hashtbl.fold (fun id _ acc -> id :: acc) pending []
+    |> List.sort compare
+    |> List.iter (fun id -> send_request link (Hashtbl.find pending id).p_request)
+  in
+  let handle_death () =
+    if not opts.reconnect then
+      raise (Protocol_failure "server connection lost (no --reconnect)");
+    incr reconnects;
+    link_reconnect link opts.address ~budget_s:60.0;
+    resend_pending ()
+  in
+  while !done_batches < nbatches do
+    while !next < nbatches && Hashtbl.length pending < opts.inflight do
+      send_batch batches.(!next);
+      incr next
+    done;
+    match recv_response link with
+    | None -> handle_death ()
+    | Some (Frame.Ack { id; shard; events; incidents = evs }) -> (
+        match Hashtbl.find_opt pending id with
+        | None -> () (* late duplicate of a completed batch *)
+        | Some p ->
+            if not (Hashtbl.mem p.p_acked_shards shard) then begin
+              Hashtbl.replace p.p_acked_shards shard ();
+              p.p_acked_events <- p.p_acked_events + events;
+              record_incidents evs;
+              if p.p_acked_events >= p.p_events then begin
+                Hashtbl.remove pending id;
+                incr done_batches
+              end
+            end)
+    | Some (Frame.Rejected { id; retry_after_ms }) -> (
+        match Hashtbl.find_opt pending id with
+        | None -> ()
+        | Some p ->
+            incr rejections;
+            Unix.sleepf (float_of_int retry_after_ms /. 1000.0);
+            send_request link p.p_request)
+    | Some (Frame.Failed { id; shard; reason }) -> (
+        Printf.eprintf "serve-bench: batch %d failed on shard %d: %s\n%!" id
+          shard reason;
+        incr failures;
+        match Hashtbl.find_opt pending id with
+        | None -> ()
+        | Some _ ->
+            Hashtbl.remove pending id;
+            incr done_batches)
+    | Some (Frame.Stats _) -> () (* unsolicited; ignore *)
+    | Some (Frame.Error_msg msg) ->
+        raise (Protocol_failure ("server error: " ^ msg))
+  done;
+  let finished = Unix.gettimeofday () in
+  (try Unix.close link.fd with Unix.Unix_error _ -> ());
+  let events = Array.fold_left (fun a b -> a + events_of_batch b) 0 batches in
+  let symbols = Array.fold_left (fun a b -> a + symbols_of_batch b) 0 batches in
+  {
+    cr_events = events;
+    cr_symbols = symbols;
+    cr_batches = nbatches;
+    cr_rejections = !rejections;
+    cr_failures = !failures;
+    cr_reconnects = !reconnects;
+    cr_started = started;
+    cr_finished = finished;
+    cr_incidents = incidents;
+  }
+
+(* --- control connection: stats and quit --------------------------------- *)
+
+let fetch_stats opts =
+  let link = link_connect opts.address ~budget_s:15.0 opts.encoding in
+  send_request link Frame.Stats_request;
+  let stats =
+    match recv_response link with
+    | Some (Frame.Stats shards) -> shards
+    | Some _ | None ->
+        raise (Protocol_failure "no stats response from server")
+  in
+  if opts.quit then send_request link Frame.Quit;
+  (* Wait for the orderly shutdown (EOF) so scripts can rely on the
+     server being gone when serve-bench exits. *)
+  if opts.quit then
+    while recv_response link <> None do
+      ()
+    done;
+  (try Unix.close link.fd with Unix.Unix_error _ -> ());
+  stats
+
+(* --- reports ------------------------------------------------------------ *)
+
+let write_incident_log path results =
+  let oc = open_out path in
+  let merged = Hashtbl.create 1024 in
+  List.iter
+    (fun r ->
+      Hashtbl.iter
+        (fun session evs -> Hashtbl.replace merged session (List.rev evs))
+        r.cr_incidents)
+    results;
+  Hashtbl.fold (fun session _ acc -> session :: acc) merged []
+  |> List.sort compare
+  |> List.iter (fun session ->
+         List.iter
+           (fun ev ->
+             output_string oc (Frame.render_incident_event ev);
+             output_char oc '\n')
+           (Hashtbl.find merged session));
+  close_out oc
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path opts ~results ~stats ~wall ~events ~symbols =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"benchmark\": \"serve-bench\",\n";
+  out "  \"options\": {\n";
+  out "    \"sessions\": %d,\n" opts.sessions;
+  out "    \"session_length\": %d,\n" opts.session_length;
+  out "    \"rounds\": %d,\n" opts.rounds;
+  out "    \"connections\": %d,\n" opts.connections;
+  out "    \"chunk\": %d,\n" opts.chunk;
+  out "    \"batch_events\": %d,\n" opts.batch_events;
+  out "    \"inflight\": %d,\n" opts.inflight;
+  out "    \"encoding\": \"%s\",\n"
+    (match opts.encoding with Frame.Binary -> "binary" | Frame.Ndjson -> "ndjson");
+  (match opts.target_shard with
+  | None -> out "    \"target_shard\": null,\n"
+  | Some (k, n) -> out "    \"target_shard\": \"%d/%d\",\n" k n);
+  out "    \"hold_open\": %b,\n" opts.hold_open;
+  out "    \"seed\": %d\n" opts.seed;
+  out "  },\n";
+  out "  \"machine\": {\n";
+  out "    \"hostname\": \"%s\",\n" (json_escape (Unix.gethostname ()));
+  out "    \"cores\": %d\n" (Pool.recommended_jobs ());
+  out "  },\n";
+  let rejections = List.fold_left (fun a r -> a + r.cr_rejections) 0 results in
+  let failures = List.fold_left (fun a r -> a + r.cr_failures) 0 results in
+  let reconnects = List.fold_left (fun a r -> a + r.cr_reconnects) 0 results in
+  out "  \"aggregate\": {\n";
+  out "    \"events\": %d,\n" events;
+  out "    \"symbols\": %d,\n" symbols;
+  out "    \"wall_seconds\": %.6f,\n" wall;
+  out "    \"events_per_sec\": %.1f,\n" (float_of_int events /. wall);
+  out "    \"symbols_per_sec\": %.1f,\n" (float_of_int symbols /. wall);
+  out "    \"rejections\": %d,\n" rejections;
+  out "    \"failed_batches\": %d,\n" failures;
+  out "    \"reconnects\": %d\n" reconnects;
+  out "  },\n";
+  (* Capacity: per-shard service rate from the server's own busy-time
+     accounting (events / seconds actually spent applying batches),
+     summed.  Unlike the wall-clock aggregate it is not limited by the
+     client or by core count, so it is the number the shard-scaling
+     acceptance gate reads on single-core machines; the isolated
+     per-shard phase runs in scripts/serve_bench.sh cross-check it. *)
+  let busy_sec s = float_of_int s.Frame.busy_ns /. 1e9 in
+  let capacity =
+    List.fold_left
+      (fun acc s ->
+        if s.Frame.busy_ns = 0 then acc
+        else acc +. (float_of_int s.Frame.events /. busy_sec s))
+      0.0 stats
+  in
+  out "  \"capacity\": {\n";
+  out "    \"events_per_busy_sec\": %.1f\n" capacity;
+  out "  },\n";
+  out "  \"shards\": [\n";
+  List.iteri
+    (fun i (s : Frame.shard_stats) ->
+      out
+        "    { \"shard\": %d, \"sessions_resident\": %d, \"events\": %d, \
+         \"symbols\": %d, \"batches\": %d, \"rejected\": %d, \
+         \"queue_depth\": %d, \"bytes_resident\": %d, \"busy_ns\": %d, \
+         \"p50_batch_ns\": %d, \"p99_batch_ns\": %d }%s\n"
+        s.Frame.shard s.Frame.sessions_resident s.Frame.events s.Frame.symbols
+        s.Frame.batches s.Frame.rejected s.Frame.queue_depth
+        s.Frame.bytes_resident s.Frame.busy_ns s.Frame.p50_batch_ns
+        s.Frame.p99_batch_ns
+        (if i = List.length stats - 1 then "" else ","))
+    stats;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* --- entry point -------------------------------------------------------- *)
+
+let run opts =
+  let corpus = build_corpus opts in
+  let total_sessions = opts.sessions * opts.rounds in
+  let ids = session_ids ~count:total_sessions ~target:opts.target_shard in
+  let plans =
+    List.init opts.connections (fun conn_index ->
+        plan_batches opts ~corpus ~ids ~conn_index)
+  in
+  let pool = Pool.create ~jobs:opts.connections () in
+  let results = Pool.map pool (drive_connection opts) plans in
+  let started =
+    List.fold_left (fun a r -> Stdlib.min a r.cr_started) Float.max_float
+      results
+  in
+  let finished =
+    List.fold_left (fun a r -> Stdlib.max a r.cr_finished) 0.0 results
+  in
+  let wall = Stdlib.max (finished -. started) 1e-9 in
+  let events = List.fold_left (fun a r -> a + r.cr_events) 0 results in
+  let symbols = List.fold_left (fun a r -> a + r.cr_symbols) 0 results in
+  let stats = fetch_stats opts in
+  Option.iter (fun path -> write_incident_log path results) opts.incident_log;
+  Printf.printf
+    "drove %d events (%d symbols) over %d connection(s) in %.3f s: %.0f \
+     events/sec\n"
+    events symbols opts.connections wall
+    (float_of_int events /. wall);
+  List.iter
+    (fun (s : Frame.shard_stats) ->
+      Printf.printf
+        "shard %d: %d events, %d sessions resident, %d KiB resident, p50 %d \
+         us, p99 %d us, busy %.3f s%s\n"
+        s.Frame.shard s.Frame.events s.Frame.sessions_resident
+        (s.Frame.bytes_resident / 1024)
+        (s.Frame.p50_batch_ns / 1000)
+        (s.Frame.p99_batch_ns / 1000)
+        (float_of_int s.Frame.busy_ns /. 1e9)
+        (if s.Frame.rejected > 0 then
+           Printf.sprintf " (%d rejections)" s.Frame.rejected
+         else ""))
+    stats;
+  Option.iter
+    (fun path -> write_json path opts ~results ~stats ~wall ~events ~symbols)
+    opts.json

@@ -947,6 +947,356 @@ let classify_cmd =
           format).")
     Term.(const run $ verbose_t $ window_t $ train_t $ test_t)
 
+(* --- serve / serve-bench (streaming service) ----------------------------- *)
+
+(* Shared by serve and serve-bench: exactly one of --socket / --tcp. *)
+let socket_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Serve on a Unix-domain socket.")
+
+let tcp_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Serve on a TCP socket.")
+
+let address_of socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Serve.Unix_socket path
+  | None, Some hostport -> (
+      match String.rindex_opt hostport ':' with
+      | Some i -> (
+          let host = String.sub hostport 0 i in
+          let port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+          match int_of_string_opt port with
+          | Some port when port > 0 && port < 65536 -> Serve.Tcp (host, port)
+          | Some _ | None ->
+              Printf.eprintf "seqdiv: bad port in --tcp %s\n" hostport;
+              exit 2)
+      | None ->
+          Printf.eprintf "seqdiv: --tcp expects HOST:PORT, got %s\n" hostport;
+          exit 2)
+  | Some _, Some _ | None, None ->
+      prerr_endline "seqdiv: give exactly one of --socket PATH or --tcp HOST:PORT";
+      exit 2
+
+let load_flat_or_exit model_file =
+  match Model_io.load_flat_file model_file with
+  | flat -> flat
+  | exception Parse_error.Error msg ->
+      Printf.eprintf
+        "seqdiv: %s\n(serve needs a compiled flat model — produce one with \
+         `seqdiv model compile`)\n"
+        msg;
+      exit 1
+
+let serve_cmd =
+  let run verbose model_file socket tcp shards queue_capacity retry_after_ms
+      journal_dir resume deadline_ms max_connections threshold =
+    setup_logging verbose;
+    let address = address_of socket tcp in
+    let flat = load_flat_or_exit model_file in
+    let threshold =
+      match threshold with
+      | Some t -> t
+      | None -> flat.Model_io.flat_alarm_threshold
+    in
+    let deadline =
+      Option.map
+        (fun budget_ms ->
+          if budget_ms <= 0 then begin
+            prerr_endline "seqdiv: --deadline-ms must be positive";
+            exit 2
+          end;
+          Seqdiv_util.Deadline.spec ~clock:Unix.gettimeofday ~budget_ms)
+        deadline_ms
+    in
+    let auto = Flat_automaton.automaton flat.Model_io.flat_scorer in
+    let config =
+      {
+        Serve.address;
+        shards;
+        queue_capacity;
+        retry_after_ms;
+        scorer = flat.Model_io.flat_scorer;
+        threshold;
+        model_tag = flat.Model_io.flat_detector;
+        journal_dir;
+        resume;
+        deadline;
+        clock = Unix.gettimeofday;
+        max_connections;
+      }
+    in
+    let on_ready () =
+      Printf.printf "serving %s model (window %d, %d states) on %s: %d shard(s)\n%!"
+        flat.Model_io.flat_detector
+        (Flat_automaton.depth auto)
+        (Flat_automaton.states auto)
+        (match address with
+        | Serve.Unix_socket path -> path
+        | Serve.Tcp (host, port) -> Printf.sprintf "%s:%d" host port)
+        shards
+    in
+    match Serve.run ~on_ready config with
+    | stats ->
+        List.iter
+          (fun (s : Frame.shard_stats) ->
+            Printf.printf
+              "shard %d: %d batches, %d events, %d symbols, %d rejected, %d \
+               sessions resident (%d KiB)\n"
+              s.Frame.shard s.Frame.batches s.Frame.events s.Frame.symbols
+              s.Frame.rejected s.Frame.sessions_resident
+              (s.Frame.bytes_resident / 1024))
+          stats
+    | exception Shard_journal.Corrupt msg ->
+        Printf.eprintf "seqdiv: shard journal rejected: %s\n" msg;
+        exit 1
+  in
+  let model_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Compiled flat model (from $(b,seqdiv model compile)).")
+  in
+  let shards_t =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard count: sessions are routed by session-id hash to $(docv) \
+             independent monitor tables, each stepped by its own domain.")
+  in
+  let queue_capacity_t =
+    Arg.(
+      value
+      & opt int Serve.default_queue_capacity
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:
+            "Bounded ingress queue per shard, in sub-batches.  A batch \
+             touching any full shard is rejected whole with a retry-after \
+             hint — backpressure, not buffering.")
+  in
+  let retry_after_t =
+    Arg.(
+      value
+      & opt int Serve.default_retry_after_ms
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:"Retry hint carried by backpressure rejections.")
+  in
+  let journal_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Append a per-shard journal of session snapshots and batch \
+             incidents under $(docv); with $(b,--resume), a killed server \
+             restarts from it with byte-identical subsequent output.")
+  in
+  let max_connections_t =
+    Arg.(
+      value
+      & opt int Serve.default_max_connections
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Concurrent client connections accepted.")
+  in
+  let threshold_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"T"
+          ~doc:"Alarm threshold (default: the model file's own).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve streaming anomaly detection over a socket: sharded \
+          multi-session monitors on a shared compiled model, batched framed \
+          ingest, bounded queues with honest backpressure, durable per-shard \
+          journals.")
+    Term.(
+      const run $ verbose_t $ model_t $ socket_t $ tcp_t $ shards_t
+      $ queue_capacity_t $ retry_after_t $ journal_dir_t $ resume_t
+      $ deadline_t $ max_connections_t $ threshold_t)
+
+let serve_bench_cmd =
+  let run verbose socket tcp ndjson sessions session_length rounds connections
+      chunk batch_events inflight window anomaly_size anomalous_every seed
+      train_len target_shard hold_open reconnect incident_log json quit =
+    setup_logging verbose;
+    let address = address_of socket tcp in
+    let target_shard =
+      Option.map
+        (fun s ->
+          match String.index_opt s '/' with
+          | Some i -> (
+              let k = String.sub s 0 i in
+              let n = String.sub s (i + 1) (String.length s - i - 1) in
+              match (int_of_string_opt k, int_of_string_opt n) with
+              | Some k, Some n when n > 0 && k >= 0 && k < n -> (k, n)
+              | _ ->
+                  Printf.eprintf "seqdiv: bad --target-shard %s (want K/N)\n" s;
+                  exit 2)
+          | None ->
+              Printf.eprintf "seqdiv: bad --target-shard %s (want K/N)\n" s;
+              exit 2)
+        target_shard
+    in
+    let options =
+      {
+        Bench_client.address;
+        encoding = (if ndjson then Frame.Ndjson else Frame.Binary);
+        sessions;
+        session_length;
+        rounds;
+        connections;
+        chunk;
+        batch_events;
+        inflight;
+        window;
+        anomaly_size;
+        anomalous_every;
+        seed;
+        train_len;
+        target_shard;
+        hold_open;
+        reconnect;
+        incident_log;
+        json;
+        quit;
+      }
+    in
+    match Bench_client.run options with
+    | () -> ()
+    | exception Bench_client.Protocol_failure msg ->
+        Printf.eprintf "seqdiv: serve-bench failed: %s\n" msg;
+        exit 1
+  in
+  let ndjson_t =
+    Arg.(
+      value & flag
+      & info [ "ndjson" ]
+          ~doc:"Speak the newline-delimited JSON framing instead of binary.")
+  in
+  let sessions_t =
+    Arg.(
+      value & opt int 48
+      & info [ "sessions" ] ~docv:"N" ~doc:"Concurrent sessions per round.")
+  in
+  let session_length_t =
+    Arg.(
+      value & opt int 400
+      & info [ "session-length" ] ~docv:"N" ~doc:"Symbols per session.")
+  in
+  let rounds_t =
+    Arg.(
+      value & opt int 1
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:"Rounds of fresh sessions driven over the same corpus.")
+  in
+  let connections_t =
+    Arg.(
+      value & opt int 1
+      & info [ "connections" ] ~docv:"N"
+          ~doc:"Client connections; sessions are partitioned across them.")
+  in
+  let chunk_t =
+    Arg.(
+      value & opt int 64
+      & info [ "chunk" ] ~docv:"N" ~doc:"Symbols per data event.")
+  in
+  let batch_events_t =
+    Arg.(
+      value & opt int 256
+      & info [ "batch-events" ] ~docv:"N" ~doc:"Events per batch.")
+  in
+  let inflight_t =
+    Arg.(
+      value & opt int 8
+      & info [ "inflight" ] ~docv:"N"
+          ~doc:"Unacknowledged batches allowed per connection.")
+  in
+  let window_t =
+    Arg.(
+      value & opt int 6
+      & info [ "window" ] ~docv:"DW"
+          ~doc:"Detector window assumed for anomaly injection.")
+  in
+  let anomaly_size_t =
+    Arg.(
+      value & opt int 5
+      & info [ "anomaly-size" ] ~docv:"AS" ~doc:"Injected anomaly size.")
+  in
+  let anomalous_every_t =
+    Arg.(
+      value & opt int 4
+      & info [ "anomalous-every" ] ~docv:"K"
+          ~doc:"Every $(docv)-th session carries an injected anomaly (0 = none).")
+  in
+  let target_shard_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target-shard" ] ~docv:"K/N"
+          ~doc:
+            "Relabel session ids so every session routes to shard K of an \
+             N-shard server — measures one shard's service rate in isolation.")
+  in
+  let hold_open_t =
+    Arg.(
+      value & flag
+      & info [ "hold-open" ]
+          ~doc:
+            "Never send end-of-session: every driven session stays \
+             resident in its shard table, so the sampled stats measure \
+             loaded-table (resident-session) memory.")
+  in
+  let reconnect_t =
+    Arg.(
+      value & flag
+      & info [ "reconnect" ]
+          ~doc:
+            "Survive a dying server: reconnect with retries and resend \
+             unacknowledged batches (journalled shards re-acknowledge \
+             duplicates without re-applying them).")
+  in
+  let incident_log_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "incident-log" ] ~docv:"FILE"
+          ~doc:
+            "Write the collected incident events, grouped by session in \
+             session order — byte-comparable across runs and shard counts.")
+  in
+  let json_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write a JSON benchmark report.")
+  in
+  let quit_t =
+    Arg.(
+      value & flag
+      & info [ "quit" ] ~doc:"Ask the server to shut down when done.")
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Drive a running $(b,seqdiv serve) with a synthetic session \
+          workload over the socket and report throughput, latency and \
+          per-shard service capacity.")
+    Term.(
+      const run $ verbose_t $ socket_t $ tcp_t $ ndjson_t $ sessions_t
+      $ session_length_t $ rounds_t $ connections_t $ chunk_t $ batch_events_t
+      $ inflight_t $ window_t $ anomaly_size_t $ anomalous_every_t $ seed_t
+      $ train_len_t $ target_shard_t $ hold_open_t $ reconnect_t
+      $ incident_log_t $ json_t $ quit_t)
+
 (* --- main -------------------------------------------------------------- *)
 
 let () =
@@ -961,7 +1311,7 @@ let () =
       [
         synth_cmd; mfs_cmd; map_cmd; full_cmd; roc_cmd; ensemble_cmd; lnb_cmd;
         ablation_cmd; model_cmd; detect_cmd; dataset_cmd; compare_cmd;
-        classify_cmd;
+        classify_cmd; serve_cmd; serve_bench_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -187,3 +187,42 @@ let feed t symbol =
     emit t score
 
 let flush t = close_incident t
+
+(* --- persistence (the serve layer's shard journals) -------------------- *)
+
+type snapshot = {
+  snap_consumed : int;
+  snap_state : int;
+  snap_open : Incident.t option;
+}
+
+let snapshot t =
+  match t.path with
+  | Automaton a ->
+      Some
+        {
+          snap_consumed = t.consumed;
+          snap_state = a.state;
+          snap_open = t.open_incident;
+        }
+  | Window_slide _ -> None
+
+let restore scorer ~threshold snap =
+  let automaton = Flat_automaton.automaton scorer in
+  if
+    snap.snap_consumed < 0 || snap.snap_state < 0
+    || snap.snap_state >= Flat_automaton.states automaton
+  then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg
+      (Printf.sprintf "Online.restore: invalid snapshot (consumed=%d state=%d)"
+         snap.snap_consumed snap.snap_state);
+  let window = Flat_automaton.depth automaton in
+  let t =
+    make
+      ~path:(Automaton { scorer; state = snap.snap_state })
+      ~threshold ~window
+  in
+  t.consumed <- snap.snap_consumed;
+  t.open_incident <- snap.snap_open;
+  t

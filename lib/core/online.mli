@@ -54,3 +54,29 @@ val position : t -> int
 val incidents : t -> Incident.t list
 (** All incidents closed so far, oldest first (not including an
     incident still open). *)
+
+(** {1 Persistence}
+
+    The serve layer journals per-session monitor state so a killed
+    server resumes mid-stream with byte-identical subsequent output.  A
+    snapshot is the complete feed-relevant state of an automaton-path
+    monitor: position, automaton state, and the open incident. *)
+
+type snapshot = {
+  snap_consumed : int;  (** symbols consumed so far *)
+  snap_state : int;  (** current flat-automaton state *)
+  snap_open : Incident.t option;  (** the incident open at the snapshot *)
+}
+
+val snapshot : t -> snapshot option
+(** The monitor's resumable state, or [None] on the window-rescoring
+    path (which the serve layer never uses). *)
+
+val restore : Flat_automaton.scorer -> threshold:float -> snapshot -> t
+(** A monitor continuing exactly where [snapshot] left off.  Feeding it
+    the remainder of the stream emits the same events the snapshotted
+    monitor would have; incidents closed {e before} the snapshot are not
+    carried (they are already journalled), so {!incidents} reports only
+    post-restore closures.
+    @raise Invalid_argument if the snapshot's state is not a valid state
+    of this scorer's automaton. *)

@@ -1,0 +1,506 @@
+(* The serve loop: reader/writer domains per connection, one domain and
+   bounded ingress queue per shard, all-or-nothing batch admission, and
+   journalled durability.  The ONE module besides lib/util/pool.ml
+   allowed to touch Domain/Atomic/Mutex/Condition (lint R6 standing
+   exemption — see docs/LINTING.md): its loops are live stateful
+   services, not a finite batch of pure closures, so they cannot ride
+   the pool.  The determinism the pool normally guarantees is enforced
+   from outside instead, by the qcheck replay suite over
+   Session_table. *)
+
+open Seqdiv_stream
+open Seqdiv_util
+
+type address = Unix_socket of string | Tcp of string * int
+
+type config = {
+  address : address;
+  shards : int;
+  queue_capacity : int;
+  retry_after_ms : int;
+  scorer : Flat_automaton.scorer;
+  threshold : float;
+  model_tag : string;
+  journal_dir : string option;
+  resume : bool;
+  deadline : Deadline.spec option;
+  clock : unit -> float;
+  max_connections : int;
+}
+
+let default_queue_capacity = 64
+let default_retry_after_ms = 5
+let default_max_connections = 16
+
+(* --- a mutex/condition channel ----------------------------------------- *)
+
+(* Plain blocking MPSC channel.  Bounding is enforced by the admission
+   path (which must check several queues atomically), not by push. *)
+type 'a channel = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let channel () =
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    closed = false;
+  }
+
+let channel_push ch v =
+  Mutex.lock ch.mutex;
+  if not ch.closed then begin
+    Queue.push v ch.items;
+    Condition.signal ch.nonempty
+  end;
+  Mutex.unlock ch.mutex
+
+let channel_pop ch =
+  Mutex.lock ch.mutex;
+  let rec wait () =
+    if not (Queue.is_empty ch.items) then Some (Queue.pop ch.items)
+    else if ch.closed then None
+    else begin
+      Condition.wait ch.nonempty ch.mutex;
+      wait ()
+    end
+  in
+  let v = wait () in
+  Mutex.unlock ch.mutex;
+  v
+
+let channel_close ch =
+  Mutex.lock ch.mutex;
+  ch.closed <- true;
+  Condition.broadcast ch.nonempty;
+  Mutex.unlock ch.mutex
+
+let channel_length ch =
+  Mutex.lock ch.mutex;
+  let n = Queue.length ch.items in
+  Mutex.unlock ch.mutex;
+  n
+
+(* --- server state ------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  out : Frame.response channel;
+  (* Sniffed by the reader from the first byte, read by the writer; no
+     response can be produced before the first request decoded, so the
+     writer always observes the set value. *)
+  encoding : Frame.encoding option Atomic.t;
+  (* Set by the reader domain once the peer's write side is gone, read
+     by the accept loop to reap the connection's domains and fd so a
+     long-lived server admits an unbounded sequence of clients under a
+     bounded concurrent-connection limit. *)
+  reader_done : bool Atomic.t;
+}
+
+type job = {
+  reply : conn;
+  batch_id : int;
+  events : Frame.event list;
+  nevents : int;
+}
+
+let latency_ring = 1024
+
+type shard = {
+  index : int;
+  queue : job channel;
+  table : Session_table.t;
+  (* Everything below is shared with sampling readers and therefore
+     only touched under [stats_lock]. *)
+  stats_lock : Mutex.t;
+  mutable busy_ns : int;
+  mutable rejected : int;
+  ring : int array; (* recent sub-batch service times, ns *)
+  mutable ring_pos : int;
+  mutable ring_len : int;
+  mutable pub_sessions : int;
+  mutable pub_events : int;
+  mutable pub_symbols : int;
+  mutable pub_batches : int;
+  mutable pub_bytes : int;
+}
+
+type server = {
+  cfg : config;
+  shard_tab : shard array;
+  stop : bool Atomic.t;
+}
+
+(* --- stats -------------------------------------------------------------- *)
+
+let percentile sorted n p =
+  if n = 0 then 0
+  else sorted.(min (n - 1) (int_of_float ((float_of_int (n - 1) *. p) +. 0.5)))
+
+let sample sh =
+  let queue_depth = channel_length sh.queue in
+  Mutex.lock sh.stats_lock;
+  let n = sh.ring_len in
+  let sorted = Array.sub sh.ring 0 n in
+  Array.sort compare sorted;
+  let stats =
+    {
+      Frame.shard = sh.index;
+      sessions_resident = sh.pub_sessions;
+      events = sh.pub_events;
+      symbols = sh.pub_symbols;
+      batches = sh.pub_batches;
+      rejected = sh.rejected;
+      queue_depth;
+      bytes_resident = sh.pub_bytes;
+      busy_ns = sh.busy_ns;
+      p50_batch_ns = percentile sorted n 0.5;
+      p99_batch_ns = percentile sorted n 0.99;
+    }
+  in
+  Mutex.unlock sh.stats_lock;
+  stats
+
+let sample_all t = Array.to_list (Array.map sample t.shard_tab)
+
+(* --- admission (reader side) -------------------------------------------- *)
+
+(* All-or-nothing: lock the touched shard queues in ascending index
+   order (the only multi-lock path, so no deadlock), admit only when
+   every queue has room, and otherwise push nothing. *)
+let admit cap subs =
+  let qs = List.map (fun (sh, _) -> sh.queue) subs in
+  List.iter (fun q -> Mutex.lock q.mutex) qs;
+  let ok =
+    List.for_all
+      (fun q -> (not q.closed) && Queue.length q.items < cap)
+      qs
+  in
+  if ok then
+    List.iter2
+      (fun q (_, job) ->
+        Queue.push job q.items;
+        Condition.signal q.nonempty)
+      qs subs;
+  List.iter (fun q -> Mutex.unlock q.mutex) qs;
+  ok
+
+let route_batch t conn ~id events =
+  let nshards = Array.length t.shard_tab in
+  let buckets = Array.make nshards [] in
+  let counts = Array.make nshards 0 in
+  List.iter
+    (fun (e : Frame.event) ->
+      let session =
+        match e with
+        | Frame.Data { session; _ } | Frame.End_of_session { session } ->
+            session
+      in
+      let s = Frame.shard_of_session ~shards:nshards session in
+      buckets.(s) <- e :: buckets.(s);
+      counts.(s) <- counts.(s) + 1)
+    events;
+  let subs = ref [] in
+  for s = nshards - 1 downto 0 do
+    if counts.(s) > 0 then
+      subs :=
+        ( t.shard_tab.(s),
+          {
+            reply = conn;
+            batch_id = id;
+            events = List.rev buckets.(s);
+            nevents = counts.(s);
+          } )
+        :: !subs
+  done;
+  if not (admit t.cfg.queue_capacity !subs) then begin
+    List.iter
+      (fun (sh, _) ->
+        Mutex.lock sh.stats_lock;
+        sh.rejected <- sh.rejected + 1;
+        Mutex.unlock sh.stats_lock)
+      !subs;
+    channel_push conn.out
+      (Frame.Rejected { id; retry_after_ms = t.cfg.retry_after_ms })
+  end
+
+(* --- per-connection domains --------------------------------------------- *)
+
+let reader_loop t conn =
+  let buf = Bytes.create 65536 in
+  let r = Frame.reader () in
+  let finished = ref false in
+  (try
+     while not !finished do
+       let n = Unix.read conn.fd buf 0 (Bytes.length buf) in
+       if n = 0 then finished := true
+       else begin
+         Frame.feed_bytes r buf ~pos:0 ~len:n;
+         if Atomic.get conn.encoding = None then
+           Atomic.set conn.encoding (Frame.reader_encoding r);
+         let rec drain () =
+           if not !finished then
+             match Frame.next_request r with
+             | None -> ()
+             | Some (Frame.Batch { id; events }) ->
+                 route_batch t conn ~id events;
+                 drain ()
+             | Some Frame.Stats_request ->
+                 channel_push conn.out (Frame.Stats (sample_all t));
+                 drain ()
+             | Some Frame.Quit ->
+                 Atomic.set t.stop true;
+                 finished := true
+         in
+         drain ()
+       end
+     done
+   with
+  | Parse_error.Error msg -> channel_push conn.out (Frame.Error_msg msg)
+  | Unix.Unix_error _ -> (* connection torn down under the read *) ());
+  Atomic.set conn.reader_done true
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let writer_loop conn =
+  let b = Buffer.create 8192 in
+  let send response =
+    Buffer.clear b;
+    let enc = Option.value (Atomic.get conn.encoding) ~default:Frame.Binary in
+    Frame.write_response b enc response;
+    write_all conn.fd (Buffer.to_bytes b)
+  in
+  let rec loop () =
+    match channel_pop conn.out with
+    | None -> ()
+    | Some response ->
+        send response;
+        loop ()
+  in
+  try loop () with
+  | Unix.Unix_error _ ->
+      (* The client went away mid-write: keep draining so shard domains
+         never block on this connection's acks. *)
+      let rec drain () =
+        match channel_pop conn.out with None -> () | Some _ -> drain ()
+      in
+      drain ()
+
+(* --- shard domains ------------------------------------------------------ *)
+
+let apply_job deadline sh job =
+  let run () = Session_table.apply sh.table ~batch_id:job.batch_id job.events in
+  match
+    match deadline with
+    | Some spec -> Deadline.with_deadline spec run
+    | None -> run ()
+  with
+  | incidents ->
+      Frame.Ack
+        { id = job.batch_id; shard = sh.index; events = job.nevents; incidents }
+  | exception Deadline.Exceeded budget ->
+      Frame.Failed
+        {
+          id = job.batch_id;
+          shard = sh.index;
+          reason = Printf.sprintf "Deadline.Exceeded(budget=%dms)" budget;
+        }
+  (* lint: allow swallow — a poisoned batch fails its client with a rendered reason, not the server *)
+  | exception exn ->
+      Frame.Failed
+        { id = job.batch_id; shard = sh.index; reason = Printexc.to_string exn }
+
+let shard_loop ~clock deadline sh =
+  let rec loop () =
+    match channel_pop sh.queue with
+    | None -> ()
+    | Some job ->
+        let t0 = clock () in
+        let response = apply_job deadline sh job in
+        let dt_ns = int_of_float ((clock () -. t0) *. 1e9) in
+        Mutex.lock sh.stats_lock;
+        sh.busy_ns <- sh.busy_ns + dt_ns;
+        sh.ring.(sh.ring_pos) <- dt_ns;
+        sh.ring_pos <- (sh.ring_pos + 1) mod latency_ring;
+        sh.ring_len <- min (sh.ring_len + 1) latency_ring;
+        sh.pub_sessions <- Session_table.sessions_resident sh.table;
+        sh.pub_events <- Session_table.events_applied sh.table;
+        sh.pub_symbols <- Session_table.symbols_applied sh.table;
+        sh.pub_batches <- Session_table.batches_applied sh.table;
+        sh.pub_bytes <- Session_table.bytes_resident sh.table;
+        Mutex.unlock sh.stats_lock;
+        channel_push job.reply.out response;
+        loop ()
+  in
+  loop ()
+
+(* --- setup -------------------------------------------------------------- *)
+
+let journal_for cfg ~depth ~states index =
+  match cfg.journal_dir with
+  | None -> None
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let context =
+        Printf.sprintf "serve model=%s depth=%d states=%d threshold=%016Lx \
+                        shards=%d shard=%d"
+          cfg.model_tag depth states
+          (Int64.bits_of_float cfg.threshold)
+          cfg.shards index
+      in
+      Some
+        (Shard_journal.start ~resume:cfg.resume ~context
+           (Filename.concat dir (Printf.sprintf "shard-%d.journal" index)))
+
+let make_shard cfg ~depth ~states index =
+  let journal = journal_for cfg ~depth ~states index in
+  let table =
+    Session_table.create ~scorer:cfg.scorer ~threshold:cfg.threshold ?journal
+      ~shard:index ()
+  in
+  {
+    index;
+    queue = channel ();
+    table;
+    stats_lock = Mutex.create ();
+    busy_ns = 0;
+    rejected = 0;
+    ring = Array.make latency_ring 0;
+    ring_pos = 0;
+    ring_len = 0;
+    pub_sessions = Session_table.sessions_resident table;
+    pub_events = 0;
+    pub_symbols = 0;
+    pub_batches = 0;
+    pub_bytes = Session_table.bytes_resident table;
+  }
+
+let listen_socket = function
+  | Unix_socket path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp (host, port) ->
+      let inet =
+        match Unix.inet_addr_of_string host with
+        | addr -> addr
+        | exception Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } ->
+                (* lint: allow partiality — documented precondition *)
+                invalid_arg (Printf.sprintf "Serve: unknown host %S" host)
+            | entry -> entry.Unix.h_addr_list.(0)
+            | exception Not_found ->
+                (* lint: allow partiality — documented precondition *)
+                invalid_arg (Printf.sprintf "Serve: unknown host %S" host))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      Unix.listen fd 64;
+      fd
+
+(* --- the run loop ------------------------------------------------------- *)
+
+let run ?(on_ready = fun () -> ()) cfg =
+  if cfg.shards <= 0 then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg (Printf.sprintf "Serve.run: shards=%d" cfg.shards);
+  if cfg.queue_capacity <= 0 then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg (Printf.sprintf "Serve.run: queue_capacity=%d"
+                   cfg.queue_capacity);
+  let previous_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigpipe previous_sigpipe)
+  @@ fun () ->
+  let automaton = Flat_automaton.automaton cfg.scorer in
+  let depth = Flat_automaton.depth automaton in
+  let states = Flat_automaton.states automaton in
+  let shard_tab =
+    Array.init cfg.shards (make_shard cfg ~depth ~states)
+  in
+  let t = { cfg; shard_tab; stop = Atomic.make false } in
+  let shard_domains =
+    Array.map
+      (fun sh -> Domain.spawn (fun () -> shard_loop ~clock:cfg.clock cfg.deadline sh))
+      shard_tab
+  in
+  let lfd = listen_socket cfg.address in
+  on_ready ();
+  let conns = ref [] in
+  (* Retire connections whose peer has hung up: join the reader (it has
+     already exited), close the response channel so the writer flushes
+     what is queued and exits, then release the fd.  Without this the
+     connection list only grows and [max_connections] would cap the
+     server's lifetime total instead of its concurrency. *)
+  let reap () =
+    let finished, live =
+      List.partition (fun (c, _, _) -> Atomic.get c.reader_done) !conns
+    in
+    conns := live;
+    List.iter
+      (fun (c, rd, wd) ->
+        Domain.join rd;
+        channel_close c.out;
+        Domain.join wd;
+        try Unix.close c.fd with Unix.Unix_error _ -> ())
+      finished
+  in
+  while not (Atomic.get t.stop) do
+    reap ();
+    (* A poll instead of a blocking accept, so a Quit observed by any
+       reader domain stops the loop within one tick. *)
+    match Unix.select [ lfd ] [] [] 0.05 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept lfd with
+        | exception Unix.Unix_error _ -> (* client vanished pre-accept *) ()
+        | fd, _ ->
+            if List.length !conns >= cfg.max_connections then
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+            else begin
+              let conn =
+                {
+                  fd;
+                  out = channel ();
+                  encoding = Atomic.make None;
+                  reader_done = Atomic.make false;
+                }
+              in
+              let rd = Domain.spawn (fun () -> reader_loop t conn) in
+              let wd = Domain.spawn (fun () -> writer_loop conn) in
+              conns := (conn, rd, wd) :: !conns
+            end)
+  done;
+  (* Orderly drain: stop intake, let every admitted batch finish and
+     every produced response flush, then tear the connections down. *)
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  (match cfg.address with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  List.iter
+    (fun (c, _, _) ->
+      try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ -> ())
+    !conns;
+  List.iter (fun (_, rd, _) -> Domain.join rd) !conns;
+  Array.iter (fun sh -> channel_close sh.queue) shard_tab;
+  Array.iter Domain.join shard_domains;
+  List.iter (fun (c, _, _) -> channel_close c.out) !conns;
+  List.iter (fun (_, _, wd) -> Domain.join wd) !conns;
+  List.iter
+    (fun (c, _, _) -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    !conns;
+  sample_all t

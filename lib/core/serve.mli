@@ -1,0 +1,79 @@
+(** The [seqdiv serve] server loop: sharded multi-session streaming
+    detection over a Unix or TCP socket.
+
+    Sessions are routed by {!Seqdiv_stream.Frame.shard_of_session} to
+    [shards] single-domain {!Session_table}s, all stepping one shared
+    read-only compiled scorer.  Each connection gets a reader domain
+    (decode, route, admit) and a writer domain (encode, send); each
+    shard owns a bounded ingress queue of sub-batches.
+
+    {b Backpressure is honest}: admission is all-or-nothing across the
+    shards a batch touches — if any queue is full the whole batch is
+    rejected with a retry-after hint and {e nothing} is enqueued, so the
+    client resends the identical batch later.  Nothing buffers
+    unboundedly on the server.
+
+    {b Durability}: with a journal directory, each shard commits the
+    touched session snapshots and the batch's incident output to its
+    own {!Shard_journal} before the batch is acknowledged, so a
+    SIGKILLed server restarted with resume continues with byte-identical
+    subsequent incident output, and re-acknowledges recently committed
+    batches a reconnecting client resends.
+
+    {b Determinism}: one shard per session and FIFO queues mean a
+    session's events are applied in arrival order whatever the shard
+    count; the per-session incident log therefore depends only on the
+    per-session input order (proven against serial {!Online} replay by
+    the qcheck suite).  Per-batch deadlines are the one escape hatch:
+    a batch that blows its budget gets a [Failed] response and may
+    leave its sessions partially advanced — the contract holds on runs
+    without deadline failures.
+
+    This is the single module (with [lib/util/pool.ml]) allowed to
+    touch Domain/Mutex/Condition/Atomic — lint rule R6 carries a
+    standing exemption for it, justified in docs/LINTING.md. *)
+
+open Seqdiv_stream
+open Seqdiv_util
+
+type address =
+  | Unix_socket of string  (** bound after unlinking any stale socket *)
+  | Tcp of string * int  (** host (numeric or name) and port *)
+
+type config = {
+  address : address;
+  shards : int;  (** shard (and shard-domain) count, >= 1 *)
+  queue_capacity : int;  (** sub-batches per shard queue, >= 1 *)
+  retry_after_ms : int;  (** hint carried by backpressure rejections *)
+  scorer : Flat_automaton.scorer;  (** shared read-only across shards *)
+  threshold : float;
+  model_tag : string;  (** pins the model in journal contexts *)
+  journal_dir : string option;
+      (** per-shard journals land here as [shard-<i>.journal] *)
+  resume : bool;  (** load the shard journals before serving *)
+  deadline : Deadline.spec option;  (** per-batch budget, off by default *)
+  clock : unit -> float;
+      (** seconds, for service-time stats; injected like
+          {!Seqdiv_util.Deadline}'s (executables pass
+          [Unix.gettimeofday]) *)
+  max_connections : int;
+      (** concurrent-client cap; excess accepts are closed immediately.
+          Connections whose peer hangs up are reaped, so the limit
+          bounds concurrency, never the lifetime client count. *)
+}
+
+val default_queue_capacity : int
+val default_retry_after_ms : int
+val default_max_connections : int
+
+val run : ?on_ready:(unit -> unit) -> config -> Frame.shard_stats list
+(** Bind, serve until a client sends [Quit], drain every queue, and
+    return the final per-shard stats.  [on_ready] fires once the
+    listener is bound (before the first accept).  SIGPIPE is ignored
+    for the duration (dead clients surface as [EPIPE] and only tear
+    down their own connection).
+    @raise Invalid_argument on a non-positive [shards] or
+    [queue_capacity].
+    @raise Shard_journal.Corrupt when resuming against journals from a
+    different configuration.
+    @raise Unix.Unix_error when the listener cannot be bound. *)

@@ -1,0 +1,221 @@
+(* One shard's session registry: Online monitors keyed by session id,
+   stepped in arrival order, with optional journal-backed durability
+   and batch dedup.  Single-domain by construction — see the .mli. *)
+
+open Seqdiv_stream
+open Seqdiv_util
+
+type t = {
+  scorer : Flat_automaton.scorer;
+  threshold : float;
+  journal : Shard_journal.t option;
+  shard : int;
+  monitors : (int, Online.t) Hashtbl.t;
+  (* Resent-batch dedup: id -> the incident events the original apply
+     emitted, bounded to the same window as the journal's batch
+     history (64 when no journal is attached). *)
+  dedup : (int, Frame.incident_event list) Hashtbl.t;
+  dedup_order : int Queue.t;
+  dedup_capacity : int;
+  mutable events : int;
+  mutable symbols : int;
+  mutable batches : int;
+  mutable replays : int;
+}
+
+let default_dedup_capacity = 64
+
+let incident_of_core (i : Incident.t) =
+  {
+    Frame.first_start = i.Incident.first_start;
+    last_start = i.Incident.last_start;
+    cover_from = i.Incident.cover_from;
+    cover_to = i.Incident.cover_to;
+    alarms = i.Incident.alarms;
+    peak_score = i.Incident.peak_score;
+  }
+
+let incident_to_core (i : Frame.incident) =
+  {
+    Incident.first_start = i.Frame.first_start;
+    last_start = i.Frame.last_start;
+    cover_from = i.Frame.cover_from;
+    cover_to = i.Frame.cover_to;
+    alarms = i.Frame.alarms;
+    peak_score = i.Frame.peak_score;
+  }
+
+let remember_batch t ~batch_id incidents =
+  Hashtbl.replace t.dedup batch_id incidents;
+  Queue.push batch_id t.dedup_order;
+  while Queue.length t.dedup_order > t.dedup_capacity do
+    Hashtbl.remove t.dedup (Queue.pop t.dedup_order)
+  done
+
+let create ~scorer ~threshold ?journal ~shard () =
+  let t =
+    {
+      scorer;
+      threshold;
+      journal;
+      shard;
+      monitors = Hashtbl.create 1024;
+      dedup = Hashtbl.create 128;
+      dedup_order = Queue.create ();
+      dedup_capacity =
+        (match journal with
+        | Some _ -> max default_dedup_capacity 1
+        | None -> default_dedup_capacity);
+      events = 0;
+      symbols = 0;
+      batches = 0;
+      replays = 0;
+    }
+  in
+  Option.iter
+    (fun j ->
+      List.iter
+        (fun (s : Shard_journal.session_state) ->
+          let monitor =
+            Online.restore scorer ~threshold
+              {
+                Online.snap_consumed = s.Shard_journal.js_consumed;
+                snap_state = s.Shard_journal.js_state;
+                snap_open =
+                  Option.map incident_to_core s.Shard_journal.js_open;
+              }
+          in
+          Hashtbl.replace t.monitors s.Shard_journal.js_session monitor)
+        (Shard_journal.sessions j);
+      List.iter
+        (fun (b : Shard_journal.batch_record) ->
+          remember_batch t ~batch_id:b.Shard_journal.jb_id
+            b.Shard_journal.jb_incidents)
+        (Shard_journal.batches j))
+    journal;
+  t
+
+(* Incident events of one monitor's Online events, appended in emission
+   order; Window_scored responses are the monitor's business, not the
+   wire's. *)
+let push_incident_events acc session events =
+  List.iter
+    (fun (e : Online.event) ->
+      match e with
+      | Online.Window_scored _ -> ()
+      | Online.Incident_opened position ->
+          acc := Frame.Opened { session; position } :: !acc
+      | Online.Incident_closed incident ->
+          acc :=
+            Frame.Closed { session; incident = incident_of_core incident }
+            :: !acc)
+    events
+
+let checkpoint_stride = 1024
+
+let apply t ~batch_id events =
+  match Hashtbl.find_opt t.dedup batch_id with
+  | Some incidents ->
+      t.replays <- t.replays + 1;
+      incidents
+  | None ->
+      let acc = ref [] in
+      (* First-touch order of the sessions this batch advanced, so the
+         journal's session records are deterministic too. *)
+      let touched = Hashtbl.create 16 in
+      let touched_order = ref [] in
+      let ended = Hashtbl.create 4 in
+      let since_checkpoint = ref 0 in
+      List.iter
+        (fun (event : Frame.event) ->
+          t.events <- t.events + 1;
+          match event with
+          | Frame.Data { session; symbols } ->
+              let monitor =
+                match Hashtbl.find_opt t.monitors session with
+                | Some m -> m
+                | None ->
+                    let m = Online.of_scorer t.scorer ~threshold:t.threshold in
+                    Hashtbl.replace t.monitors session m;
+                    m
+              in
+              if not (Hashtbl.mem touched session) then begin
+                Hashtbl.replace touched session ();
+                touched_order := session :: !touched_order
+              end;
+              Hashtbl.remove ended session;
+              t.symbols <- t.symbols + Array.length symbols;
+              Array.iter
+                (fun symbol ->
+                  push_incident_events acc session (Online.feed monitor symbol);
+                  incr since_checkpoint;
+                  if !since_checkpoint >= checkpoint_stride then begin
+                    since_checkpoint := 0;
+                    Deadline.checkpoint ()
+                  end)
+                symbols
+          | Frame.End_of_session { session } -> (
+              match Hashtbl.find_opt t.monitors session with
+              | None -> () (* unknown or already ended: nothing to flush *)
+              | Some monitor ->
+                  push_incident_events acc session (Online.flush monitor);
+                  Hashtbl.remove t.monitors session;
+                  if not (Hashtbl.mem touched session) then begin
+                    Hashtbl.replace touched session ();
+                    touched_order := session :: !touched_order
+                  end;
+                  Hashtbl.replace ended session ()))
+        events;
+      let incidents = List.rev !acc in
+      t.batches <- t.batches + 1;
+      Option.iter
+        (fun journal ->
+          List.iter
+            (fun session ->
+              if Hashtbl.mem ended session then
+                Shard_journal.record_end journal ~session
+              else
+                match Hashtbl.find_opt t.monitors session with
+                | None -> ()
+                | Some monitor -> (
+                    match Online.snapshot monitor with
+                    | None -> () (* of_scorer monitors always snapshot *)
+                    | Some snap ->
+                        Shard_journal.record_session journal
+                          {
+                            Shard_journal.js_session = session;
+                            js_consumed = snap.Online.snap_consumed;
+                            js_state = snap.Online.snap_state;
+                            js_open =
+                              Option.map incident_of_core snap.Online.snap_open;
+                          }))
+            (List.rev !touched_order);
+          Shard_journal.record_batch journal
+            {
+              Shard_journal.jb_id = batch_id;
+              jb_shard = t.shard;
+              jb_events = List.length events;
+              jb_incidents = incidents;
+            };
+          Shard_journal.commit journal)
+        t.journal;
+      remember_batch t ~batch_id incidents;
+      incidents
+
+let shard t = t.shard
+let sessions_resident t = Hashtbl.length t.monitors
+let events_applied t = t.events
+let symbols_applied t = t.symbols
+let batches_applied t = t.batches
+let batches_replayed t = t.replays
+
+(* Word-count estimate: a resident monitor is the Online record, its
+   automaton path record and a hashtable slot (~24 words, plus ~8 when
+   an incident is open — called 28 flat); a dedup entry is the bucket,
+   the queue cell and a short incident list (~16 words).  Estimated,
+   not measured — the stat exists so capacity planning has an order of
+   magnitude, not a byte count. *)
+let bytes_resident t =
+  let word = Sys.word_size / 8 in
+  (Hashtbl.length t.monitors * 28 * word)
+  + (Hashtbl.length t.dedup * 16 * word)

@@ -1,0 +1,399 @@
+(* Per-shard serve journal: Journal's disciplines (versioned magic,
+   context pinning, per-line FNV-1a digests, append+fsync fast path,
+   threshold compaction, torn-tail recovery) plus commit groups, which
+   make one flush atomic with respect to recovery.  See the .mli for
+   the contract and the format rationale. *)
+
+open Seqdiv_stream
+
+let magic = "seqdiv-shard-journal v1"
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type session_state = {
+  js_session : int;
+  js_consumed : int;
+  js_state : int;
+  js_open : Frame.incident option;
+}
+
+type batch_record = {
+  jb_id : int;
+  jb_shard : int;
+  jb_events : int;
+  jb_incidents : Frame.incident_event list;
+}
+
+(* A parsed record line, pre-commit. *)
+type record =
+  | Session of session_state
+  | Ended of int
+  | Batch of batch_record
+
+type t = {
+  path : string;
+  context : string;
+  compact_factor : float;
+  batch_history : int;
+  live : (int, session_state) Hashtbl.t;
+  batch_q : batch_record Queue.t; (* oldest first, bounded *)
+  mutable pending : string list; (* record lines, newest first *)
+  mutable pending_count : int;
+  mutable written_lines : int; (* record + commit lines on disk *)
+  mutable appendable : bool;
+  mutable recovered_sessions : int;
+  mutable recovered_batches : int;
+  mutable dropped : int;
+  mutable appends : int;
+  mutable compactions : int;
+}
+
+(* --- line codec --------------------------------------------------------- *)
+
+let fnv_string s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let with_digest body = Printf.sprintf "%s %016Lx" body (fnv_string body)
+
+let incident_token (i : Frame.incident) =
+  Printf.sprintf "%d:%d:%d:%d:%d:%016Lx" i.Frame.first_start i.Frame.last_start
+    i.Frame.cover_from i.Frame.cover_to i.Frame.alarms
+    (Int64.bits_of_float i.Frame.peak_score)
+
+let incident_of_token tok =
+  match String.split_on_char ':' tok with
+  | [ first; last; cfrom; cto; alarms; bits ] -> (
+      match
+        ( int_of_string_opt first,
+          int_of_string_opt last,
+          int_of_string_opt cfrom,
+          int_of_string_opt cto,
+          int_of_string_opt alarms,
+          Int64.of_string_opt ("0x" ^ bits) )
+      with
+      | Some first_start, Some last_start, Some cover_from, Some cover_to,
+        Some alarms, Some bits ->
+          Some
+            {
+              Frame.first_start;
+              last_start;
+              cover_from;
+              cover_to;
+              alarms;
+              peak_score = Int64.float_of_bits bits;
+            }
+      | _ -> None)
+  | _ -> None
+
+let session_body s =
+  Printf.sprintf "s %d %d %d %s" s.js_session s.js_consumed s.js_state
+    (match s.js_open with None -> "-" | Some i -> incident_token i)
+
+let ended_body session = Printf.sprintf "e %d" session
+
+let incident_event_token = function
+  | Frame.Opened { session; position } -> Printf.sprintf "o:%d:%d" session position
+  | Frame.Closed { session; incident } ->
+      Printf.sprintf "c:%d:%s" session (incident_token incident)
+
+let incident_event_of_token tok =
+  match String.index_opt tok ':' with
+  | None -> None
+  | Some cut -> (
+      let rest = String.sub tok (cut + 1) (String.length tok - cut - 1) in
+      match String.sub tok 0 cut with
+      | "o" -> (
+          match String.split_on_char ':' rest with
+          | [ session; position ] -> (
+              match (int_of_string_opt session, int_of_string_opt position) with
+              | Some session, Some position ->
+                  Some (Frame.Opened { session; position })
+              | _ -> None)
+          | _ -> None)
+      | "c" -> (
+          match String.index_opt rest ':' with
+          | None -> None
+          | Some cut2 -> (
+              let session = String.sub rest 0 cut2 in
+              let inc = String.sub rest (cut2 + 1) (String.length rest - cut2 - 1) in
+              match (int_of_string_opt session, incident_of_token inc) with
+              | Some session, Some incident ->
+                  Some (Frame.Closed { session; incident })
+              | _ -> None))
+      | _ -> None)
+
+let batch_body b =
+  Printf.sprintf "b %d %d %d %d%s" b.jb_id b.jb_shard b.jb_events
+    (List.length b.jb_incidents)
+    (String.concat ""
+       (List.map (fun e -> " " ^ incident_event_token e) b.jb_incidents))
+
+let commit_body count = Printf.sprintf "k %d" count
+
+(* A digested line back into its parsed form; None on any damage. *)
+let parse_line line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some cut -> (
+      let body = String.sub line 0 cut in
+      let digest = String.sub line (cut + 1) (String.length line - cut - 1) in
+      match Int64.of_string_opt ("0x" ^ digest) with
+      | Some d when Int64.equal d (fnv_string body) -> (
+          match String.split_on_char ' ' body with
+          | [ "s"; session; consumed; state; open_tok ] -> (
+              match
+                ( int_of_string_opt session,
+                  int_of_string_opt consumed,
+                  int_of_string_opt state )
+              with
+              | Some js_session, Some js_consumed, Some js_state -> (
+                  match
+                    if open_tok = "-" then Some None
+                    else Option.map Option.some (incident_of_token open_tok)
+                  with
+                  | Some js_open ->
+                      Some
+                        (`Record
+                          (Session { js_session; js_consumed; js_state; js_open }))
+                  | None -> None)
+              | _ -> None)
+          | [ "e"; session ] ->
+              Option.map (fun s -> `Record (Ended s)) (int_of_string_opt session)
+          | "b" :: id :: shard :: events :: count :: toks -> (
+              match
+                ( int_of_string_opt id,
+                  int_of_string_opt shard,
+                  int_of_string_opt events,
+                  int_of_string_opt count )
+              with
+              | Some jb_id, Some jb_shard, Some jb_events, Some count
+                when count = List.length toks -> (
+                  let incidents = List.map incident_event_of_token toks in
+                  if List.for_all Option.is_some incidents then
+                    Some
+                      (`Record
+                        (Batch
+                           {
+                             jb_id;
+                             jb_shard;
+                             jb_events;
+                             jb_incidents = List.filter_map Fun.id incidents;
+                           }))
+                  else None)
+              | _ -> None)
+          | [ "k"; count ] ->
+              Option.map (fun c -> `Commit c) (int_of_string_opt count)
+          | _ -> None)
+      | Some _ | None -> None)
+
+(* --- in-memory state ---------------------------------------------------- *)
+
+let apply_record t = function
+  | Session s -> Hashtbl.replace t.live s.js_session s
+  | Ended session -> Hashtbl.remove t.live session
+  | Batch b ->
+      Queue.push b t.batch_q;
+      while Queue.length t.batch_q > t.batch_history do
+        ignore (Queue.pop t.batch_q)
+      done
+
+(* --- load --------------------------------------------------------------- *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | Some line -> go (line :: acc)
+        | None -> List.rev acc
+      in
+      go [])
+
+let ends_with_newline path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      if n = 0 then false
+      else begin
+        seek_in ic (n - 1);
+        input_char ic = '\n'
+      end)
+
+let load_into t =
+  match read_lines t.path with
+  | [] -> corrupt "%s: empty journal (missing %S header)" t.path magic
+  | header :: rest ->
+      if not (String.equal header magic) then
+        corrupt "%s: bad journal header %S (want %S)" t.path header magic;
+      (match rest with
+      | context_line :: _
+        when String.length context_line > 8
+             && String.equal (String.sub context_line 0 8) "context " ->
+          let ctx = String.sub context_line 8 (String.length context_line - 8) in
+          if not (String.equal ctx t.context) then
+            corrupt
+              "%s: journal was written for a different serve run (%s, this \
+               run is %s) — refusing to resume from it"
+              t.path ctx t.context
+      | _ -> corrupt "%s: missing context line" t.path);
+      let cells = match rest with [] -> [] | _ :: cells -> cells in
+      (* Commit-group recovery: records buffer until their commit
+         marker; a damaged line, a count mismatch, or end-of-file drops
+         the buffered group (and everything after a damaged line)
+         instead of applying a half-flush. *)
+      let rec go group_rev group_n = function
+        | [] -> t.dropped <- t.dropped + group_n
+        | line :: more -> (
+            match parse_line line with
+            | Some (`Record r) ->
+                go (r :: group_rev) (group_n + 1) more
+            | Some (`Commit count) when count = group_n ->
+                List.iter (apply_record t) (List.rev group_rev);
+                t.written_lines <- t.written_lines + group_n + 1;
+                go [] 0 more
+            | Some (`Commit _) | None ->
+                t.dropped <- t.dropped + group_n + 1 + List.length more)
+      in
+      go [] 0 cells;
+      t.recovered_sessions <- Hashtbl.length t.live;
+      t.recovered_batches <- Queue.length t.batch_q;
+      t.appendable <- t.dropped = 0 && ends_with_newline t.path
+
+(* --- public api --------------------------------------------------------- *)
+
+let default_compact_factor = 4.0
+let default_batch_history = 64
+
+let start ?(resume = false) ?(compact_factor = default_compact_factor)
+    ?(batch_history = default_batch_history) ~context path =
+  if String.exists (fun c -> c = '\n') context then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg "Shard_journal.start: context contains a newline";
+  let t =
+    {
+      path;
+      context;
+      compact_factor;
+      batch_history = max 1 batch_history;
+      live = Hashtbl.create 256;
+      batch_q = Queue.create ();
+      pending = [];
+      pending_count = 0;
+      written_lines = 0;
+      appendable = false;
+      recovered_sessions = 0;
+      recovered_batches = 0;
+      dropped = 0;
+      appends = 0;
+      compactions = 0;
+    }
+  in
+  if resume && Sys.file_exists path then load_into t;
+  t
+
+let path t = t.path
+let context t = t.context
+let recovered_sessions t = t.recovered_sessions
+let recovered_batches t = t.recovered_batches
+let dropped_lines t = t.dropped
+let appends t = t.appends
+let compactions t = t.compactions
+
+let push_pending t body record =
+  apply_record t record;
+  t.pending <- with_digest body :: t.pending;
+  t.pending_count <- t.pending_count + 1
+
+let record_session t s = push_pending t (session_body s) (Session s)
+let record_end t ~session = push_pending t (ended_body session) (Ended session)
+let record_batch t b = push_pending t (batch_body b) (Batch b)
+
+let sessions t =
+  (* lint: allow determinism — collection order is erased by the sort *)
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.live []
+  |> List.sort (fun a b -> compare a.js_session b.js_session)
+
+let batches t = List.of_seq (Queue.to_seq t.batch_q)
+
+let fsync_out oc =
+  Stdlib.flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let output_line oc line =
+  output_string oc line;
+  output_char oc '\n'
+
+(* Whole-file rewrite (also compaction): live sessions plus retained
+   batches as one committed group, via write-tmp-then-rename. *)
+let rewrite t =
+  let lines =
+    List.map (fun s -> with_digest (session_body s)) (sessions t)
+    @ List.map (fun b -> with_digest (batch_body b)) (batches t)
+  in
+  let count = List.length lines in
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_line oc magic;
+         output_line oc ("context " ^ t.context);
+         List.iter (output_line oc) lines;
+         output_line oc (with_digest (commit_body count));
+         fsync_out oc)
+   with
+  | () -> ()
+  (* lint: allow swallow — tmp cleanup only; the exception is re-raised *)
+  | exception exn ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise exn);
+  Sys.rename tmp t.path;
+  t.written_lines <- count + 1;
+  t.pending <- [];
+  t.pending_count <- 0;
+  t.appendable <- true;
+  t.compactions <- t.compactions + 1
+
+let append t =
+  let pending = List.rev t.pending in
+  let count = t.pending_count in
+  (* If the append is interrupted the tail state is unknown; the next
+     commit (or resume) must go through the rewrite path. *)
+  t.appendable <- false;
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 t.path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (output_line oc) pending;
+      output_line oc (with_digest (commit_body count));
+      fsync_out oc);
+  t.written_lines <- t.written_lines + count + 1;
+  t.pending <- [];
+  t.pending_count <- 0;
+  t.appendable <- true;
+  t.appends <- t.appends + 1
+
+let commit t =
+  if t.pending_count > 0 then begin
+    let live = Hashtbl.length t.live + Queue.length t.batch_q + 1 in
+    let must_rewrite =
+      (not t.appendable)
+      || not (Sys.file_exists t.path)
+      || t.compact_factor <= 0.0
+      || float_of_int (t.written_lines + t.pending_count)
+         > t.compact_factor *. float_of_int live
+    in
+    if must_rewrite then rewrite t else append t
+  end

@@ -25,4 +25,5 @@ val anomalous :
     rotated across sessions so the corpus is not one repeated stream.
 
     Requires [length >= 4*window + 2*anomaly_size + 2].
-    @raise Failure when no candidate anomaly admits a clean injection. *)
+    @raise Injector.No_clean_injection when no candidate anomaly admits
+    a clean injection for this window. *)

@@ -116,6 +116,118 @@ let test_threshold_override () =
   Alcotest.(check bool) "strict silent" false (fired strict);
   Alcotest.(check bool) "lenient fires" true (fired lenient)
 
+(* {1 of_scorer edge cases (the serve layer's construction path)} *)
+
+let compiled_stide () =
+  let suite = tiny_suite () in
+  let stide =
+    Trained.train (Registry.find_exn "stide") ~window:4 suite.Suite.training
+  in
+  let scorer =
+    match Trained.compile stide with
+    | Some scorer -> scorer
+    | None -> Alcotest.fail "stide must compile"
+  in
+  (scorer, Trained.alarm_threshold stide)
+
+let test_of_scorer_short_stream () =
+  (* Fewer symbols than one window: no window ever completes, so no
+     events — and flush finds nothing to close. *)
+  let scorer, threshold = compiled_stide () in
+  let monitor = Online.of_scorer scorer ~threshold in
+  let events = feed_all monitor [ 0; 1; 2 ] in
+  Alcotest.(check int) "silent below one window" 0 (List.length events);
+  Alcotest.(check int) "flush finds nothing" 0
+    (List.length (Online.flush monitor));
+  Alcotest.(check int) "position still tracked" 3 (Online.position monitor)
+
+let test_of_scorer_stream_ends_mid_incident () =
+  (* A foreign run at the very end of the stream: the incident is still
+     open when input stops.  Only flush makes it observable; the closed
+     incident must cover through the final window. *)
+  let scorer, threshold = compiled_stide () in
+  let monitor = Online.of_scorer scorer ~threshold in
+  let events = feed_all monitor [ 0; 1; 2; 3; 0; 0; 0; 0 ] in
+  Alcotest.(check bool) "incident opened" true
+    (List.exists
+       (function Online.Incident_opened _ -> true | _ -> false)
+       events);
+  Alcotest.(check bool) "not closed while open-ended" false
+    (List.exists
+       (function Online.Incident_closed _ -> true | _ -> false)
+       events);
+  Alcotest.(check int) "invisible before flush" 0
+    (List.length (Online.incidents monitor));
+  (match Online.flush monitor with
+  | [ Online.Incident_closed incident ] ->
+      Alcotest.(check int) "covers the last window" 7
+        incident.Incident.cover_to
+  | _ -> Alcotest.fail "flush must close exactly the open incident");
+  Alcotest.(check int) "recorded after flush" 1
+    (List.length (Online.incidents monitor));
+  Alcotest.(check int) "second flush is a no-op" 0
+    (List.length (Online.flush monitor))
+
+let test_of_scorer_threshold_exactly_at_score () =
+  (* The alarm predicate is [score >= threshold]: a window scoring
+     exactly the threshold alarms; just above it stays silent. *)
+  let scorer, _ = compiled_stide () in
+  let symbols = [ 0; 1; 2; 3; 0; 0; 0; 0 ] in
+  let foreign_score =
+    let probe = Online.of_scorer scorer ~threshold:Float.max_float in
+    feed_all probe symbols
+    |> List.filter_map (function
+         | Online.Window_scored i -> Some i.Response.score
+         | _ -> None)
+    |> List.fold_left Float.max neg_infinity
+  in
+  Alcotest.(check bool) "stream has a scoring window" true
+    (foreign_score > 0.0);
+  let fired threshold =
+    let monitor = Online.of_scorer scorer ~threshold in
+    feed_all monitor symbols
+    |> List.exists (function Online.Incident_opened _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "score = threshold alarms" true (fired foreign_score);
+  Alcotest.(check bool) "threshold just above is silent" false
+    (fired (foreign_score +. epsilon_float *. foreign_score *. 2.0 +. Float.min_float))
+
+let test_snapshot_restore_roundtrip () =
+  (* Cut a stream anywhere; restoring the snapshot must continue with
+     the same events as the uninterrupted monitor. *)
+  let scorer, threshold = compiled_stide () in
+  let symbols = [ 0; 1; 2; 3; 0; 0; 0; 0; 4; 5; 6; 7; 0; 1; 2; 3 ] in
+  let straight = Online.of_scorer scorer ~threshold in
+  let all_events = feed_all straight symbols in
+  let cut = 7 in
+  let first = Online.of_scorer scorer ~threshold in
+  let head_events = feed_all first (List.filteri (fun i _ -> i < cut) symbols) in
+  let snap =
+    match Online.snapshot first with
+    | Some snap -> snap
+    | None -> Alcotest.fail "automaton monitors must snapshot"
+  in
+  let second = Online.restore scorer ~threshold snap in
+  Alcotest.(check int) "position restored" (Online.position first)
+    (Online.position second);
+  let tail_events =
+    feed_all second (List.filteri (fun i _ -> i >= cut) symbols)
+  in
+  Alcotest.(check int) "same event count" (List.length all_events)
+    (List.length (head_events @ tail_events));
+  Alcotest.(check int) "same final incidents"
+    (List.length (Online.flush straight))
+    (List.length (Online.flush second))
+
+let test_restore_rejects_garbage () =
+  let scorer, threshold = compiled_stide () in
+  let bad =
+    { Online.snap_consumed = 4; snap_state = max_int; snap_open = None }
+  in
+  match Online.restore scorer ~threshold bad with
+  | _ -> Alcotest.fail "out-of-range state accepted"
+  | exception Invalid_argument _ -> ()
+
 let prop_online_incidents_match_batch =
   (* The streaming monitor and the batch coalescer must report the same
      incidents for the same trace. *)
@@ -158,6 +270,16 @@ let () =
           Alcotest.test_case "flush" `Quick test_flush_closes_open_incident;
           Alcotest.test_case "clean stream" `Quick test_clean_stream_no_incidents;
           Alcotest.test_case "threshold override" `Quick test_threshold_override;
+          Alcotest.test_case "of_scorer: short stream" `Quick
+            test_of_scorer_short_stream;
+          Alcotest.test_case "of_scorer: ends mid-incident" `Quick
+            test_of_scorer_stream_ends_mid_incident;
+          Alcotest.test_case "of_scorer: threshold boundary" `Quick
+            test_of_scorer_threshold_exactly_at_score;
+          Alcotest.test_case "snapshot/restore" `Quick
+            test_snapshot_restore_roundtrip;
+          Alcotest.test_case "restore validation" `Quick
+            test_restore_rejects_garbage;
           prop_online_incidents_match_batch;
         ] );
     ]

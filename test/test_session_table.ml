@@ -1,0 +1,296 @@
+(* The serve determinism contract, proven at the Session_table level:
+   for ANY interleaved batch stream, the per-session incident log is
+   identical to a serial Online replay of that session's symbols —
+   whatever the shard count, and across a simulated kill/resume with
+   resent batches.  This is the property that makes `seqdiv serve`'s
+   output reproducible and its crash recovery byte-exact. *)
+
+open Seqdiv_stream
+open Seqdiv_synth
+open Seqdiv_core
+open Seqdiv_detectors
+open Seqdiv_test_support
+
+let scorer_and_threshold =
+  lazy
+    (let suite = tiny_suite () in
+     let stide =
+       Trained.train (Registry.find_exn "stide") ~window:4 suite.Suite.training
+     in
+     let scorer =
+       match Trained.compile stide with
+       | Some scorer -> scorer
+       | None -> Alcotest.fail "stide must compile"
+     in
+     (scorer, Trained.alarm_threshold stide))
+
+let incident_of_core (i : Incident.t) =
+  {
+    Frame.first_start = i.Incident.first_start;
+    last_start = i.Incident.last_start;
+    cover_from = i.Incident.cover_from;
+    cover_to = i.Incident.cover_to;
+    alarms = i.Incident.alarms;
+    peak_score = i.Incident.peak_score;
+  }
+
+(* {1 The serial reference}
+
+   One Online monitor per session, events applied in stream order on
+   the calling domain — the semantics Session_table must reproduce. *)
+
+let serial_replay ~scorer ~threshold batches =
+  let monitors = Hashtbl.create 16 in
+  let log = ref [] in
+  let emit session = function
+    | Online.Window_scored _ -> ()
+    | Online.Incident_opened position ->
+        log := Frame.Opened { session; position } :: !log
+    | Online.Incident_closed incident ->
+        log :=
+          Frame.Closed { session; incident = incident_of_core incident }
+          :: !log
+  in
+  List.iter
+    (fun events ->
+      List.iter
+        (fun event ->
+          match event with
+          | Frame.Data { session; symbols } ->
+              let monitor =
+                match Hashtbl.find_opt monitors session with
+                | Some m -> m
+                | None ->
+                    let m = Online.of_scorer scorer ~threshold in
+                    Hashtbl.replace monitors session m;
+                    m
+              in
+              Array.iter
+                (fun s -> List.iter (emit session) (Online.feed monitor s))
+                symbols
+          | Frame.End_of_session { session } -> (
+              match Hashtbl.find_opt monitors session with
+              | Some monitor ->
+                  List.iter (emit session) (Online.flush monitor);
+                  Hashtbl.remove monitors session
+              | None -> ()))
+        events)
+    batches;
+  List.rev !log
+
+(* Per-session rendered log: the cross-shard comparable form (global
+   emission order is sharding-dependent; per-session order is not). *)
+let by_session incident_events =
+  let t = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let session =
+        match ev with
+        | Frame.Opened { session; _ } | Frame.Closed { session; _ } -> session
+      in
+      let line = Frame.render_incident_event ev in
+      Hashtbl.replace t session
+        (line :: Option.value ~default:[] (Hashtbl.find_opt t session)))
+    incident_events;
+  Hashtbl.fold (fun s lines acc -> (s, List.rev lines) :: acc) t []
+  |> List.sort compare
+
+let route_events ~shards events =
+  let buckets = Array.make shards [] in
+  List.iter
+    (fun event ->
+      let session =
+        match event with
+        | Frame.Data { session; _ } | Frame.End_of_session { session } ->
+            session
+      in
+      let shard = Frame.shard_of_session ~shards session in
+      buckets.(shard) <- event :: buckets.(shard))
+    events;
+  Array.map List.rev buckets
+
+let sharded_replay ~scorer ~threshold ~shards batches =
+  let tables =
+    Array.init shards (fun shard ->
+        Session_table.create ~scorer ~threshold ~shard ())
+  in
+  List.concat
+    (List.mapi
+       (fun batch_id events ->
+         let buckets = route_events ~shards events in
+         List.concat
+           (List.init shards (fun shard ->
+                match buckets.(shard) with
+                | [] -> []
+                | sub -> Session_table.apply tables.(shard) ~batch_id sub)))
+       batches)
+
+(* {1 Generators} *)
+
+let gen_event =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 6,
+          map2
+            (fun session symbols ->
+              Frame.Data { session; symbols = Array.of_list symbols })
+            (int_bound 5)
+            (list_size (1 -- 12) (int_bound 7)) );
+        (1, map (fun session -> Frame.End_of_session { session }) (int_bound 5));
+      ])
+
+let gen_batches =
+  QCheck.Gen.(list_size (1 -- 12) (list_size (1 -- 8) gen_event))
+
+let arbitrary_batches =
+  QCheck.make
+    ~print:(fun batches ->
+      Printf.sprintf "%d batches / %d events" (List.length batches)
+        (List.fold_left (fun a b -> a + List.length b) 0 batches))
+    gen_batches
+
+(* {1 Properties} *)
+
+let prop_shard_invariant =
+  qcheck ~count:60 "per-session log invariant under shard count"
+    arbitrary_batches
+    (fun batches ->
+      let scorer, threshold = Lazy.force scorer_and_threshold in
+      let reference = by_session (serial_replay ~scorer ~threshold batches) in
+      List.for_all
+        (fun shards ->
+          by_session (sharded_replay ~scorer ~threshold ~shards batches)
+          = reference)
+        [ 1; 2; 4 ])
+
+let prop_kill_resume =
+  qcheck ~count:40 "kill/resume + resent batch = uninterrupted run"
+    arbitrary_batches
+    (fun batches ->
+      let scorer, threshold = Lazy.force scorer_and_threshold in
+      let shards = 2 in
+      let reference = by_session (serial_replay ~scorer ~threshold batches) in
+      let dir = Filename.temp_file "seqdiv-session-table" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o755;
+      Fun.protect
+        ~finally:(fun () ->
+          Array.iter
+            (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+            (Sys.readdir dir);
+          Unix.rmdir dir)
+        (fun () ->
+          let journal_path shard =
+            Filename.concat dir (Printf.sprintf "shard-%d.journal" shard)
+          in
+          let context shard = Printf.sprintf "test shard=%d" shard in
+          let open_tables ~resume =
+            Array.init shards (fun shard ->
+                let journal =
+                  Shard_journal.start ~resume ~context:(context shard)
+                    (journal_path shard)
+                in
+                Session_table.create ~scorer ~threshold ~journal ~shard ())
+          in
+          let apply_batch tables batch_id events =
+            let buckets = route_events ~shards events in
+            List.concat
+              (List.init shards (fun shard ->
+                   match buckets.(shard) with
+                   | [] -> []
+                   | sub -> Session_table.apply tables.(shard) ~batch_id sub))
+          in
+          let batches = Array.of_list batches in
+          let n = Array.length batches in
+          let cut = Stdlib.max 1 (n / 2) in
+          (* Phase 1: the first half of the stream, journalled. *)
+          let tables = open_tables ~resume:false in
+          let first_half = ref [] and last_applied = ref [] in
+          for i = 0 to cut - 1 do
+            let evs = apply_batch tables i batches.(i) in
+            first_half := evs :: !first_half;
+            last_applied := evs
+          done;
+          let first_half = List.concat (List.rev !first_half) in
+          (* Crash: drop the tables, reopen everything from the journals. *)
+          let resumed = open_tables ~resume:true in
+          (* The client resends its last unacked batch; the journal's
+             batch history must answer it verbatim without re-applying. *)
+          let resent = apply_batch resumed (cut - 1) batches.(cut - 1) in
+          let replays =
+            Array.fold_left
+              (fun a t -> a + Session_table.batches_replayed t)
+              0 resumed
+          in
+          (* Phase 2: the rest of the stream on the resumed tables. *)
+          let second_half = ref [] in
+          for i = cut to n - 1 do
+            second_half := apply_batch resumed i batches.(i) :: !second_half
+          done;
+          let second_half = List.concat (List.rev !second_half) in
+          let interrupted = by_session (first_half @ second_half) in
+          interrupted = reference && replays > 0
+          && List.map Frame.render_incident_event resent
+             = List.map Frame.render_incident_event !last_applied))
+
+(* {1 Unit tests: counters and lifecycle} *)
+
+let test_counters () =
+  let scorer, threshold = Lazy.force scorer_and_threshold in
+  let table = Session_table.create ~scorer ~threshold ~shard:3 () in
+  Alcotest.(check int) "shard recorded" 3 (Session_table.shard table);
+  Alcotest.(check int) "empty" 0 (Session_table.sessions_resident table);
+  let _ =
+    Session_table.apply table ~batch_id:0
+      [
+        Frame.Data { session = 1; symbols = [| 0; 1; 2; 3; 0 |] };
+        Frame.Data { session = 2; symbols = [| 4; 5 |] };
+      ]
+  in
+  Alcotest.(check int) "two sessions" 2 (Session_table.sessions_resident table);
+  Alcotest.(check int) "events counted" 2 (Session_table.events_applied table);
+  Alcotest.(check int) "symbols counted" 7 (Session_table.symbols_applied table);
+  Alcotest.(check int) "one batch" 1 (Session_table.batches_applied table);
+  Alcotest.(check bool) "memory estimated" true
+    (Session_table.bytes_resident table > 0);
+  let _ =
+    Session_table.apply table ~batch_id:1
+      [ Frame.End_of_session { session = 1 } ]
+  in
+  Alcotest.(check int) "ended session dropped" 1
+    (Session_table.sessions_resident table);
+  (* Ending a session the table never saw is a harmless no-op. *)
+  let evs =
+    Session_table.apply table ~batch_id:2
+      [ Frame.End_of_session { session = 99 } ]
+  in
+  Alcotest.(check int) "unknown end is silent" 0 (List.length evs)
+
+let test_dedup_without_journal () =
+  (* Even journal-less tables keep the in-memory history window, so a
+     resent batch on a live connection is not applied twice. *)
+  let scorer, threshold = Lazy.force scorer_and_threshold in
+  let table = Session_table.create ~scorer ~threshold ~shard:0 () in
+  let batch = [ Frame.Data { session = 1; symbols = [| 0; 0; 0; 0; 0 |] } ] in
+  let first = Session_table.apply table ~batch_id:7 batch in
+  let symbols_after = Session_table.symbols_applied table in
+  let again = Session_table.apply table ~batch_id:7 batch in
+  Alcotest.(check int) "no re-apply" symbols_after
+    (Session_table.symbols_applied table);
+  Alcotest.(check int) "one replay" 1 (Session_table.batches_replayed table);
+  Alcotest.(check bool) "identical answer" true
+    (List.map Frame.render_incident_event first
+    = List.map Frame.render_incident_event again)
+
+let () =
+  Alcotest.run "session_table"
+    [
+      ( "session_table",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "dedup" `Quick test_dedup_without_journal;
+          prop_shard_invariant;
+          prop_kill_resume;
+        ] );
+    ]
