@@ -35,10 +35,61 @@ type options = {
   target_shard : (int * int) option;  (* (shard, of_shards) id filter *)
   hold_open : bool;  (* never send End_of_session: residency probe *)
   reconnect : bool;
+  stall_ms : int;  (* connection 0 stops reading mid-run; 0 = off *)
   incident_log : string option;
   json : string option;
   quit : bool;
 }
+
+(* --- adaptive backoff ---------------------------------------------------- *)
+
+(* Rejections and reconnects both honour the server's latest
+   [retry_after_ms] hint via exponential backoff with deterministic
+   seeded jitter: delay(attempt) = min(cap, hint * 2^attempt) *
+   (0.5 + u) with u = Fault_plan.jitter over (seed, batch, attempt) —
+   reproducible schedules, no thundering herd. *)
+
+let backoff_cap_ms = 2000.0
+let backoff_log_entries = 64
+
+type backoff_entry = {
+  bo_kind : string;  (* "reject" | "reconnect" *)
+  bo_batch : int;  (* batch id, or reconnect ordinal *)
+  bo_attempt : int;
+  bo_delay_ms : float;
+}
+
+type backoff_log = {
+  mutable bo_recent : backoff_entry list;  (* newest first, bounded *)
+  mutable bo_count : int;
+  mutable bo_total_ms : float;
+}
+
+let backoff_log () = { bo_recent = []; bo_count = 0; bo_total_ms = 0.0 }
+
+let backoff_delay_ms ~seed ~hint_ms ~kind ~batch ~attempt =
+  let base =
+    Stdlib.min backoff_cap_ms
+      (float_of_int (Stdlib.max 1 hint_ms) *. (2.0 ** float_of_int attempt))
+  in
+  let kind_tag = if kind = "reconnect" then 1 else 0 in
+  let key =
+    Int64.logxor
+      (Int64.shift_left (Int64.of_int ((attempt lsl 1) lor kind_tag)) 32)
+      (Int64.of_int batch)
+  in
+  base *. (0.5 +. Seqdiv_core.Fault_plan.jitter ~seed ~key)
+
+let backoff_sleep log ~seed ~hint_ms ~kind ~batch ~attempt =
+  let delay = backoff_delay_ms ~seed ~hint_ms ~kind ~batch ~attempt in
+  log.bo_count <- log.bo_count + 1;
+  log.bo_total_ms <- log.bo_total_ms +. delay;
+  if log.bo_count <= backoff_log_entries then
+    log.bo_recent <-
+      { bo_kind = kind; bo_batch = batch; bo_attempt = attempt;
+        bo_delay_ms = delay }
+      :: log.bo_recent;
+  Unix.sleepf (delay /. 1000.0)
 
 (* --- corpus ------------------------------------------------------------- *)
 
@@ -219,11 +270,6 @@ let link_connect address ~budget_s encoding =
     encoding;
   }
 
-let link_reconnect link address ~budget_s =
-  (try Unix.close link.fd with Unix.Unix_error _ -> ());
-  link.fd <- connect_retry address ~budget_s;
-  link.decoder <- Frame.reader ()
-
 let send_request link request =
   Buffer.clear link.ebuf;
   Frame.write_request link.ebuf link.encoding request;
@@ -262,18 +308,22 @@ type conn_result = {
   cr_finished : float;
   cr_incidents : (int, Frame.incident_event list) Hashtbl.t;
       (* session -> events, newest first *)
+  cr_backoff : backoff_log;
 }
 
 type pending = {
   p_request : Frame.request;
   p_events : int;
   mutable p_acked_events : int;
+  mutable p_rejects : int;  (* backoff attempt counter for this batch *)
   p_acked_shards : (int, unit) Hashtbl.t;
 }
 
 let events_of_batch = function
   | Frame.Batch { events; _ } -> List.length events
-  | Frame.Stats_request | Frame.Quit -> 0
+  | Frame.Stats_request | Frame.Health_request | Frame.Drain_request
+  | Frame.Quit ->
+      0
 
 let symbols_of_batch = function
   | Frame.Batch { events; _ } ->
@@ -283,9 +333,11 @@ let symbols_of_batch = function
           | Frame.Data { symbols; _ } -> acc + Array.length symbols
           | Frame.End_of_session _ -> acc)
         0 events
-  | Frame.Stats_request | Frame.Quit -> 0
+  | Frame.Stats_request | Frame.Health_request | Frame.Drain_request
+  | Frame.Quit ->
+      0
 
-let drive_connection opts batches =
+let drive_connection opts (conn_index, batches) =
   let link =
     link_connect opts.address ~budget_s:15.0 opts.encoding
   in
@@ -297,6 +349,9 @@ let drive_connection opts batches =
   let next = ref 0 in
   let done_batches = ref 0 in
   let nbatches = Array.length batches in
+  let backoff = backoff_log () in
+  let last_hint = ref 50 in
+  let stalled = ref false in
   let started = Unix.gettimeofday () in
   let record_incidents events =
     List.iter
@@ -318,9 +373,12 @@ let drive_connection opts batches =
               p_request = request;
               p_events = List.length events;
               p_acked_events = 0;
+              p_rejects = 0;
               p_acked_shards = Hashtbl.create 4;
             }
-    | Frame.Stats_request | Frame.Quit -> ());
+    | Frame.Stats_request | Frame.Health_request | Frame.Drain_request
+    | Frame.Quit ->
+        ());
     send_request link request
   in
   let resend_pending () =
@@ -335,7 +393,26 @@ let drive_connection opts batches =
     if not opts.reconnect then
       raise (Protocol_failure "server connection lost (no --reconnect)");
     incr reconnects;
-    link_reconnect link opts.address ~budget_s:60.0;
+    (* Hint-honouring exponential reconnect: the same backoff schedule
+       rejections use, seeded off the reconnect ordinal. *)
+    let deadline = Unix.gettimeofday () +. 60.0 in
+    let attempt = ref 0 in
+    let rec go () =
+      backoff_sleep backoff ~seed:opts.seed ~hint_ms:!last_hint
+        ~kind:"reconnect" ~batch:!reconnects ~attempt:!attempt;
+      (try Unix.close link.fd with Unix.Unix_error _ -> ());
+      match connect_once opts.address with
+      | fd ->
+          link.fd <- fd;
+          link.decoder <- Frame.reader ()
+      | exception
+          Unix.Unix_error
+            ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET), _, _)
+        when Unix.gettimeofday () < deadline ->
+          incr attempt;
+          go ()
+    in
+    go ();
     resend_pending ()
   in
   while !done_batches < nbatches do
@@ -343,6 +420,16 @@ let drive_connection opts batches =
       send_batch batches.(!next);
       incr next
     done;
+    (* Stalled-client chaos: connection 0 stops reading acks for
+       [stall_ms] halfway through.  The server's slow-client protection
+       evicts it; --reconnect then resends the unacknowledged tail. *)
+    if
+      opts.stall_ms > 0 && conn_index = 0 && (not !stalled)
+      && 2 * !done_batches >= nbatches
+    then begin
+      stalled := true;
+      Unix.sleepf (float_of_int opts.stall_ms /. 1000.0)
+    end;
     match recv_response link with
     | None -> handle_death ()
     | Some (Frame.Ack { id; shard; events; incidents = evs }) -> (
@@ -363,18 +450,31 @@ let drive_connection opts batches =
         | None -> ()
         | Some p ->
             incr rejections;
-            Unix.sleepf (float_of_int retry_after_ms /. 1000.0);
+            last_hint := retry_after_ms;
+            backoff_sleep backoff ~seed:opts.seed ~hint_ms:retry_after_ms
+              ~kind:"reject" ~batch:id ~attempt:p.p_rejects;
+            p.p_rejects <- p.p_rejects + 1;
             send_request link p.p_request)
-    | Some (Frame.Failed { id; shard; reason }) -> (
+    | Some (Frame.Failed { id; shard; events; reason }) -> (
         Printf.eprintf "serve-bench: batch %d failed on shard %d: %s\n%!" id
           shard reason;
         incr failures;
+        (* A Failed covers only the named shard's slice: account its
+           events like an ack so the other shards' acks for the same
+           batch still count. *)
         match Hashtbl.find_opt pending id with
         | None -> ()
-        | Some _ ->
-            Hashtbl.remove pending id;
-            incr done_batches)
-    | Some (Frame.Stats _) -> () (* unsolicited; ignore *)
+        | Some p ->
+            if not (Hashtbl.mem p.p_acked_shards shard) then begin
+              Hashtbl.replace p.p_acked_shards shard ();
+              p.p_acked_events <- p.p_acked_events + events;
+              if p.p_acked_events >= p.p_events then begin
+                Hashtbl.remove pending id;
+                incr done_batches
+              end
+            end)
+    | Some (Frame.Stats _ | Frame.Health _ | Frame.Drained _) ->
+        () (* unsolicited; ignore *)
     | Some (Frame.Error_msg msg) ->
         raise (Protocol_failure ("server error: " ^ msg))
   done;
@@ -392,9 +492,10 @@ let drive_connection opts batches =
     cr_started = started;
     cr_finished = finished;
     cr_incidents = incidents;
+    cr_backoff = backoff;
   }
 
-(* --- control connection: stats and quit --------------------------------- *)
+(* --- control connection: stats, health and quit -------------------------- *)
 
 let fetch_stats opts =
   let link = link_connect opts.address ~budget_s:15.0 opts.encoding in
@@ -405,6 +506,13 @@ let fetch_stats opts =
     | Some _ | None ->
         raise (Protocol_failure "no stats response from server")
   in
+  send_request link Frame.Health_request;
+  let health =
+    match recv_response link with
+    | Some (Frame.Health h) -> h
+    | Some _ | None ->
+        raise (Protocol_failure "no health response from server")
+  in
   if opts.quit then send_request link Frame.Quit;
   (* Wait for the orderly shutdown (EOF) so scripts can rely on the
      server being gone when serve-bench exits. *)
@@ -413,7 +521,32 @@ let fetch_stats opts =
       ()
     done;
   (try Unix.close link.fd with Unix.Unix_error _ -> ());
-  stats
+  (stats, health)
+
+(* Standalone probe for `seqdiv serve-health`: one Health_request,
+   optionally followed by a drain handshake (Drain_request, then wait
+   for Drained once every shard queue has gone idle). *)
+let probe_health ~address ~encoding ~drain =
+  let link = link_connect address ~budget_s:15.0 encoding in
+  send_request link Frame.Health_request;
+  let health =
+    match recv_response link with
+    | Some (Frame.Health h) -> h
+    | Some _ | None ->
+        raise (Protocol_failure "no health response from server")
+  in
+  let drained =
+    if not drain then None
+    else begin
+      send_request link Frame.Drain_request;
+      match recv_response link with
+      | Some (Frame.Drained { batches }) -> Some batches
+      | Some _ | None ->
+          raise (Protocol_failure "no drained response from server")
+    end
+  in
+  (try Unix.close link.fd with Unix.Unix_error _ -> ());
+  (health, drained)
 
 (* --- reports ------------------------------------------------------------ *)
 
@@ -450,7 +583,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path opts ~results ~stats ~wall ~events ~symbols =
+let write_json path opts ~results ~stats ~health ~wall ~events ~symbols =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -469,6 +602,7 @@ let write_json path opts ~results ~stats ~wall ~events ~symbols =
   | None -> out "    \"target_shard\": null,\n"
   | Some (k, n) -> out "    \"target_shard\": \"%d/%d\",\n" k n);
   out "    \"hold_open\": %b,\n" opts.hold_open;
+  out "    \"stall_ms\": %d,\n" opts.stall_ms;
   out "    \"seed\": %d\n" opts.seed;
   out "  },\n";
   out "  \"machine\": {\n";
@@ -487,6 +621,43 @@ let write_json path opts ~results ~stats ~wall ~events ~symbols =
   out "    \"rejections\": %d,\n" rejections;
   out "    \"failed_batches\": %d,\n" failures;
   out "    \"reconnects\": %d\n" reconnects;
+  out "  },\n";
+  let bo_count = List.fold_left (fun a r -> a + r.cr_backoff.bo_count) 0 results
+  and bo_total =
+    List.fold_left (fun a r -> a +. r.cr_backoff.bo_total_ms) 0.0 results
+  in
+  let bo_recent =
+    List.concat_map (fun r -> List.rev r.cr_backoff.bo_recent) results
+  in
+  out "  \"backoff\": {\n";
+  out "    \"count\": %d,\n" bo_count;
+  out "    \"total_ms\": %.3f,\n" bo_total;
+  out "    \"recent\": [\n";
+  List.iteri
+    (fun i e ->
+      out
+        "      { \"kind\": \"%s\", \"batch\": %d, \"attempt\": %d, \
+         \"delay_ms\": %.3f }%s\n"
+        e.bo_kind e.bo_batch e.bo_attempt e.bo_delay_ms
+        (if i = List.length bo_recent - 1 then "" else ","))
+    bo_recent;
+  out "    ]\n";
+  out "  },\n";
+  out "  \"health\": {\n";
+  out "    \"connections\": %d,\n" health.Frame.connections;
+  out "    \"evictions\": %d,\n" health.Frame.evictions;
+  out "    \"draining\": %b,\n" health.Frame.draining;
+  out "    \"shards\": [\n";
+  List.iteri
+    (fun i (h : Frame.shard_health) ->
+      out
+        "      { \"shard\": %d, \"alive\": %b, \"degraded\": %b, \
+         \"restarts\": %d, \"queue_depth\": %d, \"retry_after_ms\": %d }%s\n"
+        h.Frame.h_shard h.Frame.h_alive h.Frame.h_degraded h.Frame.h_restarts
+        h.Frame.h_queue_depth h.Frame.h_retry_after_ms
+        (if i = List.length health.Frame.shards_health - 1 then "" else ","))
+    health.Frame.shards_health;
+  out "    ]\n";
   out "  },\n";
   (* Capacity: per-shard service rate from the server's own busy-time
      accounting (events / seconds actually spent applying batches),
@@ -512,11 +683,13 @@ let write_json path opts ~results ~stats ~wall ~events ~symbols =
         "    { \"shard\": %d, \"sessions_resident\": %d, \"events\": %d, \
          \"symbols\": %d, \"batches\": %d, \"rejected\": %d, \
          \"queue_depth\": %d, \"bytes_resident\": %d, \"busy_ns\": %d, \
-         \"p50_batch_ns\": %d, \"p99_batch_ns\": %d }%s\n"
+         \"p50_batch_ns\": %d, \"p99_batch_ns\": %d, \"restarts\": %d, \
+         \"degraded\": %b, \"retry_after_ms\": %d }%s\n"
         s.Frame.shard s.Frame.sessions_resident s.Frame.events s.Frame.symbols
         s.Frame.batches s.Frame.rejected s.Frame.queue_depth
         s.Frame.bytes_resident s.Frame.busy_ns s.Frame.p50_batch_ns
-        s.Frame.p99_batch_ns
+        s.Frame.p99_batch_ns s.Frame.restarts s.Frame.degraded
+        s.Frame.retry_after_ms
         (if i = List.length stats - 1 then "" else ","))
     stats;
   out "  ]\n";
@@ -535,7 +708,10 @@ let run opts =
         plan_batches opts ~corpus ~ids ~conn_index)
   in
   let pool = Pool.create ~jobs:opts.connections () in
-  let results = Pool.map pool (drive_connection opts) plans in
+  let results =
+    Pool.map pool (drive_connection opts)
+      (List.mapi (fun conn_index b -> (conn_index, b)) plans)
+  in
   let started =
     List.fold_left (fun a r -> Stdlib.min a r.cr_started) Float.max_float
       results
@@ -546,7 +722,7 @@ let run opts =
   let wall = Stdlib.max (finished -. started) 1e-9 in
   let events = List.fold_left (fun a r -> a + r.cr_events) 0 results in
   let symbols = List.fold_left (fun a r -> a + r.cr_symbols) 0 results in
-  let stats = fetch_stats opts in
+  let stats, health = fetch_stats opts in
   Option.iter (fun path -> write_incident_log path results) opts.incident_log;
   Printf.printf
     "drove %d events (%d symbols) over %d connection(s) in %.3f s: %.0f \
@@ -567,6 +743,17 @@ let run opts =
            Printf.sprintf " (%d rejections)" s.Frame.rejected
          else ""))
     stats;
+  List.iter
+    (fun (h : Frame.shard_health) ->
+      if h.Frame.h_degraded || h.Frame.h_restarts > 0 then
+        Printf.printf "shard %d: %s, %d restart(s)\n" h.Frame.h_shard
+          (if h.Frame.h_degraded then "DEGRADED" else "recovered")
+          h.Frame.h_restarts)
+    health.Frame.shards_health;
+  if health.Frame.evictions > 0 then
+    Printf.printf "server evicted %d slow client connection(s)\n"
+      health.Frame.evictions;
   Option.iter
-    (fun path -> write_json path opts ~results ~stats ~wall ~events ~symbols)
+    (fun path ->
+      write_json path opts ~results ~stats ~health ~wall ~events ~symbols)
     opts.json

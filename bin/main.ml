@@ -994,9 +994,25 @@ let load_flat_or_exit model_file =
 
 let serve_cmd =
   let run verbose model_file socket tcp shards queue_capacity retry_after_ms
-      journal_dir resume deadline_ms max_connections threshold =
+      journal_dir resume deadline_ms max_connections max_restarts
+      write_timeout_ms chaos_serve chaos_crash chaos_hang chaos_torn
+      chaos_sticky threshold =
     setup_logging verbose;
     let address = address_of socket tcp in
+    let chaos =
+      Option.map
+        (fun seed ->
+          match
+            Fault_plan.Serve.of_seed ~crash_rate:chaos_crash
+              ~hang_rate:chaos_hang ~torn_rate:chaos_torn ~sticky:chaos_sticky
+              ~seed ()
+          with
+          | plan -> plan
+          | exception Invalid_argument msg ->
+              Printf.eprintf "seqdiv: %s\n" msg;
+              exit 2)
+        chaos_serve
+    in
     let flat = load_flat_or_exit model_file in
     let threshold =
       match threshold with
@@ -1028,6 +1044,9 @@ let serve_cmd =
         deadline;
         clock = Unix.gettimeofday;
         max_connections;
+        max_restarts;
+        write_timeout_ms;
+        chaos;
       }
     in
     let on_ready () =
@@ -1038,7 +1057,10 @@ let serve_cmd =
         (match address with
         | Serve.Unix_socket path -> path
         | Serve.Tcp (host, port) -> Printf.sprintf "%s:%d" host port)
-        shards
+        shards;
+      Option.iter
+        (fun plan -> Printf.printf "%s\n%!" (Fault_plan.Serve.describe plan))
+        chaos
     in
     match Serve.run ~on_ready config with
     | stats ->
@@ -1046,14 +1068,22 @@ let serve_cmd =
           (fun (s : Frame.shard_stats) ->
             Printf.printf
               "shard %d: %d batches, %d events, %d symbols, %d rejected, %d \
-               sessions resident (%d KiB)\n"
+               sessions resident (%d KiB)%s\n"
               s.Frame.shard s.Frame.batches s.Frame.events s.Frame.symbols
               s.Frame.rejected s.Frame.sessions_resident
-              (s.Frame.bytes_resident / 1024))
+              (s.Frame.bytes_resident / 1024)
+              (if s.Frame.degraded then
+                 Printf.sprintf ", DEGRADED after %d restart(s)" s.Frame.restarts
+               else if s.Frame.restarts > 0 then
+                 Printf.sprintf ", %d restart(s)" s.Frame.restarts
+               else ""))
           stats
     | exception Shard_journal.Corrupt msg ->
         Printf.eprintf "seqdiv: shard journal rejected: %s\n" msg;
         exit 1
+    | exception Invalid_argument msg ->
+        Printf.eprintf "seqdiv: %s\n" msg;
+        exit 2
   in
   let model_t =
     Arg.(
@@ -1085,7 +1115,10 @@ let serve_cmd =
       value
       & opt int Serve.default_retry_after_ms
       & info [ "retry-after-ms" ] ~docv:"MS"
-          ~doc:"Retry hint carried by backpressure rejections.")
+          ~doc:
+            "Floor of the adaptive retry hint carried by backpressure \
+             rejections (queue depth times median recent service time, \
+             capped at 1000 ms).")
   in
   let journal_dir_t =
     Arg.(
@@ -1111,6 +1144,68 @@ let serve_cmd =
       & info [ "threshold" ] ~docv:"T"
           ~doc:"Alarm threshold (default: the model file's own).")
   in
+  let max_restarts_t =
+    Arg.(
+      value
+      & opt int Serve.default_max_restarts
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:
+            "Consecutive supervised restarts of one shard domain before it \
+             degrades instead (restarting needs $(b,--journal-dir); the \
+             budget resets whenever the shard answers a batch).")
+  in
+  let write_timeout_t =
+    Arg.(
+      value
+      & opt int Serve.default_write_timeout_ms
+      & info [ "write-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-write stall budget: a client whose socket cannot absorb a \
+             response within $(docv) ms is evicted.")
+  in
+  let chaos_serve_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-serve" ] ~docv:"SEED"
+          ~doc:
+            "Enable seeded serve-layer fault injection: shard crashes, shard \
+             hangs and torn response frames, decided statelessly from \
+             $(docv) so runs replay exactly.")
+  in
+  let chaos_crash_t =
+    Arg.(
+      value & opt float 0.05
+      & info [ "chaos-crash" ] ~docv:"RATE"
+          ~doc:
+            "With $(b,--chaos-serve): fraction of sub-batches whose shard \
+             domain crashes (Transient — the supervisor restarts it from \
+             the journal).")
+  in
+  let chaos_hang_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-hang" ] ~docv:"RATE"
+          ~doc:
+            "With $(b,--chaos-serve): fraction of sub-batches that hang \
+             their shard until the armed $(b,--deadline-ms) fires.")
+  in
+  let chaos_torn_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-torn" ] ~docv:"RATE"
+          ~doc:
+            "With $(b,--chaos-serve): fraction of response frames torn on \
+             the wire (first write only; the post-reconnect resend passes).")
+  in
+  let chaos_sticky_t =
+    Arg.(
+      value & opt int 1
+      & info [ "chaos-sticky" ] ~docv:"N"
+          ~doc:
+            "With $(b,--chaos-serve): crash-fated sub-batches fail their \
+             first $(docv) attempts, then succeed.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1121,12 +1216,15 @@ let serve_cmd =
     Term.(
       const run $ verbose_t $ model_t $ socket_t $ tcp_t $ shards_t
       $ queue_capacity_t $ retry_after_t $ journal_dir_t $ resume_t
-      $ deadline_t $ max_connections_t $ threshold_t)
+      $ deadline_t $ max_connections_t $ max_restarts_t $ write_timeout_t
+      $ chaos_serve_t $ chaos_crash_t $ chaos_hang_t $ chaos_torn_t
+      $ chaos_sticky_t $ threshold_t)
 
 let serve_bench_cmd =
   let run verbose socket tcp ndjson sessions session_length rounds connections
       chunk batch_events inflight window anomaly_size anomalous_every seed
-      train_len target_shard hold_open reconnect incident_log json quit =
+      train_len target_shard hold_open reconnect stall_ms incident_log json
+      quit =
     setup_logging verbose;
     let address = address_of socket tcp in
     let target_shard =
@@ -1165,6 +1263,7 @@ let serve_bench_cmd =
         target_shard;
         hold_open;
         reconnect;
+        stall_ms;
         incident_log;
         json;
         quit;
@@ -1264,6 +1363,16 @@ let serve_bench_cmd =
              unacknowledged batches (journalled shards re-acknowledge \
              duplicates without re-applying them).")
   in
+  let stall_ms_t =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-stall-ms" ] ~docv:"MS"
+          ~doc:
+            "Stalled-client chaos: connection 0 stops reading acks for \
+             $(docv) ms halfway through its batches, provoking the \
+             server's slow-client eviction (pair with $(b,--reconnect) \
+             so the evicted connection resends its tail).")
+  in
   let incident_log_t =
     Arg.(
       value
@@ -1294,8 +1403,47 @@ let serve_bench_cmd =
       const run $ verbose_t $ socket_t $ tcp_t $ ndjson_t $ sessions_t
       $ session_length_t $ rounds_t $ connections_t $ chunk_t $ batch_events_t
       $ inflight_t $ window_t $ anomaly_size_t $ anomalous_every_t $ seed_t
-      $ train_len_t $ target_shard_t $ hold_open_t $ reconnect_t
+      $ train_len_t $ target_shard_t $ hold_open_t $ reconnect_t $ stall_ms_t
       $ incident_log_t $ json_t $ quit_t)
+
+let serve_health_cmd =
+  let run socket tcp ndjson drain =
+    let address = address_of socket tcp in
+    let encoding = if ndjson then Frame.Ndjson else Frame.Binary in
+    match Bench_client.probe_health ~address ~encoding ~drain with
+    | health, drained ->
+        print_string (Frame.render_health health);
+        Option.iter
+          (fun batches -> Printf.printf "drained: %d batches applied\n" batches)
+          drained
+    | exception Bench_client.Protocol_failure msg ->
+        Printf.eprintf "seqdiv: serve-health failed: %s\n" msg;
+        exit 1
+    | exception Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "seqdiv: serve-health failed: %s\n"
+          (Unix.error_message err);
+        exit 1
+  in
+  let ndjson_t =
+    Arg.(
+      value & flag
+      & info [ "ndjson" ]
+          ~doc:"Speak the newline-delimited JSON framing instead of binary.")
+  in
+  let drain_t =
+    Arg.(
+      value & flag
+      & info [ "drain" ]
+          ~doc:
+            "Also ask the server to drain: stop admitting new batches and \
+             report once every shard queue has gone idle.")
+  in
+  Cmd.v
+    (Cmd.info "serve-health"
+       ~doc:
+         "Probe a running $(b,seqdiv serve): per-shard liveness, restart \
+          counts, degradation, queue depths and the adaptive retry hints.")
+    Term.(const run $ socket_t $ tcp_t $ ndjson_t $ drain_t)
 
 (* --- main -------------------------------------------------------------- *)
 
@@ -1311,7 +1459,7 @@ let () =
       [
         synth_cmd; mfs_cmd; map_cmd; full_cmd; roc_cmd; ensemble_cmd; lnb_cmd;
         ablation_cmd; model_cmd; detect_cmd; dataset_cmd; compare_cmd;
-        classify_cmd; serve_cmd; serve_bench_cmd;
+        classify_cmd; serve_cmd; serve_bench_cmd; serve_health_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -31,6 +31,14 @@ let classify = function
   | Assert_failure _ -> Fatal
   | _ -> Fatal
 
+(* Asynchronous exceptions report exhaustion of the whole process, not
+   a fault of the task that happened to observe them: rendering one
+   into a per-task failure would hide that the server itself is dying.
+   Supervised paths re-raise these before classifying. *)
+let is_asynchronous = function
+  | Out_of_memory | Stack_overflow -> true
+  | _ -> false
+
 let of_exn ~attempts exn backtrace =
   {
     severity = classify exn;

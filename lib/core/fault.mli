@@ -44,6 +44,11 @@ val classify : exn -> severity
     exception is {!Fatal} (pure tasks fail deterministically, so
     retrying cannot help). *)
 
+val is_asynchronous : exn -> bool
+(** [Out_of_memory] and [Stack_overflow]: process-level exhaustion that
+    supervised paths must re-raise rather than classify — rendering one
+    into a per-task failure would hide that the whole process is dying. *)
+
 val of_exn : attempts:int -> exn -> Printexc.raw_backtrace -> t
 (** Record a failure: classify the exception and capture its rendering
     and backtrace. *)

@@ -60,3 +60,71 @@ val trip : t -> key:int64 -> attempt:int -> unit
 
 val describe : t -> string
 (** One-line human rendering, for [--chaos] banners. *)
+
+val jitter : seed:int -> key:int64 -> float
+(** The plan hash as a public uniform draw in [[0, 1)]: deterministic
+    per-key randomness for consumers outside a fault decision (e.g. the
+    bench client's backoff jitter).  Pure; safe from any domain. *)
+
+(** Serve-layer chaos: the same stateless (seed, key, attempt) hash
+    discipline, speaking the serve layer's failure modes — a shard
+    domain dying outside the per-batch handler ([Crash], injected as
+    {!Fault.Transient} so the supervisor restarts it), a shard hang
+    ([Hang], terminated by the shard's armed deadline or refused as
+    Fatal), and a response frame torn on the wire ([tear]).  Job fates
+    and frame fates hash disjoint key spaces, so one seed drives both
+    without correlation. *)
+module Serve : sig
+  type t
+
+  type job_fate = Crash | Hang
+
+  val of_seed :
+    ?crash_rate:float ->
+    ?hang_rate:float ->
+    ?torn_rate:float ->
+    ?sticky:int ->
+    seed:int ->
+    unit ->
+    t
+  (** [of_seed ~seed ()] is a serve plan crashing the shard domain on
+      [crash_rate] of sub-batches (first [sticky] attempts only, so a
+      supervisor with restart budget ≥ [sticky] fully recovers),
+      hanging it on [hang_rate] of sub-batches (every attempt), and
+      tearing [torn_rate] of response frames (first write only — the
+      resend after reconnect passes).  All rates default to 0.
+      @raise Invalid_argument if a rate (or [crash_rate + hang_rate])
+      leaves [0, 1]. *)
+
+  val seed : t -> int
+  val crash_rate : t -> float
+  val hang_rate : t -> float
+  val torn_rate : t -> float
+  val sticky : t -> int
+
+  val job_key : batch_id:int -> shard:int -> int64
+  (** Stable fingerprint of one sub-batch (the unit a shard domain
+      executes). *)
+
+  val frame_key : batch_id:int -> shard:int -> int64
+  (** Fingerprint of that sub-batch's response frame, in a key space
+      disjoint from {!job_key}. *)
+
+  val job_fate : t -> key:int64 -> attempt:int -> job_fate option
+  (** The injection decision for one execution of a sub-batch.  Pure;
+      safe from any domain. *)
+
+  val trip : t -> key:int64 -> attempt:int -> unit
+  (** Act on {!job_fate}: raise {!Fault.Injected} [(Transient, _)] for
+      crash fates, spin on {!Seqdiv_util.Deadline.hang} for hang fates
+      (raising [Deadline.Hang_refused] when no deadline is armed),
+      return for the rest. *)
+
+  val tear : t -> key:int64 -> attempt:int -> bool
+  (** Whether to tear this response frame on the wire.  Only
+      [attempt = 0] ever tears: the resend after the client reconnects
+      goes through clean, so torn-frame chaos always converges. *)
+
+  val describe : t -> string
+  (** One-line human rendering, for [--chaos-serve] banners. *)
+end

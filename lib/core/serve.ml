@@ -1,12 +1,17 @@
 (* The serve loop: reader/writer domains per connection, one domain and
-   bounded ingress queue per shard, all-or-nothing batch admission, and
-   journalled durability.  The ONE module besides lib/util/pool.ml
-   allowed to touch Domain/Atomic/Mutex/Condition (lint R6 standing
-   exemption — see docs/LINTING.md): its loops are live stateful
-   services, not a finite batch of pure closures, so they cannot ride
-   the pool.  The determinism the pool normally guarantees is enforced
-   from outside instead, by the qcheck replay suite over
-   Session_table. *)
+   bounded ingress queue per shard, all-or-nothing batch admission,
+   journalled durability, and a shard lifecycle supervisor.  The ONE
+   module besides lib/util/pool.ml allowed to touch
+   Domain/Atomic/Mutex/Condition (lint R6 standing exemption — see
+   docs/LINTING.md): its loops are live stateful services, not a finite
+   batch of pure closures, so they cannot ride the pool.  The
+   determinism the pool normally guarantees is enforced from outside
+   instead, by the qcheck replay suite over Session_table.
+
+   Lock ordering, the whole of it: shard queue mutexes are taken in
+   ascending shard index (admission, the only multi-lock path), and a
+   queue mutex is never held while taking a [stats_lock] or vice versa.
+   Connection out-channel mutexes nest inside nothing. *)
 
 open Seqdiv_stream
 open Seqdiv_util
@@ -26,11 +31,26 @@ type config = {
   deadline : Deadline.spec option;
   clock : unit -> float;
   max_connections : int;
+  max_restarts : int;
+  write_timeout_ms : int;
+  chaos : Fault_plan.Serve.t option;
 }
 
 let default_queue_capacity = 64
 let default_retry_after_ms = 5
 let default_max_connections = 16
+let default_max_restarts = 3
+let default_write_timeout_ms = 2000
+
+(* The adaptive backpressure hint never exceeds this: an overloaded
+   server wants clients back soon after the queue drains, not parked
+   for seconds on a stale estimate. *)
+let max_retry_after_ms = 1000
+
+(* Responses queued to one connection: a client that cannot drain this
+   many acks is not reading and gets evicted, never buffered without
+   bound. *)
+let max_pending_responses = 1024
 
 (* --- a mutex/condition channel ----------------------------------------- *)
 
@@ -50,14 +70,6 @@ let channel () =
     items = Queue.create ();
     closed = false;
   }
-
-let channel_push ch v =
-  Mutex.lock ch.mutex;
-  if not ch.closed then begin
-    Queue.push v ch.items;
-    Condition.signal ch.nonempty
-  end;
-  Mutex.unlock ch.mutex
 
 let channel_pop ch =
   Mutex.lock ch.mutex;
@@ -79,6 +91,17 @@ let channel_close ch =
   Condition.broadcast ch.nonempty;
   Mutex.unlock ch.mutex
 
+(* Close and return everything still queued, atomically — the degrade
+   path, which must answer every stranded job instead of dropping it. *)
+let channel_drain_close ch =
+  Mutex.lock ch.mutex;
+  ch.closed <- true;
+  let stranded = List.of_seq (Queue.to_seq ch.items) in
+  Queue.clear ch.items;
+  Condition.broadcast ch.nonempty;
+  Mutex.unlock ch.mutex;
+  stranded
+
 let channel_length ch =
   Mutex.lock ch.mutex;
   let n = Queue.length ch.items in
@@ -99,6 +122,9 @@ type conn = {
      long-lived server admits an unbounded sequence of clients under a
      bounded concurrent-connection limit. *)
   reader_done : bool Atomic.t;
+  (* Flipped exactly once by [evict]; the fd itself is closed exactly
+     once, by the reaper, after both domains exited. *)
+  evicted : bool Atomic.t;
 }
 
 type job = {
@@ -106,6 +132,10 @@ type job = {
   batch_id : int;
   events : Frame.event list;
   nevents : int;
+  (* Executions so far, for the chaos plan's sticky window: bumped each
+     time a shard domain picks the job up, so the re-run after a
+     supervised restart is a distinguishable attempt. *)
+  mutable attempts : int;
 }
 
 let latency_ring = 1024
@@ -113,10 +143,15 @@ let latency_ring = 1024
 type shard = {
   index : int;
   queue : job channel;
-  table : Session_table.t;
-  (* Everything below is shared with sampling readers and therefore
-     only touched under [stats_lock]. *)
+  (* Admitted sub-batches not yet answered (queued or in execution),
+     maintained under the queue mutex on admission so the drain
+     handshake can detect a fully idle shard without racing pushes. *)
+  inflight : int Atomic.t;
+  (* Everything below is shared with sampling readers, the supervisor
+     and the shard domain, and therefore only touched under
+     [stats_lock]. *)
   stats_lock : Mutex.t;
+  mutable table : Session_table.t;
   mutable busy_ns : int;
   mutable rejected : int;
   ring : int array; (* recent sub-batch service times, ns *)
@@ -127,13 +162,64 @@ type shard = {
   mutable pub_symbols : int;
   mutable pub_batches : int;
   mutable pub_bytes : int;
+  (* Cached median service time for the adaptive retry hint, refreshed
+     every [percentile_refresh] jobs so the admission hot path never
+     sorts the ring. *)
+  mutable cached_p50_ns : int;
+  mutable jobs_done : int;
+  (* Supervisor state.  [poison] is the exception that killed the shard
+     domain (set by the dying domain as its last act); [pending_job]
+     the job it held, re-run first after a restart; [degraded] the
+     rendered reason once the supervisor gave up on the shard. *)
+  mutable poison : exn option;
+  mutable pending_job : job option;
+  mutable degraded : string option;
+  mutable restarts : int;
+  mutable consecutive_restarts : int;
 }
 
 type server = {
   cfg : config;
   shard_tab : shard array;
   stop : bool Atomic.t;
+  draining : bool Atomic.t;
+  live_conns : int Atomic.t;
+  evictions : int Atomic.t;
+  (* Connections owed a [Drained] response once every queue is idle. *)
+  drain_lock : Mutex.t;
+  mutable drain_waiters : conn list;
+  (* Response frames already torn once by the chaos plan, keyed by
+     {!Fault_plan.Serve.frame_key}: the resend after the client
+     reconnects must pass, so torn-frame chaos always converges. *)
+  torn_lock : Mutex.t;
+  torn : (int64, unit) Hashtbl.t;
 }
+
+(* --- eviction and bounded response push --------------------------------- *)
+
+let evict t conn =
+  if not (Atomic.exchange conn.evicted true) then begin
+    Atomic.incr t.evictions;
+    (* Shutdown, not close: the reader observes EOF and the reaper —
+       the single close site — releases the fd after both domains
+       exit, so it is closed exactly once. *)
+    try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  end
+
+let push_response t conn response =
+  Mutex.lock conn.out.mutex;
+  let overflow =
+    (not conn.out.closed)
+    && Queue.length conn.out.items >= max_pending_responses
+  in
+  if not overflow then begin
+    if not conn.out.closed then begin
+      Queue.push response conn.out.items;
+      Condition.signal conn.out.nonempty
+    end
+  end;
+  Mutex.unlock conn.out.mutex;
+  if overflow then evict t conn
 
 (* --- stats -------------------------------------------------------------- *)
 
@@ -141,12 +227,27 @@ let percentile sorted n p =
   if n = 0 then 0
   else sorted.(min (n - 1) (int_of_float ((float_of_int (n - 1) *. p) +. 0.5)))
 
-let sample sh =
+(* retry_after_ms, from load: the time to drain this queue at the
+   median recent service rate, clamped to [floor, max_retry_after_ms].
+   An idle or never-measured shard answers the configured floor. *)
+let retry_hint ~floor ~p50_ns ~queue_depth =
+  let est = (queue_depth + 1) * p50_ns / 1_000_000 in
+  Stdlib.min max_retry_after_ms (Stdlib.max floor est)
+
+let shard_retry_hint t sh =
+  let queue_depth = channel_length sh.queue in
+  Mutex.lock sh.stats_lock;
+  let p50_ns = sh.cached_p50_ns in
+  Mutex.unlock sh.stats_lock;
+  retry_hint ~floor:t.cfg.retry_after_ms ~p50_ns ~queue_depth
+
+let sample t sh =
   let queue_depth = channel_length sh.queue in
   Mutex.lock sh.stats_lock;
   let n = sh.ring_len in
   let sorted = Array.sub sh.ring 0 n in
   Array.sort compare sorted;
+  let p50 = percentile sorted n 0.5 in
   let stats =
     {
       Frame.shard = sh.index;
@@ -158,20 +259,57 @@ let sample sh =
       queue_depth;
       bytes_resident = sh.pub_bytes;
       busy_ns = sh.busy_ns;
-      p50_batch_ns = percentile sorted n 0.5;
+      p50_batch_ns = p50;
       p99_batch_ns = percentile sorted n 0.99;
+      restarts = sh.restarts;
+      degraded = sh.degraded <> None;
+      retry_after_ms =
+        retry_hint ~floor:t.cfg.retry_after_ms ~p50_ns:p50 ~queue_depth;
     }
   in
   Mutex.unlock sh.stats_lock;
   stats
 
-let sample_all t = Array.to_list (Array.map sample t.shard_tab)
+let sample_all t = Array.to_list (Array.map (sample t) t.shard_tab)
+
+let sample_health t =
+  let shards_health =
+    Array.to_list
+      (Array.map
+         (fun sh ->
+           let h_queue_depth = channel_length sh.queue in
+           Mutex.lock sh.stats_lock;
+           let h_degraded = sh.degraded <> None in
+           let h_alive = (not h_degraded) && sh.poison = None in
+           let h_restarts = sh.restarts in
+           let p50_ns = sh.cached_p50_ns in
+           Mutex.unlock sh.stats_lock;
+           {
+             Frame.h_shard = sh.index;
+             h_alive;
+             h_degraded;
+             h_restarts;
+             h_queue_depth;
+             h_retry_after_ms =
+               retry_hint ~floor:t.cfg.retry_after_ms ~p50_ns
+                 ~queue_depth:h_queue_depth;
+           })
+         t.shard_tab)
+  in
+  {
+    Frame.shards_health;
+    connections = Atomic.get t.live_conns;
+    evictions = Atomic.get t.evictions;
+    draining = Atomic.get t.draining;
+  }
 
 (* --- admission (reader side) -------------------------------------------- *)
 
 (* All-or-nothing: lock the touched shard queues in ascending index
    order (the only multi-lock path, so no deadlock), admit only when
-   every queue has room, and otherwise push nothing. *)
+   every queue has room, and otherwise push nothing.  The inflight
+   counters are bumped under the same mutexes as the pushes, so a shard
+   with [inflight = 0] has nothing queued and nothing executing. *)
 let admit cap subs =
   let qs = List.map (fun (sh, _) -> sh.queue) subs in
   List.iter (fun q -> Mutex.lock q.mutex) qs;
@@ -182,12 +320,19 @@ let admit cap subs =
   in
   if ok then
     List.iter2
-      (fun q (_, job) ->
+      (fun q ((sh : shard), job) ->
         Queue.push job q.items;
+        Atomic.incr sh.inflight;
         Condition.signal q.nonempty)
       qs subs;
   List.iter (fun q -> Mutex.unlock q.mutex) qs;
   ok
+
+let shard_degraded sh =
+  Mutex.lock sh.stats_lock;
+  let d = sh.degraded in
+  Mutex.unlock sh.stats_lock;
+  d
 
 let route_batch t conn ~id events =
   let nshards = Array.length t.shard_tab in
@@ -214,18 +359,48 @@ let route_batch t conn ~id events =
             batch_id = id;
             events = List.rev buckets.(s);
             nevents = counts.(s);
+            attempts = 0;
           } )
         :: !subs
   done;
-  if not (admit t.cfg.queue_capacity !subs) then begin
+  let reject hint_subs =
     List.iter
       (fun (sh, _) ->
         Mutex.lock sh.stats_lock;
         sh.rejected <- sh.rejected + 1;
         Mutex.unlock sh.stats_lock)
       !subs;
-    channel_push conn.out
-      (Frame.Rejected { id; retry_after_ms = t.cfg.retry_after_ms })
+    let retry_after_ms =
+      List.fold_left
+        (fun acc (sh, _) -> Stdlib.max acc (shard_retry_hint t sh))
+        t.cfg.retry_after_ms hint_subs
+    in
+    push_response t conn (Frame.Rejected { id; retry_after_ms })
+  in
+  if Atomic.get t.draining then reject !subs
+  else begin
+    (* A degraded shard's slice fails immediately with the shard's
+       rendered fate; the rest of the batch is admitted all-or-nothing
+       as usual, so a fatal shard fault degrades only the sessions
+       routed to it.  Failures are sent only when the live slice is
+       admitted: a rejected batch is resent whole, and answering part
+       of it early would double-count on the resend. *)
+    let degraded_subs, live_subs =
+      List.partition (fun (sh, _) -> shard_degraded sh <> None) !subs
+    in
+    if live_subs = [] || admit t.cfg.queue_capacity live_subs then
+      List.iter
+        (fun (sh, (job : job)) ->
+          let reason =
+            match shard_degraded sh with
+            | Some r -> r
+            | None -> "shard degraded"
+          in
+          push_response t conn
+            (Frame.Failed
+               { id; shard = sh.index; events = job.nevents; reason }))
+        degraded_subs
+    else reject live_subs
   end
 
 (* --- per-connection domains --------------------------------------------- *)
@@ -250,7 +425,16 @@ let reader_loop t conn =
                  route_batch t conn ~id events;
                  drain ()
              | Some Frame.Stats_request ->
-                 channel_push conn.out (Frame.Stats (sample_all t));
+                 push_response t conn (Frame.Stats (sample_all t));
+                 drain ()
+             | Some Frame.Health_request ->
+                 push_response t conn (Frame.Health (sample_health t));
+                 drain ()
+             | Some Frame.Drain_request ->
+                 Atomic.set t.draining true;
+                 Mutex.lock t.drain_lock;
+                 t.drain_waiters <- conn :: t.drain_waiters;
+                 Mutex.unlock t.drain_lock;
                  drain ()
              | Some Frame.Quit ->
                  Atomic.set t.stop true;
@@ -260,44 +444,84 @@ let reader_loop t conn =
        end
      done
    with
-  | Parse_error.Error msg -> channel_push conn.out (Frame.Error_msg msg)
+  | Parse_error.Error msg -> push_response t conn (Frame.Error_msg msg)
   | Unix.Unix_error _ -> (* connection torn down under the read *) ());
   Atomic.set conn.reader_done true
 
-let write_all fd bytes =
+(* Write under a deadline: a peer that stops reading stalls the socket
+   buffer, [select] times out, and the caller evicts — one stalled
+   client never wedges a writer domain (or, transitively, the shard
+   domains waiting to push acks to it). *)
+let write_with_deadline fd bytes ~timeout_ms =
   let len = Bytes.length bytes in
   let off = ref 0 in
-  while !off < len do
-    off := !off + Unix.write fd bytes !off (len - !off)
-  done
+  let ok = ref true in
+  while !ok && !off < len do
+    match Unix.select [] [ fd ] [] (float_of_int timeout_ms /. 1000.) with
+    | _, [], _ -> ok := false
+    | _ -> off := !off + Unix.write fd bytes !off (len - !off)
+  done;
+  !ok
 
-let writer_loop conn =
+(* Chaos: tear this response frame on the wire?  Only acks are torn
+   (the frames whose loss exercises the resend/re-acknowledge path),
+   and each frame key at most once. *)
+let should_tear t = function
+  | Frame.Ack { id; shard; _ } -> (
+      match t.cfg.chaos with
+      | None -> false
+      | Some plan ->
+          let key = Fault_plan.Serve.frame_key ~batch_id:id ~shard in
+          Mutex.lock t.torn_lock;
+          let attempt = if Hashtbl.mem t.torn key then 1 else 0 in
+          let tear = Fault_plan.Serve.tear plan ~key ~attempt in
+          if tear then Hashtbl.replace t.torn key ();
+          Mutex.unlock t.torn_lock;
+          tear)
+  | _ -> false
+
+let writer_loop t conn =
   let b = Buffer.create 8192 in
   let send response =
     Buffer.clear b;
     let enc = Option.value (Atomic.get conn.encoding) ~default:Frame.Binary in
     Frame.write_response b enc response;
-    write_all conn.fd (Buffer.to_bytes b)
+    let bytes = Buffer.to_bytes b in
+    if should_tear t response then begin
+      (* Half a frame, then eviction: the client sees a truncated frame
+         and EOF, reconnects, and resends — the journal answers the
+         duplicate with the same incidents. *)
+      let half = Bytes.length bytes / 2 in
+      (try ignore (Unix.write conn.fd bytes 0 half)
+       with Unix.Unix_error _ -> ());
+      evict t conn;
+      false
+    end
+    else if
+      write_with_deadline conn.fd bytes ~timeout_ms:t.cfg.write_timeout_ms
+    then true
+    else begin
+      evict t conn;
+      false
+    end
+  in
+  let rec drain () =
+    match channel_pop conn.out with None -> () | Some _ -> drain ()
   in
   let rec loop () =
     match channel_pop conn.out with
     | None -> ()
-    | Some response ->
-        send response;
-        loop ()
+    | Some response -> if send response then loop () else drain ()
   in
   try loop () with
   | Unix.Unix_error _ ->
       (* The client went away mid-write: keep draining so shard domains
          never block on this connection's acks. *)
-      let rec drain () =
-        match channel_pop conn.out with None -> () | Some _ -> drain ()
-      in
       drain ()
 
 (* --- shard domains ------------------------------------------------------ *)
 
-let apply_job deadline sh job =
+let apply_job deadline sh (job : job) =
   let run () = Session_table.apply sh.table ~batch_id:job.batch_id job.events in
   match
     match deadline with
@@ -312,40 +536,107 @@ let apply_job deadline sh job =
         {
           id = job.batch_id;
           shard = sh.index;
+          events = job.nevents;
           reason = Printf.sprintf "Deadline.Exceeded(budget=%dms)" budget;
         }
-  (* lint: allow swallow — a poisoned batch fails its client with a rendered reason, not the server *)
-  | exception exn ->
+  (* lint: allow swallow — asynchronous exns re-raise to the supervisor; everything else fails its client with Fault custody, not the server *)
+  | exception exn when not (Fault.is_asynchronous exn) ->
       Frame.Failed
-        { id = job.batch_id; shard = sh.index; reason = Printexc.to_string exn }
+        {
+          id = job.batch_id;
+          shard = sh.index;
+          events = job.nevents;
+          reason =
+            Printf.sprintf "%s: %s"
+              (Fault.severity_to_string (Fault.classify exn))
+              (Printexc.to_string exn);
+        }
 
-let shard_loop ~clock deadline sh =
+let percentile_refresh = 32
+
+let refresh_percentiles sh =
+  let n = sh.ring_len in
+  let sorted = Array.sub sh.ring 0 n in
+  Array.sort compare sorted;
+  sh.cached_p50_ns <- percentile sorted n 0.5
+
+(* One sub-batch, start to answered.  Raises only when the domain is
+   being killed: a chaos crash/hang fate (injected before the per-batch
+   handler, i.e. outside apply_job's custody) or an asynchronous
+   exception re-raised by apply_job — both leave the job unanswered for
+   the supervisor to requeue or fail. *)
+let process t sh (job : job) =
+  let deadline = t.cfg.deadline in
+  (match t.cfg.chaos with
+  | None -> ()
+  | Some plan ->
+      let key =
+        Fault_plan.Serve.job_key ~batch_id:job.batch_id ~shard:sh.index
+      in
+      let attempt = job.attempts in
+      job.attempts <- job.attempts + 1;
+      let trip () = Fault_plan.Serve.trip plan ~key ~attempt in
+      (* A hang fate spins inside the armed per-batch deadline when one
+         is configured (surfacing as Timeout); with none it raises
+         [Hang_refused] (Fatal) instead of wedging the domain. *)
+      (match deadline with
+      | Some spec -> Deadline.with_deadline spec trip
+      | None -> trip ()));
+  let clock = t.cfg.clock in
+  let t0 = clock () in
+  let response = apply_job deadline sh job in
+  let dt_ns = int_of_float ((clock () -. t0) *. 1e9) in
+  Mutex.lock sh.stats_lock;
+  sh.busy_ns <- sh.busy_ns + dt_ns;
+  sh.ring.(sh.ring_pos) <- dt_ns;
+  sh.ring_pos <- (sh.ring_pos + 1) mod latency_ring;
+  sh.ring_len <- min (sh.ring_len + 1) latency_ring;
+  sh.jobs_done <- sh.jobs_done + 1;
+  if sh.jobs_done mod percentile_refresh = 0 then refresh_percentiles sh;
+  sh.pub_sessions <- Session_table.sessions_resident sh.table;
+  sh.pub_events <- Session_table.events_applied sh.table;
+  sh.pub_symbols <- Session_table.symbols_applied sh.table;
+  sh.pub_batches <- Session_table.batches_applied sh.table;
+  sh.pub_bytes <- Session_table.bytes_resident sh.table;
+  (* The shard made progress: a later crash starts a fresh restart
+     budget, so any sticky-bounded chaos crash rate fully recovers. *)
+  sh.consecutive_restarts <- 0;
+  Mutex.unlock sh.stats_lock;
+  push_response t job.reply response;
+  Atomic.decr sh.inflight
+
+let shard_loop t sh =
+  (* The job in hand when the domain last crashed runs first (the queue
+     has no push-front, and order is the determinism contract). *)
+  let next_job () =
+    Mutex.lock sh.stats_lock;
+    let pending = sh.pending_job in
+    sh.pending_job <- None;
+    Mutex.unlock sh.stats_lock;
+    match pending with Some _ as j -> j | None -> channel_pop sh.queue
+  in
   let rec loop () =
-    match channel_pop sh.queue with
+    match next_job () with
     | None -> ()
-    | Some job ->
-        let t0 = clock () in
-        let response = apply_job deadline sh job in
-        let dt_ns = int_of_float ((clock () -. t0) *. 1e9) in
-        Mutex.lock sh.stats_lock;
-        sh.busy_ns <- sh.busy_ns + dt_ns;
-        sh.ring.(sh.ring_pos) <- dt_ns;
-        sh.ring_pos <- (sh.ring_pos + 1) mod latency_ring;
-        sh.ring_len <- min (sh.ring_len + 1) latency_ring;
-        sh.pub_sessions <- Session_table.sessions_resident sh.table;
-        sh.pub_events <- Session_table.events_applied sh.table;
-        sh.pub_symbols <- Session_table.symbols_applied sh.table;
-        sh.pub_batches <- Session_table.batches_applied sh.table;
-        sh.pub_bytes <- Session_table.bytes_resident sh.table;
-        Mutex.unlock sh.stats_lock;
-        channel_push job.reply.out response;
-        loop ()
+    | Some job -> (
+        match process t sh job with
+        | () -> loop ()
+        (* lint: allow swallow — this IS the supervisor handoff: the exn is recorded as poison and classified by Fault.classify in supervise *)
+        | exception exn ->
+            (* Domain poisoned: record custody for the supervisor as
+               the last act and exit.  The job stays pending so a
+               restart re-runs it (or a degrade fails it) — it is never
+               silently dropped. *)
+            Mutex.lock sh.stats_lock;
+            sh.poison <- Some exn;
+            sh.pending_job <- Some job;
+            Mutex.unlock sh.stats_lock)
   in
   loop ()
 
 (* --- setup -------------------------------------------------------------- *)
 
-let journal_for cfg ~depth ~states index =
+let journal_for cfg ~resume ~depth ~states index =
   match cfg.journal_dir with
   | None -> None
   | Some dir ->
@@ -358,11 +649,11 @@ let journal_for cfg ~depth ~states index =
           cfg.shards index
       in
       Some
-        (Shard_journal.start ~resume:cfg.resume ~context
+        (Shard_journal.start ~resume ~context
            (Filename.concat dir (Printf.sprintf "shard-%d.journal" index)))
 
 let make_shard cfg ~depth ~states index =
-  let journal = journal_for cfg ~depth ~states index in
+  let journal = journal_for cfg ~resume:cfg.resume ~depth ~states index in
   let table =
     Session_table.create ~scorer:cfg.scorer ~threshold:cfg.threshold ?journal
       ~shard:index ()
@@ -370,6 +661,7 @@ let make_shard cfg ~depth ~states index =
   {
     index;
     queue = channel ();
+    inflight = Atomic.make 0;
     table;
     stats_lock = Mutex.create ();
     busy_ns = 0;
@@ -382,6 +674,13 @@ let make_shard cfg ~depth ~states index =
     pub_symbols = 0;
     pub_batches = 0;
     pub_bytes = Session_table.bytes_resident table;
+    cached_p50_ns = 0;
+    jobs_done = 0;
+    poison = None;
+    pending_job = None;
+    degraded = None;
+    restarts = 0;
+    consecutive_restarts = 0;
   }
 
 let listen_socket = function
@@ -411,6 +710,117 @@ let listen_socket = function
       Unix.listen fd 64;
       fd
 
+(* --- the shard lifecycle supervisor ------------------------------------- *)
+
+(* Answer a job the shard will never execute. *)
+let fail_job t sh reason (job : job) =
+  push_response t job.reply
+    (Frame.Failed
+       { id = job.batch_id; shard = sh.index; events = job.nevents; reason });
+  Atomic.decr sh.inflight
+
+(* A shard domain died: classify its poison through the one policy
+   point and either restart it (Transient, journal attached, budget
+   left — state recovered exactly where the last committed batch left
+   it, the crashed job re-run) or degrade the shard (queue closed, its
+   job and every stranded one answered [Failed] with the rendered
+   fate, all future slices failed at admission).  Only the poisoned
+   shard's sessions are affected either way. *)
+let supervise t domains ~depth ~states =
+  Array.iteri
+    (fun i sh ->
+      let poison =
+        Mutex.lock sh.stats_lock;
+        let p = sh.poison in
+        Mutex.unlock sh.stats_lock;
+        p
+      in
+      match poison with
+      | None -> ()
+      | Some exn ->
+          (* The domain set poison as its last act; join is prompt. *)
+          (match domains.(i) with
+          | Some d ->
+              Domain.join d;
+              domains.(i) <- None
+          | None -> ());
+          let severity = Fault.classify exn in
+          let restartable =
+            severity = Fault.Transient
+            && t.cfg.journal_dir <> None
+            && sh.consecutive_restarts < t.cfg.max_restarts
+          in
+          if restartable then begin
+            (* Rebuild the shard's state from its journal — committed
+               batches and session snapshots only, exactly the state
+               the acks promised.  The dead domain's journal handle is
+               abandoned (it will never write again); the leak is
+               bounded by the restart budget. *)
+            let journal =
+              journal_for t.cfg ~resume:true ~depth ~states sh.index
+            in
+            let table =
+              Session_table.create ~scorer:t.cfg.scorer
+                ~threshold:t.cfg.threshold ?journal ~shard:sh.index ()
+            in
+            Mutex.lock sh.stats_lock;
+            sh.table <- table;
+            sh.poison <- None;
+            sh.restarts <- sh.restarts + 1;
+            sh.consecutive_restarts <- sh.consecutive_restarts + 1;
+            sh.pub_sessions <- Session_table.sessions_resident table;
+            sh.pub_bytes <- Session_table.bytes_resident table;
+            Mutex.unlock sh.stats_lock;
+            domains.(i) <- Some (Domain.spawn (fun () -> shard_loop t sh))
+          end
+          else begin
+            let reason =
+              Printf.sprintf "shard %d degraded (%s): %s" sh.index
+                (Fault.severity_to_string severity)
+                (Printexc.to_string exn)
+            in
+            let pending =
+              Mutex.lock sh.stats_lock;
+              sh.degraded <- Some reason;
+              let p = sh.pending_job in
+              sh.pending_job <- None;
+              Mutex.unlock sh.stats_lock;
+              p
+            in
+            Option.iter (fail_job t sh reason) pending;
+            List.iter (fail_job t sh reason) (channel_drain_close sh.queue)
+          end)
+    t.shard_tab
+
+(* Answer pending [Drained] waiters once every shard is idle:
+   [inflight] counters cover both queued and executing sub-batches, so
+   zero everywhere (with intake rejecting under [draining]) means the
+   serve layer holds no work. *)
+let answer_drain t =
+  if
+    Atomic.get t.draining
+    && Array.for_all (fun sh -> Atomic.get sh.inflight = 0) t.shard_tab
+  then begin
+    Mutex.lock t.drain_lock;
+    let waiters = t.drain_waiters in
+    t.drain_waiters <- [];
+    Mutex.unlock t.drain_lock;
+    if waiters <> [] then begin
+      let batches =
+        Array.fold_left
+          (fun acc sh ->
+            Mutex.lock sh.stats_lock;
+            let b = sh.pub_batches in
+            Mutex.unlock sh.stats_lock;
+            acc + b)
+          0 t.shard_tab
+      in
+      List.iter
+        (fun conn -> push_response t conn (Frame.Drained { batches }))
+        waiters
+    end
+  end
+
 (* --- the run loop ------------------------------------------------------- *)
 
 let run ?(on_ready = fun () -> ()) cfg =
@@ -421,6 +831,13 @@ let run ?(on_ready = fun () -> ()) cfg =
     (* lint: allow partiality — documented precondition *)
     invalid_arg (Printf.sprintf "Serve.run: queue_capacity=%d"
                    cfg.queue_capacity);
+  if cfg.max_restarts < 0 then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg (Printf.sprintf "Serve.run: max_restarts=%d" cfg.max_restarts);
+  if cfg.write_timeout_ms <= 0 then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg (Printf.sprintf "Serve.run: write_timeout_ms=%d"
+                   cfg.write_timeout_ms);
   let previous_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   Fun.protect
     ~finally:(fun () -> Sys.set_signal Sys.sigpipe previous_sigpipe)
@@ -431,10 +848,23 @@ let run ?(on_ready = fun () -> ()) cfg =
   let shard_tab =
     Array.init cfg.shards (make_shard cfg ~depth ~states)
   in
-  let t = { cfg; shard_tab; stop = Atomic.make false } in
-  let shard_domains =
+  let t =
+    {
+      cfg;
+      shard_tab;
+      stop = Atomic.make false;
+      draining = Atomic.make false;
+      live_conns = Atomic.make 0;
+      evictions = Atomic.make 0;
+      drain_lock = Mutex.create ();
+      drain_waiters = [];
+      torn_lock = Mutex.create ();
+      torn = Hashtbl.create 64;
+    }
+  in
+  let domains =
     Array.map
-      (fun sh -> Domain.spawn (fun () -> shard_loop ~clock:cfg.clock cfg.deadline sh))
+      (fun sh -> Some (Domain.spawn (fun () -> shard_loop t sh)))
       shard_tab
   in
   let lfd = listen_socket cfg.address in
@@ -455,11 +885,14 @@ let run ?(on_ready = fun () -> ()) cfg =
         Domain.join rd;
         channel_close c.out;
         Domain.join wd;
+        Atomic.decr t.live_conns;
         try Unix.close c.fd with Unix.Unix_error _ -> ())
       finished
   in
   while not (Atomic.get t.stop) do
     reap ();
+    supervise t domains ~depth ~states;
+    answer_drain t;
     (* A poll instead of a blocking accept, so a Quit observed by any
        reader domain stops the loop within one tick. *)
     match Unix.select [ lfd ] [] [] 0.05 with
@@ -477,10 +910,12 @@ let run ?(on_ready = fun () -> ()) cfg =
                   out = channel ();
                   encoding = Atomic.make None;
                   reader_done = Atomic.make false;
+                  evicted = Atomic.make false;
                 }
               in
+              Atomic.incr t.live_conns;
               let rd = Domain.spawn (fun () -> reader_loop t conn) in
-              let wd = Domain.spawn (fun () -> writer_loop conn) in
+              let wd = Domain.spawn (fun () -> writer_loop t conn) in
               conns := (conn, rd, wd) :: !conns
             end)
   done;
@@ -497,7 +932,24 @@ let run ?(on_ready = fun () -> ()) cfg =
     !conns;
   List.iter (fun (_, rd, _) -> Domain.join rd) !conns;
   Array.iter (fun sh -> channel_close sh.queue) shard_tab;
-  Array.iter Domain.join shard_domains;
+  Array.iter (function Some d -> Domain.join d | None -> ()) domains;
+  (* A crash racing the shutdown leaves a poisoned shard with work in
+     hand or still queued; answer it rather than drop it silently. *)
+  Array.iter
+    (fun sh ->
+      let poisoned, pending =
+        Mutex.lock sh.stats_lock;
+        let r = (sh.poison <> None, sh.pending_job) in
+        sh.pending_job <- None;
+        Mutex.unlock sh.stats_lock;
+        r
+      in
+      if poisoned then begin
+        let reason = "server shutting down" in
+        Option.iter (fail_job t sh reason) pending;
+        List.iter (fail_job t sh reason) (channel_drain_close sh.queue)
+      end)
+    shard_tab;
   List.iter (fun (c, _, _) -> channel_close c.out) !conns;
   List.iter (fun (_, _, wd) -> Domain.join wd) !conns;
   List.iter

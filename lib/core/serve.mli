@@ -29,6 +29,26 @@
     leave its sessions partially advanced — the contract holds on runs
     without deadline failures.
 
+    {b Supervision}: a shard domain that dies outside the per-batch
+    handler is detected by the accept loop, its poison classified
+    through {!Fault.classify}.  A Transient fate with a journal
+    attached and restart budget left restarts the domain with state
+    rebuilt from the journal (the committed batches the acks promised —
+    extending the determinism contract to supervised restarts); any
+    other fate degrades the shard: its job, its queue, and every future
+    slice routed to it are answered [Failed] with the rendered fate,
+    while the other shards keep serving.  The restart budget is
+    {e consecutive}: it resets every time the shard answers a batch, so
+    a sticky-bounded chaos crash rate always fully recovers.
+
+    {b Overload control}: the [Rejected] retry hint is adaptive —
+    queue depth times the shard's median recent service time, clamped
+    to [[retry_after_ms, 1000]] ms — and slow clients are evicted
+    rather than buffered: a connection that cannot drain its acks
+    (out-channel overflow, or a write stalled past [write_timeout_ms])
+    is shut down, counted in {!Frame.health}, and its fd reaped
+    exactly once.
+
     This is the single module (with [lib/util/pool.ml]) allowed to
     touch Domain/Mutex/Condition/Atomic — lint rule R6 carries a
     standing exemption for it, justified in docs/LINTING.md. *)
@@ -44,7 +64,10 @@ type config = {
   address : address;
   shards : int;  (** shard (and shard-domain) count, >= 1 *)
   queue_capacity : int;  (** sub-batches per shard queue, >= 1 *)
-  retry_after_ms : int;  (** hint carried by backpressure rejections *)
+  retry_after_ms : int;
+      (** {e floor} of the adaptive backpressure hint: rejections carry
+          queue depth × median recent service time, clamped to
+          [[retry_after_ms, 1000]] ms *)
   scorer : Flat_automaton.scorer;  (** shared read-only across shards *)
   threshold : float;
   model_tag : string;  (** pins the model in journal contexts *)
@@ -60,11 +83,25 @@ type config = {
       (** concurrent-client cap; excess accepts are closed immediately.
           Connections whose peer hangs up are reaped, so the limit
           bounds concurrency, never the lifetime client count. *)
+  max_restarts : int;
+      (** consecutive supervised restarts of one shard domain before it
+          degrades instead (>= 0; the budget resets whenever the shard
+          answers a batch).  Restarting needs [journal_dir]: without a
+          journal there is no honest state to restart from, so any
+          shard-domain death degrades. *)
+  write_timeout_ms : int;
+      (** per-write stall budget (> 0); a client whose socket cannot
+          absorb a response within it is evicted *)
+  chaos : Fault_plan.Serve.t option;
+      (** seeded serve-layer fault injection ([--chaos-serve]), off by
+          default *)
 }
 
 val default_queue_capacity : int
 val default_retry_after_ms : int
 val default_max_connections : int
+val default_max_restarts : int
+val default_write_timeout_ms : int
 
 val run : ?on_ready:(unit -> unit) -> config -> Frame.shard_stats list
 (** Bind, serve until a client sends [Quit], drain every queue, and
@@ -72,8 +109,9 @@ val run : ?on_ready:(unit -> unit) -> config -> Frame.shard_stats list
     listener is bound (before the first accept).  SIGPIPE is ignored
     for the duration (dead clients surface as [EPIPE] and only tear
     down their own connection).
-    @raise Invalid_argument on a non-positive [shards] or
-    [queue_capacity].
+    @raise Invalid_argument on a non-positive [shards],
+    [queue_capacity] or [write_timeout_ms], or a negative
+    [max_restarts].
     @raise Shard_journal.Corrupt when resuming against journals from a
     different configuration.
     @raise Unix.Unix_error when the listener cannot be bound. *)

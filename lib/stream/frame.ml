@@ -32,9 +32,33 @@ type shard_stats = {
   busy_ns : int;
   p50_batch_ns : int;
   p99_batch_ns : int;
+  restarts : int;
+  degraded : bool;
+  retry_after_ms : int;
 }
 
-type request = Batch of { id : int; events : event list } | Stats_request | Quit
+type shard_health = {
+  h_shard : int;
+  h_alive : bool;
+  h_degraded : bool;
+  h_restarts : int;
+  h_queue_depth : int;
+  h_retry_after_ms : int;
+}
+
+type health = {
+  shards_health : shard_health list;
+  connections : int;
+  evictions : int;
+  draining : bool;
+}
+
+type request =
+  | Batch of { id : int; events : event list }
+  | Stats_request
+  | Health_request
+  | Drain_request
+  | Quit
 
 type response =
   | Ack of {
@@ -44,8 +68,10 @@ type response =
       incidents : incident_event list;
     }
   | Rejected of { id : int; retry_after_ms : int }
-  | Failed of { id : int; shard : int; reason : string }
+  | Failed of { id : int; shard : int; events : int; reason : string }
   | Stats of shard_stats list
+  | Health of health
+  | Drained of { batches : int }
   | Error_msg of string
 
 (* --- session sharding --------------------------------------------------- *)
@@ -139,6 +165,14 @@ let binary_of_request out = function
       let b = Buffer.create 1 in
       Buffer.add_char b 'S';
       add_payload out b
+  | Health_request ->
+      let b = Buffer.create 1 in
+      Buffer.add_char b 'H';
+      add_payload out b
+  | Drain_request ->
+      let b = Buffer.create 1 in
+      Buffer.add_char b 'D';
+      add_payload out b
   | Quit ->
       let b = Buffer.create 1 in
       Buffer.add_char b 'Q';
@@ -170,7 +204,18 @@ let add_shard_stats b s =
   add_i64 b s.bytes_resident;
   add_i64 b s.busy_ns;
   add_i64 b s.p50_batch_ns;
-  add_i64 b s.p99_batch_ns
+  add_i64 b s.p99_batch_ns;
+  add_i64 b s.restarts;
+  add_i64 b (if s.degraded then 1 else 0);
+  add_i64 b s.retry_after_ms
+
+let add_shard_health b h =
+  add_i64 b h.h_shard;
+  add_i64 b (if h.h_alive then 1 else 0);
+  add_i64 b (if h.h_degraded then 1 else 0);
+  add_i64 b h.h_restarts;
+  add_i64 b h.h_queue_depth;
+  add_i64 b h.h_retry_after_ms
 
 let binary_of_response out = function
   | Ack { id; shard; events; incidents } ->
@@ -188,11 +233,12 @@ let binary_of_response out = function
       add_i64 b id;
       add_i64 b retry_after_ms;
       add_payload out b
-  | Failed { id; shard; reason } ->
+  | Failed { id; shard; events; reason } ->
       let b = Buffer.create 64 in
       Buffer.add_char b 'F';
       add_i64 b id;
       add_i64 b shard;
+      add_i64 b events;
       add_string_field b reason;
       add_payload out b
   | Stats shards ->
@@ -200,6 +246,20 @@ let binary_of_response out = function
       Buffer.add_char b 'T';
       add_i64 b (List.length shards);
       List.iter (add_shard_stats b) shards;
+      add_payload out b
+  | Health { shards_health; connections; evictions; draining } ->
+      let b = Buffer.create 256 in
+      Buffer.add_char b 'h';
+      add_i64 b connections;
+      add_i64 b evictions;
+      add_i64 b (if draining then 1 else 0);
+      add_i64 b (List.length shards_health);
+      List.iter (add_shard_health b) shards_health;
+      add_payload out b
+  | Drained { batches } ->
+      let b = Buffer.create 16 in
+      Buffer.add_char b 'd';
+      add_i64 b batches;
       add_payload out b
   | Error_msg message ->
       let b = Buffer.create 64 in
@@ -282,6 +342,8 @@ let decode_binary_request c =
       if n = 0 then cursor_fail "Frame: a batch must carry at least one event";
       finish c (Batch { id; events = List.init n (fun _ -> read_event c) })
   | 'S' -> finish c Stats_request
+  | 'H' -> finish c Health_request
+  | 'D' -> finish c Drain_request
   | 'Q' -> finish c Quit
   | ch -> cursor_fail "Frame: unknown request tag %C" ch
 
@@ -315,6 +377,12 @@ let read_incident_event c =
         }
   | ch -> cursor_fail "Frame: unknown incident tag %C" ch
 
+let read_bool c name =
+  match read_i64 c with
+  | 0 -> false
+  | 1 -> true
+  | v -> cursor_fail "Frame: %s flag %d is not 0 or 1" name v
+
 let read_shard_stats c =
   let shard = read_i64 c in
   let sessions_resident = read_nonneg c "sessions_resident" in
@@ -327,6 +395,9 @@ let read_shard_stats c =
   let busy_ns = read_nonneg c "busy_ns" in
   let p50_batch_ns = read_nonneg c "p50_batch_ns" in
   let p99_batch_ns = read_nonneg c "p99_batch_ns" in
+  let restarts = read_nonneg c "restarts" in
+  let degraded = read_bool c "degraded" in
+  let retry_after_ms = read_nonneg c "retry_after_ms" in
   {
     shard;
     sessions_resident;
@@ -339,7 +410,19 @@ let read_shard_stats c =
     busy_ns;
     p50_batch_ns;
     p99_batch_ns;
+    restarts;
+    degraded;
+    retry_after_ms;
   }
+
+let read_shard_health c =
+  let h_shard = read_i64 c in
+  let h_alive = read_bool c "alive" in
+  let h_degraded = read_bool c "degraded" in
+  let h_restarts = read_nonneg c "restarts" in
+  let h_queue_depth = read_nonneg c "queue_depth" in
+  let h_retry_after_ms = read_nonneg c "retry_after_ms" in
+  { h_shard; h_alive; h_degraded; h_restarts; h_queue_depth; h_retry_after_ms }
 
 let decode_binary_response c =
   match read_char c with
@@ -358,10 +441,26 @@ let decode_binary_response c =
   | 'F' ->
       let id = read_nonneg c "batch id" in
       let shard = read_i64 c in
-      finish c (Failed { id; shard; reason = read_string c "reason length" })
+      let events = read_nonneg c "event count" in
+      finish c
+        (Failed { id; shard; events; reason = read_string c "reason length" })
   | 'T' ->
-      let n = read_count c "shard count" ~min_item_bytes:88 in
+      let n = read_count c "shard count" ~min_item_bytes:112 in
       finish c (Stats (List.init n (fun _ -> read_shard_stats c)))
+  | 'h' ->
+      let connections = read_nonneg c "connections" in
+      let evictions = read_nonneg c "evictions" in
+      let draining = read_bool c "draining" in
+      let n = read_count c "shard count" ~min_item_bytes:48 in
+      finish c
+        (Health
+           {
+             shards_health = List.init n (fun _ -> read_shard_health c);
+             connections;
+             evictions;
+             draining;
+           })
+  | 'd' -> finish c (Drained { batches = read_nonneg c "batch count" })
   | 'E' -> finish c (Error_msg (read_string c "message length"))
   | ch -> cursor_fail "Frame: unknown response tag %C" ch
 
@@ -597,6 +696,11 @@ let list_field fields k =
   | J_list v -> v
   | _ -> Parse_error.fail "Frame: ndjson: field %S is not a list" k
 
+let bool_field fields k =
+  match field fields k with
+  | J_bool v -> v
+  | _ -> Parse_error.fail "Frame: ndjson: field %S is not a boolean" k
+
 let nonneg_field fields k =
   let v = int_field fields k in
   if v < 0 then Parse_error.fail "Frame: ndjson: negative field %S: %d" k v;
@@ -632,6 +736,8 @@ let json_of_request = function
           ("events", J_list (List.map json_of_event events));
         ]
   | Stats_request -> J_obj [ ("type", J_string "stats") ]
+  | Health_request -> J_obj [ ("type", J_string "health") ]
+  | Drain_request -> J_obj [ ("type", J_string "drain") ]
   | Quit -> J_obj [ ("type", J_string "quit") ]
 
 let json_of_incident_event = function
@@ -674,6 +780,20 @@ let json_of_shard_stats s =
       ("busy_ns", J_int s.busy_ns);
       ("p50_batch_ns", J_int s.p50_batch_ns);
       ("p99_batch_ns", J_int s.p99_batch_ns);
+      ("restarts", J_int s.restarts);
+      ("degraded", J_bool s.degraded);
+      ("retry_after_ms", J_int s.retry_after_ms);
+    ]
+
+let json_of_shard_health h =
+  J_obj
+    [
+      ("shard", J_int h.h_shard);
+      ("alive", J_bool h.h_alive);
+      ("degraded", J_bool h.h_degraded);
+      ("restarts", J_int h.h_restarts);
+      ("queue_depth", J_int h.h_queue_depth);
+      ("retry_after_ms", J_int h.h_retry_after_ms);
     ]
 
 let json_of_response = function
@@ -693,12 +813,13 @@ let json_of_response = function
           ("id", J_int id);
           ("retry_after_ms", J_int retry_after_ms);
         ]
-  | Failed { id; shard; reason } ->
+  | Failed { id; shard; events; reason } ->
       J_obj
         [
           ("type", J_string "failed");
           ("id", J_int id);
           ("shard", J_int shard);
+          ("events", J_int events);
           ("reason", J_string reason);
         ]
   | Stats shards ->
@@ -707,6 +828,17 @@ let json_of_response = function
           ("type", J_string "stats");
           ("shards", J_list (List.map json_of_shard_stats shards));
         ]
+  | Health { shards_health; connections; evictions; draining } ->
+      J_obj
+        [
+          ("type", J_string "health");
+          ("connections", J_int connections);
+          ("evictions", J_int evictions);
+          ("draining", J_bool draining);
+          ("shards", J_list (List.map json_of_shard_health shards_health));
+        ]
+  | Drained { batches } ->
+      J_obj [ ("type", J_string "drained"); ("batches", J_int batches) ]
   | Error_msg message ->
       J_obj [ ("type", J_string "error"); ("message", J_string message) ]
 
@@ -742,6 +874,8 @@ let request_of_json v =
         Parse_error.fail "Frame: a batch must carry at least one event";
       Batch { id = nonneg_field fields "id"; events }
   | "stats" -> Stats_request
+  | "health" -> Health_request
+  | "drain" -> Drain_request
   | "quit" -> Quit
   | t -> Parse_error.fail "Frame: ndjson: unknown request type %S" t
 
@@ -784,6 +918,20 @@ let shard_stats_of_json v =
     busy_ns = nonneg_field fields "busy_ns";
     p50_batch_ns = nonneg_field fields "p50_batch_ns";
     p99_batch_ns = nonneg_field fields "p99_batch_ns";
+    restarts = nonneg_field fields "restarts";
+    degraded = bool_field fields "degraded";
+    retry_after_ms = nonneg_field fields "retry_after_ms";
+  }
+
+let shard_health_of_json v =
+  let fields = obj_fields "shard health" v in
+  {
+    h_shard = int_field fields "shard";
+    h_alive = bool_field fields "alive";
+    h_degraded = bool_field fields "degraded";
+    h_restarts = nonneg_field fields "restarts";
+    h_queue_depth = nonneg_field fields "queue_depth";
+    h_retry_after_ms = nonneg_field fields "retry_after_ms";
   }
 
 let response_of_json v =
@@ -809,9 +957,20 @@ let response_of_json v =
         {
           id = nonneg_field fields "id";
           shard = int_field fields "shard";
+          events = nonneg_field fields "events";
           reason = str_field fields "reason";
         }
   | "stats" -> Stats (List.map shard_stats_of_json (list_field fields "shards"))
+  | "health" ->
+      Health
+        {
+          shards_health =
+            List.map shard_health_of_json (list_field fields "shards");
+          connections = nonneg_field fields "connections";
+          evictions = nonneg_field fields "evictions";
+          draining = bool_field fields "draining";
+        }
+  | "drained" -> Drained { batches = nonneg_field fields "batches" }
   | "error" -> Error_msg (str_field fields "message")
   | t -> Parse_error.fail "Frame: ndjson: unknown response type %S" t
 
@@ -820,7 +979,7 @@ let response_of_json v =
 let write_request out encoding request =
   (match request with
   | Batch { id; events } -> check_batch id events
-  | Stats_request | Quit -> ());
+  | Stats_request | Health_request | Drain_request | Quit -> ());
   match encoding with
   | Binary -> binary_of_request out request
   | Ndjson -> add_json_line out (json_of_request request)
@@ -943,3 +1102,23 @@ let render_incident_event = function
         "session %d closed first=%d last=%d cover=%d..%d alarms=%d peak=%016Lx"
         session i.first_start i.last_start i.cover_from i.cover_to i.alarms
         (Int64.bits_of_float i.peak_score)
+
+(* --- health rendering ---------------------------------------------------- *)
+
+let render_health h =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "serve: connections=%d evictions=%d draining=%b\n"
+       h.connections h.evictions h.draining);
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "shard %d: %s restarts=%d queue_depth=%d retry_after_ms=%d\n"
+           s.h_shard
+           (if s.h_degraded then "DEGRADED"
+            else if s.h_alive then "alive"
+            else "dead")
+           s.h_restarts s.h_queue_depth s.h_retry_after_ms))
+    h.shards_health;
+  Buffer.contents b

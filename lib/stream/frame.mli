@@ -53,6 +53,26 @@ type shard_stats = {
   busy_ns : int;  (** cumulative sub-batch service time *)
   p50_batch_ns : int;  (** median recent sub-batch service time *)
   p99_batch_ns : int;  (** 99th-percentile recent service time *)
+  restarts : int;  (** supervisor restarts of this shard's domain *)
+  degraded : bool;  (** the shard took a fatal fault and serves [Failed] *)
+  retry_after_ms : int;  (** current adaptive backpressure hint *)
+}
+
+type shard_health = {
+  h_shard : int;
+  h_alive : bool;  (** the shard domain is running (or restartable) *)
+  h_degraded : bool;  (** fatal fault: batches answered [Failed] *)
+  h_restarts : int;
+  h_queue_depth : int;
+  h_retry_after_ms : int;
+}
+(** One shard's row in a {!health} readiness report. *)
+
+type health = {
+  shards_health : shard_health list;
+  connections : int;  (** live client connections *)
+  evictions : int;  (** slow clients evicted since start *)
+  draining : bool;  (** a drain handshake is in progress *)
 }
 
 type request =
@@ -60,6 +80,10 @@ type request =
       (** [id] correlates the acks; a batch must carry at least one
           event (enforced by the codec in both directions) *)
   | Stats_request
+  | Health_request  (** readiness probe: answered with {!Health} *)
+  | Drain_request
+      (** orderly stop-intake handshake: the server rejects new batches,
+          finishes queued work, then answers [Drained] *)
   | Quit  (** orderly shutdown of the whole server *)
 
 type response =
@@ -77,10 +101,17 @@ type response =
       (** Backpressure: some touched shard's queue was full.  No part
           of the batch was enqueued; resend the whole batch after the
           hinted delay. *)
-  | Failed of { id : int; shard : int; reason : string }
-      (** The shard failed applying this batch (e.g. its per-batch
-          deadline fired); session state may have partially advanced. *)
+  | Failed of { id : int; shard : int; events : int; reason : string }
+      (** The shard failed applying this batch's slice of [events]
+          events (e.g. its per-batch deadline fired, or the shard is
+          degraded); session state may have partially advanced.  Like
+          [Ack], one [Failed] covers only the named shard's slice —
+          other shards' acks for the same batch remain valid. *)
   | Stats of shard_stats list
+  | Health of health  (** answer to {!Health_request} *)
+  | Drained of { batches : int }
+      (** answer to {!Drain_request} once all queues are empty;
+          [batches] counts sub-batches applied since start *)
   | Error_msg of string  (** protocol-level failure; connection closes *)
 
 (** {1 Session sharding} *)
@@ -132,3 +163,7 @@ val render_incident_event : incident_event -> string
 (** One deterministic line per event ([peak_score] rendered as exact
     bits), so incident logs can be compared byte-for-byte across runs,
     shard counts, and kill/resume cycles. *)
+
+val render_health : health -> string
+(** Multi-line human-readable readiness report (one header line plus
+    one line per shard), for CLI health probes. *)

@@ -62,6 +62,8 @@ SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR="$tmp/golden" \
   ./_build/default/test/test_golden.exe > /dev/null
 SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR="$tmp/golden" \
   ./_build/default/test/test_lint_golden.exe > /dev/null
+SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR="$tmp/golden" \
+  ./_build/default/test/test_serve_chaos.exe > /dev/null
 diff -ru test/golden "$tmp/golden"
 echo "golden fixtures: OK"
 
@@ -185,3 +187,23 @@ serve_pid=$!
 wait "$serve_pid"
 diff "$tmp/serve-ref.log" "$tmp/serve-4.log"
 echo "serve kill-resume smoke test: OK"
+
+# Chaos-serve smoke test: with seeded transient shard crashes injected
+# mid-stream, the supervisor must restart each crashed shard from its
+# journal and the per-session incident log must stay byte-identical to
+# the chaos-free reference (the determinism contract under Transient
+# fates).  The client rides through rejections via the adaptive
+# retry_after_ms hint.
+mkdir -p "$tmp/serve-chaos"
+"$bin" serve --model "$tmp/stide.flat" --socket "$serve_sock" --shards 2 \
+  --journal-dir "$tmp/serve-chaos" --chaos-serve 1234 --chaos-crash 0.10 \
+  > "$tmp/serve-chaos.out" 2>&1 &
+serve_pid=$!
+# shellcheck disable=SC2086
+"$bin" serve-bench --socket "$serve_sock" $bench_args --reconnect \
+  --incident-log "$tmp/serve-chaos.log" --quit > /dev/null
+wait "$serve_pid"
+diff "$tmp/serve-ref.log" "$tmp/serve-chaos.log"
+# The run must actually have exercised the supervisor.
+grep -q 'restart' "$tmp/serve-chaos.out"
+echo "chaos-serve smoke test: OK"

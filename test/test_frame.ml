@@ -44,8 +44,20 @@ let request_equal a b =
       ia = ib
       && List.length ea = List.length eb
       && List.for_all2 event_equal ea eb
-  | Frame.Stats_request, Frame.Stats_request | Frame.Quit, Frame.Quit -> true
+  | Frame.Stats_request, Frame.Stats_request
+  | Frame.Health_request, Frame.Health_request
+  | Frame.Drain_request, Frame.Drain_request
+  | Frame.Quit, Frame.Quit ->
+      true
   | _ -> false
+
+let shard_health_equal (a : Frame.shard_health) (b : Frame.shard_health) =
+  a.Frame.h_shard = b.Frame.h_shard
+  && a.Frame.h_alive = b.Frame.h_alive
+  && a.Frame.h_degraded = b.Frame.h_degraded
+  && a.Frame.h_restarts = b.Frame.h_restarts
+  && a.Frame.h_queue_depth = b.Frame.h_queue_depth
+  && a.Frame.h_retry_after_ms = b.Frame.h_retry_after_ms
 
 let response_equal a b =
   match (a, b) with
@@ -57,10 +69,18 @@ let response_equal a b =
   | ( Frame.Rejected { id = ia; retry_after_ms = ra },
       Frame.Rejected { id = ib; retry_after_ms = rb } ) ->
       ia = ib && ra = rb
-  | ( Frame.Failed { id = ia; shard = sa; reason = ra },
-      Frame.Failed { id = ib; shard = sb; reason = rb } ) ->
-      ia = ib && sa = sb && ra = rb
+  | ( Frame.Failed { id = ia; shard = sa; events = ea; reason = ra },
+      Frame.Failed { id = ib; shard = sb; events = eb; reason = rb } ) ->
+      ia = ib && sa = sb && ea = eb && ra = rb
   | Frame.Stats a, Frame.Stats b -> a = b
+  | Frame.Health a, Frame.Health b ->
+      a.Frame.connections = b.Frame.connections
+      && a.Frame.evictions = b.Frame.evictions
+      && a.Frame.draining = b.Frame.draining
+      && List.length a.Frame.shards_health = List.length b.Frame.shards_health
+      && List.for_all2 shard_health_equal a.Frame.shards_health
+           b.Frame.shards_health
+  | Frame.Drained { batches = a }, Frame.Drained { batches = b } -> a = b
   | Frame.Error_msg a, Frame.Error_msg b -> a = b
   | _ -> false
 
@@ -134,6 +154,8 @@ let sample_requests =
     Frame.Batch
       { id = 42; events = [ Frame.Data { session = 7; symbols = [||] } ] };
     Frame.Stats_request;
+    Frame.Health_request;
+    Frame.Drain_request;
     Frame.Quit;
   ]
 
@@ -151,7 +173,13 @@ let sample_responses =
           ];
       };
     Frame.Rejected { id = 43; retry_after_ms = 5 };
-    Frame.Failed { id = 44; shard = 0; reason = "Deadline.Exceeded(budget=1ms)" };
+    Frame.Failed
+      {
+        id = 44;
+        shard = 0;
+        events = 3;
+        reason = "Deadline.Exceeded(budget=1ms)";
+      };
     Frame.Stats
       [
         {
@@ -166,8 +194,37 @@ let sample_responses =
           busy_ns = 123456789;
           p50_batch_ns = 440_000;
           p99_batch_ns = 6_572_000;
+          restarts = 2;
+          degraded = false;
+          retry_after_ms = 11;
         };
       ];
+    Frame.Health
+      {
+        Frame.shards_health =
+          [
+            {
+              Frame.h_shard = 0;
+              h_alive = true;
+              h_degraded = false;
+              h_restarts = 1;
+              h_queue_depth = 3;
+              h_retry_after_ms = 12;
+            };
+            {
+              Frame.h_shard = 1;
+              h_alive = false;
+              h_degraded = true;
+              h_restarts = 3;
+              h_queue_depth = 0;
+              h_retry_after_ms = 5;
+            };
+          ];
+        connections = 4;
+        evictions = 1;
+        draining = true;
+      };
+    Frame.Drained { batches = 512 };
     Frame.Error_msg "frame: unknown tag 'x'";
   ]
 
