@@ -28,6 +28,7 @@ type options = {
   micro : bool;
   grid_only : bool;
   streaming : bool;
+  adaptive : bool;
   csv_dir : string option;
   jobs : int;
   trace : bool;
@@ -47,6 +48,7 @@ let default_options =
     micro = true;
     grid_only = false;
     streaming = false;
+    adaptive = false;
     csv_dir = None;
     jobs = 1;
     trace = false;
@@ -71,6 +73,7 @@ let parse_options () =
     | "--no-micro" :: rest -> go { acc with micro = false } rest
     | "--grid-only" :: rest -> go { acc with grid_only = true; micro = false } rest
     | "--streaming" :: rest -> go { acc with streaming = true; micro = false } rest
+    | "--adaptive" :: rest -> go { acc with adaptive = true; micro = false } rest
     | "--csv-dir" :: v :: rest -> go { acc with csv_dir = Some v } rest
     | ("-j" | "--jobs") :: v :: rest ->
         let jobs = int_of_string v in
@@ -319,6 +322,115 @@ let run_streaming opts =
         (Printf.sprintf "streaming_speedup_w%d" window)
         (streamed /. trie))
     [ 4; 8; 12 ]
+
+(* --- adaptive vs static thresholding under drift ----------------------- *)
+
+(* The serve layer's headline question, answered offline: calibrate a
+   static threshold on a pre-drift calibration corpus at the budgeted
+   tail, then let the generating process drift and compare the observed
+   false-alarm rate of (a) that frozen threshold against (b) the
+   per-session adaptive controllers the serve layer runs.  The static
+   rate walks away from the budget with the drift; the adaptive one
+   re-tracks it.  All measurements land in the --json report. *)
+let run_adaptive opts =
+  section "Adaptive vs static thresholding under drift";
+  let params =
+    Suite.scaled_params ~train_len:opts.train_len
+      ~background_len:opts.background_len
+  in
+  let suite = timed "suite build" (fun () -> Suite.build params) in
+  (* Markov, not stide: a graded score distribution (1 - transition
+     probability) has real tail quantiles; stide's {0,1} scores don't. *)
+  let window = 6 in
+  let trained =
+    Trained.train (Registry.find_exn "markov") ~window suite.Suite.training
+  in
+  let scorer =
+    match Trained.compile trained with
+    | Some s -> s
+    | None -> failwith "markov (maximum likelihood) must compile"
+  in
+  let auto = Flat_automaton.automaton scorer in
+  let depth = Flat_automaton.depth auto in
+  let iter_scores trace f =
+    let data = Trace.raw trace in
+    let state = ref Flat_automaton.start in
+    Array.iteri
+      (fun i s ->
+        state := Flat_automaton.step auto !state s;
+        if i >= depth - 1 then f (Flat_automaton.state_score scorer !state))
+      data
+  in
+  let sessions = 48 and length = 4_000 in
+  let calibration =
+    Session_workload.normal suite
+      (Seqdiv_util.Prng.create ~seed:(params.Suite.seed + 11))
+      ~sessions:16 ~length
+  in
+  let drifting =
+    Session_workload.drifting suite
+      (Seqdiv_util.Prng.create ~seed:(params.Suite.seed + 12))
+      ~sessions ~length ~segments:4 ~peak_deviation:0.25
+  in
+  Printf.printf "drifting corpus: %d sessions x %d symbols, window %d\n%!"
+    sessions length window;
+  List.iter
+    (fun budget ->
+      (* Static: the (1 - budget) score quantile of the calibration
+         corpus, frozen for the whole drifting run. *)
+      let sketch = Quantile.create ~epsilon:(budget /. 4.0) in
+      List.iter
+        (fun trace -> iter_scores trace (Quantile.observe sketch))
+        (Sessions.traces calibration);
+      let static_threshold = Quantile.quantile sketch (1.0 -. budget) in
+      let static_windows = ref 0 and static_alarms = ref 0 in
+      timed (Printf.sprintf "static sweep b=%g" budget) (fun () ->
+          List.iter
+            (fun trace ->
+              iter_scores trace (fun score ->
+                  incr static_windows;
+                  (* Strict [>] matches the adaptive controller's alarm
+                     rule, so the two sweeps differ only in whether the
+                     threshold moves. *)
+                  if score > static_threshold then incr static_alarms))
+            (Sessions.traces drifting));
+      (* Adaptive: one controller per session, exactly what a serve
+         monitor owns under --alarm-budget. *)
+      let adaptive_windows = ref 0 and adaptive_alarms = ref 0 in
+      timed (Printf.sprintf "adaptive sweep b=%g" budget) (fun () ->
+          List.iter
+            (fun trace ->
+              let controller =
+                Adaptive_threshold.create
+                  (Adaptive_threshold.config ~budget
+                     ~initial:static_threshold ())
+              in
+              iter_scores trace (fun score ->
+                  ignore (Adaptive_threshold.step controller score));
+              adaptive_windows :=
+                !adaptive_windows + Adaptive_threshold.windows controller;
+              adaptive_alarms :=
+                !adaptive_alarms + Adaptive_threshold.alarms controller)
+            (Sessions.traces drifting));
+      let rate alarms windows =
+        if windows = 0 then 0.0
+        else float_of_int alarms /. float_of_int windows
+      in
+      let static_rate = rate !static_alarms !static_windows in
+      let adaptive_rate = rate !adaptive_alarms !adaptive_windows in
+      measure (Printf.sprintf "adaptive_b%g_static_threshold" budget)
+        static_threshold;
+      measure (Printf.sprintf "adaptive_b%g_static_alarm_rate" budget)
+        static_rate;
+      measure (Printf.sprintf "adaptive_b%g_adaptive_alarm_rate" budget)
+        adaptive_rate;
+      measure
+        (Printf.sprintf "adaptive_b%g_static_budget_error" budget)
+        (Float.abs (static_rate -. budget) /. budget);
+      measure
+        (Printf.sprintf "adaptive_b%g_adaptive_budget_error" budget)
+        (Float.abs (adaptive_rate -. budget) /. budget))
+    [ 0.01; 0.05 ]
 
 (* --- the paper reproduction ------------------------------------------- *)
 
@@ -891,6 +1003,10 @@ let () =
   in
   if opts.streaming then begin
     run_streaming opts;
+    Option.iter (fun path -> write_json path opts None []) opts.json
+  end
+  else if opts.adaptive then begin
+    run_adaptive opts;
     Option.iter (fun path -> write_json path opts None []) opts.json
   end
   else if opts.grid_only then begin

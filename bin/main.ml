@@ -996,7 +996,7 @@ let serve_cmd =
   let run verbose model_file socket tcp shards queue_capacity retry_after_ms
       journal_dir resume deadline_ms max_connections max_restarts
       write_timeout_ms chaos_serve chaos_crash chaos_hang chaos_torn
-      chaos_sticky threshold =
+      chaos_sticky threshold alarm_budget =
     setup_logging verbose;
     let address = address_of socket tcp in
     let chaos =
@@ -1019,6 +1019,16 @@ let serve_cmd =
       | Some t -> t
       | None -> flat.Model_io.flat_alarm_threshold
     in
+    let adaptive =
+      Option.map
+        (fun budget ->
+          if not (budget > 0.0 && budget < 1.0) then begin
+            prerr_endline "seqdiv: --alarm-budget must be strictly between 0 and 1";
+            exit 2
+          end;
+          Adaptive_threshold.config ~budget ~initial:threshold ())
+        alarm_budget
+    in
     let deadline =
       Option.map
         (fun budget_ms ->
@@ -1038,6 +1048,7 @@ let serve_cmd =
         retry_after_ms;
         scorer = flat.Model_io.flat_scorer;
         threshold;
+        adaptive;
         model_tag = flat.Model_io.flat_detector;
         journal_dir;
         resume;
@@ -1144,6 +1155,19 @@ let serve_cmd =
       & info [ "threshold" ] ~docv:"T"
           ~doc:"Alarm threshold (default: the model file's own).")
   in
+  let alarm_budget_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "alarm-budget" ] ~docv:"RATE"
+          ~doc:
+            "Adaptive thresholding: per-session monitors track the \
+             $(docv)-tail score quantile with a streaming sketch, so the \
+             observed false-alarm rate converges on $(docv) instead of \
+             depending on a hand-picked $(b,--threshold) (which still \
+             seeds the controller's starting point).  Strictly between 0 \
+             and 1.")
+  in
   let max_restarts_t =
     Arg.(
       value
@@ -1218,7 +1242,7 @@ let serve_cmd =
       $ queue_capacity_t $ retry_after_t $ journal_dir_t $ resume_t
       $ deadline_t $ max_connections_t $ max_restarts_t $ write_timeout_t
       $ chaos_serve_t $ chaos_crash_t $ chaos_hang_t $ chaos_torn_t
-      $ chaos_sticky_t $ threshold_t)
+      $ chaos_sticky_t $ threshold_t $ alarm_budget_t)
 
 let serve_bench_cmd =
   let run verbose socket tcp ndjson sessions session_length rounds connections

@@ -10,6 +10,8 @@ let task_entries =
     ("Fault_plan", "trip");
     ("Flat_automaton", "compile");
     ("Flat_automaton", "make_scorer");
+    ("Quantile", "observe");
+    ("Adaptive_threshold", "step");
   ]
 
 let score_fn_names = [ "score"; "score_range"; "compiled_score_range" ]
@@ -22,6 +24,8 @@ let score_entries =
     ("Detector", "compiled_score_range");
     ("Flat_automaton", "step");
     ("Flat_automaton", "state_score");
+    ("Quantile", "observe");
+    ("Adaptive_threshold", "step");
   ]
 
 let in_detectors_dir (fn : Callgraph.fn) =

@@ -59,6 +59,129 @@ type suppression = {
   suppressed : int;
 }
 
+type adaptive_member_stats = {
+  member_name : string;
+  allocated_rate : float;
+  member_windows : int;
+  member_alarms : int;
+  final_threshold : float;
+}
+
+(* Score (not alarm) map of one response: the adaptive path decides
+   alarms itself, per window, at the controller's moving threshold. *)
+let score_map (r : Response.t) =
+  Array.fold_left
+    (fun acc (item : Response.item) ->
+      Int_map.add item.Response.start
+        (item.Response.score, item.Response.cover)
+        acc)
+    Int_map.empty r.Response.items
+
+let adaptive_combine ~system_rate ~initial members =
+  match members with
+  | [] ->
+      (* lint: allow partiality — an empty ensemble has no window size *)
+      invalid_arg "Ensemble.adaptive_combine: no members"
+  | (_, first_response) :: _ ->
+      let allocations =
+        Adaptive_threshold.allocate ~system_rate (List.map fst members)
+      in
+      let rate_of m =
+        (* allocate returns one allocation per member, in member order *)
+        let a =
+          List.find
+            (fun (a : Adaptive_threshold.allocation) ->
+              a.Adaptive_threshold.a_member.Adaptive_threshold.m_name
+              = m.Adaptive_threshold.m_name)
+            allocations
+        in
+        a.Adaptive_threshold.a_rate
+      in
+      let controllers =
+        List.map
+          (fun (m, r) ->
+            let cfg =
+              Adaptive_threshold.config ~budget:(rate_of m) ~initial ()
+            in
+            (m, Adaptive_threshold.create cfg, score_map r))
+          members
+      in
+      (* Inner join on start: keep only the window starts every member
+         scored, with each member's score in member order. *)
+      let joined =
+        List.fold_left
+          (fun acc (_, _, scores) ->
+            Int_map.merge
+              (fun _start left right ->
+                match (left, right) with
+                | Some (xs, cover), Some (s, _) -> Some (s :: xs, cover)
+                | Some _, None | None, Some _ | None, None -> None)
+              acc scores)
+          (Int_map.map
+             (fun (_, cover) -> (([] : float list), cover))
+             (match controllers with
+             | (_, _, first) :: _ -> first
+             | [] -> Int_map.empty))
+          controllers
+        |> Int_map.map (fun (xs, cover) -> (List.rev xs, cover))
+      in
+      (* Ascending starts is the stream order every controller would see
+         online — bindings of an Int_map are already sorted. *)
+      let items =
+        Int_map.bindings joined
+        |> List.map (fun (start, (scores, cover)) ->
+               let decisions =
+                 List.map2
+                   (fun (m, c, _) score ->
+                     (m, Adaptive_threshold.step c score))
+                   controllers scores
+               in
+               let corroborated target =
+                 List.for_all
+                   (fun ((m : Adaptive_threshold.member), alarm) ->
+                     match m.Adaptive_threshold.m_role with
+                     | Adaptive_threshold.Suppressor tgt when tgt = target ->
+                         alarm
+                     | Adaptive_threshold.Suppressor _
+                     | Adaptive_threshold.Emitter ->
+                         true)
+                   decisions
+               in
+               let alarm =
+                 List.exists
+                   (fun ((m : Adaptive_threshold.member), a) ->
+                     m.Adaptive_threshold.m_role = Adaptive_threshold.Emitter
+                     && a
+                     && corroborated m.Adaptive_threshold.m_name)
+                   decisions
+               in
+               { Response.start; cover; score = (if alarm then 1.0 else 0.0) })
+        |> Array.of_list
+      in
+      let names =
+        members
+        |> List.map (fun ((m : Adaptive_threshold.member), _) ->
+               m.Adaptive_threshold.m_name)
+        |> String.concat ","
+      in
+      let response =
+        Response.make ~detector:("adaptive(" ^ names ^ ")")
+          ~window:first_response.Response.window items
+      in
+      let stats =
+        List.map
+          (fun ((m : Adaptive_threshold.member), c, _) ->
+            {
+              member_name = m.Adaptive_threshold.m_name;
+              allocated_rate = rate_of m;
+              member_windows = Adaptive_threshold.windows c;
+              member_alarms = Adaptive_threshold.alarms c;
+              final_threshold = Adaptive_threshold.threshold c;
+            })
+          controllers
+      in
+      (response, stats)
+
 let suppress ~primary ~suppressor =
   let primary_response, primary_threshold = primary in
   let suppressor_map = alarm_map suppressor in

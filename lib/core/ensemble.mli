@@ -41,3 +41,39 @@ val suppress :
 (** Partition the primary detector's alarms by whether the suppressor
     alarms at the same window start — the Markov+Stide scheme of
     Section 7. *)
+
+(** {1 Adaptive ensemble combination}
+
+    The budget-driven counterpart of {!combine}: instead of fixed
+    per-member thresholds, a configured {e system} false-alarm rate is
+    split across the ensemble by {!Adaptive_threshold.allocate} and each
+    member tracks its allocated tail quantile with its own
+    {!Adaptive_threshold} controller.  The system alarms at a window
+    when any {e emitter} alarms and every suppressor targeting that
+    emitter corroborates (alarms too) — the conjunction that discards
+    rare-sequence false alarms without losing foreign-sequence hits,
+    now with moving thresholds. *)
+
+type adaptive_member_stats = {
+  member_name : string;
+  allocated_rate : float;  (** the member's slice of the system budget *)
+  member_windows : int;  (** windows the member's controller judged *)
+  member_alarms : int;  (** windows the member alarmed at *)
+  final_threshold : float;  (** controller threshold after the stream *)
+}
+
+val adaptive_combine :
+  system_rate:float ->
+  initial:float ->
+  (Adaptive_threshold.member * Response.t) list ->
+  Response.t * adaptive_member_stats list
+(** [adaptive_combine ~system_rate ~initial members] runs one adaptive
+    controller per member over the window starts common to all member
+    responses (inner join on [start], ascending — the deterministic
+    stream order), with each controller's budget taken from
+    {!Adaptive_threshold.allocate} on [system_rate] and its threshold
+    starting at [initial].  Returns the binary system response
+    (labelled ["adaptive(...)"], scores 1/0) and per-member stats in
+    member order.
+    @raise Invalid_argument on an empty member list or any allocation
+    the validator rejects (see {!Adaptive_threshold.allocate}). *)

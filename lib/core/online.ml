@@ -29,19 +29,28 @@ type path =
 
 type t = {
   path : path;
-  threshold : float;
+  threshold : float;  (* static threshold (and the adaptive initial) *)
+  adaptive : Adaptive_threshold.t option;
   window : int;
   mutable consumed : int;
+  (* Static-path window/alarm counters; when [adaptive] is present the
+     controller's own (journal-carried, exactly-once) counters are
+     authoritative instead. *)
+  mutable scored : int;
+  mutable alarmed : int;
   mutable open_incident : Incident.t option;
   mutable closed : Incident.t list;  (* newest first *)
 }
 
-let make ~path ~threshold ~window =
+let make ~path ~threshold ~adaptive ~window =
   {
     path;
     threshold;
+    adaptive;
     window;
     consumed = 0;
+    scored = 0;
+    alarmed = 0;
     open_incident = None;
     closed = [];
   }
@@ -57,7 +66,7 @@ let window_slide trained ~window =
       buffer = Array.make window 0;
     }
 
-let create trained ?(compile = true) ?threshold () =
+let create trained ?(compile = true) ?threshold ?adaptive () =
   let threshold =
     match threshold with
     | Some thr -> thr
@@ -79,15 +88,34 @@ let create trained ?(compile = true) ?threshold () =
           Automaton { scorer; state = Flat_automaton.start }
       | Some _ | None -> window_slide trained ~window
   in
-  make ~path ~threshold ~window
+  make ~path ~threshold
+    ~adaptive:(Option.map Adaptive_threshold.create adaptive)
+    ~window
 
-let of_scorer scorer ~threshold =
+let of_scorer ?adaptive scorer ~threshold =
   let window = Flat_automaton.depth (Flat_automaton.automaton scorer) in
   make
     ~path:(Automaton { scorer; state = Flat_automaton.start })
-    ~threshold ~window
+    ~threshold
+    ~adaptive:(Option.map Adaptive_threshold.create adaptive)
+    ~window
 
 let position t = t.consumed
+
+let current_threshold t =
+  match t.adaptive with
+  | Some a -> Adaptive_threshold.threshold a
+  | None -> t.threshold
+
+let windows_scored t =
+  match t.adaptive with
+  | Some a -> Adaptive_threshold.windows a
+  | None -> t.scored
+
+let alarm_windows t =
+  match t.adaptive with
+  | Some a -> Adaptive_threshold.alarms a
+  | None -> t.alarmed
 
 let incidents t = List.rev t.closed
 
@@ -132,11 +160,24 @@ let close_incident t =
       [ Incident_closed incident ]
 
 (* Incident bookkeeping for one completed window — shared verbatim by
-   both paths so they can only differ through the score itself. *)
+   both paths so they can only differ through the score itself.  The
+   alarm decision is made at the {e pre-update} threshold: the window
+   being judged must not move the bar it is judged against.  Note the
+   rules differ at the boundary: the static path alarms at-or-above its
+   fixed threshold, while the adaptive controller alarms strictly above
+   its tracked quantile (the quantile value can be a heavy atom of the
+   score distribution, and charging that atom would blow the budget). *)
 let emit t score =
+  let alarm =
+    match t.adaptive with
+    | Some a -> Adaptive_threshold.step a score
+    | None -> score >= t.threshold
+  in
+  t.scored <- t.scored + 1;
+  if alarm then t.alarmed <- t.alarmed + 1;
   let item = item_of_score t score in
   let scored = Window_scored item in
-  if score >= t.threshold then
+  if alarm then
     match t.open_incident with
     | Some incident when item.Response.start <= incident.Incident.cover_to + 1
       ->
@@ -194,6 +235,7 @@ type snapshot = {
   snap_consumed : int;
   snap_state : int;
   snap_open : Incident.t option;
+  snap_adaptive : string option;
 }
 
 let snapshot t =
@@ -204,10 +246,11 @@ let snapshot t =
           snap_consumed = t.consumed;
           snap_state = a.state;
           snap_open = t.open_incident;
+          snap_adaptive = Option.map Adaptive_threshold.to_string t.adaptive;
         }
   | Window_slide _ -> None
 
-let restore scorer ~threshold snap =
+let restore ?adaptive scorer ~threshold snap =
   let automaton = Flat_automaton.automaton scorer in
   if
     snap.snap_consumed < 0 || snap.snap_state < 0
@@ -217,12 +260,33 @@ let restore scorer ~threshold snap =
     invalid_arg
       (Printf.sprintf "Online.restore: invalid snapshot (consumed=%d state=%d)"
          snap.snap_consumed snap.snap_state);
+  let controller =
+    match (adaptive, snap.snap_adaptive) with
+    | None, None -> None
+    | Some cfg, Some token -> (
+        match Adaptive_threshold.of_string cfg token with
+        | Some c -> Some c
+        | None ->
+            (* lint: allow partiality — documented precondition *)
+            invalid_arg
+              "Online.restore: adaptive-threshold token is corrupt or was \
+               written under a different controller configuration")
+    | Some _, None | None, Some _ ->
+        (* lint: allow partiality — documented precondition *)
+        invalid_arg
+          "Online.restore: snapshot and configuration disagree about \
+           adaptive thresholding"
+  in
   let window = Flat_automaton.depth automaton in
   let t =
     make
       ~path:(Automaton { scorer; state = snap.snap_state })
-      ~threshold ~window
+      ~threshold ~adaptive:controller ~window
   in
   t.consumed <- snap.snap_consumed;
+  (* Static-path counters restart from the resumable position: windows
+     are derivable, alarms are not (they are exact — journal-carried —
+     only under adaptive thresholding). *)
+  t.scored <- Stdlib.max 0 (snap.snap_consumed - window + 1);
   t.open_incident <- snap.snap_open;
   t

@@ -27,17 +27,33 @@ type event =
   | Incident_closed of Incident.t
       (** a completed incident (emitted when alarms stop) *)
 
-val create : Trained.t -> ?compile:bool -> ?threshold:float -> unit -> t
+val create :
+  Trained.t ->
+  ?compile:bool ->
+  ?threshold:float ->
+  ?adaptive:Adaptive_threshold.config ->
+  unit ->
+  t
 (** A monitor around a trained detector.  [threshold] defaults to the
     detector's alarm threshold.  [compile] (default [true]) allows the
     monitor to use the model's compiled flat-automaton scorer (attached
     or freshly compiled); pass [false] to force the reference
-    window-rescoring path. *)
+    window-rescoring path.  With [adaptive], the monitor owns a fresh
+    {!Adaptive_threshold} controller and the alarm threshold tracks the
+    controller instead of staying constant (the static [threshold] is
+    still the controller's starting point via [adaptive.initial]). *)
 
-val of_scorer : Flat_automaton.scorer -> threshold:float -> t
+val of_scorer :
+  ?adaptive:Adaptive_threshold.config ->
+  Flat_automaton.scorer ->
+  threshold:float ->
+  t
 (** A monitor directly around a compiled scorer (e.g. one mmap-loaded
     by {!Seqdiv_detectors.Model_io.load_flat_file}) — deployment needs
-    no detector module, no trie, and no training trace in memory. *)
+    no detector module, no trie, and no training trace in memory.
+    [adaptive] as in {!create}; each monitor owns its own controller,
+    so a session's threshold trajectory depends only on its own
+    stream (the serve layer's shard-count determinism contract). *)
 
 val feed : t -> int -> event list
 (** Push one symbol; returns the events it triggered, in order.  Until
@@ -50,6 +66,21 @@ val flush : t -> event list
 
 val position : t -> int
 (** Symbols consumed so far. *)
+
+val current_threshold : t -> float
+(** The threshold the {e next} completed window will be judged at: the
+    adaptive controller's current threshold, or the static one. *)
+
+val windows_scored : t -> int
+(** Completed windows judged so far.  Under adaptive thresholding this
+    is the controller's (journal-exact) count; on the static path it
+    counts from creation or restore. *)
+
+val alarm_windows : t -> int
+(** Windows that alarmed.  Journal-exact under adaptive thresholding;
+    counted since creation/restore on the static path (a restored
+    static monitor restarts at 0 — alarms are not derivable from its
+    snapshot). *)
 
 val incidents : t -> Incident.t list
 (** All incidents closed so far, oldest first (not including an
@@ -66,17 +97,31 @@ type snapshot = {
   snap_consumed : int;  (** symbols consumed so far *)
   snap_state : int;  (** current flat-automaton state *)
   snap_open : Incident.t option;  (** the incident open at the snapshot *)
+  snap_adaptive : string option;
+      (** the adaptive controller's {!Adaptive_threshold.to_string}
+          token (threshold, counters and quantile-sketch state), when
+          the monitor is adaptive — this is what keeps kill/resume
+          byte-identical with moving thresholds *)
 }
 
 val snapshot : t -> snapshot option
 (** The monitor's resumable state, or [None] on the window-rescoring
     path (which the serve layer never uses). *)
 
-val restore : Flat_automaton.scorer -> threshold:float -> snapshot -> t
+val restore :
+  ?adaptive:Adaptive_threshold.config ->
+  Flat_automaton.scorer ->
+  threshold:float ->
+  snapshot ->
+  t
 (** A monitor continuing exactly where [snapshot] left off.  Feeding it
     the remainder of the stream emits the same events the snapshotted
     monitor would have; incidents closed {e before} the snapshot are not
     carried (they are already journalled), so {!incidents} reports only
-    post-restore closures.
+    post-restore closures.  [adaptive] must match how the snapshot was
+    taken: the controller is rebuilt from [snap_adaptive] under the
+    given config.
     @raise Invalid_argument if the snapshot's state is not a valid state
-    of this scorer's automaton. *)
+    of this scorer's automaton, if exactly one of [adaptive] /
+    [snap_adaptive] is present, or if the token does not parse under
+    [adaptive]. *)

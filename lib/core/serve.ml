@@ -25,6 +25,7 @@ type config = {
   retry_after_ms : int;
   scorer : Flat_automaton.scorer;
   threshold : float;
+  adaptive : Adaptive_threshold.config option;
   model_tag : string;
   journal_dir : string option;
   resume : bool;
@@ -162,6 +163,9 @@ type shard = {
   mutable pub_symbols : int;
   mutable pub_batches : int;
   mutable pub_bytes : int;
+  mutable pub_windows : int;
+  mutable pub_alarms : int;
+  mutable pub_threshold : float;
   (* Cached median service time for the adaptive retry hint, refreshed
      every [percentile_refresh] jobs so the admission hot path never
      sorts the ring. *)
@@ -265,6 +269,9 @@ let sample t sh =
       degraded = sh.degraded <> None;
       retry_after_ms =
         retry_hint ~floor:t.cfg.retry_after_ms ~p50_ns:p50 ~queue_depth;
+      windows = sh.pub_windows;
+      alarms = sh.pub_alarms;
+      threshold = sh.pub_threshold;
     }
   in
   Mutex.unlock sh.stats_lock;
@@ -283,6 +290,9 @@ let sample_health t =
            let h_alive = (not h_degraded) && sh.poison = None in
            let h_restarts = sh.restarts in
            let p50_ns = sh.cached_p50_ns in
+           let h_windows = sh.pub_windows in
+           let h_alarms = sh.pub_alarms in
+           let h_threshold = sh.pub_threshold in
            Mutex.unlock sh.stats_lock;
            {
              Frame.h_shard = sh.index;
@@ -293,6 +303,9 @@ let sample_health t =
              h_retry_after_ms =
                retry_hint ~floor:t.cfg.retry_after_ms ~p50_ns
                  ~queue_depth:h_queue_depth;
+             h_windows;
+             h_alarms;
+             h_threshold;
            })
          t.shard_tab)
   in
@@ -598,6 +611,9 @@ let process t sh (job : job) =
   sh.pub_symbols <- Session_table.symbols_applied sh.table;
   sh.pub_batches <- Session_table.batches_applied sh.table;
   sh.pub_bytes <- Session_table.bytes_resident sh.table;
+  sh.pub_windows <- Session_table.windows_scored sh.table;
+  sh.pub_alarms <- Session_table.alarm_windows sh.table;
+  sh.pub_threshold <- Session_table.current_threshold sh.table;
   (* The shard made progress: a later crash starts a fresh restart
      budget, so any sticky-bounded chaos crash rate fully recovers. *)
   sh.consecutive_restarts <- 0;
@@ -648,6 +664,17 @@ let journal_for cfg ~resume ~depth ~states index =
           (Int64.bits_of_float cfg.threshold)
           cfg.shards index
       in
+      (* The alarm-budget token appears only under adaptive
+         thresholding, so static journals keep their historical context
+         byte-for-byte; resuming a static journal with --alarm-budget
+         (or vice versa) refuses via the context check. *)
+      let context =
+        match cfg.adaptive with
+        | None -> context
+        | Some a ->
+            Printf.sprintf "%s alarm_budget=%016Lx" context
+              (Int64.bits_of_float a.Adaptive_threshold.budget)
+      in
       Some
         (Shard_journal.start ~resume ~context
            (Filename.concat dir (Printf.sprintf "shard-%d.journal" index)))
@@ -655,8 +682,8 @@ let journal_for cfg ~resume ~depth ~states index =
 let make_shard cfg ~depth ~states index =
   let journal = journal_for cfg ~resume:cfg.resume ~depth ~states index in
   let table =
-    Session_table.create ~scorer:cfg.scorer ~threshold:cfg.threshold ?journal
-      ~shard:index ()
+    Session_table.create ~scorer:cfg.scorer ~threshold:cfg.threshold
+      ?adaptive:cfg.adaptive ?journal ~shard:index ()
   in
   {
     index;
@@ -674,6 +701,9 @@ let make_shard cfg ~depth ~states index =
     pub_symbols = 0;
     pub_batches = 0;
     pub_bytes = Session_table.bytes_resident table;
+    pub_windows = Session_table.windows_scored table;
+    pub_alarms = Session_table.alarm_windows table;
+    pub_threshold = Session_table.current_threshold table;
     cached_p50_ns = 0;
     jobs_done = 0;
     poison = None;
@@ -761,7 +791,8 @@ let supervise t domains ~depth ~states =
             in
             let table =
               Session_table.create ~scorer:t.cfg.scorer
-                ~threshold:t.cfg.threshold ?journal ~shard:sh.index ()
+                ~threshold:t.cfg.threshold ?adaptive:t.cfg.adaptive ?journal
+                ~shard:sh.index ()
             in
             Mutex.lock sh.stats_lock;
             sh.table <- table;
@@ -770,6 +801,9 @@ let supervise t domains ~depth ~states =
             sh.consecutive_restarts <- sh.consecutive_restarts + 1;
             sh.pub_sessions <- Session_table.sessions_resident table;
             sh.pub_bytes <- Session_table.bytes_resident table;
+            sh.pub_windows <- Session_table.windows_scored table;
+            sh.pub_alarms <- Session_table.alarm_windows table;
+            sh.pub_threshold <- Session_table.current_threshold table;
             Mutex.unlock sh.stats_lock;
             domains.(i) <- Some (Domain.spawn (fun () -> shard_loop t sh))
           end

@@ -70,6 +70,12 @@ type config = {
           [[retry_after_ms, 1000]] ms *)
   scorer : Flat_automaton.scorer;  (** shared read-only across shards *)
   threshold : float;
+  adaptive : Adaptive_threshold.config option;
+      (** when set ([--alarm-budget]), every session monitor owns an
+          {!Adaptive_threshold} controller under this configuration:
+          thresholds track the budget's tail quantile per session, the
+          journal context pins the budget, and session snapshots carry
+          sketch state so kill/resume stays byte-identical *)
   model_tag : string;  (** pins the model in journal contexts *)
   journal_dir : string option;
       (** per-shard journals land here as [shard-<i>.journal] *)

@@ -8,6 +8,7 @@ open Seqdiv_util
 type t = {
   scorer : Flat_automaton.scorer;
   threshold : float;
+  adaptive : Adaptive_threshold.config option;
   journal : Shard_journal.t option;
   shard : int;
   monitors : (int, Online.t) Hashtbl.t;
@@ -21,6 +22,10 @@ type t = {
   mutable symbols : int;
   mutable batches : int;
   mutable replays : int;
+  (* Window/alarm counts of sessions that have already ended: the
+     shard totals are these plus a sum over resident monitors. *)
+  mutable departed_windows : int;
+  mutable departed_alarms : int;
 }
 
 let default_dedup_capacity = 64
@@ -52,11 +57,12 @@ let remember_batch t ~batch_id incidents =
     Hashtbl.remove t.dedup (Queue.pop t.dedup_order)
   done
 
-let create ~scorer ~threshold ?journal ~shard () =
+let create ~scorer ~threshold ?adaptive ?journal ~shard () =
   let t =
     {
       scorer;
       threshold;
+      adaptive;
       journal;
       shard;
       monitors = Hashtbl.create 1024;
@@ -70,6 +76,8 @@ let create ~scorer ~threshold ?journal ~shard () =
       symbols = 0;
       batches = 0;
       replays = 0;
+      departed_windows = 0;
+      departed_alarms = 0;
     }
   in
   Option.iter
@@ -77,12 +85,13 @@ let create ~scorer ~threshold ?journal ~shard () =
       List.iter
         (fun (s : Shard_journal.session_state) ->
           let monitor =
-            Online.restore scorer ~threshold
+            Online.restore ?adaptive scorer ~threshold
               {
                 Online.snap_consumed = s.Shard_journal.js_consumed;
                 snap_state = s.Shard_journal.js_state;
                 snap_open =
                   Option.map incident_to_core s.Shard_journal.js_open;
+                snap_adaptive = s.Shard_journal.js_adaptive;
               }
           in
           Hashtbl.replace t.monitors s.Shard_journal.js_session monitor)
@@ -135,7 +144,10 @@ let apply t ~batch_id events =
                 match Hashtbl.find_opt t.monitors session with
                 | Some m -> m
                 | None ->
-                    let m = Online.of_scorer t.scorer ~threshold:t.threshold in
+                    let m =
+                      Online.of_scorer ?adaptive:t.adaptive t.scorer
+                        ~threshold:t.threshold
+                    in
                     Hashtbl.replace t.monitors session m;
                     m
               in
@@ -159,6 +171,10 @@ let apply t ~batch_id events =
               | None -> () (* unknown or already ended: nothing to flush *)
               | Some monitor ->
                   push_incident_events acc session (Online.flush monitor);
+                  t.departed_windows <-
+                    t.departed_windows + Online.windows_scored monitor;
+                  t.departed_alarms <-
+                    t.departed_alarms + Online.alarm_windows monitor;
                   Hashtbl.remove t.monitors session;
                   if not (Hashtbl.mem touched session) then begin
                     Hashtbl.replace touched session ();
@@ -188,6 +204,7 @@ let apply t ~batch_id events =
                             js_state = snap.Online.snap_state;
                             js_open =
                               Option.map incident_of_core snap.Online.snap_open;
+                            js_adaptive = snap.Online.snap_adaptive;
                           }))
             (List.rev !touched_order);
           Shard_journal.record_batch journal
@@ -208,6 +225,40 @@ let events_applied t = t.events
 let symbols_applied t = t.symbols
 let batches_applied t = t.batches
 let batches_replayed t = t.replays
+
+(* Shard totals are departed counters plus a sum over resident
+   monitors. *)
+let windows_scored t =
+  (* lint: allow determinism — integer sum is order-insensitive *)
+  Hashtbl.fold
+    (fun _ monitor total -> total + Online.windows_scored monitor)
+    t.monitors t.departed_windows
+
+let alarm_windows t =
+  (* lint: allow determinism — integer sum is order-insensitive *)
+  Hashtbl.fold
+    (fun _ monitor total -> total + Online.alarm_windows monitor)
+    t.monitors t.departed_alarms
+
+(* The shard's published threshold: static configurations report the
+   configured constant; adaptive ones report the maximum over resident
+   monitors (max is hashtable-order-independent, keeping serve frames
+   byte-stable across runs), falling back to the controller's starting
+   point when no session is resident. *)
+let current_threshold t =
+  match t.adaptive with
+  | None -> t.threshold
+  | Some _ ->
+      let best =
+        (* lint: allow determinism — max is order-insensitive *)
+        Hashtbl.fold
+          (fun _ monitor acc ->
+            match acc with
+            | None -> Some (Online.current_threshold monitor)
+            | Some b -> Some (Float.max b (Online.current_threshold monitor)))
+          t.monitors None
+      in
+      Option.value best ~default:t.threshold
 
 (* Word-count estimate: a resident monitor is the Online record, its
    automaton path record and a hashtable slot (~24 words, plus ~8 when

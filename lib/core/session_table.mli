@@ -25,14 +25,21 @@ type t
 val create :
   scorer:Flat_automaton.scorer ->
   threshold:float ->
+  ?adaptive:Adaptive_threshold.config ->
   ?journal:Shard_journal.t ->
   shard:int ->
   unit ->
   t
 (** A table stepping [scorer] at [threshold] (both shared, read-only).
-    With [journal], previously committed sessions and batch records are
+    With [adaptive], every monitor the table creates owns its own
+    {!Adaptive_threshold} controller under that configuration, and
+    journal snapshots carry the controller's serialized state — so
+    kill/resume stays byte-identical even while thresholds move.  With
+    [journal], previously committed sessions and batch records are
     restored from it — pass a freshly resumed {!Shard_journal.t} to
-    continue a killed run. *)
+    continue a killed run (the journal must have been written under the
+    same [adaptive] configuration; {!Online.restore} rejects a
+    mismatch). *)
 
 val apply : t -> batch_id:int -> Frame.event list -> Frame.incident_event list
 (** Apply one sub-batch (already routed to this shard) and return the
@@ -54,6 +61,23 @@ val batches_applied : t -> int
 
 val batches_replayed : t -> int
 (** Resent batches answered from history without re-applying. *)
+
+val windows_scored : t -> int
+(** Completed windows judged by this shard: departed sessions plus a
+    sum over resident monitors.  Exactly-once across kill/resume under
+    adaptive thresholding (the counts ride in the journal); on the
+    static path resident counts restart at the resumable position. *)
+
+val alarm_windows : t -> int
+(** Windows that alarmed, with the same exactness contract as
+    {!windows_scored}. *)
+
+val current_threshold : t -> float
+(** The shard's published alarm threshold: the configured constant on
+    the static path, or the maximum over resident monitors' adaptive
+    thresholds (falling back to the configured starting point when no
+    session is resident).  Max is iteration-order-independent, keeping
+    serve health frames byte-stable. *)
 
 val bytes_resident : t -> int
 (** Estimated heap bytes held by the table: resident monitors plus the

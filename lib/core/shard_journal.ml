@@ -17,6 +17,8 @@ type session_state = {
   js_consumed : int;
   js_state : int;
   js_open : Frame.incident option;
+  js_adaptive : string option;
+      (* opaque Adaptive_threshold token; space-free by construction *)
 }
 
 type batch_record = {
@@ -92,9 +94,17 @@ let incident_of_token tok =
       | _ -> None)
   | _ -> None
 
+(* Static sessions keep the historical 5-field line; adaptive sessions
+   append the controller token as a 6th field (it contains no spaces,
+   so the space-split parse sees exactly one extra field). *)
 let session_body s =
-  Printf.sprintf "s %d %d %d %s" s.js_session s.js_consumed s.js_state
-    (match s.js_open with None -> "-" | Some i -> incident_token i)
+  let base =
+    Printf.sprintf "s %d %d %d %s" s.js_session s.js_consumed s.js_state
+      (match s.js_open with None -> "-" | Some i -> incident_token i)
+  in
+  match s.js_adaptive with
+  | None -> base
+  | Some token -> base ^ " " ^ token
 
 let ended_body session = Printf.sprintf "e %d" session
 
@@ -147,7 +157,14 @@ let parse_line line =
       match Int64.of_string_opt ("0x" ^ digest) with
       | Some d when Int64.equal d (fnv_string body) -> (
           match String.split_on_char ' ' body with
-          | [ "s"; session; consumed; state; open_tok ] -> (
+          | [ "s"; session; consumed; state; open_tok ]
+          | [ "s"; session; consumed; state; open_tok; _ ] -> (
+              let js_adaptive =
+                match String.split_on_char ' ' body with
+                | [ _; _; _; _; _; adaptive ] when adaptive <> "" ->
+                    Some adaptive
+                | _ -> None
+              in
               match
                 ( int_of_string_opt session,
                   int_of_string_opt consumed,
@@ -161,7 +178,14 @@ let parse_line line =
                   | Some js_open ->
                       Some
                         (`Record
-                          (Session { js_session; js_consumed; js_state; js_open }))
+                          (Session
+                             {
+                               js_session;
+                               js_consumed;
+                               js_state;
+                               js_open;
+                               js_adaptive;
+                             }))
                   | None -> None)
               | _ -> None)
           | [ "e"; session ] ->

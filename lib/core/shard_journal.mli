@@ -35,6 +35,12 @@ type session_state = {
   js_consumed : int;  (** symbols consumed ({!Online.snapshot}) *)
   js_state : int;  (** flat-automaton state *)
   js_open : Frame.incident option;  (** incident open at the snapshot *)
+  js_adaptive : string option;
+      (** opaque {!Adaptive_threshold.to_string} token (threshold,
+          counters, quantile sketch) when the session's monitor is
+          adaptive; must contain no spaces.  Static sessions write the
+          historical 5-field line, adaptive sessions append this as a
+          6th field — both parse. *)
 }
 
 type batch_record = {

@@ -35,6 +35,9 @@ type shard_stats = {
   restarts : int;
   degraded : bool;
   retry_after_ms : int;
+  windows : int;
+  alarms : int;
+  threshold : float;
 }
 
 type shard_health = {
@@ -44,6 +47,9 @@ type shard_health = {
   h_restarts : int;
   h_queue_depth : int;
   h_retry_after_ms : int;
+  h_windows : int;
+  h_alarms : int;
+  h_threshold : float;
 }
 
 type health = {
@@ -207,7 +213,10 @@ let add_shard_stats b s =
   add_i64 b s.p99_batch_ns;
   add_i64 b s.restarts;
   add_i64 b (if s.degraded then 1 else 0);
-  add_i64 b s.retry_after_ms
+  add_i64 b s.retry_after_ms;
+  add_i64 b s.windows;
+  add_i64 b s.alarms;
+  Buffer.add_int64_le b (Int64.bits_of_float s.threshold)
 
 let add_shard_health b h =
   add_i64 b h.h_shard;
@@ -215,7 +224,10 @@ let add_shard_health b h =
   add_i64 b (if h.h_degraded then 1 else 0);
   add_i64 b h.h_restarts;
   add_i64 b h.h_queue_depth;
-  add_i64 b h.h_retry_after_ms
+  add_i64 b h.h_retry_after_ms;
+  add_i64 b h.h_windows;
+  add_i64 b h.h_alarms;
+  Buffer.add_int64_le b (Int64.bits_of_float h.h_threshold)
 
 let binary_of_response out = function
   | Ack { id; shard; events; incidents } ->
@@ -383,6 +395,12 @@ let read_bool c name =
   | 1 -> true
   | v -> cursor_fail "Frame: %s flag %d is not 0 or 1" name v
 
+let read_float_bits c =
+  need c 8;
+  let bits = Bytes.get_int64_le c.data c.pos in
+  c.pos <- c.pos + 8;
+  Int64.float_of_bits bits
+
 let read_shard_stats c =
   let shard = read_i64 c in
   let sessions_resident = read_nonneg c "sessions_resident" in
@@ -398,6 +416,9 @@ let read_shard_stats c =
   let restarts = read_nonneg c "restarts" in
   let degraded = read_bool c "degraded" in
   let retry_after_ms = read_nonneg c "retry_after_ms" in
+  let windows = read_nonneg c "windows" in
+  let alarms = read_nonneg c "alarms" in
+  let threshold = read_float_bits c in
   {
     shard;
     sessions_resident;
@@ -413,6 +434,9 @@ let read_shard_stats c =
     restarts;
     degraded;
     retry_after_ms;
+    windows;
+    alarms;
+    threshold;
   }
 
 let read_shard_health c =
@@ -422,7 +446,20 @@ let read_shard_health c =
   let h_restarts = read_nonneg c "restarts" in
   let h_queue_depth = read_nonneg c "queue_depth" in
   let h_retry_after_ms = read_nonneg c "retry_after_ms" in
-  { h_shard; h_alive; h_degraded; h_restarts; h_queue_depth; h_retry_after_ms }
+  let h_windows = read_nonneg c "windows" in
+  let h_alarms = read_nonneg c "alarms" in
+  let h_threshold = read_float_bits c in
+  {
+    h_shard;
+    h_alive;
+    h_degraded;
+    h_restarts;
+    h_queue_depth;
+    h_retry_after_ms;
+    h_windows;
+    h_alarms;
+    h_threshold;
+  }
 
 let decode_binary_response c =
   match read_char c with
@@ -445,13 +482,13 @@ let decode_binary_response c =
       finish c
         (Failed { id; shard; events; reason = read_string c "reason length" })
   | 'T' ->
-      let n = read_count c "shard count" ~min_item_bytes:112 in
+      let n = read_count c "shard count" ~min_item_bytes:136 in
       finish c (Stats (List.init n (fun _ -> read_shard_stats c)))
   | 'h' ->
       let connections = read_nonneg c "connections" in
       let evictions = read_nonneg c "evictions" in
       let draining = read_bool c "draining" in
-      let n = read_count c "shard count" ~min_item_bytes:48 in
+      let n = read_count c "shard count" ~min_item_bytes:72 in
       finish c
         (Health
            {
@@ -783,6 +820,13 @@ let json_of_shard_stats s =
       ("restarts", J_int s.restarts);
       ("degraded", J_bool s.degraded);
       ("retry_after_ms", J_int s.retry_after_ms);
+      ("windows", J_int s.windows);
+      ("alarms", J_int s.alarms);
+      (* bits are authoritative (lossless); the float field rides
+         along for human readers *)
+      ( "threshold_bits",
+        J_string (Printf.sprintf "%016Lx" (Int64.bits_of_float s.threshold)) );
+      ("threshold", J_float s.threshold);
     ]
 
 let json_of_shard_health h =
@@ -794,6 +838,11 @@ let json_of_shard_health h =
       ("restarts", J_int h.h_restarts);
       ("queue_depth", J_int h.h_queue_depth);
       ("retry_after_ms", J_int h.h_retry_after_ms);
+      ("windows", J_int h.h_windows);
+      ("alarms", J_int h.h_alarms);
+      ( "threshold_bits",
+        J_string (Printf.sprintf "%016Lx" (Int64.bits_of_float h.h_threshold)) );
+      ("threshold", J_float h.h_threshold);
     ]
 
 let json_of_response = function
@@ -921,6 +970,9 @@ let shard_stats_of_json v =
     restarts = nonneg_field fields "restarts";
     degraded = bool_field fields "degraded";
     retry_after_ms = nonneg_field fields "retry_after_ms";
+    windows = nonneg_field fields "windows";
+    alarms = nonneg_field fields "alarms";
+    threshold = bits_field fields "threshold_bits";
   }
 
 let shard_health_of_json v =
@@ -932,6 +984,9 @@ let shard_health_of_json v =
     h_restarts = nonneg_field fields "restarts";
     h_queue_depth = nonneg_field fields "queue_depth";
     h_retry_after_ms = nonneg_field fields "retry_after_ms";
+    h_windows = nonneg_field fields "windows";
+    h_alarms = nonneg_field fields "alarms";
+    h_threshold = bits_field fields "threshold_bits";
   }
 
 let response_of_json v =
@@ -1114,11 +1169,13 @@ let render_health h =
     (fun s ->
       Buffer.add_string b
         (Printf.sprintf
-           "shard %d: %s restarts=%d queue_depth=%d retry_after_ms=%d\n"
+           "shard %d: %s restarts=%d queue_depth=%d retry_after_ms=%d \
+            windows=%d alarms=%d threshold=%h\n"
            s.h_shard
            (if s.h_degraded then "DEGRADED"
             else if s.h_alive then "alive"
             else "dead")
-           s.h_restarts s.h_queue_depth s.h_retry_after_ms))
+           s.h_restarts s.h_queue_depth s.h_retry_after_ms s.h_windows
+           s.h_alarms s.h_threshold))
     h.shards_health;
   Buffer.contents b

@@ -56,6 +56,12 @@ type shard_stats = {
   restarts : int;  (** supervisor restarts of this shard's domain *)
   degraded : bool;  (** the shard took a fatal fault and serves [Failed] *)
   retry_after_ms : int;  (** current adaptive backpressure hint *)
+  windows : int;  (** completed windows judged (departed + resident) *)
+  alarms : int;  (** windows that alarmed *)
+  threshold : float;
+      (** published alarm threshold: the configured constant, or the max
+          over resident adaptive controllers (wire-encoded as exact
+          bits, so stats roundtrip losslessly) *)
 }
 
 type shard_health = {
@@ -65,6 +71,11 @@ type shard_health = {
   h_restarts : int;
   h_queue_depth : int;
   h_retry_after_ms : int;
+  h_windows : int;  (** completed windows judged by the shard *)
+  h_alarms : int;  (** windows that alarmed — observed alarm rate is
+                       [h_alarms /. h_windows] *)
+  h_threshold : float;  (** published alarm threshold (exact bits on
+                            the wire) *)
 }
 (** One shard's row in a {!health} readiness report. *)
 

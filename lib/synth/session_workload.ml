@@ -5,6 +5,78 @@ let normal suite rng ~sessions ~length =
     (fun rng _i -> Markov_chain.generate suite.Suite.chain rng ~start:0 ~len:length)
     rng ~sessions ~length
 
+(* Drifting benign sessions: the generating process's deviation rate
+   ramps across segments, so the score distribution a monitor sees
+   moves under it — the stress case for adaptive thresholding (a static
+   threshold's false-alarm rate drifts with the process; an adaptive
+   one re-tracks its budgeted tail quantile).  Each segment is sampled
+   from a fresh paper chain at the ramped rate, started at the symbol
+   after the previous segment's last — a legal cycle transition, so
+   segment seams never fabricate foreign content. *)
+let drifting suite rng ~sessions ~length ~segments ~peak_deviation =
+  if segments < 1 then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg
+      (Printf.sprintf "Session_workload.drifting: segments=%d" segments);
+  if
+    not
+      (peak_deviation >= suite.Suite.params.Suite.deviation
+      && peak_deviation < 1.0)
+  then
+    (* lint: allow partiality — documented precondition *)
+    invalid_arg
+      (Printf.sprintf "Session_workload.drifting: peak_deviation=%g"
+         peak_deviation);
+  let alphabet = suite.Suite.alphabet in
+  let size = Alphabet.size alphabet in
+  let base = suite.Suite.params.Suite.deviation in
+  let deviation_of_segment j =
+    if segments = 1 then peak_deviation
+    else
+      base
+      +. (peak_deviation -. base)
+         *. (float_of_int j /. float_of_int (segments - 1))
+  in
+  let chains =
+    Array.init segments (fun j ->
+        Markov_chain.paper_chain alphabet ~deviation:(deviation_of_segment j))
+  in
+  Sessions.generate
+    (fun rng _i ->
+      let seg_len = length / segments in
+      let parts =
+        List.init segments (fun j ->
+            (* The final segment absorbs the remainder so the session is
+               exactly [length] long. *)
+            let len =
+              if j = segments - 1 then length - (seg_len * (segments - 1))
+              else seg_len
+            in
+            (j, len))
+      in
+      let start = ref 0 in
+      List.fold_left
+        (fun acc (j, len) ->
+          if len = 0 then acc
+          else begin
+            let part =
+              Markov_chain.generate chains.(j) rng ~start:!start ~len
+            in
+            start := (Trace.get part (Trace.length part - 1) + 1) mod size;
+            match acc with
+            | None -> Some part
+            | Some prefix -> Some (Trace.concat prefix part)
+          end)
+        None parts
+      |> function
+      | Some trace -> trace
+      | None ->
+          (* Unreachable: segments >= 1 and the last segment's length is
+             positive whenever [length] is. *)
+          (* lint: allow partiality — unreachable, see above *)
+          assert false)
+    rng ~sessions ~length
+
 let anomalous suite ~sessions ~length ~anomaly_size ~window =
   assert (sessions >= 1);
   let p = suite.Suite.params in

@@ -16,6 +16,24 @@ val normal : Suite.t -> Prng.t -> sessions:int -> length:int -> Sessions.t
     transitions at the chain's deviation rate but no foreign content
     (the chain's structural zeros guarantee it). *)
 
+val drifting :
+  Suite.t ->
+  Prng.t ->
+  sessions:int ->
+  length:int ->
+  segments:int ->
+  peak_deviation:float ->
+  Sessions.t
+(** Benign sessions whose generating process {e drifts}: each session
+    is [segments] consecutive segments sampled from paper chains whose
+    deviation rate ramps linearly from the suite's configured rate up to
+    [peak_deviation], with segment seams taken along the cycle (never
+    foreign content).  Rare-transition frequency — and with it every
+    detector's score distribution — therefore rises over the session:
+    the workload adaptive thresholding is evaluated against.
+    @raise Invalid_argument unless [segments >= 1] and
+    [suite.params.deviation <= peak_deviation < 1]. *)
+
 val anomalous :
   Suite.t -> sessions:int -> length:int -> anomaly_size:int -> window:int ->
   Sessions.t

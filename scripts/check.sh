@@ -64,6 +64,8 @@ SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR="$tmp/golden" \
   ./_build/default/test/test_lint_golden.exe > /dev/null
 SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR="$tmp/golden" \
   ./_build/default/test/test_serve_chaos.exe > /dev/null
+SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR="$tmp/golden" \
+  ./_build/default/test/test_adaptive_golden.exe > /dev/null
 diff -ru test/golden "$tmp/golden"
 echo "golden fixtures: OK"
 
@@ -187,6 +189,60 @@ serve_pid=$!
 wait "$serve_pid"
 diff "$tmp/serve-ref.log" "$tmp/serve-4.log"
 echo "serve kill-resume smoke test: OK"
+
+# Adaptive-threshold serve smoke: with --alarm-budget each session's
+# controller (threshold + quantile sketch) rides in the shard
+# journals, so the incident log must stay byte-identical across a
+# SIGKILL/--resume cycle and across shard counts even while
+# thresholds move.  Markov's graded scores (unlike Stide's 0/1) are
+# what give the controller a distribution worth tracking.
+mkdir -p "$tmp/serve-adapt-ref"
+"$bin" serve --model "$tmp/markov.flat" --socket "$serve_sock" --shards 2 \
+  --alarm-budget 0.05 --journal-dir "$tmp/serve-adapt-ref" > /dev/null 2>&1 &
+serve_pid=$!
+# shellcheck disable=SC2086
+"$bin" serve-bench --socket "$serve_sock" $bench_args \
+  --incident-log "$tmp/serve-adapt-ref.log" --quit > /dev/null
+wait "$serve_pid"
+# The run must actually alarm, or the byte-compares below prove nothing.
+[ -s "$tmp/serve-adapt-ref.log" ] || {
+  echo "adaptive serve smoke: empty incident log" >&2; exit 1; }
+
+mkdir -p "$tmp/serve-adapt-kill"
+"$bin" serve --model "$tmp/markov.flat" --socket "$serve_sock" --shards 2 \
+  --alarm-budget 0.05 --journal-dir "$tmp/serve-adapt-kill" > /dev/null 2>&1 &
+serve_pid=$!
+# shellcheck disable=SC2086
+"$bin" serve-bench --socket "$serve_sock" $bench_args \
+  --incident-log "$tmp/serve-adapt-kill.log" --reconnect --quit > /dev/null 2>&1 &
+client_pid=$!
+while [ "$(cat "$tmp/serve-adapt-kill/shard-0.journal" 2>/dev/null | wc -c)" -lt 4000 ] \
+  && kill -0 "$client_pid" 2>/dev/null; do
+  sleep 0.02
+done
+if kill -0 "$client_pid" 2>/dev/null; then
+  kill -9 "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid" 2>/dev/null || true
+  "$bin" serve --model "$tmp/markov.flat" --socket "$serve_sock" --shards 2 \
+    --alarm-budget 0.05 --journal-dir "$tmp/serve-adapt-kill" --resume \
+    > /dev/null 2>&1 &
+  serve_pid=$!
+else
+  echo "adaptive serve kill-resume: client finished before the kill; degraded to plain diff" >&2
+fi
+wait "$client_pid"
+wait "$serve_pid" 2>/dev/null || true
+diff "$tmp/serve-adapt-ref.log" "$tmp/serve-adapt-kill.log"
+
+"$bin" serve --model "$tmp/markov.flat" --socket "$serve_sock" --shards 4 \
+  --alarm-budget 0.05 > /dev/null 2>&1 &
+serve_pid=$!
+# shellcheck disable=SC2086
+"$bin" serve-bench --socket "$serve_sock" $bench_args \
+  --incident-log "$tmp/serve-adapt-4.log" --quit > /dev/null
+wait "$serve_pid"
+diff "$tmp/serve-adapt-ref.log" "$tmp/serve-adapt-4.log"
+echo "adaptive serve kill-resume smoke test: OK"
 
 # Chaos-serve smoke test: with seeded transient shard crashes injected
 # mid-stream, the supervisor must restart each crashed shard from its

@@ -7,12 +7,14 @@ set -eu
 cd "$(dirname "$0")/.."
 
 dune build test/test_golden.exe test/test_lint_golden.exe \
-  test/test_serve_chaos.exe
+  test/test_serve_chaos.exe test/test_adaptive_golden.exe
 SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR=test/golden \
   ./_build/default/test/test_golden.exe
 SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR=test/golden \
   ./_build/default/test/test_lint_golden.exe
 SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR=test/golden \
   ./_build/default/test/test_serve_chaos.exe
+SEQDIV_GOLDEN_PROMOTE=1 SEQDIV_GOLDEN_DIR=test/golden \
+  ./_build/default/test/test_adaptive_golden.exe
 
 git --no-pager diff --stat -- test/golden

@@ -76,6 +76,78 @@ let test_outside_span_excludes_signal () =
   Alcotest.(check int) "span excluded" (total_windows - (hi - lo + 1))
     s.False_alarm.windows
 
+let test_static_drifts_adaptive_holds () =
+  (* The deployment scenario behind adaptive thresholding: a static
+     threshold calibrated to the false-alarm budget on a pre-drift
+     corpus blows far past it once the generating process drifts,
+     while a controller started from the {e same} calibrated value
+     re-tracks the quantile and holds the rate.  ([bench --adaptive]
+     measures the same contrast on a larger corpus.) *)
+  let suite = small_suite () in
+  let budget = 0.05 in
+  let markov =
+    Trained.train (Registry.find_exn "markov") ~window:6 suite.Suite.training
+  in
+  let prng k =
+    Seqdiv_util.Prng.create ~seed:(suite.Suite.params.Suite.seed + k)
+  in
+  let static_threshold =
+    (* Calibrate offline, the paper's way: the empirical
+       (1 - budget)-quantile of scores on normal pre-drift sessions. *)
+    let calib =
+      Session_workload.normal suite (prng 23) ~sessions:8 ~length:2_000
+    in
+    let scores =
+      List.concat_map
+        (fun trace ->
+          Array.to_list
+            (Array.map
+               (fun i -> i.Response.score)
+               (Trained.score markov trace).Response.items))
+        (Seqdiv_stream.Sessions.traces calib)
+    in
+    let a = Array.of_list scores in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    a.(Stdlib.min (n - 1)
+         (int_of_float (Float.ceil ((1.0 -. budget) *. float_of_int n)) - 1))
+  in
+  let drift =
+    Session_workload.drifting suite (prng 29) ~sessions:12 ~length:3_000
+      ~segments:3 ~peak_deviation:0.25
+  in
+  let static_windows = ref 0 and static_alarms = ref 0 in
+  let ctl =
+    Adaptive_threshold.create
+      (Adaptive_threshold.config ~budget ~initial:static_threshold ())
+  in
+  List.iter
+    (fun trace ->
+      let resp = Trained.score markov trace in
+      let s = False_alarm.of_response resp ~threshold:static_threshold in
+      static_windows := !static_windows + s.False_alarm.windows;
+      static_alarms := !static_alarms + s.False_alarm.alarms;
+      Array.iter
+        (fun i -> ignore (Adaptive_threshold.step ctl i.Response.score))
+        resp.Response.items)
+    (Seqdiv_stream.Sessions.traces drift);
+  let static_rate =
+    float_of_int !static_alarms /. float_of_int !static_windows
+  in
+  let adaptive_rate = Adaptive_threshold.observed_rate ctl in
+  Alcotest.(check int) "same windows judged" !static_windows
+    (Adaptive_threshold.windows ctl);
+  Alcotest.(check bool)
+    (Printf.sprintf "static rate %.4f blows the budget %.2f" static_rate
+       budget)
+    true
+    (static_rate > 2.0 *. budget);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive rate %.4f holds the budget %.2f" adaptive_rate
+       budget)
+    true
+    (adaptive_rate > 0.0 && adaptive_rate <= (budget *. 1.5) +. 0.01)
+
 let test_threshold_monotonicity () =
   let r = response [ 0.1; 0.4; 0.6; 0.9; 1.0 ] in
   let rate t = (False_alarm.of_response r ~threshold:t).False_alarm.rate in
@@ -93,6 +165,8 @@ let () =
           Alcotest.test_case "markov vs stide on rare content" `Quick
             test_markov_alarms_on_rare_content;
           Alcotest.test_case "outside span" `Quick test_outside_span_excludes_signal;
+          Alcotest.test_case "static drifts, adaptive holds" `Quick
+            test_static_drifts_adaptive_holds;
           Alcotest.test_case "threshold monotone" `Quick test_threshold_monotonicity;
         ] );
     ]

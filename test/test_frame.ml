@@ -197,6 +197,9 @@ let sample_responses =
           restarts = 2;
           degraded = false;
           retry_after_ms = 11;
+          windows = 900;
+          alarms = 17;
+          threshold = 1.0 /. 3.0;
         };
       ];
     Frame.Health
@@ -210,6 +213,9 @@ let sample_responses =
               h_restarts = 1;
               h_queue_depth = 3;
               h_retry_after_ms = 12;
+              h_windows = 450;
+              h_alarms = 9;
+              h_threshold = 2.75;
             };
             {
               Frame.h_shard = 1;
@@ -218,6 +224,9 @@ let sample_responses =
               h_restarts = 3;
               h_queue_depth = 0;
               h_retry_after_ms = 5;
+              h_windows = 0;
+              h_alarms = 0;
+              h_threshold = -0.0;
             };
           ];
         connections = 4;

@@ -222,10 +222,181 @@ let test_snapshot_restore_roundtrip () =
 let test_restore_rejects_garbage () =
   let scorer, threshold = compiled_stide () in
   let bad =
-    { Online.snap_consumed = 4; snap_state = max_int; snap_open = None }
+    {
+      Online.snap_consumed = 4;
+      snap_state = max_int;
+      snap_open = None;
+      snap_adaptive = None;
+    }
   in
   match Online.restore scorer ~threshold bad with
   | _ -> Alcotest.fail "out-of-range state accepted"
+  | exception Invalid_argument _ -> ()
+
+(* {1 Adaptive thresholding through the monitor} *)
+
+let adaptive_cfg ~initial =
+  (* Small warmup/refresh so the controller moves within a short test
+     stream. *)
+  Adaptive_threshold.config ~budget:0.1 ~warmup:4 ~refresh:2 ~initial ()
+
+let mixed_symbols =
+  (* Background cycles with two foreign bursts: the score stream holds
+     both clusters, so the sketch fills and the threshold moves. *)
+  let rec repeat n xs = if n = 0 then [] else xs @ repeat (n - 1) xs in
+  repeat 3 [ 0; 1; 2; 3 ]
+  @ [ 0; 0; 0; 0 ]
+  @ repeat 4 [ 0; 1; 2; 3 ]
+  @ [ 5; 5; 5; 5 ]
+  @ repeat 3 [ 0; 1; 2; 3 ]
+
+let test_adaptive_snapshot_restore () =
+  (* Kill/resume with adaptive thresholding: the snapshot carries the
+     controller (sketch included), so the restored monitor makes the
+     same decisions AND lands in bit-identical controller state. *)
+  let scorer, threshold = compiled_stide () in
+  let cfg = adaptive_cfg ~initial:0.5 in
+  let straight = Online.of_scorer ~adaptive:cfg scorer ~threshold in
+  let all_events = feed_all straight mixed_symbols in
+  Alcotest.(check bool) "threshold moved during the stream" true
+    (Online.current_threshold straight <> 0.5);
+  let cut = 19 in
+  let first = Online.of_scorer ~adaptive:cfg scorer ~threshold in
+  let head =
+    feed_all first (List.filteri (fun i _ -> i < cut) mixed_symbols)
+  in
+  let snap =
+    match Online.snapshot first with
+    | Some snap -> snap
+    | None -> Alcotest.fail "automaton monitors must snapshot"
+  in
+  (match snap.Online.snap_adaptive with
+  | Some token ->
+      Alcotest.(check bool) "controller token present" true
+        (String.length token > 0)
+  | None -> Alcotest.fail "adaptive snapshot must carry the controller");
+  let second = Online.restore ~adaptive:cfg scorer ~threshold snap in
+  let tail =
+    feed_all second (List.filteri (fun i _ -> i >= cut) mixed_symbols)
+  in
+  Alcotest.(check int) "same event count" (List.length all_events)
+    (List.length (head @ tail));
+  let scores events =
+    windows_scored events |> List.map (fun i -> i.Response.score)
+  in
+  List.iter2
+    (fun a b -> Alcotest.(check (float 0.0)) "same score" a b)
+    (scores all_events)
+    (scores (head @ tail));
+  Alcotest.(check int) "same windows judged" (Online.windows_scored straight)
+    (Online.windows_scored second);
+  Alcotest.(check int) "same alarm windows" (Online.alarm_windows straight)
+    (Online.alarm_windows second);
+  Alcotest.(check (float 0.0)) "same final threshold"
+    (Online.current_threshold straight)
+    (Online.current_threshold second);
+  match (Online.snapshot straight, Online.snapshot second) with
+  | Some a, Some b ->
+      Alcotest.(check (option string)) "bit-identical controller token"
+        a.Online.snap_adaptive b.Online.snap_adaptive;
+      Alcotest.(check int) "same automaton state" a.Online.snap_state
+        b.Online.snap_state
+  | _ -> Alcotest.fail "both monitors must snapshot"
+
+let test_adaptive_strictly_above () =
+  (* The adaptive rule is strict: a window scoring exactly the
+     controller's threshold stays silent (the quantile value can be an
+     atom of the score distribution), where the static at-or-above
+     rule alarms.  A huge warmup pins the controller at [initial] for
+     the whole stream, so only the comparison rule differs. *)
+  let scorer, _ = compiled_stide () in
+  let symbols = [ 0; 1; 2; 3; 0; 0; 0; 0 ] in
+  let top =
+    let probe = Online.of_scorer scorer ~threshold:Float.max_float in
+    feed_all probe symbols
+    |> List.filter_map (function
+         | Online.Window_scored i -> Some i.Response.score
+         | _ -> None)
+    |> List.fold_left Float.max neg_infinity
+  in
+  Alcotest.(check bool) "stream has a scoring window" true (top > 0.0);
+  let fired ?adaptive threshold =
+    let monitor = Online.of_scorer ?adaptive scorer ~threshold in
+    feed_all monitor symbols
+    |> List.exists (function Online.Incident_opened _ -> true | _ -> false)
+  in
+  let pinned initial =
+    Adaptive_threshold.config ~budget:0.1 ~warmup:1_000_000 ~initial ()
+  in
+  Alcotest.(check bool) "static: score = threshold alarms" true (fired top);
+  Alcotest.(check bool) "adaptive: score = threshold is silent" false
+    (fired ~adaptive:(pinned top) top);
+  Alcotest.(check bool) "adaptive: threshold just below fires" true
+    (fired ~adaptive:(pinned (top *. 0.999999)) (top *. 0.999999))
+
+let test_threshold_moves_mid_incident () =
+  (* Exactly-at-threshold semantics while the threshold moves
+     mid-incident: a long foreign run opens an incident at the learned
+     low threshold, then a refresh absorbs the foreign scores
+     themselves and re-prices the threshold up to the 1.0 score atom —
+     at which point the strict [>] rule stops alarming even though the
+     foreign run continues, and the incident closes {e before} the
+     stream ends.  (The static at-or-above path would hold the
+     incident open to flush.) *)
+  let scorer, _ = compiled_stide () in
+  let cfg =
+    Adaptive_threshold.config ~budget:0.3 ~warmup:4 ~refresh:2 ~initial:0.5 ()
+  in
+  let monitor = Online.of_scorer ~adaptive:cfg scorer ~threshold:0.5 in
+  let symbols =
+    (* Clean cycle to get past warmup at threshold 0, then a foreign
+       run long enough to straddle several refreshes. *)
+    List.init 11 (fun i -> i mod 8) @ List.init 12 (fun _ -> 0)
+  in
+  let events = feed_all monitor symbols in
+  let opened =
+    List.filter (function Online.Incident_opened _ -> true | _ -> false) events
+  in
+  let closed_during =
+    List.filter (function Online.Incident_closed _ -> true | _ -> false) events
+  in
+  Alcotest.(check int) "incident opened" 1 (List.length opened);
+  Alcotest.(check int) "incident closed before the stream ended" 1
+    (List.length closed_during);
+  Alcotest.(check int) "nothing left open at flush" 0
+    (List.length (Online.flush monitor));
+  (* The close was the re-pricing, not the end of foreign content: the
+     threshold ended up at the foreign-score atom. *)
+  Alcotest.(check (float 0.0)) "threshold moved to the score atom" 1.0
+    (Online.current_threshold monitor)
+
+let test_restore_adaptive_mismatch () =
+  (* Restore refuses half-configured adaptive state: the snapshot and
+     the supplied configuration must agree about whether a controller
+     exists, and the token must parse under that exact configuration. *)
+  let scorer, threshold = compiled_stide () in
+  let cfg = adaptive_cfg ~initial:0.5 in
+  let snap_of monitor =
+    ignore (feed_all monitor [ 0; 1; 2; 3; 4 ]);
+    match Online.snapshot monitor with
+    | Some snap -> snap
+    | None -> Alcotest.fail "automaton monitors must snapshot"
+  in
+  let static_snap = snap_of (Online.of_scorer scorer ~threshold) in
+  (match Online.restore ~adaptive:cfg scorer ~threshold static_snap with
+  | _ -> Alcotest.fail "static snapshot restored as adaptive"
+  | exception Invalid_argument _ -> ());
+  let adaptive_snap =
+    snap_of (Online.of_scorer ~adaptive:cfg scorer ~threshold)
+  in
+  (match Online.restore scorer ~threshold adaptive_snap with
+  | _ -> Alcotest.fail "adaptive snapshot restored as static"
+  | exception Invalid_argument _ -> ());
+  (* A different budget means a different sketch target: the token must
+     not parse under the foreign configuration. *)
+  let other = Adaptive_threshold.config ~budget:0.2 ~initial:0.5 () in
+  match Online.restore ~adaptive:other scorer ~threshold adaptive_snap with
+  | _ -> Alcotest.fail "foreign-config token accepted"
   | exception Invalid_argument _ -> ()
 
 let prop_online_incidents_match_batch =
@@ -280,6 +451,14 @@ let () =
             test_snapshot_restore_roundtrip;
           Alcotest.test_case "restore validation" `Quick
             test_restore_rejects_garbage;
+          Alcotest.test_case "adaptive: snapshot/restore" `Quick
+            test_adaptive_snapshot_restore;
+          Alcotest.test_case "adaptive: strictly above" `Quick
+            test_adaptive_strictly_above;
+          Alcotest.test_case "adaptive: re-prices mid-incident" `Quick
+            test_threshold_moves_mid_incident;
+          Alcotest.test_case "adaptive: restore mismatch" `Quick
+            test_restore_adaptive_mismatch;
           prop_online_incidents_match_batch;
         ] );
     ]

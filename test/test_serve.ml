@@ -41,7 +41,7 @@ let fresh_socket_path () =
 let base_config ?(shards = 1) ?(queue_capacity = 64) ?journal_dir ?chaos
     ?(max_restarts = Serve.default_max_restarts)
     ?(write_timeout_ms = Serve.default_write_timeout_ms)
-    ?(max_connections = 16) path =
+    ?(max_connections = 16) ?adaptive path =
   let scorer, threshold = Lazy.force scorer_and_threshold in
   {
     Serve.address = Serve.Unix_socket path;
@@ -50,6 +50,7 @@ let base_config ?(shards = 1) ?(queue_capacity = 64) ?journal_dir ?chaos
     retry_after_ms = Serve.default_retry_after_ms;
     scorer;
     threshold;
+    adaptive;
     model_tag = "test";
     journal_dir;
     resume = false;

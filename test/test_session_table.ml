@@ -39,7 +39,7 @@ let incident_of_core (i : Incident.t) =
    One Online monitor per session, events applied in stream order on
    the calling domain — the semantics Session_table must reproduce. *)
 
-let serial_replay ~scorer ~threshold batches =
+let serial_replay ?adaptive ~scorer ~threshold batches =
   let monitors = Hashtbl.create 16 in
   let log = ref [] in
   let emit session = function
@@ -61,7 +61,7 @@ let serial_replay ~scorer ~threshold batches =
                 match Hashtbl.find_opt monitors session with
                 | Some m -> m
                 | None ->
-                    let m = Online.of_scorer scorer ~threshold in
+                    let m = Online.of_scorer ?adaptive scorer ~threshold in
                     Hashtbl.replace monitors session m;
                     m
               in
@@ -109,10 +109,10 @@ let route_events ~shards events =
     events;
   Array.map List.rev buckets
 
-let sharded_replay ~scorer ~threshold ~shards batches =
+let sharded_replay ?adaptive ~scorer ~threshold ~shards batches =
   let tables =
     Array.init shards (fun shard ->
-        Session_table.create ~scorer ~threshold ~shard ())
+        Session_table.create ~scorer ~threshold ?adaptive ~shard ())
   in
   List.concat
     (List.mapi
@@ -150,27 +150,45 @@ let arbitrary_batches =
         (List.fold_left (fun a b -> a + List.length b) 0 batches))
     gen_batches
 
-(* {1 Properties} *)
+(* {1 Properties}
 
-let prop_shard_invariant =
-  qcheck ~count:60 "per-session log invariant under shard count"
-    arbitrary_batches
-    (fun batches ->
+   Every determinism property is proven twice: with the static
+   threshold and with an adaptive controller per session.  The
+   adaptive configuration is deliberately twitchy (tiny warmup and
+   refresh) so thresholds move within the short fuzzed streams — the
+   regime where a controller that was not byte-exact in the journal,
+   or not purely score-driven, would split the logs. *)
+
+let twitchy_adaptive =
+  Adaptive_threshold.config ~budget:0.25 ~warmup:4 ~refresh:2 ~initial:0.5 ()
+
+let shard_invariant_prop ?adaptive name =
+  qcheck ~count:60 name arbitrary_batches (fun batches ->
       let scorer, threshold = Lazy.force scorer_and_threshold in
-      let reference = by_session (serial_replay ~scorer ~threshold batches) in
+      let reference =
+        by_session (serial_replay ?adaptive ~scorer ~threshold batches)
+      in
       List.for_all
         (fun shards ->
-          by_session (sharded_replay ~scorer ~threshold ~shards batches)
+          by_session
+            (sharded_replay ?adaptive ~scorer ~threshold ~shards batches)
           = reference)
         [ 1; 2; 4 ])
 
-let prop_kill_resume =
-  qcheck ~count:40 "kill/resume + resent batch = uninterrupted run"
-    arbitrary_batches
-    (fun batches ->
+let prop_shard_invariant =
+  shard_invariant_prop "per-session log invariant under shard count"
+
+let prop_shard_invariant_adaptive =
+  shard_invariant_prop ~adaptive:twitchy_adaptive
+    "adaptive: per-session log invariant under shard count"
+
+let kill_resume_prop ?adaptive name =
+  qcheck ~count:40 name arbitrary_batches (fun batches ->
       let scorer, threshold = Lazy.force scorer_and_threshold in
       let shards = 2 in
-      let reference = by_session (serial_replay ~scorer ~threshold batches) in
+      let reference =
+        by_session (serial_replay ?adaptive ~scorer ~threshold batches)
+      in
       let dir = Filename.temp_file "seqdiv-session-table" "" in
       Sys.remove dir;
       Unix.mkdir dir 0o755;
@@ -191,7 +209,8 @@ let prop_kill_resume =
                   Shard_journal.start ~resume ~context:(context shard)
                     (journal_path shard)
                 in
-                Session_table.create ~scorer ~threshold ~journal ~shard ())
+                Session_table.create ~scorer ~threshold ?adaptive ~journal
+                  ~shard ())
           in
           let apply_batch tables batch_id events =
             let buckets = route_events ~shards events in
@@ -233,6 +252,13 @@ let prop_kill_resume =
           interrupted = reference && replays > 0
           && List.map Frame.render_incident_event resent
              = List.map Frame.render_incident_event !last_applied))
+
+let prop_kill_resume =
+  kill_resume_prop "kill/resume + resent batch = uninterrupted run"
+
+let prop_kill_resume_adaptive =
+  kill_resume_prop ~adaptive:twitchy_adaptive
+    "adaptive: kill/resume + resent batch = uninterrupted run"
 
 (* {1 Unit tests: counters and lifecycle} *)
 
@@ -291,6 +317,8 @@ let () =
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "dedup" `Quick test_dedup_without_journal;
           prop_shard_invariant;
+          prop_shard_invariant_adaptive;
           prop_kill_resume;
+          prop_kill_resume_adaptive;
         ] );
     ]

@@ -17,12 +17,13 @@ let with_temp f =
 
 let context = "serve model=stide depth=6 states=276 threshold=3ff0000000000000 shards=2 shard=0"
 
-let session ?(consumed = 100) ?(state = 42) ?open_incident id =
+let session ?(consumed = 100) ?(state = 42) ?open_incident ?adaptive id =
   {
     Shard_journal.js_session = id;
     js_consumed = consumed;
     js_state = state;
     js_open = open_incident;
+    js_adaptive = adaptive;
   }
 
 let incident =
